@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks for the core kernels: GYO acyclicity,
+//! det-k/cost-k decomposition, the hybrid planner on TPC-H Q5, hash join
+//! throughput, and the q-hypertree evaluator vs the naive pipeline on a
+//! chain query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htqo_core::{det_k_decomp, q_hypertree_decomp, QhdOptions, StructuralCost};
+use htqo_cq::{isolate, parse_select, IsolatorOptions};
+use htqo_engine::error::Budget;
+use htqo_engine::ops::natural_join;
+use htqo_eval::{evaluate_naive, evaluate_qhd};
+use htqo_core::treedecomp::{tree_decomposition, EliminationHeuristic};
+use htqo_hypergraph::acyclic::gyo;
+use htqo_hypergraph::{biconnected_components, hinge_decomposition};
+use htqo_optimizer::HybridOptimizer;
+use htqo_tpch::{generate, q5, DbgenOptions};
+use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
+
+fn bench_gyo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gyo");
+    for n in [4usize, 8, 12] {
+        let h = acyclic_query(n).hypergraph().hypergraph;
+        group.bench_with_input(BenchmarkId::new("line", n), &h, |b, h| {
+            b.iter(|| gyo(h).is_some())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition");
+    for n in [4usize, 6, 8, 10] {
+        let q = chain_query(n);
+        group.bench_with_input(BenchmarkId::new("detk_chain", n), &q, |b, q| {
+            let h = q.hypergraph().hypergraph;
+            b.iter(|| det_k_decomp(&h, 2).expect("chains have width 2"))
+        });
+        group.bench_with_input(BenchmarkId::new("qhd_chain", n), &q, |b, q| {
+            b.iter(|| {
+                q_hypertree_decomp(q, &QhdOptions::default(), &StructuralCost)
+                    .expect("chains decompose")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tpch_planning(c: &mut Criterion) {
+    let db = generate(&DbgenOptions { scale: 0.001, seed: 1 });
+    let sql = q5("ASIA", 1994);
+    let stmt = parse_select(&sql).unwrap();
+    let q = isolate(&stmt, &db, IsolatorOptions::default()).unwrap();
+    let optimizer = HybridOptimizer::structural(QhdOptions::default());
+    c.bench_function("plan_tpch_q5", |b| {
+        b.iter(|| optimizer.plan_cq(&q).expect("Q5 decomposes"))
+    });
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let db = workload_db(&WorkloadSpec::new(2, 10_000, 100, 7));
+    let q = acyclic_query(2);
+    let mut budget = Budget::unlimited();
+    let left = htqo_engine::scan::scan_query_atom(&db, &q, htqo_cq::AtomId(0), &mut budget).unwrap();
+    let right = htqo_engine::scan::scan_query_atom(&db, &q, htqo_cq::AtomId(1), &mut budget).unwrap();
+    c.bench_function("hash_join_10k_x_10k", |b| {
+        b.iter(|| {
+            let mut budget = Budget::unlimited();
+            natural_join(&left, &right, &mut budget).unwrap()
+        })
+    });
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluators");
+    group.sample_size(10);
+    let n = 5;
+    let db = workload_db(&WorkloadSpec::new(n, 300, 40, 11));
+    let q = chain_query(n);
+    let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+    group.bench_function("qhd_chain5", |b| {
+        b.iter(|| {
+            let mut budget = Budget::unlimited();
+            evaluate_qhd(&db, &q, &plan, &mut budget).unwrap()
+        })
+    });
+    group.bench_function("naive_chain5", |b| {
+        b.iter(|| {
+            let mut budget = Budget::unlimited();
+            evaluate_naive(&db, &q, &mut budget).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_structural_survey(c: &mut Criterion) {
+    // The competing structural methods on a 10-atom chain.
+    let h = chain_query(10).hypergraph().hypergraph;
+    let mut group = c.benchmark_group("structural_methods");
+    group.bench_function("biconnected_chain10", |b| {
+        b.iter(|| biconnected_components(&h))
+    });
+    group.bench_function("hinge_chain10", |b| b.iter(|| hinge_decomposition(&h)));
+    group.bench_function("treedecomp_minfill_chain10", |b| {
+        b.iter(|| tree_decomposition(&h, EliminationHeuristic::MinFill))
+    });
+    group.finish();
+}
+
+fn bench_planners(c: &mut Criterion) {
+    // DP vs GEQO planning on a 9-atom line over real statistics.
+    let db = workload_db(&WorkloadSpec::new(9, 200, 20, 5));
+    let q = acyclic_query(9);
+    let stats = htqo_stats::analyze(&db);
+    let mut group = c.benchmark_group("planners");
+    group.bench_function("dp_9_atoms", |b| {
+        b.iter(|| htqo_optimizer::dp_join_order(&q, &stats))
+    });
+    group.bench_function("geqo_9_atoms", |b| {
+        b.iter(|| {
+            htqo_optimizer::geqo_join_order(&q, &stats, &htqo_optimizer::GeqoConfig::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gyo,
+    bench_decomposition,
+    bench_tpch_planning,
+    bench_hash_join,
+    bench_evaluators,
+    bench_structural_survey,
+    bench_planners
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates **Figure 9** of the paper: PostgreSQL's own optimizer vs
+//! PostgreSQL with the integrated q-HD module (the tight coupling of
+//! Section 5.1), on acyclic and chain queries — selectivity 60,
+//! cardinality 450, 2–10 body atoms.
+//!
+//! The integrated mode benefits from *both* structure and statistics: the
+//! hybrid optimizer runs cost-k-decomp with the statistics-driven vertex
+//! cost model.
+//!
+//! ```text
+//! cargo run -p htqo-bench --release --bin fig9
+//! ```
+
+use htqo_bench::harness::{env_f64, print_table, run_measured, Series};
+use htqo_core::QhdOptions;
+use htqo_optimizer::{DbmsSim, HybridOptimizer};
+use htqo_stats::analyze;
+use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
+
+fn main() {
+    let max_atoms = env_f64("HTQO_MAX_ATOMS", 10.0) as usize;
+    println!("# Figure 9 — PostgreSQL vs PostgreSQL+q-HD (sel 60, card 450)");
+
+    let mut series: Vec<Series> = Vec::new();
+    for (label, cyclic) in [("acyclic", false), ("chain", true)] {
+        let mut pg = Series::new(&format!("PostgreSQL {label}"));
+        let mut pg_qhd = Series::new(&format!("PostgreSQL+q-HD {label}"));
+        let start = if cyclic { 3 } else { 2 };
+        for n in start..=max_atoms {
+            let spec = WorkloadSpec::new(n, 450, 60, 0xF1_69 + n as u64);
+            let db = workload_db(&spec);
+            let q = if cyclic { chain_query(n) } else { acyclic_query(n) };
+            let stats = analyze(&db);
+
+            let postgres = DbmsSim::postgres(Some(stats.clone()));
+            pg.push(n as f64, run_measured(|b| postgres.execute_cq(&db, &q, b)));
+
+            // Integrated mode: hybrid (structure + statistics).
+            let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats);
+            pg_qhd.push(n as f64, run_measured(|b| hybrid.execute_cq(&db, &q, b)));
+        }
+        series.push(pg);
+        series.push(pg_qhd);
+    }
+    print_table("Figure 9", "atoms", &series);
+}

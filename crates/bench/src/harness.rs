@@ -1,0 +1,176 @@
+//! Shared measurement and table-printing utilities for the figure
+//! regenerators.
+//!
+//! Each harness binary prints one markdown table per figure panel, with a
+//! row per x-axis value and a column per compared method. "DNF" marks runs
+//! that hit the time/tuple budget, mirroring the paper's "does not
+//! terminate after more than 10 minutes" data points.
+
+use htqo_engine::error::Budget;
+use htqo_optimizer::QueryOutcome;
+use std::time::Duration;
+
+/// One measured run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Total wall-clock seconds (planning + execution).
+    pub seconds: f64,
+    /// Intermediate tuples materialized (deterministic work proxy).
+    pub tuples: u64,
+    /// Output rows (`None` on failure).
+    pub rows: Option<usize>,
+    /// Hit the budget (time or tuples).
+    pub dnf: bool,
+}
+
+impl Measurement {
+    /// Extracts a measurement from a query outcome.
+    pub fn of(outcome: &QueryOutcome) -> Measurement {
+        Measurement {
+            seconds: outcome.total_time().as_secs_f64(),
+            tuples: outcome.tuples,
+            rows: outcome.result.as_ref().ok().map(|r| r.len()),
+            dnf: outcome.is_dnf(),
+        }
+    }
+
+    /// Rendering for table cells.
+    pub fn cell(&self) -> String {
+        if self.dnf {
+            "DNF".to_string()
+        } else if self.rows.is_none() {
+            "ERR".to_string()
+        } else {
+            format!("{:.3}s", self.seconds)
+        }
+    }
+
+    /// Rendering including the tuple count.
+    pub fn cell_with_tuples(&self) -> String {
+        if self.dnf {
+            format!("DNF (>{} tuples)", self.tuples)
+        } else {
+            format!("{:.3}s / {} tuples", self.seconds, self.tuples)
+        }
+    }
+}
+
+/// A named series of measurements over an x axis.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    /// Method name (table column header).
+    pub name: String,
+    /// `(x, measurement)` points.
+    pub points: Vec<(f64, Measurement)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: &str) -> Self {
+        Series { name: name.to_string(), points: Vec::new() }
+    }
+
+    /// Adds a point.
+    pub fn push(&mut self, x: f64, m: Measurement) {
+        self.points.push((x, m));
+    }
+
+    fn at(&self, x: f64) -> Option<&Measurement> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|(_, m)| m)
+    }
+}
+
+/// Prints a markdown table: one row per x value, one column per series.
+pub fn print_table(title: &str, x_label: &str, series: &[Series]) {
+    println!("\n### {title}\n");
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let headers: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
+    println!("| {x_label} | {} |", headers.join(" | "));
+    println!("|---|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for x in xs {
+        let cells: Vec<String> = series
+            .iter()
+            .map(|s| s.at(x).map(|m| m.cell()).unwrap_or_else(|| "—".into()))
+            .collect();
+        let x_str = if x.fract() == 0.0 { format!("{x:.0}") } else { format!("{x}") };
+        println!("| {x_str} | {} |", cells.join(" | "));
+    }
+}
+
+/// The evaluation budget used for one measured run, controlled by the
+/// `HTQO_TIMEOUT_SECS` (default 10) and `HTQO_MAX_TUPLES` (default 20M)
+/// environment variables. The paper used a 10-minute cutoff on 2007
+/// hardware; the defaults keep a full harness run to a few minutes.
+pub fn run_budget() -> Budget {
+    let secs = env_f64("HTQO_TIMEOUT_SECS", 10.0);
+    let tuples = env_f64("HTQO_MAX_TUPLES", 20_000_000.0) as u64;
+    Budget::unlimited()
+        .with_timeout(Duration::from_secs_f64(secs))
+        .with_max_tuples(tuples)
+}
+
+/// Reads an f64 environment knob with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a comma-separated f64 list knob with a default.
+pub fn env_f64_list(name: &str, default: &[f64]) -> Vec<f64> {
+    std::env::var(name)
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<f64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Convenience used by every harness: run `f` and convert its outcome.
+pub fn run_measured(f: impl FnOnce(Budget) -> QueryOutcome) -> Measurement {
+    Measurement::of(&f(run_budget()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(seconds: f64, dnf: bool) -> Measurement {
+        Measurement { seconds, tuples: 10, rows: if dnf { None } else { Some(1) }, dnf }
+    }
+
+    #[test]
+    fn cells_render() {
+        assert_eq!(m(1.5, false).cell(), "1.500s");
+        assert_eq!(m(1.5, true).cell(), "DNF");
+        let err = Measurement { seconds: 0.0, tuples: 0, rows: None, dnf: false };
+        assert_eq!(err.cell(), "ERR");
+    }
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("q-HD");
+        s.push(2.0, m(0.1, false));
+        assert!(s.at(2.0).is_some());
+        assert!(s.at(3.0).is_none());
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert_eq!(env_f64("HTQO_NOT_SET_XYZ", 7.5), 7.5);
+        assert_eq!(env_f64_list("HTQO_NOT_SET_XYZ", &[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Shared harness utilities for the figure-regeneration binaries and the
+//! Criterion micro-benchmarks. See `src/bin/fig*.rs` for the per-figure
+//! regenerators and EXPERIMENTS.md for recorded results.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{run_measured, Measurement, Series};

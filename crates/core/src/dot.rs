@@ -1,0 +1,72 @@
+//! Graphviz rendering of hypertree decompositions — produces figures in
+//! the style of the paper's Figures 2 and 3.
+
+use crate::hypertree::Hypertree;
+use htqo_hypergraph::Hypergraph;
+use std::fmt::Write as _;
+
+/// Renders a decomposition as a DOT digraph. Each vertex shows its χ and
+/// λ labels (plus extra enforced atoms); support-child arcs are bold.
+pub fn hypertree_to_dot(h: &Hypergraph, t: &Hypertree) -> String {
+    let mut out = String::from("digraph hypertree {\n  node [shape=box];\n");
+    for p in t.preorder() {
+        let n = t.node(p);
+        let lambda: Vec<&str> = n.lambda.iter().map(|e| h.edge_name(e)).collect();
+        let extra: Vec<&str> = n
+            .assigned
+            .difference(&n.lambda)
+            .iter()
+            .map(|e| h.edge_name(e))
+            .collect();
+        let mut label = format!(
+            "χ: {}\\nλ: {{{}}}",
+            escape(&h.display_vars(&n.chi)),
+            escape(&lambda.join(", "))
+        );
+        if !extra.is_empty() {
+            let _ = write!(label, "\\n⋉: {{{}}}", escape(&extra.join(", ")));
+        }
+        let _ = writeln!(out, "  n{} [label=\"{label}\"];", p.0);
+    }
+    for p in t.preorder() {
+        let n = t.node(p);
+        for &c in &n.children {
+            let style = if n.support_children.contains(&c) {
+                " [style=bold, label=\"support\"]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  n{} -> n{}{};", p.0, c.0, style);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StructuralCost;
+    use crate::qhd::{q_hypertree_decomp, QhdOptions};
+    use htqo_cq::CqBuilder;
+
+    #[test]
+    fn dot_output_shows_labels_and_arcs() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X", "Y"])
+            .atom_vars("s", &["Y", "Z"])
+            .atom_vars("t", &["Z", "X"])
+            .out_var("X")
+            .build();
+        let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+        let dot = hypertree_to_dot(&plan.cq_hypergraph.hypergraph, &plan.tree);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("χ:"));
+        assert!(dot.contains("λ:"));
+        assert_eq!(dot.matches("->").count(), plan.tree.len() - 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Hypertrees: rooted trees whose vertices carry a variable label `χ(p)`
+//! and a hyperedge label `λ(p)` (Section 3.1 of the paper).
+//!
+//! Beyond the paper's `⟨T, χ, λ⟩`, each vertex also records the set of
+//! query edges *assigned* to it for enforcement: every hyperedge of the
+//! query is covered (`h ⊆ χ(p)`) by at least one vertex, and the evaluator
+//! joins the edge's relation exactly at its assigned vertex. This keeps
+//! evaluation correct even when an edge never appears in any λ label
+//! (possible in normal-form decompositions) and after `Optimize` prunes λ
+//! atoms.
+
+use htqo_hypergraph::{EdgeSet, Hypergraph, VarSet};
+use std::fmt;
+
+/// Index of a vertex in a [`Hypertree`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One decomposition vertex.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The variable label `χ(p)`.
+    pub chi: VarSet,
+    /// The hyperedge label `λ(p)`.
+    pub lambda: EdgeSet,
+    /// Query edges enforced at this vertex (each is `⊆ χ(p)`).
+    pub assigned: EdgeSet,
+    /// Children, in deterministic order.
+    pub children: Vec<NodeId>,
+    /// Children that must be joined *before* the other siblings during
+    /// bottom-up evaluation, because `Optimize` removed a λ atom of this
+    /// vertex relying on them (end of Section 4.1 in the paper).
+    pub support_children: Vec<NodeId>,
+}
+
+/// A rooted hypertree `⟨T, χ, λ⟩` (plus enforcement assignment).
+#[derive(Clone, Debug)]
+pub struct Hypertree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Hypertree {
+    /// Builds a hypertree from its nodes and root.
+    ///
+    /// # Panics
+    /// Panics if `root` or any child index is out of bounds, or if the
+    /// child lists do not form a tree rooted at `root`.
+    pub fn new(nodes: Vec<Node>, root: NodeId) -> Self {
+        assert!(root.index() < nodes.len(), "root out of bounds");
+        // Verify tree shape: every node reachable exactly once from root.
+        let mut seen = vec![false; nodes.len()];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(n) = stack.pop() {
+            assert!(!seen[n.index()], "node {} reached twice", n.0);
+            seen[n.index()] = true;
+            count += 1;
+            for &c in &nodes[n.index()].children {
+                assert!(c.index() < nodes.len(), "child out of bounds");
+                stack.push(c);
+            }
+        }
+        assert_eq!(count, nodes.len(), "unreachable nodes in hypertree");
+        Hypertree { nodes, root }
+    }
+
+    /// The root vertex.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree has a single vertex (it can never be empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Vertex accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable vertex accessor (used by `Optimize`).
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// All vertex ids (preorder from the root).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            // Reverse so children come out in natural order.
+            for &c in self.nodes[n.index()].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Vertices in bottom-up (post-) order: children before parents.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut order = self.preorder();
+        order.reverse();
+        order
+    }
+
+    /// The width: `max_p |λ(p)|` (Section 3.1).
+    pub fn width(&self) -> usize {
+        self.nodes.iter().map(|n| n.lambda.len()).max().unwrap_or(0)
+    }
+
+    /// The number of relations joined during the preliminary step `P′`:
+    /// `Σ_p |λ(p) ∪ assigned(p)|` minus one per non-trivial vertex. This is
+    /// the quantity Figure 10 of the paper varies via `Optimize`.
+    pub fn join_work(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.lambda.union(&n.assigned).len().saturating_sub(1))
+            .sum()
+    }
+
+    /// Union of `χ(p)` over the subtree rooted at `p` (`χ(T_p)` in the
+    /// paper's Special Descendant Condition).
+    pub fn chi_of_subtree(&self, p: NodeId) -> VarSet {
+        let mut vs = VarSet::new();
+        let mut stack = vec![p];
+        while let Some(n) = stack.pop() {
+            vs.union_with(&self.nodes[n.index()].chi);
+            stack.extend(self.nodes[n.index()].children.iter().copied());
+        }
+        vs
+    }
+
+    /// Pretty-prints the tree with names from `h` (like Figure 2/3 of the
+    /// paper).
+    pub fn display(&self, h: &Hypergraph) -> String {
+        let mut out = String::new();
+        self.display_rec(h, self.root, 0, &mut out);
+        out
+    }
+
+    fn display_rec(&self, h: &Hypergraph, p: NodeId, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let n = &self.nodes[p.index()];
+        let lambda: Vec<&str> = n.lambda.iter().map(|e| h.edge_name(e)).collect();
+        let assigned: Vec<&str> = n
+            .assigned
+            .difference(&n.lambda)
+            .iter()
+            .map(|e| h.edge_name(e))
+            .collect();
+        let _ = write!(
+            out,
+            "{}χ={} λ={{{}}}",
+            "  ".repeat(depth),
+            h.display_vars(&n.chi),
+            lambda.join(", "),
+        );
+        if !assigned.is_empty() {
+            let _ = write!(out, " ⋉{{{}}}", assigned.join(", "));
+        }
+        out.push('\n');
+        for &c in &n.children {
+            self.display_rec(h, c, depth + 1, out);
+        }
+    }
+}
+
+impl fmt::Display for Hypertree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hypertree ({} vertices, width {})", self.len(), self.width())
+    }
+}
+
+/// Incremental builder used by the decomposition algorithms.
+#[derive(Default)]
+pub struct HypertreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl HypertreeBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex; children must already exist.
+    pub fn add(
+        &mut self,
+        chi: VarSet,
+        lambda: EdgeSet,
+        assigned: EdgeSet,
+        children: Vec<NodeId>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            chi,
+            lambda,
+            assigned,
+            children,
+            support_children: Vec::new(),
+        });
+        id
+    }
+
+    /// Finalizes the tree with `root` as root.
+    pub fn build(self, root: NodeId) -> Hypertree {
+        Hypertree::new(self.nodes, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htqo_hypergraph::{EdgeId, Var};
+
+    fn vs(ids: &[u32]) -> VarSet {
+        ids.iter().map(|&i| Var(i)).collect()
+    }
+
+    fn es(ids: &[u32]) -> EdgeSet {
+        ids.iter().map(|&i| EdgeId(i)).collect()
+    }
+
+    fn two_level() -> Hypertree {
+        let mut b = HypertreeBuilder::new();
+        let leaf1 = b.add(vs(&[1, 2]), es(&[1]), es(&[1]), vec![]);
+        let leaf2 = b.add(vs(&[2, 3]), es(&[2]), es(&[2]), vec![]);
+        let root = b.add(vs(&[0, 1, 2, 3]), es(&[0, 3]), es(&[0, 3]), vec![leaf1, leaf2]);
+        b.build(root)
+    }
+
+    #[test]
+    fn width_and_orders() {
+        let t = two_level();
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.len(), 3);
+        let pre = t.preorder();
+        assert_eq!(pre[0], t.root());
+        let post = t.postorder();
+        assert_eq!(post[2], t.root());
+        // Children precede parents in postorder.
+        let pos = |id: NodeId| post.iter().position(|&x| x == id).unwrap();
+        for &c in &t.node(t.root()).children {
+            assert!(pos(c) < pos(t.root()));
+        }
+    }
+
+    #[test]
+    fn chi_of_subtree_accumulates() {
+        let t = two_level();
+        assert_eq!(t.chi_of_subtree(t.root()).len(), 4);
+        let leaf = t.node(t.root()).children[0];
+        assert_eq!(t.chi_of_subtree(leaf), vs(&[1, 2]));
+    }
+
+    #[test]
+    fn join_work_counts_joins() {
+        let t = two_level();
+        // Root joins 2 atoms (1 join); each leaf joins 1 atom (0 joins).
+        assert_eq!(t.join_work(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn disconnected_nodes_rejected() {
+        let mut b = HypertreeBuilder::new();
+        let _orphan = b.add(vs(&[0]), es(&[0]), es(&[]), vec![]);
+        let root = b.add(vs(&[1]), es(&[1]), es(&[]), vec![]);
+        b.build(root);
+    }
+
+    #[test]
+    fn display_contains_labels() {
+        let mut hb = htqo_hypergraph::Hypergraph::builder();
+        hb.edge("a", &["X", "Y"]);
+        hb.edge("b", &["Y", "Z"]);
+        let h = hb.build();
+        let mut b = HypertreeBuilder::new();
+        let leaf = b.add(vs(&[1, 2]), es(&[1]), es(&[1]), vec![]);
+        let root = b.add(vs(&[0, 1]), es(&[0]), es(&[0]), vec![leaf]);
+        let t = b.build(root);
+        let s = t.display(&h);
+        assert!(s.contains("λ={a}"), "got {s}");
+        assert!(s.contains("λ={b}"));
+    }
+}

@@ -1,0 +1,180 @@
+//! **Procedure Optimize** (Figure 4 of the paper): prune λ atoms whose
+//! bounding effect is subsumed by a child vertex.
+//!
+//! At a vertex `p`, an atom `a ∈ λ(p)` only matters through the variables
+//! `var(a) ∩ χ(p)` it bounds. If a child `q` carries an atom `b` with
+//! `var(a) ∩ χ(p) ⊆ var(b) ∩ χ(q)`, then joining `a` at `p` is redundant —
+//! the child's relation already bounds those variables — so `a` is removed
+//! from `λ(p)` and `q` is recorded as a *support child*: the bottom-up
+//! evaluation must join `q` with `p` before the other siblings (otherwise
+//! intermediate results may blow up — the caveat at the end of Section 4.1).
+//!
+//! Atoms *assigned* to `p` (i.e. enforced there for Condition 1 coverage)
+//! are never removed; this is what keeps the resulting plan equivalent to
+//! the query. In the paper's Figure 3 example the removed occurrences are
+//! exactly the non-enforcing ones.
+
+use crate::hypertree::{Hypertree, NodeId};
+use htqo_hypergraph::Hypergraph;
+
+/// Statistics about one `optimize` run (drives Figure 10 of the paper).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// λ atoms removed across all vertices.
+    pub removed_atoms: usize,
+    /// Vertices whose λ became empty (they evaluate as the neutral
+    /// relation and are filled entirely by their children).
+    pub emptied_vertices: usize,
+}
+
+/// Runs Procedure Optimize on `t` in place (top-down from the root),
+/// returning pruning statistics.
+pub fn optimize(h: &Hypergraph, t: &mut Hypertree) -> OptimizeStats {
+    let mut stats = OptimizeStats::default();
+    let order = t.preorder();
+    for p in order {
+        optimize_vertex(h, t, p, &mut stats);
+    }
+    stats
+}
+
+fn optimize_vertex(h: &Hypergraph, t: &mut Hypertree, p: NodeId, stats: &mut OptimizeStats) {
+    let node = t.node(p);
+    let chi_p = node.chi.clone();
+    let children = node.children.clone();
+    let candidates: Vec<_> = node.lambda.difference(&node.assigned).iter().collect();
+
+    let mut removed = Vec::new();
+    let mut supports = Vec::new();
+    for a in candidates {
+        let bound_vars = h.edge_vars(a).intersection(&chi_p);
+        // Find a child q and an atom b ∈ λ(q) ∪ assigned(q) subsuming the
+        // bound. An empty bound is subsumed by any child (or by nobody —
+        // then the atom binds nothing at p and is removable outright).
+        if bound_vars.is_empty() {
+            removed.push(a);
+            continue;
+        }
+        let support = children.iter().copied().find(|&q| {
+            let qn = t.node(q);
+            let chi_q = &qn.chi;
+            qn.lambda
+                .union(&qn.assigned)
+                .iter()
+                .any(|b| bound_vars.is_subset(&h.edge_vars(b).intersection(chi_q)))
+        });
+        if let Some(q) = support {
+            removed.push(a);
+            if !supports.contains(&q) {
+                supports.push(q);
+            }
+        }
+    }
+
+    if !removed.is_empty() {
+        let node = t.node_mut(p);
+        for a in removed.iter() {
+            node.lambda.remove(*a);
+        }
+        stats.removed_atoms += removed.len();
+        if node.lambda.is_empty() && node.assigned.is_empty() {
+            stats.emptied_vertices += 1;
+        }
+        for q in supports {
+            if !node.support_children.contains(&q) {
+                node.support_children.push(q);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypertree::HypertreeBuilder;
+    use htqo_hypergraph::{EdgeId, EdgeSet, VarSet};
+
+    fn es(ids: &[u32]) -> EdgeSet {
+        ids.iter().map(|&i| EdgeId(i)).collect()
+    }
+
+    /// Hypergraph: a(A,B), b(B,C).
+    fn two_edges() -> Hypergraph {
+        let mut hb = Hypergraph::builder();
+        hb.edge("a", &["A", "B"]);
+        hb.edge("b", &["B", "C"]);
+        hb.build()
+    }
+
+    fn vs(h: &Hypergraph, names: &[&str]) -> VarSet {
+        names.iter().map(|n| h.var_by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn bounding_atom_supported_by_child_is_removed() {
+        let h = two_edges();
+        // Root: χ={B}, λ={a} (a is a pure bounding occurrence; it is
+        // assigned/enforced nowhere here), child: χ={B,C}, λ={b}, plus a
+        // second child enforcing a itself.
+        let mut b = HypertreeBuilder::new();
+        let child_b = b.add(vs(&h, &["B", "C"]), es(&[1]), es(&[1]), vec![]);
+        let child_a = b.add(vs(&h, &["A", "B"]), es(&[0]), es(&[0]), vec![]);
+        let root = b.add(vs(&h, &["B"]), es(&[0]), es(&[]), vec![child_b, child_a]);
+        let mut t = b.build(root);
+        let stats = optimize(&h, &mut t);
+        assert_eq!(stats.removed_atoms, 1);
+        assert!(t.node(t.root()).lambda.is_empty());
+        assert_eq!(stats.emptied_vertices, 1);
+        // The child supplying the bound must be recorded.
+        assert_eq!(t.node(t.root()).support_children.len(), 1);
+    }
+
+    #[test]
+    fn assigned_atoms_are_never_removed() {
+        let h = two_edges();
+        // Root enforces a (assigned), child has b covering B too.
+        let mut b = HypertreeBuilder::new();
+        let child = b.add(vs(&h, &["B", "C"]), es(&[1]), es(&[1]), vec![]);
+        let root = b.add(vs(&h, &["A", "B"]), es(&[0]), es(&[0]), vec![child]);
+        let mut t = b.build(root);
+        let stats = optimize(&h, &mut t);
+        assert_eq!(stats.removed_atoms, 0);
+        assert!(t.node(t.root()).lambda.contains(EdgeId(0)));
+        assert!(t.node(t.root()).support_children.is_empty());
+    }
+
+    #[test]
+    fn unsupported_bound_is_kept() {
+        // Hypergraph: a(A,B), b(C,D) — child cannot bound B.
+        let mut hb = Hypergraph::builder();
+        hb.edge("a", &["A", "B"]);
+        hb.edge("b", &["C", "D"]);
+        let h = hb.build();
+        let mut b = HypertreeBuilder::new();
+        let child = b.add(vs(&h, &["C", "D"]), es(&[1]), es(&[1]), vec![]);
+        let enforcer = b.add(vs(&h, &["A", "B"]), es(&[0]), es(&[0]), vec![]);
+        let root = b.add(vs(&h, &["B"]), es(&[0]), es(&[]), vec![child, enforcer]);
+        let mut t = b.build(root);
+        // The enforcer child *does* carry atom a with var(a) ∩ χ = {B}
+        // (its χ is {A,B}), so the bound is in fact supported by it.
+        let stats = optimize(&h, &mut t);
+        assert_eq!(stats.removed_atoms, 1);
+        assert_eq!(t.node(t.root()).support_children, vec![crate::hypertree::NodeId(1)]);
+    }
+
+    #[test]
+    fn atom_binding_nothing_is_dropped() {
+        // λ atom disjoint from χ(p) contributes no bound at all.
+        let h = two_edges();
+        let mut b = HypertreeBuilder::new();
+        let child = b.add(vs(&h, &["A", "B"]), es(&[0]), es(&[0]), vec![]);
+        let child2 = b.add(vs(&h, &["B", "C"]), es(&[1]), es(&[1]), vec![]);
+        let root = b.add(vs(&h, &["C"]), es(&[0]), es(&[]), vec![child, child2]);
+        let mut t = b.build(root);
+        // var(a) ∩ χ(root) = {} → removable without support.
+        // (This tree violates connectedness for B, but Optimize is local.)
+        let stats = optimize(&h, &mut t);
+        assert_eq!(stats.removed_atoms, 1);
+        assert!(t.node(t.root()).support_children.is_empty());
+    }
+}

@@ -1,0 +1,481 @@
+//! Normal-form hypertree decomposition search.
+//!
+//! This module implements both engines the paper builds on:
+//!
+//! - **det-k-decomp** ([`exists_decomposition`], [`hypertree_width`]): a
+//!   backtracking search for *any* normal-form hypertree decomposition of
+//!   width ≤ k (Gottlob–Leone–Scarcello);
+//! - **cost-k-decomp** ([`cost_k_decomp`]): exact dynamic programming over
+//!   `(component, connector)` subproblems minimizing the sum of vertex
+//!   costs supplied by a [`DecompCost`] model (the PODS'04 weighted
+//!   decompositions the paper's optimizer uses).
+//!
+//! Both work on the same subproblem space. A subproblem is an edge
+//! component `C` with connector variables `conn`; a candidate separator is
+//! a set `S` of at most `k` hyperedges such that `conn ⊆ var(S)` and
+//! `S ∩ C ≠ ∅` (the progress condition that also yields the normal form).
+//! The vertex labels are then `λ = S` and `χ = var(S) ∩ (conn ∪ var(C))`,
+//! the edges of `C` fully covered by `χ` are *assigned* to the vertex, and
+//! the recursion continues on the `[χ]`-components of `C`.
+//!
+//! The root subproblem can additionally be constrained to cover a set of
+//! output variables (`χ(root) ⊇ out(Q)`), which is exactly Condition 2 of
+//! q-hypertree decompositions (Definition 2 of the paper).
+
+use crate::cost::DecompCost;
+use crate::hypertree::{Hypertree, HypertreeBuilder, NodeId};
+use htqo_hypergraph::{components, EdgeId, EdgeSet, Hypergraph, VarSet};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Search configuration.
+#[derive(Clone, Debug)]
+pub struct SearchOptions {
+    /// Maximum width `k` (the paper notes `k = 4` suffices in practice).
+    pub max_width: usize,
+    /// When set, the root's χ must cover these variables (Condition 2 of
+    /// Definition 2 — used for q-hypertree decompositions).
+    pub root_cover: Option<VarSet>,
+}
+
+impl SearchOptions {
+    /// Plain width-k search.
+    pub fn width(k: usize) -> Self {
+        SearchOptions { max_width: k, root_cover: None }
+    }
+
+    /// Width-k search whose root must cover `out`.
+    pub fn width_with_root_cover(k: usize, out: VarSet) -> Self {
+        SearchOptions { max_width: k, root_cover: Some(out) }
+    }
+}
+
+/// Instrumentation counters for one decomposition search, exposed for the
+/// ablation harness and the paper's "decomposition is cheap" claims.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distinct `(component, connector)` subproblems solved.
+    pub subproblems: usize,
+    /// Candidate separators examined across all subproblems.
+    pub separators_tried: usize,
+    /// Memo-table hits (work saved by the DP).
+    pub memo_hits: usize,
+}
+
+/// A shared, immutable plan node produced by the DP (converted into a
+/// [`Hypertree`] at the end; sharing matters because the memo table reuses
+/// subtrees across parents).
+struct PlanNode {
+    lambda: EdgeSet,
+    chi: VarSet,
+    assigned: EdgeSet,
+    children: Vec<Rc<PlanNode>>,
+}
+
+type Memo = HashMap<(EdgeSet, VarSet), Option<(f64, Rc<PlanNode>)>>;
+
+struct Searcher<'a, C: DecompCost> {
+    h: &'a Hypergraph,
+    k: usize,
+    cost: C,
+    memo: Memo,
+    /// In first-success mode the search stops refining once any solution is
+    /// found for a subproblem.
+    first_success: bool,
+    stats: SearchStats,
+}
+
+impl<'a, C: DecompCost> Searcher<'a, C> {
+    fn new(h: &'a Hypergraph, k: usize, cost: C, first_success: bool) -> Self {
+        Searcher { h, k, cost, memo: HashMap::new(), first_success, stats: SearchStats::default() }
+    }
+
+    /// Enumerates candidate separators for a subproblem and returns the
+    /// best (or first) solution.
+    fn solve(&mut self, comp: &EdgeSet, conn: &VarSet) -> Option<(f64, Rc<PlanNode>)> {
+        let key = (comp.clone(), conn.clone());
+        if let Some(cached) = self.memo.get(&key) {
+            self.stats.memo_hits += 1;
+            return cached.clone();
+        }
+        self.stats.subproblems += 1;
+        // Mark in-progress to guard against accidental re-entry (the
+        // progress condition makes true cycles impossible).
+        let result = self.solve_uncached(comp, conn, None);
+        self.memo.insert(key, result.clone());
+        result
+    }
+
+    fn solve_uncached(
+        &mut self,
+        comp: &EdgeSet,
+        conn: &VarSet,
+        root_cover: Option<&VarSet>,
+    ) -> Option<(f64, Rc<PlanNode>)> {
+        let comp_vars = self.h.vars_of_edges(comp);
+        let scope = conn.union(&comp_vars);
+        // Candidate separator edges: anything touching the subproblem.
+        let candidates: Vec<EdgeId> = self
+            .h
+            .edge_ids()
+            .filter(|&e| self.h.edge_vars(e).intersects(&scope))
+            .collect();
+
+        let mut best: Option<(f64, Rc<PlanNode>)> = None;
+        let mut sep = Vec::with_capacity(self.k);
+        self.enumerate(
+            &candidates,
+            0,
+            &mut sep,
+            comp,
+            conn,
+            &scope,
+            root_cover,
+            &mut best,
+        );
+        best
+    }
+
+    /// Recursive subset enumeration (sizes 1..=k).
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate(
+        &mut self,
+        candidates: &[EdgeId],
+        start: usize,
+        sep: &mut Vec<EdgeId>,
+        comp: &EdgeSet,
+        conn: &VarSet,
+        scope: &VarSet,
+        root_cover: Option<&VarSet>,
+        best: &mut Option<(f64, Rc<PlanNode>)>,
+    ) {
+        if self.first_success && best.is_some() {
+            return;
+        }
+        if !sep.is_empty() {
+            self.try_separator(sep, comp, conn, scope, root_cover, best);
+        }
+        if sep.len() == self.k {
+            return;
+        }
+        for i in start..candidates.len() {
+            sep.push(candidates[i]);
+            self.enumerate(candidates, i + 1, sep, comp, conn, scope, root_cover, best);
+            sep.pop();
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_separator(
+        &mut self,
+        sep: &[EdgeId],
+        comp: &EdgeSet,
+        conn: &VarSet,
+        scope: &VarSet,
+        root_cover: Option<&VarSet>,
+        best: &mut Option<(f64, Rc<PlanNode>)>,
+    ) {
+        self.stats.separators_tried += 1;
+        let sep_set: EdgeSet = sep.iter().copied().collect();
+        // Progress: at least one separator edge inside the component (this
+        // edge becomes covered, so child components strictly shrink).
+        if sep_set.is_disjoint(comp) {
+            return;
+        }
+        let sep_vars = self.h.vars_of_edges(&sep_set);
+        // The connector must be fully covered for connectedness.
+        if !conn.is_subset(&sep_vars) {
+            return;
+        }
+        let chi = sep_vars.intersection(scope);
+        if let Some(required) = root_cover {
+            if !required.is_subset(&chi) {
+                return;
+            }
+        }
+        // Edges of the component fully covered here are enforced here.
+        let assigned: EdgeSet = comp
+            .iter()
+            .filter(|&e| self.h.edge_vars(e).is_subset(&chi))
+            .collect();
+
+        let mut total = self
+            .cost
+            .vertex_cost(self.h, &sep_set, &assigned, &chi);
+        if let Some((bound, _)) = best {
+            if total >= *bound {
+                return; // children can only add cost
+            }
+        }
+
+        let subcomps = components(self.h, comp, &chi);
+        let mut children = Vec::with_capacity(subcomps.len());
+        for sc in &subcomps {
+            let child_conn = self.h.vars_of_edges(sc).intersection(&chi);
+            match self.solve(sc, &child_conn) {
+                Some((c, plan)) => {
+                    total += c;
+                    if let Some((bound, _)) = best {
+                        if total >= *bound {
+                            return;
+                        }
+                    }
+                    children.push(plan);
+                }
+                None => return, // this separator cannot decompose the rest
+            }
+        }
+
+        let better = match best {
+            None => true,
+            Some((bound, _)) => total < *bound,
+        };
+        if better {
+            *best = Some((
+                total,
+                Rc::new(PlanNode {
+                    lambda: sep_set,
+                    chi,
+                    assigned,
+                    children,
+                }),
+            ));
+        }
+    }
+}
+
+/// Materializes a plan into a [`Hypertree`].
+fn build_tree(plan: &PlanNode) -> Hypertree {
+    fn rec(plan: &PlanNode, b: &mut HypertreeBuilder) -> NodeId {
+        let children: Vec<NodeId> = plan.children.iter().map(|c| rec(c, b)).collect();
+        b.add(plan.chi.clone(), plan.lambda.clone(), plan.assigned.clone(), children)
+    }
+    let mut b = HypertreeBuilder::new();
+    let root = rec(plan, &mut b);
+    b.build(root)
+}
+
+/// Runs the search. Returns the minimum-cost normal-form decomposition of
+/// width ≤ `opts.max_width` satisfying the root constraint, or `None` if no
+/// such decomposition exists (the paper's "Failure").
+pub fn cost_k_decomp(
+    h: &Hypergraph,
+    opts: &SearchOptions,
+    cost: &dyn DecompCost,
+) -> Option<Hypertree> {
+    search(h, opts, cost, false).map(|(_, t, _)| t)
+}
+
+/// Like [`cost_k_decomp`] but also returns the total estimated cost.
+pub fn cost_k_decomp_with_cost(
+    h: &Hypergraph,
+    opts: &SearchOptions,
+    cost: &dyn DecompCost,
+) -> Option<(f64, Hypertree)> {
+    search(h, opts, cost, false).map(|(c, t, _)| (c, t))
+}
+
+/// Like [`cost_k_decomp_with_cost`] but also returns search
+/// instrumentation.
+pub fn cost_k_decomp_instrumented(
+    h: &Hypergraph,
+    opts: &SearchOptions,
+    cost: &dyn DecompCost,
+) -> Option<(f64, Hypertree, SearchStats)> {
+    search(h, opts, cost, false)
+}
+
+/// det-k-decomp: is there a width-≤k normal-form hypertree decomposition?
+pub fn exists_decomposition(h: &Hypergraph, k: usize) -> bool {
+    search(
+        h,
+        &SearchOptions::width(k),
+        &crate::cost::StructuralCost,
+        true,
+    )
+    .is_some()
+}
+
+/// First-success decomposition (det-k-decomp): any NF decomposition of
+/// width ≤ `k`, or `None`.
+pub fn det_k_decomp(h: &Hypergraph, k: usize) -> Option<Hypertree> {
+    search(
+        h,
+        &SearchOptions::width(k),
+        &crate::cost::StructuralCost,
+        true,
+    )
+    .map(|(_, t, _)| t)
+}
+
+/// The hypertree width of `h`: smallest `k` admitting a decomposition.
+/// (Acyclic hypergraphs have width 1.)
+pub fn hypertree_width(h: &Hypergraph) -> usize {
+    for k in 1..=h.num_edges().max(1) {
+        if exists_decomposition(h, k) {
+            return k;
+        }
+    }
+    unreachable!("width ≤ number of edges always admits a decomposition")
+}
+
+fn search(
+    h: &Hypergraph,
+    opts: &SearchOptions,
+    cost: &dyn DecompCost,
+    first_success: bool,
+) -> Option<(f64, Hypertree, SearchStats)> {
+    if h.num_edges() == 0 {
+        // Degenerate: a single empty vertex.
+        let mut b = HypertreeBuilder::new();
+        let root = b.add(VarSet::new(), EdgeSet::new(), EdgeSet::new(), vec![]);
+        return Some((0.0, b.build(root), SearchStats::default()));
+    }
+    let mut s = Searcher::new(h, opts.max_width.max(1), cost, first_success);
+    let all = h.all_edges();
+    let (total, plan) = s.solve_uncached(&all, &VarSet::new(), opts.root_cover.as_ref())?;
+    let tree = build_tree(&plan);
+    debug_assert!(crate::validate::check_edge_coverage(h, &tree).is_ok());
+    debug_assert!(crate::validate::check_connectedness(h, &tree).is_ok());
+    debug_assert!(crate::validate::check_assignment(h, &tree).is_ok());
+    Some((total, tree, s.stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StructuralCost;
+    use crate::validate;
+
+    fn build(edges: &[(&str, &[&str])]) -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        for (name, vars) in edges {
+            b.edge(name, vars);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn acyclic_line_has_width_1() {
+        let h = build(&[
+            ("p1", &["A", "B"]),
+            ("p2", &["B", "C"]),
+            ("p3", &["C", "D"]),
+        ]);
+        assert_eq!(hypertree_width(&h), 1);
+        let t = det_k_decomp(&h, 1).unwrap();
+        assert_eq!(t.width(), 1);
+        assert!(validate::check_hd(&h, &t).is_ok());
+    }
+
+    #[test]
+    fn triangle_has_width_2() {
+        let h = build(&[("r", &["X", "Y"]), ("s", &["Y", "Z"]), ("t", &["Z", "X"])]);
+        assert!(!exists_decomposition(&h, 1));
+        assert_eq!(hypertree_width(&h), 2);
+        let t = det_k_decomp(&h, 2).unwrap();
+        assert!(validate::check_generalized_hd(&h, &t).is_ok() || t.width() <= 2);
+        assert!(validate::check_edge_coverage(&h, &t).is_ok());
+        assert!(validate::check_connectedness(&h, &t).is_ok());
+        assert!(validate::check_assignment(&h, &t).is_ok());
+    }
+
+    #[test]
+    fn chain_cycle_has_width_2() {
+        // The paper's chain queries (cyclic line): width 2 for n ≥ 3.
+        let h = build(&[
+            ("p1", &["A", "B"]),
+            ("p2", &["B", "C"]),
+            ("p3", &["C", "D"]),
+            ("p4", &["D", "E"]),
+            ("p5", &["E", "A"]),
+        ]);
+        assert_eq!(hypertree_width(&h), 2);
+    }
+
+    #[test]
+    fn tpch_q5_hypergraph_has_width_2() {
+        // Figure 1 / Example 1 of the paper: Q5 is cyclic with hw = 2.
+        let h = build(&[
+            ("customer", &["CustKey", "NationKey"]),
+            ("orders", &["OrdKey", "CustKey"]),
+            ("lineitem", &["SuppKey", "OrdKey", "EP", "D"]),
+            ("supplier", &["SuppKey", "NationKey"]),
+            ("nation", &["Name", "NationKey", "RegionKey"]),
+            ("region", &["RegionKey"]),
+        ]);
+        assert_eq!(hypertree_width(&h), 2);
+    }
+
+    #[test]
+    fn root_cover_constraint_is_honoured() {
+        let h = build(&[
+            ("a", &["X", "Y"]),
+            ("b", &["Y", "Z"]),
+            ("c", &["Z", "W"]),
+        ]);
+        // Require X and W at the root: impossible with k = 1 (the paper's
+        // Example 4 effect: the output cover may force a larger width).
+        let out: VarSet = ["X", "W"]
+            .iter()
+            .map(|n| h.var_by_name(n).unwrap())
+            .collect();
+        let opts1 = SearchOptions::width_with_root_cover(1, out.clone());
+        assert!(cost_k_decomp(&h, &opts1, &StructuralCost).is_none());
+        let opts2 = SearchOptions::width_with_root_cover(2, out.clone());
+        let t = cost_k_decomp(&h, &opts2, &StructuralCost).unwrap();
+        assert!(validate::check_qhd(&h, &t, &out).is_ok());
+        assert!(out.is_subset(&t.node(t.root()).chi));
+    }
+
+    #[test]
+    fn disconnected_hypergraph_decomposes() {
+        let h = build(&[("a", &["X", "Y"]), ("b", &["P", "Q"])]);
+        let t = det_k_decomp(&h, 1).unwrap();
+        assert!(validate::check_edge_coverage(&h, &t).is_ok());
+        assert!(validate::check_assignment(&h, &t).is_ok());
+    }
+
+    #[test]
+    fn structural_cost_prefers_fewer_vertices() {
+        // A single edge covering everything should beat two vertices.
+        let h = build(&[("big", &["X", "Y", "Z"]), ("r", &["X", "Y"]), ("s", &["Y", "Z"])]);
+        let t = cost_k_decomp(&h, &SearchOptions::width(2), &StructuralCost).unwrap();
+        // big covers r and s: one vertex suffices.
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.node(t.root()).assigned.len(), 3);
+    }
+
+    #[test]
+    fn empty_hypergraph_degenerate() {
+        let h = Hypergraph::builder().build();
+        let t = det_k_decomp(&h, 1).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.width(), 0);
+    }
+
+    #[test]
+    fn width_search_matches_existence() {
+        let h = build(&[
+            ("r", &["X", "Y"]),
+            ("s", &["Y", "Z"]),
+            ("t", &["Z", "X"]),
+            ("u", &["X", "W"]),
+        ]);
+        let w = hypertree_width(&h);
+        assert!(exists_decomposition(&h, w));
+        assert!(!exists_decomposition(&h, w - 1));
+    }
+
+    #[test]
+    fn cost_decomposition_has_min_width_when_structural() {
+        // Structural cost never pays for wider vertices unless needed.
+        let h = build(&[
+            ("p1", &["A", "B"]),
+            ("p2", &["B", "C"]),
+            ("p3", &["C", "A"]),
+        ]);
+        let t = cost_k_decomp(&h, &SearchOptions::width(3), &StructuralCost).unwrap();
+        assert!(t.width() <= 2);
+    }
+}

@@ -1,0 +1,364 @@
+//! Tree decompositions of the primal graph — the `[9, 7, 1]` family of
+//! structural methods the paper's introduction compares against.
+//!
+//! Tree decompositions bound query complexity by the number of *variables*
+//! per bag (treewidth), not the number of *atoms* (hypertree width). A
+//! single wide atom therefore costs `arity - 1` treewidth but hypertree
+//! width 1 — the gap that motivated hypertree decompositions. This module
+//! implements:
+//!
+//! - greedy elimination orderings (min-degree and min-fill) producing
+//!   valid tree decompositions with a width upper bound;
+//! - validation of the tree-decomposition conditions;
+//! - conversion into a *generalized hypertree decomposition* by covering
+//!   each bag greedily with atoms (a classic `O(log n)`-approximation of
+//!   set cover per bag), letting the same q-hypertree evaluator run plans
+//!   derived from tree decompositions for comparison.
+
+use crate::hypertree::{Hypertree, HypertreeBuilder, NodeId};
+use htqo_hypergraph::{EdgeSet, Hypergraph, PrimalGraph, Var, VarSet};
+
+/// One bag of a tree decomposition.
+#[derive(Clone, Debug)]
+pub struct Bag {
+    /// Variables of the bag.
+    pub vars: VarSet,
+    /// Children in the rooted decomposition.
+    pub children: Vec<usize>,
+}
+
+/// A rooted tree decomposition of the primal graph.
+#[derive(Clone, Debug)]
+pub struct TreeDecomposition {
+    /// Bags; index 0 is the root.
+    pub bags: Vec<Bag>,
+}
+
+/// Elimination-ordering heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EliminationHeuristic {
+    /// Eliminate a vertex of minimum current degree.
+    MinDegree,
+    /// Eliminate a vertex adding the fewest fill edges.
+    MinFill,
+}
+
+impl TreeDecomposition {
+    /// Width: `max |bag| - 1`.
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.vars.len()).max().unwrap_or(1) - 1
+    }
+
+    /// Validates the three tree-decomposition conditions against `h`:
+    /// every variable in some bag, every primal edge inside some bag, and
+    /// per-variable connectedness.
+    pub fn is_valid_for(&self, h: &Hypergraph) -> bool {
+        // 1. Vertex coverage.
+        for v in h.var_ids() {
+            if !self.bags.iter().any(|b| b.vars.contains(v)) {
+                return false;
+            }
+        }
+        // 2. (Hyper)edge coverage: every atom's variables share a bag —
+        //    this is the hypergraph form; it implies primal-edge coverage.
+        for e in h.edge_ids() {
+            if !self.bags.iter().any(|b| h.edge_vars(e).is_subset(&b.vars)) {
+                return false;
+            }
+        }
+        // 3. Connectedness per variable (same check as for hypertrees).
+        let mut parent = vec![usize::MAX; self.bags.len()];
+        for (i, b) in self.bags.iter().enumerate() {
+            for &c in &b.children {
+                parent[c] = i;
+            }
+        }
+        for v in h.var_ids() {
+            let mut tops = 0;
+            for (i, b) in self.bags.iter().enumerate() {
+                if !b.vars.contains(v) {
+                    continue;
+                }
+                let p = parent[i];
+                if p == usize::MAX || !self.bags[p].vars.contains(v) {
+                    tops += 1;
+                }
+            }
+            if tops > 1 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Builds a tree decomposition of `h`'s primal graph by greedy vertex
+/// elimination. The resulting width upper-bounds the treewidth.
+pub fn tree_decomposition(h: &Hypergraph, heuristic: EliminationHeuristic) -> TreeDecomposition {
+    let n = h.num_vars();
+    if n == 0 {
+        return TreeDecomposition {
+            bags: vec![Bag { vars: VarSet::new(), children: vec![] }],
+        };
+    }
+    // Working adjacency (grows with fill edges).
+    let g = PrimalGraph::of(h);
+    let mut adj: Vec<VarSet> = (0..n).map(|v| g.neighbours(Var(v as u32)).clone()).collect();
+    let mut eliminated = vec![false; n];
+    // For each eliminated vertex: its bag = {v} ∪ current neighbours.
+    let mut elim_bags: Vec<(Var, VarSet)> = Vec::with_capacity(n);
+
+    for _round in 0..n {
+        // Pick the next vertex.
+        let pick = (0..n)
+            .filter(|&v| !eliminated[v])
+            .min_by_key(|&v| match heuristic {
+                EliminationHeuristic::MinDegree => adj[v].len(),
+                EliminationHeuristic::MinFill => fill_in(&adj, v),
+            })
+            .expect("some vertex remains");
+
+        let mut bag = adj[pick].clone();
+        bag.insert(Var(pick as u32));
+        // Connect the neighbours into a clique (fill edges).
+        let neighbours: Vec<usize> = adj[pick].iter().map(|u| u.index()).collect();
+        for (i, &a) in neighbours.iter().enumerate() {
+            for &b in &neighbours[i + 1..] {
+                adj[a].insert(Var(b as u32));
+                adj[b].insert(Var(a as u32));
+            }
+        }
+        for &u in &neighbours {
+            adj[u].remove(Var(pick as u32));
+        }
+        eliminated[pick] = true;
+        elim_bags.push((Var(pick as u32), bag));
+    }
+
+    // Assemble the decomposition tree: bag i's parent is the bag of the
+    // earliest-eliminated vertex among its other members (standard
+    // elimination-tree construction). Later-eliminated bags are ancestors,
+    // so we build from the last elimination backwards.
+    let order_of: Vec<usize> = {
+        let mut pos = vec![0usize; n];
+        for (i, (v, _)) in elim_bags.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        pos
+    };
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, (v, bag)) in elim_bags.iter().enumerate() {
+        // Parent = bag of the *next* eliminated vertex within this bag.
+        let parent = bag
+            .iter()
+            .filter(|u| *u != *v)
+            .map(|u| order_of[u.index()])
+            .filter(|&j| j > i)
+            .min();
+        match parent {
+            Some(p) => children[p].push(i),
+            None => roots.push(i),
+        }
+    }
+    // Root everything under the last bag (connecting disconnected
+    // components below an arbitrary root keeps conditions intact because
+    // their variable sets are disjoint).
+    let root = *roots.last().expect("at least one root");
+    for &r in &roots {
+        if r != root {
+            children[root].push(r);
+        }
+    }
+
+    // Re-index with root at 0.
+    let mut index_map = vec![usize::MAX; n];
+    let mut bags: Vec<Bag> = Vec::with_capacity(n);
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        index_map[i] = bags.len();
+        bags.push(Bag { vars: elim_bags[i].1.clone(), children: Vec::new() });
+        for &c in &children[i] {
+            stack.push(c);
+        }
+    }
+    // Fill children with new indices.
+    for (old, &new_i) in index_map.iter().enumerate() {
+        if new_i == usize::MAX {
+            continue;
+        }
+        let kids: Vec<usize> = children[old].iter().map(|&c| index_map[c]).collect();
+        bags[new_i].children = kids;
+    }
+
+    let td = TreeDecomposition { bags };
+    debug_assert!(td.is_valid_for(h));
+    td
+}
+
+/// Number of fill edges eliminating `v` would add.
+fn fill_in(adj: &[VarSet], v: usize) -> usize {
+    let neighbours: Vec<usize> = adj[v].iter().map(|u| u.index()).collect();
+    let mut fill = 0;
+    for (i, &a) in neighbours.iter().enumerate() {
+        for &b in &neighbours[i + 1..] {
+            if !adj[a].contains(Var(b as u32)) {
+                fill += 1;
+            }
+        }
+    }
+    fill
+}
+
+/// Converts a tree decomposition into a generalized hypertree
+/// decomposition: each bag's λ greedily covers its variables with atoms
+/// (set-cover heuristic). Every atom is additionally *assigned* to one bag
+/// containing it, so the q-hypertree evaluator can run the result.
+pub fn to_hypertree(h: &Hypergraph, td: &TreeDecomposition) -> Hypertree {
+    let mut builder = HypertreeBuilder::new();
+    let mut assigned_done = EdgeSet::new();
+
+    // Build bottom-up (children before parents) via recursion.
+    fn build(
+        h: &Hypergraph,
+        td: &TreeDecomposition,
+        i: usize,
+        b: &mut HypertreeBuilder,
+        assigned_done: &mut EdgeSet,
+    ) -> NodeId {
+        let bag = &td.bags[i];
+        let kids: Vec<NodeId> = bag
+            .children
+            .iter()
+            .map(|&c| build(h, td, c, b, assigned_done))
+            .collect();
+        // Greedy cover of the bag by atoms.
+        let mut lambda = EdgeSet::new();
+        let mut uncovered = bag.vars.clone();
+        while !uncovered.is_empty() {
+            let best = h
+                .edge_ids()
+                .max_by_key(|&e| h.edge_vars(e).intersection(&uncovered).len())
+                .expect("non-empty hypergraph");
+            if h.edge_vars(best).intersection(&uncovered).is_empty() {
+                break; // variables not in any edge (cannot happen for query graphs)
+            }
+            lambda.insert(best);
+            uncovered.difference_with(h.edge_vars(best));
+        }
+        // Enforce every not-yet-assigned atom covered by this bag.
+        let assigned: EdgeSet = h
+            .edge_ids()
+            .filter(|&e| {
+                !assigned_done.contains(e) && h.edge_vars(e).is_subset(&bag.vars)
+            })
+            .collect();
+        assigned_done.union_with(&assigned);
+        b.add(bag.vars.clone(), lambda, assigned, kids)
+    }
+
+    let root = build(h, td, 0, &mut builder, &mut assigned_done);
+    builder.build(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    fn build(edges: &[(&str, &[&str])]) -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        for (name, vars) in edges {
+            b.edge(name, vars);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_has_treewidth_1() {
+        let h = build(&[("a", &["X", "Y"]), ("b", &["Y", "Z"]), ("c", &["Z", "W"])]);
+        for heur in [EliminationHeuristic::MinDegree, EliminationHeuristic::MinFill] {
+            let td = tree_decomposition(&h, heur);
+            assert!(td.is_valid_for(&h));
+            assert_eq!(td.width(), 1, "{heur:?}");
+        }
+    }
+
+    #[test]
+    fn cycle_has_treewidth_2() {
+        let h = build(&[
+            ("a", &["A", "B"]),
+            ("b", &["B", "C"]),
+            ("c", &["C", "D"]),
+            ("d", &["D", "A"]),
+        ]);
+        let td = tree_decomposition(&h, EliminationHeuristic::MinFill);
+        assert!(td.is_valid_for(&h));
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn wide_atom_shows_the_treewidth_gap() {
+        // One 5-ary atom: treewidth 4 but hypertree width 1 — the paper's
+        // motivation for hypertree decompositions.
+        let h = build(&[("big", &["A", "B", "C", "D", "E"])]);
+        let td = tree_decomposition(&h, EliminationHeuristic::MinFill);
+        assert!(td.is_valid_for(&h));
+        assert_eq!(td.width(), 4);
+        assert_eq!(crate::search::hypertree_width(&h), 1);
+        // The derived hypertree covers the bag with the single atom.
+        let t = to_hypertree(&h, &td);
+        assert_eq!(t.width(), 1);
+        validate::check_assignment(&h, &t).unwrap();
+    }
+
+    #[test]
+    fn derived_hypertree_is_a_valid_ghd() {
+        let h = build(&[
+            ("a", &["X", "Y"]),
+            ("b", &["Y", "Z"]),
+            ("c", &["Z", "X"]),
+            ("d", &["Z", "W"]),
+        ]);
+        let td = tree_decomposition(&h, EliminationHeuristic::MinDegree);
+        assert!(td.is_valid_for(&h));
+        let t = to_hypertree(&h, &td);
+        validate::check_edge_coverage(&h, &t).unwrap();
+        validate::check_connectedness(&h, &t).unwrap();
+        validate::check_assignment(&h, &t).unwrap();
+        validate::check_chi_in_lambda(&h, &t).unwrap();
+    }
+
+    #[test]
+    fn disconnected_graphs_handled() {
+        let h = build(&[("a", &["X", "Y"]), ("b", &["P", "Q"])]);
+        let td = tree_decomposition(&h, EliminationHeuristic::MinFill);
+        assert!(td.is_valid_for(&h));
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn empty_hypergraph_degenerate() {
+        let h = Hypergraph::builder().build();
+        let td = tree_decomposition(&h, EliminationHeuristic::MinFill);
+        assert_eq!(td.bags.len(), 1);
+    }
+
+    #[test]
+    fn chain_treewidth_matches_hypertree_bound() {
+        // For chains (cyclic lines) treewidth is 2 and hw is 2: the two
+        // methods agree on graph-shaped queries.
+        for n in [4usize, 6, 8] {
+            let mut b = Hypergraph::builder();
+            for i in 0..n {
+                let l = format!("X{i}");
+                let r = format!("X{}", (i + 1) % n);
+                b.edge(&format!("p{i}"), &[l.as_str(), r.as_str()]);
+            }
+            let h = b.build();
+            let td = tree_decomposition(&h, EliminationHeuristic::MinFill);
+            assert!(td.is_valid_for(&h));
+            assert_eq!(td.width(), 2, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the decomposition algorithms: every tree returned
+//! by det-k-decomp / cost-k-decomp satisfies the definitions; hypertree
+//! width behaves sanely; Optimize preserves the q-HD conditions.
+
+use htqo_core::{
+    cost_k_decomp, det_k_decomp, exists_decomposition, hypertree_width, optimize, validate,
+    SearchOptions, StructuralCost,
+};
+use htqo_hypergraph::{Hypergraph, VarSet};
+use proptest::prelude::*;
+
+fn arb_hypergraph(max_vars: usize, max_edges: usize) -> impl Strategy<Value = Hypergraph> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..max_vars, 1..=3.min(max_vars)),
+        1..=max_edges,
+    )
+    .prop_map(|edge_sets| {
+        let mut b = Hypergraph::builder();
+        for (i, vars) in edge_sets.iter().enumerate() {
+            let names: Vec<String> = vars.iter().map(|v| format!("V{v}")).collect();
+            let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            b.edge(&format!("e{i}"), &refs);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// det-k at the hypertree width always yields a structurally valid
+    /// tree: coverage, connectedness, assignment, width bound.
+    #[test]
+    fn detk_trees_are_valid(h in arb_hypergraph(7, 7)) {
+        let w = hypertree_width(&h);
+        prop_assert!(w >= 1 && w <= h.num_edges());
+        let t = det_k_decomp(&h, w).expect("width w works by definition");
+        prop_assert!(t.width() <= w);
+        validate::check_edge_coverage(&h, &t).unwrap();
+        validate::check_connectedness(&h, &t).unwrap();
+        validate::check_assignment(&h, &t).unwrap();
+        // Pre-Optimize NF trees also satisfy χ ⊆ var(λ) and the special
+        // descendant condition (they are true hypertree decompositions).
+        validate::check_hd(&h, &t).unwrap();
+    }
+
+    /// Width is monotone: if width-k works, width-(k+1) works.
+    #[test]
+    fn width_is_monotone(h in arb_hypergraph(6, 6)) {
+        let w = hypertree_width(&h);
+        prop_assert!(exists_decomposition(&h, w));
+        prop_assert!(exists_decomposition(&h, w + 1));
+        if w > 1 {
+            prop_assert!(!exists_decomposition(&h, w - 1));
+        }
+    }
+
+    /// Cost-based search returns valid trees and never beats the width
+    /// bound it was given.
+    #[test]
+    fn costk_trees_are_valid(h in arb_hypergraph(7, 7)) {
+        let w = hypertree_width(&h);
+        let t = cost_k_decomp(&h, &SearchOptions::width(w + 1), &StructuralCost)
+            .expect("width+1 exists");
+        prop_assert!(t.width() <= w + 1);
+        validate::check_edge_coverage(&h, &t).unwrap();
+        validate::check_connectedness(&h, &t).unwrap();
+        validate::check_assignment(&h, &t).unwrap();
+        // The structural cost lexicographically minimizes width, so the
+        // returned tree should be width-optimal.
+        prop_assert_eq!(t.width(), w);
+    }
+
+    /// Root-cover constraints: when the search succeeds, the root really
+    /// covers the requested variables; Optimize keeps all invariants.
+    #[test]
+    fn root_cover_and_optimize(h in arb_hypergraph(6, 6), out_bits in prop::collection::vec(any::<bool>(), 6)) {
+        let out: VarSet = h
+            .var_ids()
+            .filter(|v| out_bits.get(v.index()).copied().unwrap_or(false))
+            .collect();
+        let opts = SearchOptions::width_with_root_cover(3, out.clone());
+        if let Some(mut t) = cost_k_decomp(&h, &opts, &StructuralCost) {
+            prop_assert!(out.is_subset(&t.node(t.root()).chi));
+            let stats = optimize(&h, &mut t);
+            // Optimize keeps every q-HD condition.
+            validate::check_qhd(&h, &t, &out).unwrap();
+            // It never removes enforcing atoms.
+            validate::check_assignment(&h, &t).unwrap();
+            let _ = stats;
+        }
+    }
+
+    /// The width of an acyclic hypergraph is 1 (GYO agreement).
+    #[test]
+    fn acyclic_iff_width_1(h in arb_hypergraph(7, 7)) {
+        let acyclic = htqo_hypergraph::acyclic::is_acyclic(&h);
+        prop_assert_eq!(acyclic, hypertree_width(&h) == 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Proleptic-Gregorian date helpers (days since 1970-01-01).
+//!
+//! TPC-H predicates use `date 'YYYY-MM-DD'` literals and
+//! `+ interval 'n' year/month/day` arithmetic; we fold both into plain day
+//! counts at parse time so the engine only ever compares integers.
+
+/// Converts a civil date to days since 1970-01-01.
+///
+/// Uses Howard Hinnant's `days_from_civil` algorithm; valid over the whole
+/// `i32` day range.
+pub fn days_from_civil(year: i32, month: u32, day: u32) -> i32 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((month as i64) + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + (day as i64) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+/// Converts days since 1970-01-01 back to a civil `(year, month, day)`.
+pub fn civil_from_days(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let year = if m <= 2 { y + 1 } else { y } as i32;
+    (year, m, d)
+}
+
+/// Parses `YYYY-MM-DD` into days since epoch. Returns `None` on malformed
+/// input or out-of-range components.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    let year: i32 = parts.next()?.parse().ok()?;
+    let month: u32 = parts.next()?.parse().ok()?;
+    let day: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some(days_from_civil(year, month, day))
+}
+
+/// Formats days since epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Adds `n` calendar units to a date (days since epoch). Month/year
+/// arithmetic clamps the day-of-month (e.g. Jan 31 + 1 month = Feb 28/29),
+/// matching common SQL behaviour.
+pub fn add_interval(days: i32, n: i32, unit: IntervalUnit) -> i32 {
+    match unit {
+        IntervalUnit::Day => days + n,
+        IntervalUnit::Month => {
+            let (y, m, d) = civil_from_days(days);
+            let total = (y as i64) * 12 + (m as i64 - 1) + n as i64;
+            let ny = (total.div_euclid(12)) as i32;
+            let nm = (total.rem_euclid(12)) as u32 + 1;
+            let nd = d.min(days_in_month(ny, nm));
+            days_from_civil(ny, nm, nd)
+        }
+        IntervalUnit::Year => add_interval(days, n * 12, IntervalUnit::Month),
+    }
+}
+
+/// Units accepted in `interval 'n' <unit>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntervalUnit {
+    /// Calendar days.
+    Day,
+    /// Calendar months (day-of-month clamped).
+    Month,
+    /// Calendar years (day-of-month clamped).
+    Year,
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month out of range"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        for days in (-1_000_000..1_000_000).step_by(9973) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days);
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(parse_date("1994-01-01"), Some(8766));
+        assert_eq!(format_date(8766), "1994-01-01");
+        assert_eq!(parse_date("1998-12-01"), Some(days_from_civil(1998, 12, 1)));
+    }
+
+    #[test]
+    fn malformed_dates_rejected() {
+        assert_eq!(parse_date("not-a-date"), None);
+        assert_eq!(parse_date("1994-13-01"), None);
+        assert_eq!(parse_date("1994-01"), None);
+        assert_eq!(parse_date("1994-01-01-01"), None);
+    }
+
+    #[test]
+    fn interval_year_addition() {
+        let d = parse_date("1994-01-01").unwrap();
+        assert_eq!(format_date(add_interval(d, 1, IntervalUnit::Year)), "1995-01-01");
+    }
+
+    #[test]
+    fn interval_month_clamps() {
+        let d = parse_date("1996-01-31").unwrap();
+        assert_eq!(format_date(add_interval(d, 1, IntervalUnit::Month)), "1996-02-29");
+        let d2 = parse_date("1995-01-31").unwrap();
+        assert_eq!(format_date(add_interval(d2, 1, IntervalUnit::Month)), "1995-02-28");
+    }
+
+    #[test]
+    fn interval_day_addition() {
+        let d = parse_date("1994-12-31").unwrap();
+        assert_eq!(format_date(add_interval(d, 1, IntervalUnit::Day)), "1995-01-01");
+    }
+
+    #[test]
+    fn negative_intervals() {
+        let d = parse_date("1994-03-01").unwrap();
+        assert_eq!(format_date(add_interval(d, -1, IntervalUnit::Month)), "1994-02-01");
+        assert_eq!(format_date(add_interval(d, -2, IntervalUnit::Year)), "1992-03-01");
+    }
+}

@@ -1,0 +1,352 @@
+//! Hand-written SQL lexer for the subset the paper works with: single-block
+//! `SELECT ... FROM ... WHERE ... GROUP BY ... ORDER BY` queries.
+
+use std::fmt;
+
+/// A lexical token with its source position (byte offset).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input (for error messages).
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(i) => write!(f, "{i}"),
+            TokenKind::Float(x) => write!(f, "{x}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::Semi => f.write_str(";"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Plus => f.write_str("+"),
+            TokenKind::Minus => f.write_str("-"),
+            TokenKind::Slash => f.write_str("/"),
+            TokenKind::Eq => f.write_str("="),
+            TokenKind::Ne => f.write_str("<>"),
+            TokenKind::Lt => f.write_str("<"),
+            TokenKind::Le => f.write_str("<="),
+            TokenKind::Gt => f.write_str(">"),
+            TokenKind::Ge => f.write_str(">="),
+        }
+    }
+}
+
+/// A lexing error with position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`. SQL comments (`-- ...`) are skipped.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semi, offset: i });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                i += 2;
+            }
+            '<' => {
+                let (kind, step) = match bytes.get(i + 1) {
+                    Some(&b'=') => (TokenKind::Le, 2),
+                    Some(&b'>') => (TokenKind::Ne, 2),
+                    _ => (TokenKind::Lt, 1),
+                };
+                tokens.push(Token { kind, offset: i });
+                i += step;
+            }
+            '>' => {
+                let (kind, step) = match bytes.get(i + 1) {
+                    Some(&b'=') => (TokenKind::Ge, 2),
+                    _ => (TokenKind::Gt, 1),
+                };
+                tokens.push(Token { kind, offset: i });
+                i += step;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' is an escaped quote.
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("invalid float literal `{text}`"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("integer literal `{text}` out of range"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_select() {
+        let ks = kinds("SELECT a FROM t;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("a = b <> c <= d >= e < f > g != h");
+        let ops: Vec<&TokenKind> = ks.iter().filter(|k| !matches!(k, TokenKind::Ident(_))).collect();
+        assert_eq!(
+            ops,
+            vec![
+                &TokenKind::Eq,
+                &TokenKind::Ne,
+                &TokenKind::Le,
+                &TokenKind::Ge,
+                &TokenKind::Lt,
+                &TokenKind::Gt,
+                &TokenKind::Ne,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Float(3.5)]);
+        // A dot not followed by a digit is a separate token.
+        assert_eq!(
+            kinds("t.c"),
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'abc'"), vec![TokenKind::Str("abc".into())]);
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = lex("'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("a -- comment here\n b");
+        assert_eq!(ks.len(), 2);
+    }
+
+    #[test]
+    fn arithmetic_and_parens() {
+        let ks = kinds("sum(x*(1-y))");
+        assert!(ks.contains(&TokenKind::Star));
+        assert!(ks.contains(&TokenKind::Minus));
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::LParen).count(), 2);
+    }
+
+    #[test]
+    fn unexpected_character() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(err.message.contains('?'));
+    }
+
+    #[test]
+    fn offsets_are_recorded() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! A small union–find (disjoint set) structure used by the Conjunctive
+//! Query Isolator to merge attributes linked by equality predicates into
+//! equivalence classes (each class becomes one query variable).
+
+/// Union–find over `0..n` with path compression and union by rank.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Adds a fresh singleton, returning its index.
+    pub fn push(&mut self) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.rank.push(0);
+        i
+    }
+
+    /// Representative of `x`'s class.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the classes of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => {
+                self.parent[ra] = rb;
+                rb
+            }
+            std::cmp::Ordering::Greater => {
+                self.parent[rb] = ra;
+                ra
+            }
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+                ra
+            }
+        }
+    }
+
+    /// True if `a` and `b` are in the same class.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let mut uf = UnionFind::new(3);
+        assert!(!uf.same(0, 1));
+        assert!(uf.same(2, 2));
+    }
+
+    #[test]
+    fn union_merges_transitively() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn push_adds_singletons() {
+        let mut uf = UnionFind::new(1);
+        let i = uf.push();
+        assert_eq!(i, 1);
+        assert!(!uf.same(0, 1));
+        uf.union(0, 1);
+        assert!(uf.same(0, 1));
+    }
+
+    #[test]
+    fn find_is_stable_under_compression() {
+        let mut uf = UnionFind::new(6);
+        for i in 0..5 {
+            uf.union(i, i + 1);
+        }
+        let rep = uf.find(0);
+        for i in 0..6 {
+            assert_eq!(uf.find(i), rep);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Final aggregation (step (4) of the paper's pipeline): given the answer
+//! of `CQ(Q)` as a [`VRelation`] over `out(Q)`, compute GROUP BY groups,
+//! aggregate functions, final projection (dropping hidden rowid guards) and
+//! ORDER BY.
+
+use crate::error::{Budget, EvalError};
+use crate::expr::eval_scalar;
+use crate::ops::sort_by;
+use crate::value::{Row, Value};
+use crate::vrel::VRelation;
+use htqo_cq::isolator::is_hidden_label;
+use htqo_cq::{AggFunc, ConjunctiveQuery, OutputItem, SortDir};
+use std::collections::HashMap;
+
+/// Computes the final output of `q` from the answer relation of `CQ(Q)`.
+///
+/// `answer` must contain every variable of `out(Q)` as a column (hidden
+/// rowid variables included); its rows are assumed distinct.
+pub fn finalize(
+    answer: &VRelation,
+    q: &ConjunctiveQuery,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let visible: Vec<&OutputItem> = q
+        .output
+        .iter()
+        .filter(|o| !is_hidden_label(o.label()))
+        .collect();
+    // SQL allows duplicate output column names (`SELECT a.x, b.x`); our
+    // relations do not, so repeated labels get a numeric suffix.
+    let labels = uniquify(&visible.iter().map(|o| o.label().to_string()).collect::<Vec<_>>());
+
+    let result = if q.has_aggregates() {
+        aggregate(answer, q, &visible, &labels, budget)?
+    } else {
+        // No aggregates: project the answer onto the distinct visible head
+        // variables (set semantics, matching the CQ answer definition),
+        // then lay the columns out in SELECT order (a variable may be
+        // selected more than once).
+        let vars: Vec<String> = visible
+            .iter()
+            .map(|o| match o {
+                OutputItem::Var { var, .. } => Ok(var.clone()),
+                OutputItem::Aggregate { .. } => unreachable!("filtered above"),
+            })
+            .collect::<Result<_, EvalError>>()?;
+        let mut distinct_vars = vars.clone();
+        distinct_vars.dedup_preserving();
+        let projected = crate::ops::project(answer, &distinct_vars, true, budget)?;
+        let idx: Vec<usize> = vars
+            .iter()
+            .map(|v| projected.col_index(v).expect("just projected"))
+            .collect();
+        let rows: Vec<crate::value::Row> = projected
+            .rows()
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        VRelation::from_rows(labels.clone(), rows)
+    };
+
+    // HAVING over output labels (post-aggregation row filter).
+    let result = if q.having.is_empty() {
+        result
+    } else {
+        let idx: Vec<(usize, htqo_cq::CmpOp, crate::value::Value)> = q
+            .having
+            .iter()
+            .map(|(label, op, lit)| {
+                let i = result
+                    .col_index(label)
+                    .ok_or_else(|| EvalError::UnknownVariable(label.clone()))?;
+                Ok((i, *op, crate::value::Value::from(lit)))
+            })
+            .collect::<Result<_, EvalError>>()?;
+        crate::ops::select_rows(
+            &result,
+            |row| {
+                Ok(idx
+                    .iter()
+                    .all(|(i, op, v)| crate::expr::apply_cmp(*op, &row[*i], v)))
+            },
+            budget,
+        )?
+    };
+
+    // ORDER BY over output labels, then LIMIT.
+    let result = if q.order_by.is_empty() {
+        result
+    } else {
+        let keys: Vec<(String, bool)> = q
+            .order_by
+            .iter()
+            .map(|(label, dir)| (label.clone(), *dir == SortDir::Desc))
+            .collect();
+        sort_by(&result, &keys)?
+    };
+    Ok(match q.limit {
+        Some(n) if n < result.len() => VRelation::from_rows(
+            result.cols().to_vec(),
+            result.rows()[..n].to_vec(),
+        ),
+        _ => result,
+    })
+}
+
+/// Appends `_2`, `_3`, … to repeated labels.
+fn uniquify(labels: &[String]) -> Vec<String> {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    labels
+        .iter()
+        .map(|l| {
+            let n = seen.entry(l.clone()).or_insert(0);
+            *n += 1;
+            if *n == 1 {
+                l.clone()
+            } else {
+                format!("{l}_{n}")
+            }
+        })
+        .collect()
+}
+
+/// First-occurrence dedup for small vectors.
+trait DedupPreserving {
+    fn dedup_preserving(&mut self);
+}
+
+impl DedupPreserving for Vec<String> {
+    fn dedup_preserving(&mut self) {
+        let mut seen = Vec::new();
+        self.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(v.clone());
+                true
+            }
+        });
+    }
+}
+
+fn aggregate(
+    answer: &VRelation,
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    // Group keys.
+    let group_idx: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|v| {
+            answer
+                .col_index(v)
+                .ok_or_else(|| EvalError::UnknownVariable(v.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Validate: non-aggregate visible items must be grouping variables.
+    for item in visible {
+        if let OutputItem::Var { var, .. } = item {
+            if !q.group_by.contains(var) {
+                return Err(EvalError::Internal(format!(
+                    "output variable `{var}` is neither aggregated nor grouped"
+                )));
+            }
+        }
+    }
+
+    let mut groups: HashMap<Row, Vec<Accumulator>> = HashMap::new();
+    // Deterministic group ordering: remember first-seen order.
+    let mut order: Vec<Row> = Vec::new();
+
+    let cols = answer.cols().to_vec();
+    for row in answer.rows() {
+        let key: Row = group_idx.iter().map(|&i| row[i].clone()).collect();
+        let accs = match groups.get_mut(&key) {
+            Some(a) => a,
+            None => {
+                budget.charge(1)?;
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| visible.iter().map(|o| Accumulator::for_item(o)).collect())
+            }
+        };
+        for (acc, item) in accs.iter_mut().zip(visible) {
+            acc.feed(item, &cols, row)?;
+        }
+    }
+
+    // Global aggregate over empty input still produces one row.
+    if groups.is_empty() && q.group_by.is_empty() {
+        let key: Row = Vec::new().into_boxed_slice();
+        order.push(key.clone());
+        groups.insert(key, visible.iter().map(|o| Accumulator::for_item(o)).collect());
+    }
+
+    let mut out = VRelation::empty(labels.to_vec());
+    for key in order {
+        let accs = &groups[&key];
+        let mut row: Vec<Value> = Vec::with_capacity(visible.len());
+        for (acc, item) in accs.iter().zip(visible) {
+            row.push(match item {
+                OutputItem::Var { var, .. } => {
+                    let gpos = q.group_by.iter().position(|g| g == var).expect("validated");
+                    key[gpos].clone()
+                }
+                OutputItem::Aggregate { .. } => acc.finish(),
+            });
+        }
+        out.push(row.into_boxed_slice());
+    }
+    Ok(out)
+}
+
+/// Streaming accumulator for one output item.
+enum Accumulator {
+    /// Placeholder for plain grouping variables.
+    Group,
+    Sum { int: i64, float: f64, any_float: bool, n: u64 },
+    Count { n: u64 },
+    MinMax { best: Option<Value>, min: bool },
+    Avg { sum: f64, n: u64 },
+}
+
+impl Accumulator {
+    fn for_item(item: &OutputItem) -> Accumulator {
+        match item {
+            OutputItem::Var { .. } => Accumulator::Group,
+            OutputItem::Aggregate { func, .. } => match func {
+                AggFunc::Sum => Accumulator::Sum { int: 0, float: 0.0, any_float: false, n: 0 },
+                AggFunc::Count => Accumulator::Count { n: 0 },
+                AggFunc::Min => Accumulator::MinMax { best: None, min: true },
+                AggFunc::Max => Accumulator::MinMax { best: None, min: false },
+                AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
+            },
+        }
+    }
+
+    fn feed(&mut self, item: &OutputItem, cols: &[String], row: &Row) -> Result<(), EvalError> {
+        let OutputItem::Aggregate { expr, .. } = item else {
+            return Ok(());
+        };
+        let value = match expr {
+            Some(e) => eval_scalar(e, cols, row)?,
+            None => Value::Int(1), // COUNT(*): any non-null marker
+        };
+        match self {
+            Accumulator::Group => {}
+            Accumulator::Count { n } => {
+                if !value.is_null() {
+                    *n += 1;
+                }
+            }
+            Accumulator::Sum { int, float, any_float, n } => {
+                match value {
+                    Value::Null => {}
+                    Value::Int(i) => {
+                        *int = int.wrapping_add(i);
+                        *n += 1;
+                    }
+                    Value::Float(x) => {
+                        *float += x;
+                        *any_float = true;
+                        *n += 1;
+                    }
+                    other => {
+                        return Err(EvalError::Internal(format!(
+                            "SUM over non-numeric value ({})",
+                            other.type_name()
+                        )))
+                    }
+                }
+            }
+            Accumulator::MinMax { best, min } => {
+                if value.is_null() {
+                    return Ok(());
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let ord = value.cmp(b);
+                        if *min { ord.is_lt() } else { ord.is_gt() }
+                    }
+                };
+                if better {
+                    *best = Some(value);
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                if let Some(x) = value.as_f64() {
+                    *sum += x;
+                    *n += 1;
+                } else if !value.is_null() {
+                    return Err(EvalError::Internal("AVG over non-numeric value".into()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Accumulator::Group => Value::Null,
+            Accumulator::Count { n } => Value::Int(*n as i64),
+            Accumulator::Sum { int, float, any_float, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else if *any_float {
+                    Value::Float(*float + *int as f64)
+                } else {
+                    Value::Int(*int)
+                }
+            }
+            Accumulator::MinMax { best, .. } => best.clone().unwrap_or(Value::Null),
+            Accumulator::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*sum / *n as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htqo_cq::{AggFunc, CqBuilder, ScalarExpr};
+
+    fn answer(cols: &[&str], rows: Vec<Vec<Value>>) -> VRelation {
+        VRelation::from_rows(
+            cols.iter().map(|c| c.to_string()).collect(),
+            rows.into_iter().map(|r| r.into_boxed_slice()).collect(),
+        )
+    }
+
+    #[test]
+    fn group_by_sum() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["G", "X"])
+            .out_var("G")
+            .out_agg(AggFunc::Sum, Some(ScalarExpr::Var("X".into())), "total")
+            .group("G")
+            .build();
+        let a = answer(
+            &["G", "X"],
+            vec![
+                vec![Value::str("a"), Value::Int(1)],
+                vec![Value::str("a"), Value::Int(2)],
+                vec![Value::str("b"), Value::Int(5)],
+            ],
+        );
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.cols(), &["G".to_string(), "total".to_string()]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, "total"), Some(&Value::Int(3)));
+        assert_eq!(out.value(1, "total"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn count_star_and_empty_input() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X"])
+            .out_agg(AggFunc::Count, None, "n")
+            .build();
+        let a = answer(&[], vec![]);
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value(0, "n"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn sum_over_empty_group_is_null_globally() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X"])
+            .out_agg(AggFunc::Sum, Some(ScalarExpr::Var("X".into())), "s")
+            .build();
+        let a = answer(&["X"], vec![]);
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.value(0, "s"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X"])
+            .out_agg(AggFunc::Min, Some(ScalarExpr::Var("X".into())), "lo")
+            .out_agg(AggFunc::Max, Some(ScalarExpr::Var("X".into())), "hi")
+            .out_agg(AggFunc::Avg, Some(ScalarExpr::Var("X".into())), "avg")
+            .build();
+        let a = answer(
+            &["X"],
+            vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.value(0, "lo"), Some(&Value::Int(1)));
+        assert_eq!(out.value(0, "hi"), Some(&Value::Int(3)));
+        assert_eq!(out.value(0, "avg"), Some(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn hidden_rowids_are_dropped_but_preserve_multiplicity() {
+        // Two answer rows differ only in the hidden rowid: the sum must see
+        // both.
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X"])
+            .out_agg(AggFunc::Sum, Some(ScalarExpr::Var("X".into())), "s")
+            .out_var("__rid_r") // hidden multiplicity guard
+            .build();
+        let a = answer(
+            &["X", "__rid_r"],
+            vec![
+                vec![Value::Int(5), Value::Int(0)],
+                vec![Value::Int(5), Value::Int(1)],
+            ],
+        );
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.cols(), &["s".to_string()]);
+        assert_eq!(out.value(0, "s"), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn ungrouped_output_variable_is_an_error() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["G", "X"])
+            .out_var("G")
+            .out_agg(AggFunc::Sum, Some(ScalarExpr::Var("X".into())), "s")
+            .build(); // no GROUP BY G
+        let a = answer(&["G", "X"], vec![vec![Value::Int(1), Value::Int(1)]]);
+        let mut budget = Budget::unlimited();
+        assert!(finalize(&a, &q, &mut budget).is_err());
+    }
+
+    #[test]
+    fn order_by_applies_to_output() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["G", "X"])
+            .out_var("G")
+            .out_agg(AggFunc::Sum, Some(ScalarExpr::Var("X".into())), "total")
+            .group("G")
+            .order("total", SortDir::Desc)
+            .build();
+        let a = answer(
+            &["G", "X"],
+            vec![
+                vec![Value::str("a"), Value::Int(1)],
+                vec![Value::str("b"), Value::Int(5)],
+            ],
+        );
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.value(0, "G"), Some(&Value::str("b")));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["G", "X"])
+            .out_var("G")
+            .out_agg(AggFunc::Sum, Some(ScalarExpr::Var("X".into())), "total")
+            .group("G")
+            .having("total", htqo_cq::CmpOp::Ge, htqo_cq::Literal::Int(4))
+            .build();
+        let a = answer(
+            &["G", "X"],
+            vec![
+                vec![Value::str("a"), Value::Int(1)],
+                vec![Value::str("a"), Value::Int(2)],
+                vec![Value::str("b"), Value::Int(5)],
+            ],
+        );
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value(0, "G"), Some(&Value::str("b")));
+        // Unknown HAVING label surfaces as an error (guarded upstream by
+        // the isolator, but the engine stays defensive).
+        let bad = CqBuilder::new()
+            .atom_vars("r", &["G"])
+            .out_var("G")
+            .group("G")
+            .having("zz", htqo_cq::CmpOp::Eq, htqo_cq::Literal::Int(1))
+            .build();
+        assert!(finalize(&a, &bad, &mut budget).is_err());
+    }
+
+    #[test]
+    fn limit_truncates_after_sort() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X"])
+            .out_var("X")
+            .order("X", SortDir::Desc)
+            .limit(2)
+            .build();
+        let a = answer(
+            &["X"],
+            vec![vec![Value::Int(1)], vec![Value::Int(3)], vec![Value::Int(2)]],
+        );
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, "X"), Some(&Value::Int(3)));
+        assert_eq!(out.value(1, "X"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn no_aggregates_projects_distinct() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X", "Y"])
+            .out_var("X")
+            .build();
+        let a = answer(
+            &["X", "Y"],
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(20)],
+            ],
+        );
+        let mut budget = Budget::unlimited();
+        let out = finalize(&a, &q, &mut budget).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cols(), &["X".to_string()]);
+    }
+}

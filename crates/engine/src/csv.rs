@@ -1,0 +1,313 @@
+//! CSV import/export for base relations — the engine's data in/out path
+//! (used by the CLI's `\import`/`\export` and handy for loading external
+//! datasets into the reproduction).
+//!
+//! Format: RFC-4180-style quoting; the first line is a header of
+//! `name:type` pairs with `type ∈ {int, float, str, date}`; dates are
+//! `YYYY-MM-DD`; empty unquoted fields are NULL.
+
+use crate::schema::{ColumnType, Schema};
+use crate::relation::Relation;
+use crate::value::Value;
+use htqo_cq::date::{format_date, parse_date};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// CSV errors with line positions.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem (header, quoting, arity) at a 1-based line.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Format { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes `rel` as CSV (typed header + one line per row).
+pub fn write_csv(rel: &Relation, w: &mut impl Write) -> Result<(), CsvError> {
+    let header: Vec<String> = rel
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| format!("{}:{}", c.name, type_tag(c.ty)))
+        .collect();
+    writeln!(w, "{}", header.join(","))?;
+    for row in rel.rows() {
+        let cells: Vec<String> = row.iter().map(render_cell).collect();
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Reads a relation from CSV produced by [`write_csv`] (or hand-authored
+/// with the same header convention).
+pub fn read_csv(r: impl Read) -> Result<Relation, CsvError> {
+    let mut reader = BufReader::new(r);
+    let mut header = String::new();
+    if reader.read_line(&mut header)? == 0 {
+        return Err(CsvError::Format { line: 1, message: "empty input".into() });
+    }
+    let mut schema = Schema::default();
+    for field in split_line(header.trim_end_matches(['\r', '\n']), 1)? {
+        let (name, ty) = field.text.rsplit_once(':').ok_or(CsvError::Format {
+            line: 1,
+            message: format!("header field `{}` is not name:type", field.text),
+        })?;
+        let ty = match ty {
+            "int" => ColumnType::Int,
+            "float" => ColumnType::Float,
+            "str" => ColumnType::Str,
+            "date" => ColumnType::Date,
+            other => {
+                return Err(CsvError::Format {
+                    line: 1,
+                    message: format!("unknown type `{other}`"),
+                })
+            }
+        };
+        schema.push(name, ty);
+    }
+    let arity = schema.arity();
+    let types: Vec<ColumnType> = schema.columns().iter().map(|c| c.ty).collect();
+    let mut rel = Relation::new(schema);
+
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 2;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(&line, lineno)?;
+        if fields.len() != arity {
+            return Err(CsvError::Format {
+                line: lineno,
+                message: format!("expected {arity} fields, got {}", fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(arity);
+        for (field, ty) in fields.iter().zip(&types) {
+            row.push(parse_cell(field, *ty).map_err(|message| CsvError::Format {
+                line: lineno,
+                message,
+            })?);
+        }
+        rel.push_row(row).map_err(|e| CsvError::Format {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(rel)
+}
+
+fn type_tag(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Int => "int",
+        ColumnType::Float => "float",
+        ColumnType::Str => "str",
+        ColumnType::Date => "date",
+    }
+}
+
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => format!("{x:?}"),
+        Value::Date(d) => format_date(*d),
+        Value::Str(s) => {
+            if s.contains([',', '"', '\n']) || s.is_empty() {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+    }
+}
+
+/// A parsed field: raw text plus whether it was quoted (a quoted empty
+/// field is an empty string; an unquoted empty field is NULL).
+struct Field {
+    text: String,
+    quoted: bool,
+}
+
+impl std::ops::Deref for Field {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+fn parse_cell(field: &Field, ty: ColumnType) -> Result<Value, String> {
+    if field.text.is_empty() && !field.quoted {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        ColumnType::Int => Value::Int(
+            field.text.parse().map_err(|_| format!("bad int `{}`", field.text))?,
+        ),
+        ColumnType::Float => Value::Float(
+            field.text.parse().map_err(|_| format!("bad float `{}`", field.text))?,
+        ),
+        ColumnType::Date => Value::Date(
+            parse_date(&field.text).ok_or_else(|| format!("bad date `{}`", field.text))?,
+        ),
+        ColumnType::Str => Value::str(&field.text),
+    })
+}
+
+/// RFC-4180 field splitting with `""` escapes.
+fn split_line(line: &str, lineno: usize) -> Result<Vec<Field>, CsvError> {
+    let mut fields = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        let mut text = String::new();
+        let mut quoted = false;
+        if chars.peek() == Some(&'"') {
+            quoted = true;
+            chars.next();
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            text.push('"');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(c) => text.push(c),
+                    None => {
+                        return Err(CsvError::Format {
+                            line: lineno,
+                            message: "unterminated quoted field".into(),
+                        })
+                    }
+                }
+            }
+            match chars.next() {
+                Some(',') => {
+                    fields.push(Field { text, quoted });
+                    continue;
+                }
+                None => {
+                    fields.push(Field { text, quoted });
+                    break;
+                }
+                Some(c) => {
+                    return Err(CsvError::Format {
+                        line: lineno,
+                        message: format!("unexpected `{c}` after closing quote"),
+                    })
+                }
+            }
+        }
+        // Unquoted field.
+        loop {
+            match chars.next() {
+                Some(',') => {
+                    fields.push(Field { text, quoted });
+                    break;
+                }
+                Some(c) => text.push(c),
+                None => {
+                    fields.push(Field { text, quoted });
+                    return Ok(fields);
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sample() -> Relation {
+        let mut rel = Relation::new(Schema::new(&[
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("price", ColumnType::Float),
+            ("day", ColumnType::Date),
+        ]));
+        rel.extend_rows(vec![
+            vec![Value::Int(1), Value::str("plain"), Value::Float(1.5), Value::Date(0)],
+            vec![
+                Value::Int(2),
+                Value::str("with, comma and \"quotes\""),
+                Value::Float(-2.25),
+                Value::Date(8766),
+            ],
+            vec![Value::Null, Value::str(""), Value::Null, Value::Null],
+        ])
+        .unwrap();
+        rel
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let rel = sample();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back.schema(), rel.schema());
+        assert_eq!(back.rows(), rel.rows());
+    }
+
+    #[test]
+    fn header_declares_types() {
+        let mut buf = Vec::new();
+        write_csv(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("id:int,name:str,price:float,day:date\n"));
+        assert!(text.contains("1994-01-01"));
+    }
+
+    #[test]
+    fn quoted_empty_is_string_unquoted_is_null() {
+        let rel = read_csv("a:str,b:str\n\"\",\n".as_bytes()).unwrap();
+        assert_eq!(rel.rows()[0][0], Value::str(""));
+        assert_eq!(rel.rows()[0][1], Value::Null);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = read_csv("a:int\nxyz\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Format { line: 2, .. }), "{err}");
+        let err = read_csv("a:int\n1,2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 1 fields"));
+        let err = read_csv("a:wat\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown type"));
+        let err = read_csv("a:str\n\"open\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let rel = read_csv("a:int\n1\n\n2\n".as_bytes()).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Evaluation errors and resource guards.
+//!
+//! The paper reports baseline executions that "do not terminate after more
+//! than 10 minutes"; our harness reproduces those DNF data points with a
+//! [`Budget`] that bounds wall-clock time and the number of materialized
+//! intermediate tuples (a deterministic proxy for work).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced during query evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// The evaluation materialized more intermediate tuples than allowed.
+    TupleBudgetExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The evaluation ran past its deadline.
+    Timeout {
+        /// The configured limit.
+        limit: Duration,
+    },
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column does not exist in its relation.
+    UnknownColumn {
+        /// Relation name.
+        relation: String,
+        /// Column name.
+        column: String,
+    },
+    /// A referenced variable is missing from an intermediate relation.
+    UnknownVariable(String),
+    /// Anything else (plan inconsistencies, type errors in expressions).
+    Internal(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::TupleBudgetExceeded { limit } => {
+                write!(f, "tuple budget exceeded ({limit} tuples)")
+            }
+            EvalError::Timeout { limit } => write!(f, "timed out after {limit:?}"),
+            EvalError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EvalError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            EvalError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            EvalError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl EvalError {
+    /// True for resource-limit errors (`DNF` data points in the harness).
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self,
+            EvalError::TupleBudgetExceeded { .. } | EvalError::Timeout { .. }
+        )
+    }
+}
+
+/// A work budget threaded through every operator.
+///
+/// `charge(n)` accounts for `n` freshly materialized tuples; the deadline
+/// is polled at most every few thousand charges to keep the common path
+/// cheap.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    max_tuples: Option<u64>,
+    deadline: Option<(Instant, Duration)>,
+    charged: u64,
+    since_time_check: u64,
+}
+
+/// How often (in charged tuples) the deadline is polled.
+const TIME_CHECK_INTERVAL: u64 = 4096;
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Budget {
+            max_tuples: None,
+            deadline: None,
+            charged: 0,
+            since_time_check: 0,
+        }
+    }
+
+    /// Limits the number of materialized tuples.
+    pub fn with_max_tuples(mut self, n: u64) -> Self {
+        self.max_tuples = Some(n);
+        self
+    }
+
+    /// Limits wall-clock time, starting now.
+    pub fn with_timeout(mut self, limit: Duration) -> Self {
+        self.deadline = Some((Instant::now() + limit, limit));
+        self
+    }
+
+    /// Total tuples charged so far.
+    pub fn charged(&self) -> u64 {
+        self.charged
+    }
+
+    /// Accounts for `n` materialized tuples.
+    pub fn charge(&mut self, n: u64) -> Result<(), EvalError> {
+        self.charged += n;
+        if let Some(limit) = self.max_tuples {
+            if self.charged > limit {
+                return Err(EvalError::TupleBudgetExceeded { limit });
+            }
+        }
+        if let Some((deadline, limit)) = self.deadline {
+            self.since_time_check += n;
+            if self.since_time_check >= TIME_CHECK_INTERVAL {
+                self.since_time_check = 0;
+                if Instant::now() > deadline {
+                    return Err(EvalError::Timeout { limit });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces a deadline check (called between operators).
+    pub fn check_time(&mut self) -> Result<(), EvalError> {
+        if let Some((deadline, limit)) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(EvalError::Timeout { limit });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_fails() {
+        let mut b = Budget::unlimited();
+        for _ in 0..100 {
+            b.charge(1_000_000).unwrap();
+        }
+        assert_eq!(b.charged(), 100_000_000);
+    }
+
+    #[test]
+    fn tuple_budget_trips() {
+        let mut b = Budget::unlimited().with_max_tuples(10);
+        b.charge(10).unwrap();
+        let err = b.charge(1).unwrap_err();
+        assert_eq!(err, EvalError::TupleBudgetExceeded { limit: 10 });
+        assert!(err.is_resource_limit());
+    }
+
+    #[test]
+    fn timeout_trips() {
+        let mut b = Budget::unlimited().with_timeout(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(5));
+        // charge() may need several calls to hit the polling interval;
+        // check_time is immediate.
+        let err = b.check_time().unwrap_err();
+        assert!(matches!(err, EvalError::Timeout { .. }));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(EvalError::UnknownTable("t".into()).to_string().contains("`t`"));
+        assert!(!EvalError::UnknownVariable("v".into()).is_resource_limit());
+    }
+}

@@ -1,0 +1,141 @@
+//! Scalar expression evaluation and SQL comparison semantics.
+
+use crate::error::EvalError;
+use crate::value::{Row, Value};
+use htqo_cq::{ArithOp, CmpOp, ScalarExpr};
+
+/// Evaluates a scalar expression against a row of an intermediate relation
+/// (columns are variable names). NULL propagates through arithmetic.
+pub fn eval_scalar(e: &ScalarExpr, cols: &[String], row: &Row) -> Result<Value, EvalError> {
+    match e {
+        ScalarExpr::Var(v) => {
+            let i = cols
+                .iter()
+                .position(|c| c == v)
+                .ok_or_else(|| EvalError::UnknownVariable(v.clone()))?;
+            Ok(row[i].clone())
+        }
+        ScalarExpr::Lit(l) => Ok(l.into()),
+        ScalarExpr::Binary(l, op, r) => {
+            let lv = eval_scalar(l, cols, row)?;
+            let rv = eval_scalar(r, cols, row)?;
+            arith(&lv, *op, &rv)
+        }
+    }
+}
+
+/// Applies a binary arithmetic operator with SQL-ish coercions:
+/// `Int op Int → Int` (except division, which is always `Float`), any
+/// float operand promotes to `Float`, NULL propagates.
+pub fn arith(l: &Value, op: ArithOp, r: &Value) -> Result<Value, EvalError> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r, op) {
+        (Value::Int(a), Value::Int(b), ArithOp::Add) => Ok(Value::Int(a.wrapping_add(*b))),
+        (Value::Int(a), Value::Int(b), ArithOp::Sub) => Ok(Value::Int(a.wrapping_sub(*b))),
+        (Value::Int(a), Value::Int(b), ArithOp::Mul) => Ok(Value::Int(a.wrapping_mul(*b))),
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(EvalError::Internal(format!(
+                        "arithmetic on non-numeric values ({} {op} {})",
+                        l.type_name(),
+                        r.type_name()
+                    )))
+                }
+            };
+            Ok(Value::Float(match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+                ArithOp::Div => a / b,
+            }))
+        }
+    }
+}
+
+/// SQL comparison: NULL operands and incomparable types fail the predicate.
+pub fn apply_cmp(op: CmpOp, left: &Value, right: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    match left.sql_cmp(right) {
+        None => false,
+        Some(ord) => match op {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htqo_cq::Literal;
+
+    fn cols() -> Vec<String> {
+        vec!["x".into(), "y".into()]
+    }
+
+    fn row(x: f64, y: f64) -> Row {
+        vec![Value::Float(x), Value::Float(y)].into_boxed_slice()
+    }
+
+    #[test]
+    fn revenue_expression() {
+        // x * (1 - y), the TPC-H Q5 revenue expression.
+        let e = ScalarExpr::Binary(
+            Box::new(ScalarExpr::Var("x".into())),
+            ArithOp::Mul,
+            Box::new(ScalarExpr::Binary(
+                Box::new(ScalarExpr::Lit(Literal::Int(1))),
+                ArithOp::Sub,
+                Box::new(ScalarExpr::Var("y".into())),
+            )),
+        );
+        let v = eval_scalar(&e, &cols(), &row(100.0, 0.1)).unwrap();
+        assert_eq!(v, Value::Float(90.0));
+    }
+
+    #[test]
+    fn int_arithmetic_stays_int_except_div() {
+        assert_eq!(arith(&Value::Int(7), ArithOp::Mul, &Value::Int(3)).unwrap(), Value::Int(21));
+        assert_eq!(arith(&Value::Int(7), ArithOp::Div, &Value::Int(2)).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn null_propagates() {
+        assert_eq!(arith(&Value::Null, ArithOp::Add, &Value::Int(1)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn non_numeric_arithmetic_errors() {
+        assert!(arith(&Value::str("a"), ArithOp::Add, &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn unknown_variable_errors() {
+        let e = ScalarExpr::Var("zz".into());
+        assert!(matches!(
+            eval_scalar(&e, &cols(), &row(0.0, 0.0)),
+            Err(EvalError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(apply_cmp(CmpOp::Lt, &Value::Int(1), &Value::Int(2)));
+        assert!(apply_cmp(CmpOp::Ge, &Value::Int(2), &Value::Int(2)));
+        assert!(apply_cmp(CmpOp::Ne, &Value::str("a"), &Value::str("b")));
+        // NULL never satisfies a predicate.
+        assert!(!apply_cmp(CmpOp::Eq, &Value::Null, &Value::Null));
+        // Incomparable types never satisfy a predicate.
+        assert!(!apply_cmp(CmpOp::Eq, &Value::Int(1), &Value::str("1")));
+        // Dates compare as dates.
+        assert!(apply_cmp(CmpOp::Lt, &Value::Date(1), &Value::Date(2)));
+    }
+}

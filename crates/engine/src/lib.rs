@@ -1,0 +1,40 @@
+//! In-memory relational engine: the evaluation substrate of the
+//! reproduction of *"Hypertree Decompositions for Query Optimization"*
+//! (ICDE 2007).
+//!
+//! The paper runs its experiments on PostgreSQL and a commercial DBMS;
+//! this crate is the stand-in storage/execution layer both our structural
+//! optimizer and the quantitative baselines run on, so that every compared
+//! method pays the same per-tuple costs:
+//!
+//! - [`value::Value`] / [`relation::Relation`] / [`schema::Database`]:
+//!   typed storage with a deterministic catalog;
+//! - [`vrel::VRelation`]: intermediate relations named by query variables;
+//! - [`ops`]: hash join, semijoin, projection, selection, sorting — all
+//!   charging a [`error::Budget`] so baseline blow-ups become reproducible
+//!   `DNF` data points instead of runaway processes;
+//! - [`scan`]: atom scans with selection push-down and the hidden
+//!   `__rowid` multiplicity guard;
+//! - [`aggregate`]: GROUP BY / aggregate finalization (step (4) of the
+//!   paper's evaluation pipeline).
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod ops;
+pub mod relation;
+pub mod scan;
+pub mod schema;
+pub mod value;
+pub mod vrel;
+
+pub use aggregate::finalize;
+pub use csv::{read_csv, write_csv, CsvError};
+pub use error::{Budget, EvalError};
+pub use relation::{Relation, RelationError};
+pub use schema::{Column, ColumnType, Database, Schema};
+pub use value::{Row, Value};
+pub use vrel::VRelation;

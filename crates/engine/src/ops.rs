@@ -1,0 +1,393 @@
+//! Physical operators over [`VRelation`]s: natural (hash) join, semijoin,
+//! projection, and selection. Every operator charges freshly materialized
+//! tuples to a [`Budget`], which is how the harness reproduces the paper's
+//! "did not terminate" baseline data points deterministically.
+
+use crate::error::{Budget, EvalError};
+use crate::value::{Row, Value};
+use crate::vrel::VRelation;
+use std::collections::{HashMap, HashSet};
+
+/// Key of a hash-join bucket: the values of the shared columns.
+type Key = Box<[Value]>;
+
+fn key_of(row: &Row, idx: &[usize]) -> Key {
+    idx.iter().map(|&i| row[i].clone()).collect()
+}
+
+/// Column positions of the shared variables in `a` and `b`, plus the
+/// positions in `b` of its non-shared columns.
+fn join_layout(a: &VRelation, b: &VRelation) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut a_shared = Vec::new();
+    let mut b_shared = Vec::new();
+    for (i, c) in a.cols().iter().enumerate() {
+        if let Some(j) = b.col_index(c) {
+            a_shared.push(i);
+            b_shared.push(j);
+        }
+    }
+    let b_rest: Vec<usize> = (0..b.cols().len())
+        .filter(|j| !b_shared.contains(j))
+        .collect();
+    (a_shared, b_shared, b_rest)
+}
+
+/// Natural join of `a` and `b` on their shared variables. With no shared
+/// variables this degenerates to a cross product (still budget-charged).
+///
+/// The hash table is built on the smaller input.
+pub fn natural_join(
+    a: &VRelation,
+    b: &VRelation,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    // Build on the smaller side: swap so `build` is smallest.
+    let (build, probe, swapped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
+    let (build_shared, probe_shared, probe_rest) = join_layout(build, probe);
+
+    let mut out_cols: Vec<String> = build.cols().to_vec();
+    out_cols.extend(probe_rest.iter().map(|&j| probe.cols()[j].clone()));
+    let mut out = VRelation::empty(out_cols);
+
+    let mut table: HashMap<Key, Vec<usize>> = HashMap::with_capacity(build.len());
+    for (i, row) in build.rows().iter().enumerate() {
+        table.entry(key_of(row, &build_shared)).or_default().push(i);
+    }
+    for prow in probe.rows() {
+        let key = key_of(prow, &probe_shared);
+        let Some(matches) = table.get(&key) else { continue };
+        budget.charge(matches.len() as u64)?;
+        out.reserve(matches.len());
+        for &bi in matches {
+            let brow = &build.rows()[bi];
+            let mut row: Vec<Value> = Vec::with_capacity(out.cols().len());
+            row.extend(brow.iter().cloned());
+            row.extend(probe_rest.iter().map(|&j| prow[j].clone()));
+            out.push(row.into_boxed_slice());
+        }
+    }
+    // The output column order depends only on (build, probe); make it
+    // deterministic w.r.t. the caller's argument order by rotating when we
+    // swapped. Variable-named columns make order semantically irrelevant,
+    // but deterministic output keeps tests and EXPLAIN stable.
+    if swapped {
+        let desired: Vec<String> = {
+            let mut cols: Vec<String> = a.cols().to_vec();
+            cols.extend(b.cols().iter().filter(|c| !a.cols().contains(c)).cloned());
+            cols
+        };
+        return Ok(reorder(&out, &desired));
+    }
+    Ok(out)
+}
+
+/// Reorders columns of `r` to `desired` (must be a permutation).
+fn reorder(r: &VRelation, desired: &[String]) -> VRelation {
+    let perm: Vec<usize> = desired
+        .iter()
+        .map(|c| r.col_index(c).expect("reorder: missing column"))
+        .collect();
+    let rows: Vec<Row> = r
+        .rows()
+        .iter()
+        .map(|row| perm.iter().map(|&i| row[i].clone()).collect())
+        .collect();
+    VRelation::from_rows(desired.to_vec(), rows)
+}
+
+/// Reference nested-loop natural join: quadratic, allocation-happy, and
+/// obviously correct. Used as the oracle in property tests against the
+/// hash join; never called by the planners.
+pub fn nested_loop_join(
+    a: &VRelation,
+    b: &VRelation,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let (a_shared, b_shared, b_rest) = join_layout(a, b);
+    let mut out_cols: Vec<String> = a.cols().to_vec();
+    out_cols.extend(b_rest.iter().map(|&j| b.cols()[j].clone()));
+    let mut out = VRelation::empty(out_cols);
+    for ra in a.rows() {
+        for rb in b.rows() {
+            if a_shared
+                .iter()
+                .zip(&b_shared)
+                .all(|(&i, &j)| ra[i] == rb[j])
+            {
+                budget.charge(1)?;
+                let mut row: Vec<Value> = ra.to_vec();
+                row.extend(b_rest.iter().map(|&j| rb[j].clone()));
+                out.push(row.into_boxed_slice());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Semijoin `a ⋉ b`: rows of `a` with at least one match in `b` on the
+/// shared variables. With no shared variables, returns `a` unchanged if
+/// `b` is non-empty, else the empty relation.
+pub fn semijoin(a: &VRelation, b: &VRelation, budget: &mut Budget) -> Result<VRelation, EvalError> {
+    let (a_shared, b_shared, _) = join_layout(a, b);
+    if a_shared.is_empty() {
+        return if b.is_empty() {
+            Ok(VRelation::empty(a.cols().to_vec()))
+        } else {
+            budget.charge(a.len() as u64)?;
+            Ok(a.clone())
+        };
+    }
+    let keys: HashSet<Key> = b.rows().iter().map(|r| key_of(r, &b_shared)).collect();
+    let mut out = VRelation::empty(a.cols().to_vec());
+    for row in a.rows() {
+        if keys.contains(&key_of(row, &a_shared)) {
+            budget.charge(1)?;
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Projects `a` onto `vars` (which must all exist). `distinct` switches on
+/// set semantics.
+pub fn project(
+    a: &VRelation,
+    vars: &[String],
+    distinct: bool,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let idx: Vec<usize> = vars
+        .iter()
+        .map(|v| {
+            a.col_index(v)
+                .ok_or_else(|| EvalError::UnknownVariable(v.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut out = VRelation::empty(vars.to_vec());
+    if distinct {
+        let mut seen: HashSet<Row> = HashSet::with_capacity(a.len());
+        for row in a.rows() {
+            let proj: Row = idx.iter().map(|&i| row[i].clone()).collect();
+            if seen.insert(proj.clone()) {
+                budget.charge(1)?;
+                out.push(proj);
+            }
+        }
+    } else {
+        budget.charge(a.len() as u64)?;
+        out.reserve(a.len());
+        for row in a.rows() {
+            out.push(idx.iter().map(|&i| row[i].clone()).collect());
+        }
+    }
+    Ok(out)
+}
+
+/// Projects onto the intersection of `a`'s columns and `vars`, with
+/// distinct rows. This is the "project onto χ(p)" step of decomposition
+/// evaluation, where χ(p) may mention variables `a` does not carry yet.
+///
+/// When the projection keeps every column it is the identity: joins of
+/// duplicate-free inputs are duplicate-free, so the (expensive) dedup pass
+/// is skipped entirely.
+pub fn project_onto_available(
+    a: &VRelation,
+    vars: &[String],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let avail: Vec<String> = vars
+        .iter()
+        .filter(|v| a.col_index(v).is_some())
+        .cloned()
+        .collect();
+    if avail.len() == a.cols().len() {
+        return Ok(a.clone());
+    }
+    project(a, &avail, true, budget)
+}
+
+/// Keeps rows satisfying `pred`.
+pub fn select_rows(
+    a: &VRelation,
+    mut pred: impl FnMut(&Row) -> Result<bool, EvalError>,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let mut out = VRelation::empty(a.cols().to_vec());
+    for row in a.rows() {
+        if pred(row)? {
+            budget.charge(1)?;
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Sorts rows by the given `(column, descending)` keys, using SQL
+/// comparison semantics with a total-order fallback.
+pub fn sort_by(
+    a: &VRelation,
+    keys: &[(String, bool)],
+) -> Result<VRelation, EvalError> {
+    let idx: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|(v, desc)| {
+            a.col_index(v)
+                .map(|i| (i, *desc))
+                .ok_or_else(|| EvalError::UnknownVariable(v.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut rows = a.rows().to_vec();
+    rows.sort_by(|x, y| {
+        for &(i, desc) in &idx {
+            let ord = x[i].cmp(&y[i]);
+            if ord != std::cmp::Ordering::Equal {
+                return if desc { ord.reverse() } else { ord };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(VRelation::from_rows(a.cols().to_vec(), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(cols: &[&str], rows: &[&[i64]]) -> VRelation {
+        VRelation::from_rows(
+            cols.iter().map(|c| c.to_string()).collect(),
+            rows.iter()
+                .map(|r| r.iter().map(|&i| Value::Int(i)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn join_on_shared_column() {
+        let a = rel(&["x", "y"], &[&[1, 10], &[2, 20]]);
+        let b = rel(&["y", "z"], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let mut budget = Budget::unlimited();
+        let j = natural_join(&a, &b, &mut budget).unwrap();
+        let expect = rel(&["x", "y", "z"], &[&[1, 10, 100], &[1, 10, 101]]);
+        assert!(j.set_eq(&expect));
+        assert_eq!(budget.charged(), 2);
+    }
+
+    #[test]
+    fn join_is_symmetric_up_to_column_order() {
+        let a = rel(&["x", "y"], &[&[1, 10], &[2, 20], &[3, 20]]);
+        let b = rel(&["y"], &[&[20]]);
+        let mut budget = Budget::unlimited();
+        let ab = natural_join(&a, &b, &mut budget).unwrap();
+        let ba = natural_join(&b, &a, &mut budget).unwrap();
+        assert!(ab.set_eq(&ba));
+        assert_eq!(ab.cols(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(ba.cols(), &["y".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn join_without_shared_columns_is_cross_product() {
+        let a = rel(&["x"], &[&[1], &[2]]);
+        let b = rel(&["y"], &[&[7], &[8], &[9]]);
+        let mut budget = Budget::unlimited();
+        let j = natural_join(&a, &b, &mut budget).unwrap();
+        assert_eq!(j.len(), 6);
+        assert_eq!(budget.charged(), 6);
+    }
+
+    #[test]
+    fn join_with_neutral_is_identity() {
+        let a = rel(&["x"], &[&[1], &[2]]);
+        let mut budget = Budget::unlimited();
+        let j = natural_join(&a, &VRelation::neutral(), &mut budget).unwrap();
+        assert!(j.set_eq(&a));
+        let j2 = natural_join(&VRelation::neutral(), &a, &mut budget).unwrap();
+        assert!(j2.set_eq(&a));
+    }
+
+    #[test]
+    fn join_respects_budget() {
+        let a = rel(&["x"], &[&[1], &[2], &[3]]);
+        let b = rel(&["y"], &[&[1], &[2], &[3]]);
+        let mut budget = Budget::unlimited().with_max_tuples(5);
+        let err = natural_join(&a, &b, &mut budget).unwrap_err();
+        assert!(err.is_resource_limit());
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let a = rel(&["x", "y"], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let b = rel(&["y", "z"], &[&[10, 0], &[30, 0]]);
+        let mut budget = Budget::unlimited();
+        let s = semijoin(&a, &b, &mut budget).unwrap();
+        assert!(s.set_eq(&rel(&["x", "y"], &[&[1, 10], &[3, 30]])));
+    }
+
+    #[test]
+    fn semijoin_no_shared_columns() {
+        let a = rel(&["x"], &[&[1], &[2]]);
+        let empty = VRelation::empty(vec!["y".into()]);
+        let some = rel(&["y"], &[&[9]]);
+        let mut budget = Budget::unlimited();
+        assert!(semijoin(&a, &empty, &mut budget).unwrap().is_empty());
+        assert!(semijoin(&a, &some, &mut budget).unwrap().set_eq(&a));
+    }
+
+    #[test]
+    fn project_distinct_and_bag() {
+        let a = rel(&["x", "y"], &[&[1, 10], &[1, 20], &[2, 10]]);
+        let mut budget = Budget::unlimited();
+        let p = project(&a, &["x".to_string()], true, &mut budget).unwrap();
+        assert_eq!(p.len(), 2);
+        let p2 = project(&a, &["x".to_string()], false, &mut budget).unwrap();
+        assert_eq!(p2.len(), 3);
+        assert!(matches!(
+            project(&a, &["zz".to_string()], true, &mut budget),
+            Err(EvalError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn project_onto_available_ignores_missing() {
+        let a = rel(&["x", "y"], &[&[1, 10]]);
+        let mut budget = Budget::unlimited();
+        let p = project_onto_available(
+            &a,
+            &["x".to_string(), "w".to_string()],
+            &mut budget,
+        )
+        .unwrap();
+        assert_eq!(p.cols(), &["x".to_string()]);
+    }
+
+    #[test]
+    fn select_rows_predicate() {
+        let a = rel(&["x"], &[&[1], &[2], &[3]]);
+        let mut budget = Budget::unlimited();
+        let s = select_rows(&a, |r| Ok(r[0] >= Value::Int(2)), &mut budget).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sort_by_keys() {
+        let a = rel(&["x", "y"], &[&[1, 3], &[2, 1], &[1, 1]]);
+        let sorted = sort_by(&a, &[("x".to_string(), false), ("y".to_string(), true)]).unwrap();
+        let rows: Vec<Vec<i64>> = sorted
+            .rows()
+            .iter()
+            .map(|r| r.iter().map(|v| match v { Value::Int(i) => *i, _ => panic!() }).collect())
+            .collect();
+        assert_eq!(rows, vec![vec![1, 3], vec![1, 1], vec![2, 1]]);
+        assert!(sort_by(&a, &[("zz".to_string(), false)]).is_err());
+    }
+
+    #[test]
+    fn self_join_duplicate_semantics() {
+        // Joining a relation with itself on all columns yields the same rows.
+        let a = rel(&["x"], &[&[1], &[1], &[2]]);
+        let mut budget = Budget::unlimited();
+        let j = natural_join(&a, &a, &mut budget).unwrap();
+        // Bag semantics: 1 appears twice on each side → 4 combinations.
+        assert_eq!(j.len(), 5);
+    }
+}

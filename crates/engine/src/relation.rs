@@ -1,0 +1,181 @@
+//! Base relations: a schema plus a vector of rows.
+
+use crate::schema::{ColumnType, Schema};
+use crate::value::{Row, Value};
+use std::fmt;
+
+/// Errors raised when mutating a relation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RelationError {
+    /// Row arity does not match the schema.
+    ArityMismatch {
+        /// Expected arity.
+        expected: usize,
+        /// Row arity received.
+        got: usize,
+    },
+    /// A cell's type does not match its column (NULL is always accepted).
+    TypeMismatch {
+        /// Offending column name.
+        column: String,
+        /// Expected column type.
+        expected: ColumnType,
+        /// Received value's type name.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+            RelationError::TypeMismatch { column, expected, got } => {
+                write!(f, "column `{column}` expects {expected:?}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+/// A stored relation (bag of rows, insertion-ordered).
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: Vec::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Appends a row after arity/type checking.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), RelationError> {
+        if row.len() != self.schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (value, col) in row.iter().zip(self.schema.columns()) {
+            let ok = matches!(
+                (value, col.ty),
+                (Value::Null, _)
+                    | (Value::Int(_), ColumnType::Int)
+                    | (Value::Float(_), ColumnType::Float)
+                    | (Value::Str(_), ColumnType::Str)
+                    | (Value::Date(_), ColumnType::Date)
+            );
+            if !ok {
+                return Err(RelationError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.ty,
+                    got: value.type_name(),
+                });
+            }
+        }
+        self.rows.push(row.into_boxed_slice());
+        Ok(())
+    }
+
+    /// Appends many rows (each checked).
+    pub fn extend_rows<I: IntoIterator<Item = Vec<Value>>>(
+        &mut self,
+        rows: I,
+    ) -> Result<(), RelationError> {
+        for r in rows {
+            self.push_row(r)?;
+        }
+        Ok(())
+    }
+
+    /// Reserves capacity for `n` more rows.
+    pub fn reserve(&mut self, n: usize) {
+        self.rows.reserve(n);
+    }
+
+    /// Approximate in-memory size in bytes (used to map "database size" to
+    /// the paper's MB axis in Figure 8).
+    pub fn approx_bytes(&self) -> usize {
+        let cell = std::mem::size_of::<Value>();
+        let mut total = self.rows.len() * (std::mem::size_of::<Row>() + self.schema.arity() * cell);
+        // Count string payloads.
+        for row in &self.rows {
+            for v in row.iter() {
+                if let Value::Str(s) = v {
+                    total += s.len();
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(&[("id", ColumnType::Int), ("name", ColumnType::Str)])
+    }
+
+    #[test]
+    fn push_checks_arity() {
+        let mut r = Relation::new(schema());
+        let err = r.push_row(vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(err, RelationError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn push_checks_types() {
+        let mut r = Relation::new(schema());
+        let err = r
+            .push_row(vec![Value::str("x"), Value::str("y")])
+            .unwrap_err();
+        assert!(matches!(err, RelationError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_is_accepted_anywhere() {
+        let mut r = Relation::new(schema());
+        r.push_row(vec![Value::Null, Value::Null]).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn extend_rows_and_accessors() {
+        let mut r = Relation::new(schema());
+        r.extend_rows(vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::str("b")],
+        ])
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[1][0], Value::Int(2));
+        assert!(r.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Query evaluation algorithms for the ICDE 2007 reproduction.
+//!
+//! - [`naive`]: full left-deep join pipelines (the execution model of the
+//!   quantitative baselines, and the correctness oracle);
+//! - [`yannakakis`]: the classic three-pass algorithm for acyclic queries
+//!   (Section 3.2 of the paper);
+//! - [`qeval`]: the q-hypertree evaluator — per-vertex joins, one
+//!   bottom-up pass with support-child ordering, final projection
+//!   (Section 4).
+
+#![warn(missing_docs)]
+
+pub mod naive;
+pub mod qeval;
+pub mod yannakakis;
+
+pub use naive::{evaluate_join_order, evaluate_naive};
+pub use qeval::{evaluate_qhd, evaluate_qhd_query};
+pub use yannakakis::evaluate_yannakakis;

@@ -1,0 +1,146 @@
+//! Reference evaluation: join all atoms (optionally in a caller-supplied
+//! left-deep order) and project onto `out(Q)`.
+//!
+//! This is both the correctness oracle for the decomposition-based
+//! evaluators and the execution engine of the quantitative baseline
+//! optimizers (which differ only in how they choose the join order).
+//! Crucially it performs **full joins without semijoin reduction**, like
+//! the execution pipelines of the systems the paper compares against; its
+//! intermediate results are what blow up on cyclic/long queries.
+
+use htqo_cq::{AtomId, ConjunctiveQuery};
+use htqo_engine::error::{Budget, EvalError};
+use htqo_engine::ops::{natural_join, project};
+use htqo_engine::scan::scan_query_atom;
+use htqo_engine::schema::Database;
+use htqo_engine::vrel::VRelation;
+
+/// Evaluates `q` by scanning every atom and joining left-deep in `order`
+/// (defaults to body order), returning the answer over `out(Q)` under set
+/// semantics.
+pub fn evaluate_join_order(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    order: Option<&[AtomId]>,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let default_order: Vec<AtomId> = q.atom_ids().collect();
+    let order = order.unwrap_or(&default_order);
+    if order.len() != q.atoms.len() {
+        return Err(EvalError::Internal(format!(
+            "join order covers {} of {} atoms",
+            order.len(),
+            q.atoms.len()
+        )));
+    }
+    let mut seen = vec![false; q.atoms.len()];
+    for a in order {
+        if seen[a.index()] {
+            return Err(EvalError::Internal(format!("atom {a:?} repeated in join order")));
+        }
+        seen[a.index()] = true;
+    }
+
+    let mut acc: Option<VRelation> = None;
+    for &a in order {
+        budget.check_time()?;
+        let scanned = scan_query_atom(db, q, a, budget)?;
+        acc = Some(match acc {
+            None => scanned,
+            Some(prev) => natural_join(&prev, &scanned, budget)?,
+        });
+    }
+    let joined = acc.unwrap_or_else(VRelation::neutral);
+    let out = q.out_vars();
+    project(&joined, &out, true, budget)
+}
+
+/// Evaluates `q` in body order (the plain reference oracle).
+pub fn evaluate_naive(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    evaluate_join_order(db, q, None, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htqo_cq::CqBuilder;
+    use htqo_engine::schema::{ColumnType, Schema};
+    use htqo_engine::relation::Relation;
+    use htqo_engine::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut r = Relation::new(Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Int)]));
+        r.extend_rows(vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+        ])
+        .unwrap();
+        db.insert_table("r", r);
+        let mut s = Relation::new(Schema::new(&[("b", ColumnType::Int), ("c", ColumnType::Int)]));
+        s.extend_rows(vec![
+            vec![Value::Int(10), Value::Int(100)],
+            vec![Value::Int(10), Value::Int(101)],
+            vec![Value::Int(99), Value::Int(999)],
+        ])
+        .unwrap();
+        db.insert_table("s", s);
+        db
+    }
+
+    fn q() -> ConjunctiveQuery {
+        CqBuilder::new()
+            .atom("r", "r", &[("a", "A"), ("b", "B")])
+            .atom("s", "s", &[("b", "B"), ("c", "C")])
+            .out_var("A")
+            .out_var("C")
+            .build()
+    }
+
+    #[test]
+    fn joins_and_projects() {
+        let mut budget = Budget::unlimited();
+        let ans = evaluate_naive(&db(), &q(), &mut budget).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert_eq!(ans.cols(), &["A".to_string(), "C".to_string()]);
+    }
+
+    #[test]
+    fn order_does_not_change_answer() {
+        let mut b1 = Budget::unlimited();
+        let mut b2 = Budget::unlimited();
+        let a1 = evaluate_join_order(&db(), &q(), Some(&[AtomId(0), AtomId(1)]), &mut b1).unwrap();
+        let a2 = evaluate_join_order(&db(), &q(), Some(&[AtomId(1), AtomId(0)]), &mut b2).unwrap();
+        assert!(a1.set_eq(&a2));
+    }
+
+    #[test]
+    fn invalid_orders_rejected() {
+        let mut budget = Budget::unlimited();
+        assert!(evaluate_join_order(&db(), &q(), Some(&[AtomId(0)]), &mut budget).is_err());
+        assert!(
+            evaluate_join_order(&db(), &q(), Some(&[AtomId(0), AtomId(0)]), &mut budget).is_err()
+        );
+    }
+
+    #[test]
+    fn boolean_query_yields_neutralish_answer() {
+        let qb = CqBuilder::new()
+            .atom("r", "r", &[("a", "A")])
+            .build();
+        let mut budget = Budget::unlimited();
+        let ans = evaluate_naive(&db(), &qb, &mut budget).unwrap();
+        assert_eq!(ans.cols().len(), 0);
+        assert_eq!(ans.len(), 1); // non-empty ⇒ "true"
+    }
+
+    #[test]
+    fn budget_propagates() {
+        let mut budget = Budget::unlimited().with_max_tuples(3);
+        assert!(evaluate_naive(&db(), &q(), &mut budget).is_err());
+    }
+}

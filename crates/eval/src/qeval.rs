@@ -1,0 +1,284 @@
+//! The **q-hypertree evaluator** (Section 4 of the paper): evaluates a
+//! conjunctive query along a good q-hypertree decomposition with a *single*
+//! bottom-up pass.
+//!
+//! - `P′` — for each vertex `p`, join the relations of the atoms enforced
+//!   or bounded at `p` (`assigned(p) ∪ λ(p)`) and project onto `χ(p)`
+//!   (restricted to the variables those atoms actually carry — after
+//!   `Optimize` some χ variables are only supplied by children, feature
+//!   (b) of Definition 2);
+//! - `P″` — bottom-up, join each vertex's relation with its children's
+//!   results and project onto `χ(p)`, visiting *support children first*
+//!   (the ordering caveat at the end of Section 4.1);
+//! - `P‴` — project the root onto `out(Q)`.
+//!
+//! Because the root covers all output variables (Condition 2), no top-down
+//! or second bottom-up pass is needed.
+
+use htqo_core::hypertree::NodeId;
+use htqo_core::QhdPlan;
+use htqo_cq::{AtomId, ConjunctiveQuery};
+use htqo_engine::error::{Budget, EvalError};
+use htqo_engine::ops::{natural_join, project, project_onto_available};
+use htqo_engine::scan::scan_query_atom;
+use htqo_engine::schema::Database;
+use htqo_engine::vrel::VRelation;
+
+/// Evaluates `q` on `db` along the decomposition in `plan`, returning the
+/// answer relation over `out(Q)` (set semantics).
+pub fn evaluate_qhd(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    plan: &QhdPlan,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let tree = &plan.tree;
+    let h = &plan.cq_hypergraph.hypergraph;
+
+    // χ(p) as variable names, per vertex.
+    let chi_names: Vec<Vec<String>> = tree
+        .preorder()
+        .iter()
+        .map(|_| Vec::new())
+        .collect::<Vec<_>>();
+    let mut chi_names = chi_names;
+    for p in tree.preorder() {
+        chi_names[p.index()] = tree
+            .node(p)
+            .chi
+            .iter()
+            .map(|v| h.var_name(v).to_string())
+            .collect();
+    }
+
+    // P′: per-vertex joins.
+    let mut vertex_rel: Vec<Option<VRelation>> = vec![None; tree.len()];
+    for p in tree.preorder() {
+        budget.check_time()?;
+        let n = tree.node(p);
+        let atoms = n.assigned.union(&n.lambda);
+        // Scan the participating atoms, smallest estimated first for cheap
+        // left-deep joins (sizes are exact here — we just scanned them).
+        let mut scanned: Vec<VRelation> = Vec::with_capacity(atoms.len());
+        for e in atoms.iter() {
+            let a = AtomId(e.0);
+            scanned.push(scan_query_atom(db, q, a, budget)?);
+        }
+        let joined = join_connected_greedy(scanned, budget)?;
+        vertex_rel[p.index()] = Some(project_onto_available(
+            &joined,
+            &chi_names[p.index()],
+            budget,
+        )?);
+    }
+
+    // P″: single bottom-up pass, support children first.
+    let result_root = eval_bottom_up(tree, tree.root(), &chi_names, &mut vertex_rel, budget)?;
+
+    // P‴: project the root onto out(Q).
+    let out = q.out_vars();
+    project(&result_root, &out, true, budget)
+}
+
+/// Joins a set of relations preferring variable-connected pairs: start
+/// from the smallest relation, repeatedly join the smallest relation
+/// sharing a variable with the accumulator, and only cross-product when no
+/// connected relation remains. This is the "choice of the topological
+/// order" freedom the paper grants the evaluator (Section 4) applied
+/// within one vertex.
+fn join_connected_greedy(
+    mut inputs: Vec<VRelation>,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let Some(first_idx) = inputs
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.len())
+        .map(|(i, _)| i)
+    else {
+        return Ok(VRelation::neutral());
+    };
+    let mut acc = inputs.swap_remove(first_idx);
+    while !inputs.is_empty() {
+        let connected = inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.cols().iter().any(|c| acc.col_index(c).is_some()))
+            .min_by_key(|(_, r)| r.len())
+            .map(|(i, _)| i);
+        let idx = connected.unwrap_or_else(|| {
+            // Forced cross product: take the smallest remaining input.
+            inputs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.len())
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        });
+        let next = inputs.swap_remove(idx);
+        acc = natural_join(&acc, &next, budget)?;
+    }
+    Ok(acc)
+}
+
+fn eval_bottom_up(
+    tree: &htqo_core::Hypertree,
+    p: NodeId,
+    chi_names: &[Vec<String>],
+    vertex_rel: &mut [Option<VRelation>],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let node = tree.node(p);
+    // Children order: support children first, then the rest.
+    let mut order: Vec<NodeId> = node.support_children.clone();
+    for &c in &node.children {
+        if !order.contains(&c) {
+            order.push(c);
+        }
+    }
+
+    let mut acc = vertex_rel[p.index()].take().expect("vertex relation computed");
+    for c in order {
+        budget.check_time()?;
+        let child = eval_bottom_up(tree, c, chi_names, vertex_rel, budget)?;
+        // Early projection: by the connectedness condition, the only child
+        // variables the parent (or any sibling) can ever see are those in
+        // χ(p), so the rest are dead weight — drop them (with dedup)
+        // before the join instead of after.
+        let child = project_onto_available(&child, &chi_names[p.index()], budget)?;
+        acc = natural_join(&acc, &child, budget)?;
+        // Project eagerly after each child join to keep intermediates at
+        // χ(p) arity (still a *join*, not a semijoin: children may supply
+        // χ(p) variables the vertex's own atoms lack).
+        acc = project_onto_available(&acc, &chi_names[p.index()], budget)?;
+    }
+    Ok(acc)
+}
+
+/// Evaluates `q` end-to-end: q-hypertree evaluation followed by the final
+/// aggregation/ordering step (step (4) of the paper's pipeline).
+pub fn evaluate_qhd_query(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    plan: &QhdPlan,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let answer = evaluate_qhd(db, q, plan, budget)?;
+    htqo_engine::aggregate::finalize(&answer, q, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::evaluate_naive;
+    use htqo_core::{q_hypertree_decomp, QhdOptions, StructuralCost};
+    use htqo_cq::CqBuilder;
+    use htqo_engine::schema::{ColumnType, Schema};
+    use htqo_engine::relation::Relation;
+    use htqo_engine::value::Value;
+
+    fn db_for(names: &[&str], rows_per: i64, domain: i64, seed: i64) -> Database {
+        let mut db = Database::new();
+        for (k, name) in names.iter().enumerate() {
+            let mut r = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            for t in 0..rows_per {
+                let a = (t * 7 + k as i64 * 3 + seed) % domain;
+                let b = (t * 11 + k as i64 * 5 + seed * 2) % domain;
+                r.push_row(vec![Value::Int(a), Value::Int(b)]).unwrap();
+            }
+            db.insert_table(name, r);
+        }
+        db
+    }
+
+    fn chain_query(n: usize, out: &[&str]) -> htqo_cq::ConjunctiveQuery {
+        // Cyclic chain: p0(X0,X1), ..., p{n-1}(X{n-1},X0).
+        let mut b = CqBuilder::new();
+        for i in 0..n {
+            let l = format!("X{i}");
+            let r = format!("X{}", (i + 1) % n);
+            b = b.atom(&format!("p{i}"), &format!("p{i}"), &[("l", &l), ("r", &r)]);
+        }
+        for v in out {
+            b = b.out_var(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn qhd_matches_naive_on_cyclic_chains() {
+        for n in 3..=6 {
+            let names: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let db = db_for(&name_refs, 30, 6, n as i64);
+            let q = chain_query(n, &["X0", "X1"]);
+            let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+            let mut b1 = Budget::unlimited();
+            let mut b2 = Budget::unlimited();
+            let qhd = evaluate_qhd(&db, &q, &plan, &mut b1).unwrap();
+            let naive = evaluate_naive(&db, &q, &mut b2).unwrap();
+            assert!(qhd.set_eq(&naive), "mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn qhd_matches_naive_with_optimize_disabled() {
+        let db = db_for(&["p0", "p1", "p2", "p3"], 25, 5, 1);
+        let q = chain_query(4, &["X0"]);
+        for run_optimize in [true, false] {
+            let plan = q_hypertree_decomp(
+                &q,
+                &QhdOptions { max_width: 3, run_optimize },
+                &StructuralCost,
+            )
+            .unwrap();
+            let mut b1 = Budget::unlimited();
+            let mut b2 = Budget::unlimited();
+            let qhd = evaluate_qhd(&db, &q, &plan, &mut b1).unwrap();
+            let naive = evaluate_naive(&db, &q, &mut b2).unwrap();
+            assert!(qhd.set_eq(&naive), "optimize={run_optimize}");
+        }
+    }
+
+    #[test]
+    fn boolean_cyclic_query() {
+        let db = db_for(&["p0", "p1", "p2"], 20, 4, 2);
+        let q = chain_query(3, &[]);
+        let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+        let mut b1 = Budget::unlimited();
+        let mut b2 = Budget::unlimited();
+        let qhd = evaluate_qhd(&db, &q, &plan, &mut b1).unwrap();
+        let naive = evaluate_naive(&db, &q, &mut b2).unwrap();
+        assert_eq!(qhd.len(), naive.len());
+    }
+
+    #[test]
+    fn empty_result_propagates() {
+        // Disjoint domains: no join results.
+        let mut db = Database::new();
+        let mut p0 = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+        p0.push_row(vec![Value::Int(1), Value::Int(2)]).unwrap();
+        let mut p1 = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+        p1.push_row(vec![Value::Int(7), Value::Int(8)]).unwrap();
+        db.insert_table("p0", p0);
+        db.insert_table("p1", p1);
+        let q = CqBuilder::new()
+            .atom("p0", "p0", &[("l", "A"), ("r", "B")])
+            .atom("p1", "p1", &[("l", "B"), ("r", "C")])
+            .out_var("A")
+            .build();
+        let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+        let mut budget = Budget::unlimited();
+        let ans = evaluate_qhd(&db, &q, &plan, &mut budget).unwrap();
+        assert!(ans.is_empty());
+    }
+
+    #[test]
+    fn budget_limits_qhd_too() {
+        let db = db_for(&["p0", "p1", "p2", "p3"], 50, 3, 3);
+        let q = chain_query(4, &["X0"]);
+        let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+        let mut budget = Budget::unlimited().with_max_tuples(10);
+        assert!(evaluate_qhd(&db, &q, &plan, &mut budget).is_err());
+    }
+}

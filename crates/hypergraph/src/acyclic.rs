@@ -1,0 +1,210 @@
+//! α-acyclicity via GYO (Graham / Yu–Özsoyoğlu) reduction, and join-tree
+//! construction for acyclic hypergraphs.
+//!
+//! A hyperedge `e` is an *ear* if some other edge `w` (its witness) covers
+//! every variable of `e` that also occurs outside `e`; an edge whose
+//! variables are all exclusive to it is an isolated ear. Repeatedly removing
+//! ears empties the hypergraph exactly when it is acyclic, and recording
+//! `ear → witness` attachments yields a join forest.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::{EdgeId, EdgeSet, VarSet};
+use crate::jointree::JoinForest;
+
+/// The result of a successful GYO reduction: a proof of acyclicity in the
+/// form of a valid join forest.
+#[derive(Clone, Debug)]
+pub struct GyoReduction {
+    /// A join forest witnessing acyclicity.
+    pub forest: JoinForest,
+    /// The order in which ears were removed (useful for bottom-up plans).
+    pub elimination_order: Vec<EdgeId>,
+}
+
+/// Tests whether `h` is α-acyclic; on success returns the join forest found
+/// by GYO reduction.
+pub fn gyo(h: &Hypergraph) -> Option<GyoReduction> {
+    let mut alive = h.all_edges();
+    let mut forest = JoinForest::isolated(h);
+    let mut order = Vec::with_capacity(h.num_edges());
+
+    // Variable occurrence counts among *alive* edges.
+    let mut occurrences: Vec<usize> = (0..h.num_vars())
+        .map(|v| h.edges_with_var(crate::ids::Var(v as u32)).len())
+        .collect();
+
+    loop {
+        let mut removed_any = false;
+        // Scan alive edges for an ear. O(E² · V) overall; hypergraphs here
+        // are query-sized so simplicity wins over cleverness.
+        let alive_now: Vec<EdgeId> = alive.iter().collect();
+        for &e in &alive_now {
+            if !alive.contains(e) {
+                continue;
+            }
+            if alive.len() == 1 {
+                // Last edge standing is trivially an ear.
+                remove_edge(h, e, &mut alive, &mut occurrences);
+                order.push(e);
+                removed_any = true;
+                break;
+            }
+            // Variables of `e` shared with other alive edges.
+            let shared = shared_vars(h, e, &occurrences);
+            if shared.is_empty() {
+                // Isolated ear: becomes the root of its own tree.
+                remove_edge(h, e, &mut alive, &mut occurrences);
+                order.push(e);
+                removed_any = true;
+                continue;
+            }
+            // Look for a witness covering the shared variables.
+            let witness = alive
+                .iter()
+                .find(|&w| w != e && shared.is_subset(h.edge_vars(w)));
+            if let Some(w) = witness {
+                forest.attach(e, w);
+                remove_edge(h, e, &mut alive, &mut occurrences);
+                order.push(e);
+                removed_any = true;
+            }
+        }
+        if alive.is_empty() {
+            debug_assert!(forest.is_valid_for(h));
+            return Some(GyoReduction {
+                forest,
+                elimination_order: order,
+            });
+        }
+        if !removed_any {
+            return None;
+        }
+    }
+}
+
+/// True if `h` is α-acyclic.
+pub fn is_acyclic(h: &Hypergraph) -> bool {
+    gyo(h).is_some()
+}
+
+fn shared_vars(h: &Hypergraph, e: EdgeId, occurrences: &[usize]) -> VarSet {
+    h.edge_vars(e)
+        .iter()
+        .filter(|v| occurrences[v.index()] > 1)
+        .collect()
+}
+
+fn remove_edge(h: &Hypergraph, e: EdgeId, alive: &mut EdgeSet, occurrences: &mut [usize]) {
+    alive.remove(e);
+    for v in h.edge_vars(e).iter() {
+        occurrences[v.index()] -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(edges: &[(&str, &[&str])]) -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        for (name, vars) in edges {
+            b.edge(name, vars);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        let h = build(&[("r", &["X", "Y"])]);
+        let red = gyo(&h).expect("acyclic");
+        assert_eq!(red.elimination_order.len(), 1);
+        assert!(red.forest.is_valid_for(&h));
+    }
+
+    #[test]
+    fn line_is_acyclic() {
+        let h = build(&[
+            ("p1", &["A", "B"]),
+            ("p2", &["B", "C"]),
+            ("p3", &["C", "D"]),
+            ("p4", &["D", "E"]),
+        ]);
+        let red = gyo(&h).expect("acyclic");
+        assert!(red.forest.is_valid_for(&h));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let h = build(&[("r", &["X", "Y"]), ("s", &["Y", "Z"]), ("t", &["Z", "X"])]);
+        assert!(!is_acyclic(&h));
+    }
+
+    #[test]
+    fn chain_cycle_is_cyclic() {
+        // The paper's "chain" queries: a line whose first and last atoms
+        // share a variable.
+        let h = build(&[
+            ("p1", &["A", "B"]),
+            ("p2", &["B", "C"]),
+            ("p3", &["C", "D"]),
+            ("p4", &["D", "A"]),
+        ]);
+        assert!(!is_acyclic(&h));
+    }
+
+    #[test]
+    fn covering_edge_breaks_cycle() {
+        // Adding an edge covering the whole triangle makes it acyclic
+        // (α-acyclicity is not monotone — this is the classic example).
+        let h = build(&[
+            ("r", &["X", "Y"]),
+            ("s", &["Y", "Z"]),
+            ("t", &["Z", "X"]),
+            ("big", &["X", "Y", "Z"]),
+        ]);
+        let red = gyo(&h).expect("acyclic");
+        assert!(red.forest.is_valid_for(&h));
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        let h = build(&[
+            ("hub", &["A", "B", "C"]),
+            ("x", &["A", "P"]),
+            ("y", &["B", "Q"]),
+            ("z", &["C", "R"]),
+        ]);
+        let red = gyo(&h).expect("acyclic");
+        assert!(red.forest.is_valid_for(&h));
+        assert!(red.forest.is_tree());
+    }
+
+    #[test]
+    fn disjoint_edges_form_forest() {
+        let h = build(&[("p", &["A", "B"]), ("q", &["C", "D"])]);
+        let red = gyo(&h).expect("acyclic");
+        assert!(red.forest.is_valid_for(&h));
+        assert_eq!(red.forest.roots().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_acyclic() {
+        let h = build(&[("r1", &["X", "Y"]), ("r2", &["X", "Y"]), ("s", &["Y", "Z"])]);
+        let red = gyo(&h).expect("acyclic");
+        assert!(red.forest.is_valid_for(&h));
+    }
+
+    #[test]
+    fn tpch_q5_is_cyclic() {
+        // Hypergraph of the paper's running example (Figure 1 / Example 1).
+        let h = build(&[
+            ("customer", &["CustKey", "CNationKey"]),
+            ("orders", &["OrdKey", "CustKey"]),
+            ("lineitem", &["SuppKey", "OrdKey", "ExtendedPrice", "Discount"]),
+            ("supplier", &["SuppKey", "CNationKey"]),
+            ("nation", &["Name", "CNationKey", "RegionKey"]),
+            ("region", &["RegionKey"]),
+        ]);
+        assert!(!is_acyclic(&h));
+    }
+}

@@ -1,0 +1,207 @@
+//! Biconnected components of the primal graph — the earliest structural
+//! decomposition method the paper cites (Freuder's sufficient condition
+//! for backtrack-bounded search, the paper's reference `[2]`).
+//!
+//! The *biconnected width* of a query is the size of its largest block
+//! (biconnected component) in the primal graph. It upper-bounds query
+//! complexity much more crudely than hypertree width: a single wide atom
+//! already produces a large clique/block, whereas `hw` charges it width 1.
+//! The `structure` example uses this module to contrast the methods.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::{Var, VarSet};
+use crate::primal::PrimalGraph;
+
+/// The block-cut structure of the primal graph.
+#[derive(Clone, Debug)]
+pub struct Blocks {
+    /// Biconnected components, as variable sets (bridges give 2-element
+    /// blocks; isolated vertices give singletons).
+    pub blocks: Vec<VarSet>,
+    /// Articulation (cut) vertices.
+    pub cut_vertices: VarSet,
+}
+
+impl Blocks {
+    /// The biconnected width: size of the largest block (0 for an empty
+    /// graph).
+    pub fn width(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+}
+
+/// Computes biconnected components of the primal graph of `h` with the
+/// classic Hopcroft–Tarjan DFS (iterative, edge-stack based).
+pub fn biconnected_components(h: &Hypergraph) -> Blocks {
+    let g = PrimalGraph::of(h);
+    let n = g.num_vars();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut edge_stack: Vec<(usize, usize)> = Vec::new();
+    let mut blocks: Vec<VarSet> = Vec::new();
+    let mut cuts = VarSet::new();
+
+    for start in 0..n {
+        if disc[start] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS: (vertex, neighbour iterator index).
+        let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let neigh = |v: usize| -> Vec<usize> {
+            g.neighbours(Var(v as u32)).iter().map(|u| u.index()).collect()
+        };
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        stack.push((start, neigh(start), 0));
+        let mut root_children = 0usize;
+
+        while let Some((v, ns, i)) = stack.last_mut() {
+            let v = *v;
+            if *i < ns.len() {
+                let u = ns[*i];
+                *i += 1;
+                if disc[u] == usize::MAX {
+                    parent[u] = v;
+                    if v == start {
+                        root_children += 1;
+                    }
+                    edge_stack.push((v, u));
+                    disc[u] = timer;
+                    low[u] = timer;
+                    timer += 1;
+                    let nu = neigh(u);
+                    stack.push((u, nu, 0));
+                } else if u != parent[v] && disc[u] < disc[v] {
+                    edge_stack.push((v, u));
+                    low[v] = low[v].min(disc[u]);
+                }
+            } else {
+                stack.pop();
+                if let Some((p, _, _)) = stack.last() {
+                    let p = *p;
+                    low[p] = low[p].min(low[v]);
+                    if low[v] >= disc[p] {
+                        // p is an articulation point (or the root); pop a
+                        // block off the edge stack.
+                        let mut block = VarSet::new();
+                        while let Some(&(a, b)) = edge_stack.last() {
+                            if disc[a] >= disc[v] || (a == p && b == v) {
+                                block.insert(Var(a as u32));
+                                block.insert(Var(b as u32));
+                                edge_stack.pop();
+                                if a == p && b == v {
+                                    break;
+                                }
+                            } else {
+                                break;
+                            }
+                        }
+                        if !block.is_empty() {
+                            blocks.push(block);
+                        }
+                        if p != start || root_children > 1 {
+                            cuts.insert(Var(p as u32));
+                        }
+                    }
+                }
+            }
+        }
+        // Isolated vertex (no incident primal edge).
+        if g.degree(Var(start as u32)) == 0 {
+            let mut b = VarSet::new();
+            b.insert(Var(start as u32));
+            blocks.push(b);
+        }
+    }
+
+    Blocks { blocks, cut_vertices: cuts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(edges: &[(&str, &[&str])]) -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        for (name, vars) in edges {
+            b.edge(name, vars);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_splits_into_bridge_blocks() {
+        // a(X,Y), b(Y,Z): primal path X—Y—Z → two 2-blocks, cut at Y.
+        let h = build(&[("a", &["X", "Y"]), ("b", &["Y", "Z"])]);
+        let blocks = biconnected_components(&h);
+        assert_eq!(blocks.blocks.len(), 2);
+        assert_eq!(blocks.width(), 2);
+        let y = h.var_by_name("Y").unwrap();
+        assert!(blocks.cut_vertices.contains(y));
+        assert_eq!(blocks.cut_vertices.len(), 1);
+    }
+
+    #[test]
+    fn triangle_is_one_block() {
+        let h = build(&[("r", &["X", "Y"]), ("s", &["Y", "Z"]), ("t", &["Z", "X"])]);
+        let blocks = biconnected_components(&h);
+        assert_eq!(blocks.blocks.len(), 1);
+        assert_eq!(blocks.width(), 3);
+        assert!(blocks.cut_vertices.is_empty());
+    }
+
+    #[test]
+    fn wide_atom_is_one_big_block() {
+        // One 5-ary atom: clique block of size 5 — biconnected width 5,
+        // even though hypertree width is 1. The crude-ness the paper's
+        // intro alludes to.
+        let h = build(&[("big", &["A", "B", "C", "D", "E"])]);
+        let blocks = biconnected_components(&h);
+        assert_eq!(blocks.width(), 5);
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let h = build(&[
+            ("a", &["X", "Y"]),
+            ("b", &["Y", "Z"]),
+            ("c", &["Z", "X"]),
+            ("d", &["X", "P"]),
+            ("e", &["P", "Q"]),
+            ("f", &["Q", "X"]),
+        ]);
+        let blocks = biconnected_components(&h);
+        assert_eq!(blocks.blocks.len(), 2);
+        assert_eq!(blocks.width(), 3);
+        let x = h.var_by_name("X").unwrap();
+        assert!(blocks.cut_vertices.contains(x));
+    }
+
+    #[test]
+    fn disconnected_and_isolated() {
+        let h = build(&[("a", &["X", "Y"]), ("b", &["P", "Q"]), ("lone", &["L"])]);
+        let blocks = biconnected_components(&h);
+        assert_eq!(blocks.blocks.len(), 3);
+        assert_eq!(blocks.width(), 2);
+    }
+
+    #[test]
+    fn chain_cycle_block_grows_with_n() {
+        // Chain queries: the whole cycle is one block of n variables —
+        // biconnected-based methods degrade linearly where hw stays 2.
+        for n in [4usize, 6, 8] {
+            let mut b = Hypergraph::builder();
+            for i in 0..n {
+                let l = format!("X{i}");
+                let r = format!("X{}", (i + 1) % n);
+                b.edge(&format!("p{i}"), &[l.as_str(), r.as_str()]);
+            }
+            let h = b.build();
+            let blocks = biconnected_components(&h);
+            assert_eq!(blocks.width(), n, "n={n}");
+        }
+    }
+}

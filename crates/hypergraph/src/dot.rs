@@ -1,0 +1,89 @@
+//! Graphviz (DOT) rendering of hypergraphs and join forests, for debugging
+//! and for reproducing the paper's figures locally.
+
+use crate::hypergraph::Hypergraph;
+use crate::jointree::JoinForest;
+use std::fmt::Write as _;
+
+/// Renders `h` as a bipartite DOT graph: box nodes for hyperedges, ellipse
+/// nodes for variables, with an arc whenever a variable occurs in an edge.
+pub fn hypergraph_to_dot(h: &Hypergraph) -> String {
+    let mut out = String::from("graph hypergraph {\n");
+    for e in h.edge_ids() {
+        let _ = writeln!(out, "  e{} [shape=box, label=\"{}\"];", e.index(), escape(h.edge_name(e)));
+    }
+    for v in h.var_ids() {
+        let _ = writeln!(out, "  v{} [shape=ellipse, label=\"{}\"];", v.index(), escape(h.var_name(v)));
+    }
+    for e in h.edge_ids() {
+        for v in h.edge_vars(e).iter() {
+            let _ = writeln!(out, "  e{} -- v{};", e.index(), v.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a join forest as a DOT digraph (arcs child → parent).
+pub fn join_forest_to_dot(h: &Hypergraph, f: &JoinForest) -> String {
+    let mut out = String::from("digraph jointree {\n");
+    for e in h.edge_ids() {
+        let _ = writeln!(
+            out,
+            "  n{} [shape=box, label=\"{} {}\"];",
+            e.index(),
+            escape(h.edge_name(e)),
+            escape(&h.display_vars(h.edge_vars(e)))
+        );
+    }
+    for e in h.edge_ids() {
+        if let Some(p) = f.parent(e) {
+            let _ = writeln!(out, "  n{} -> n{};", e.index(), p.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acyclic::gyo;
+
+    #[test]
+    fn dot_output_mentions_every_node() {
+        let mut b = Hypergraph::builder();
+        b.edge("r", &["X", "Y"]);
+        b.edge("s", &["Y", "Z"]);
+        let h = b.build();
+        let dot = hypergraph_to_dot(&h);
+        assert!(dot.contains("label=\"r\""));
+        assert!(dot.contains("label=\"Z\""));
+        assert!(dot.starts_with("graph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn forest_dot_has_arcs() {
+        let mut b = Hypergraph::builder();
+        b.edge("r", &["X", "Y"]);
+        b.edge("s", &["Y", "Z"]);
+        let h = b.build();
+        let red = gyo(&h).unwrap();
+        let dot = join_forest_to_dot(&h, &red.forest);
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut b = Hypergraph::builder();
+        b.edge("we\"ird", &["X"]);
+        let h = b.build();
+        let dot = hypergraph_to_dot(&h);
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Hinge decompositions — the `[8]` structural method of the paper's
+//! introduction (Gyssens, Jeavons, Cohen: *Decomposing constraint
+//! satisfaction problems using database techniques*).
+//!
+//! A **hinge** of a connected hypergraph is a set `F` of edges such that
+//! every connected component of the remaining edges attaches to `F`
+//! through a *single* edge of `F`. The hinge tree refines the trivial
+//! hinge (all edges) by repeated splitting; the size of its largest node
+//! is the *degree of cyclicity*, and queries are solvable in time
+//! exponential only in that degree.
+//!
+//! Characteristic values (all verified in the tests):
+//! - acyclic hypergraphs: degree ≤ 2 (the join-tree edges are hinges);
+//! - a pure cycle of `n` edges: degree `n` (hinges cannot break cycles —
+//!   exactly the weakness hypertree decompositions fix, since the same
+//!   chains have hypertree width 2);
+//! - the triangle: degree 3.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::{EdgeId, EdgeSet};
+
+/// A node of the hinge tree: a set of hyperedges.
+#[derive(Clone, Debug)]
+pub struct HingeNode {
+    /// The edges of the hinge.
+    pub edges: EdgeSet,
+    /// Children: `(child index, shared hyperedge)`.
+    pub children: Vec<(usize, EdgeId)>,
+}
+
+/// A hinge forest (one tree per connected component of the hypergraph).
+#[derive(Clone, Debug)]
+pub struct HingeForest {
+    /// All nodes; roots listed in [`HingeForest::roots`].
+    pub nodes: Vec<HingeNode>,
+    /// Root node indices (one per connected component).
+    pub roots: Vec<usize>,
+}
+
+impl HingeForest {
+    /// The degree of cyclicity: size of the largest hinge (0 for an empty
+    /// hypergraph).
+    pub fn degree_of_cyclicity(&self) -> usize {
+        self.nodes.iter().map(|n| n.edges.len()).max().unwrap_or(0)
+    }
+}
+
+/// Computes a hinge forest by iterated splitting, and with it the degree
+/// of cyclicity of `h`.
+pub fn hinge_decomposition(h: &Hypergraph) -> HingeForest {
+    let mut forest = HingeForest { nodes: Vec::new(), roots: Vec::new() };
+    // One tree per connected component of the edge set.
+    let comps = crate::components::components(h, &h.all_edges(), &crate::ids::VarSet::new());
+    for comp in comps {
+        let root = forest.nodes.len();
+        forest.nodes.push(HingeNode { edges: comp, children: Vec::new() });
+        forest.roots.push(root);
+        split_recursively(h, &mut forest, root);
+    }
+    forest
+}
+
+/// Tries to split node `idx` around each of its edges until stable.
+fn split_recursively(h: &Hypergraph, forest: &mut HingeForest, idx: usize) {
+    let edges: Vec<EdgeId> = forest.nodes[idx].edges.iter().collect();
+    if edges.len() <= 2 {
+        return;
+    }
+    for &e in &edges {
+        // Components of (node \ {e}) connected via variables NOT in e.
+        let mut rest = forest.nodes[idx].edges.clone();
+        rest.remove(e);
+        let sep = h.edge_vars(e).clone();
+        let comps = crate::components::components(h, &rest, &sep);
+        // Edges of `rest` entirely inside var(e) belong with `e` itself.
+        let covered: EdgeSet = rest
+            .iter()
+            .filter(|&g| h.edge_vars(g).is_subset(&sep))
+            .collect();
+        if comps.len() < 2 {
+            continue;
+        }
+        // Split: the first part keeps the node's place (and its existing
+        // children), the others become fresh nodes sharing `e`.
+        let mut parts: Vec<EdgeSet> = comps
+            .into_iter()
+            .map(|mut c| {
+                c.insert(e);
+                c
+            })
+            .collect();
+        // Attach edges fully covered by e to the first part.
+        parts[0].union_with(&covered);
+
+        let old_children = std::mem::take(&mut forest.nodes[idx].children);
+        forest.nodes[idx].edges = parts[0].clone();
+        let mut part_indices = vec![idx];
+        for part in parts.iter().skip(1) {
+            let ni = forest.nodes.len();
+            forest.nodes.push(HingeNode { edges: part.clone(), children: Vec::new() });
+            forest.nodes[idx].children.push((ni, e));
+            part_indices.push(ni);
+        }
+        // Reattach old children to whichever part contains their shared
+        // edge.
+        for (child, shared) in old_children {
+            let owner = part_indices
+                .iter()
+                .copied()
+                .find(|&p| forest.nodes[p].edges.contains(shared))
+                .expect("shared edge belongs to some part");
+            forest.nodes[owner].children.push((child, shared));
+        }
+        // Recurse into every part (idx shrank; new nodes may split more).
+        for p in part_indices {
+            split_recursively(h, forest, p);
+        }
+        return;
+    }
+}
+
+/// Convenience: the degree of cyclicity of `h`.
+pub fn degree_of_cyclicity(h: &Hypergraph) -> usize {
+    hinge_decomposition(h).degree_of_cyclicity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(edges: &[(&str, &[&str])]) -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        for (name, vars) in edges {
+            b.edge(name, vars);
+        }
+        b.build()
+    }
+
+    fn chain(n: usize) -> Hypergraph {
+        let mut b = Hypergraph::builder();
+        for i in 0..n {
+            let l = format!("X{i}");
+            let r = format!("X{}", (i + 1) % n);
+            b.edge(&format!("p{i}"), &[l.as_str(), r.as_str()]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn acyclic_line_has_degree_2() {
+        let h = build(&[
+            ("a", &["A", "B"]),
+            ("b", &["B", "C"]),
+            ("c", &["C", "D"]),
+            ("d", &["D", "E"]),
+        ]);
+        let f = hinge_decomposition(&h);
+        assert_eq!(f.degree_of_cyclicity(), 2);
+        // Every node holds ≤ 2 edges and the node count is n-1-ish.
+        assert!(f.nodes.iter().all(|n| n.edges.len() <= 2));
+    }
+
+    #[test]
+    fn triangle_has_degree_3() {
+        let h = build(&[("r", &["X", "Y"]), ("s", &["Y", "Z"]), ("t", &["Z", "X"])]);
+        assert_eq!(degree_of_cyclicity(&h), 3);
+    }
+
+    #[test]
+    fn cycles_do_not_split() {
+        // The weakness hinges have and hypertree decompositions fix: a
+        // chain (cycle) of n edges has degree of cyclicity n but
+        // hypertree width 2.
+        for n in [4usize, 6, 8] {
+            assert_eq!(degree_of_cyclicity(&chain(n)), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn star_splits_fully() {
+        let h = build(&[
+            ("hub", &["A", "B", "C"]),
+            ("x", &["A", "P"]),
+            ("y", &["B", "Q"]),
+            ("z", &["C", "R"]),
+        ]);
+        let f = hinge_decomposition(&h);
+        assert_eq!(f.degree_of_cyclicity(), 2);
+        // Three satellite hinges around the hub.
+        assert!(f.nodes.len() >= 3);
+    }
+
+    #[test]
+    fn cycle_with_pendant_separates() {
+        // A triangle with a tail: the tail splits off, the triangle stays.
+        let h = build(&[
+            ("r", &["X", "Y"]),
+            ("s", &["Y", "Z"]),
+            ("t", &["Z", "X"]),
+            ("tail", &["X", "W"]),
+            ("tail2", &["W", "V"]),
+        ]);
+        let f = hinge_decomposition(&h);
+        assert_eq!(f.degree_of_cyclicity(), 3);
+    }
+
+    #[test]
+    fn disconnected_components_get_separate_trees() {
+        let h = build(&[("a", &["X", "Y"]), ("b", &["P", "Q"])]);
+        let f = hinge_decomposition(&h);
+        assert_eq!(f.roots.len(), 2);
+        assert_eq!(f.degree_of_cyclicity(), 1);
+    }
+
+    #[test]
+    fn every_edge_appears_in_some_hinge() {
+        let h = build(&[
+            ("r", &["X", "Y"]),
+            ("s", &["Y", "Z"]),
+            ("t", &["Z", "X"]),
+            ("u", &["X", "W"]),
+        ]);
+        let f = hinge_decomposition(&h);
+        for e in h.edge_ids() {
+            assert!(
+                f.nodes.iter().any(|n| n.edges.contains(e)),
+                "edge {e:?} missing from the hinge forest"
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Hypergraphs and structural machinery for query decomposition.
+//!
+//! This crate provides the structural substrate of the reproduction of
+//! *"Hypertree Decompositions for Query Optimization"* (Ghionna, Granata,
+//! Greco, Scarcello — ICDE 2007):
+//!
+//! - [`Hypergraph`]: the query hypergraph `H(Q)` (one vertex per variable,
+//!   one hyperedge per atom);
+//! - [`acyclic::gyo`]: α-acyclicity testing via GYO reduction, producing a
+//!   [`JoinForest`] witness;
+//! - [`components`]: separator-relative `[W]`-components, the recursion
+//!   skeleton of every hypertree-decomposition algorithm;
+//! - [`PrimalGraph`]: the Gaifman graph, for diagnostics and heuristics;
+//! - [`dot`]: Graphviz rendering.
+//!
+//! # Example
+//!
+//! ```
+//! use htqo_hypergraph::{Hypergraph, acyclic};
+//!
+//! let mut b = Hypergraph::builder();
+//! b.edge("r", &["X", "Y"]);
+//! b.edge("s", &["Y", "Z"]);
+//! b.edge("t", &["Z", "X"]);
+//! let triangle = b.build();
+//! assert!(!acyclic::is_acyclic(&triangle));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod acyclic;
+pub mod biconnected;
+pub mod bitset;
+pub mod components;
+pub mod dot;
+pub mod hinge;
+pub mod hypergraph;
+pub mod ids;
+pub mod jointree;
+pub mod primal;
+
+pub use biconnected::{biconnected_components, Blocks};
+pub use bitset::BitSet;
+pub use components::{components, connector};
+pub use hinge::{degree_of_cyclicity, hinge_decomposition, HingeForest};
+pub use hypergraph::{Hyperedge, Hypergraph, HypergraphBuilder};
+pub use ids::{EdgeId, EdgeSet, Var, VarSet};
+pub use jointree::JoinForest;
+pub use primal::PrimalGraph;

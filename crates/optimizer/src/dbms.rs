@@ -1,0 +1,320 @@
+//! DBMS simulators: quantitative optimizer + full-join executor pipelines
+//! standing in for the paper's *CommDB* and *PostgreSQL* (Section 6,
+//! "Compared Methods").
+//!
+//! Both simulators plan a left-deep join order (exhaustive DP for CommDB;
+//! DP below the GEQO threshold and genetic search above it for
+//! PostgreSQL), then execute full hash joins without semijoin reduction —
+//! the execution model whose intermediate results blow up on the cyclic
+//! and long queries the paper studies. They share the same storage engine
+//! as the structural optimizer so that every compared method pays
+//! identical per-tuple costs.
+
+use crate::dp::{dp_join_order, order_cost};
+use crate::geqo::{geqo_join_order, GeqoConfig};
+use htqo_cq::{
+    isolate, parse_select, AtomId, ConjunctiveQuery, IsolateError, IsolatorOptions, ParseError,
+};
+use htqo_engine::error::{Budget, EvalError};
+use htqo_engine::schema::Database;
+use htqo_engine::vrel::VRelation;
+use htqo_eval::evaluate_join_order;
+use htqo_stats::DbStats;
+use std::time::{Duration, Instant};
+
+/// Which join-order planner a simulator uses.
+#[derive(Clone, Debug)]
+pub enum PlannerKind {
+    /// Exhaustive System-R DP (greedy above the exhaustive limit).
+    ExhaustiveDp,
+    /// PostgreSQL-style: DP below `threshold` atoms, genetic search above.
+    Geqo {
+        /// FROM-count at which the genetic optimizer takes over
+        /// (PostgreSQL's `geqo_threshold`).
+        threshold: usize,
+        /// Genetic search configuration.
+        config: GeqoConfig,
+    },
+}
+
+/// A simulated DBMS: a planner plus a statistics mode.
+pub struct DbmsSim {
+    /// Display name (`CommDB`, `PostgreSQL`, ...).
+    pub name: String,
+    planner: PlannerKind,
+    /// Statistics the planner sees; `None` = "statistics not allowed",
+    /// in which case default guesses are used (the paper's "without
+    /// statistics" mode).
+    stats: Option<DbStats>,
+}
+
+/// The result of running one query, with the measurements the paper's
+/// figures report.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Final output relation (after aggregates/ordering), or the resource
+    /// error for DNF data points.
+    pub result: Result<VRelation, EvalError>,
+    /// Time spent planning (optimizer only).
+    pub planning: Duration,
+    /// Time spent executing.
+    pub execution: Duration,
+    /// Intermediate tuples materialized (deterministic work measure).
+    pub tuples: u64,
+    /// Human-readable plan description.
+    pub plan: String,
+}
+
+impl QueryOutcome {
+    /// Total wall-clock time.
+    pub fn total_time(&self) -> Duration {
+        self.planning + self.execution
+    }
+
+    /// True if the run hit a time/tuple budget (a "did not terminate"
+    /// data point in the paper's figures).
+    pub fn is_dnf(&self) -> bool {
+        matches!(&self.result, Err(e) if e.is_resource_limit())
+    }
+}
+
+/// Errors from the SQL entry point.
+#[derive(Debug)]
+pub enum SqlError {
+    /// Parse failure.
+    Parse(ParseError),
+    /// SQL-to-CQ translation failure.
+    Isolate(IsolateError),
+    /// Subquery flattening failure.
+    Nested(crate::nested::NestedError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Isolate(e) => write!(f, "{e}"),
+            SqlError::Nested(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl DbmsSim {
+    /// The *CommDB* stand-in: exhaustive DP planner.
+    pub fn commdb(stats: Option<DbStats>) -> Self {
+        DbmsSim {
+            name: "CommDB".into(),
+            planner: PlannerKind::ExhaustiveDp,
+            stats,
+        }
+    }
+
+    /// The *PostgreSQL* stand-in: DP below the GEQO threshold, genetic
+    /// search above (PostgreSQL 8.3 defaults `geqo_threshold = 12`; we use
+    /// 8 so the genetic path is actually exercised at the paper's query
+    /// sizes).
+    pub fn postgres(stats: Option<DbStats>) -> Self {
+        DbmsSim {
+            name: "PostgreSQL".into(),
+            planner: PlannerKind::Geqo {
+                threshold: 8,
+                config: GeqoConfig::default(),
+            },
+            stats,
+        }
+    }
+
+    /// Custom simulator.
+    pub fn new(name: &str, planner: PlannerKind, stats: Option<DbStats>) -> Self {
+        DbmsSim { name: name.to_string(), planner, stats }
+    }
+
+    /// True if the simulator is allowed to use gathered statistics.
+    pub fn has_stats(&self) -> bool {
+        self.stats.is_some()
+    }
+
+    /// Plans a join order for `q` over `db`.
+    ///
+    /// Without statistics the cost model has nothing to distinguish plans
+    /// with, so the simulator falls back to rule-based planning: join in
+    /// syntactic FROM order (what real optimizers degrade to before
+    /// `ANALYZE` has run — the paper's "not allowed to use statistics"
+    /// mode).
+    pub fn plan(&self, db: &Database, q: &ConjunctiveQuery) -> Vec<AtomId> {
+        let _ = db;
+        let Some(stats) = &self.stats else {
+            return q.atom_ids().collect();
+        };
+        match &self.planner {
+            PlannerKind::ExhaustiveDp => dp_join_order(q, stats),
+            PlannerKind::Geqo { threshold, config } => {
+                if q.atoms.len() < *threshold {
+                    dp_join_order(q, stats)
+                } else {
+                    geqo_join_order(q, stats, config)
+                }
+            }
+        }
+    }
+
+    /// Plans and executes a conjunctive query end-to-end (join pipeline,
+    /// then aggregation/ordering).
+    pub fn execute_cq(
+        &self,
+        db: &Database,
+        q: &ConjunctiveQuery,
+        mut budget: Budget,
+    ) -> QueryOutcome {
+        let t0 = Instant::now();
+        let order = self.plan(db, q);
+        let planning = t0.elapsed();
+
+        let defaults;
+        let stats = match &self.stats {
+            Some(s) => s,
+            None => {
+                defaults = DbStats::defaults_for(db);
+                &defaults
+            }
+        };
+        let plan_desc = format!(
+            "{} left-deep [{}] est_cost={:.0}",
+            self.name,
+            order
+                .iter()
+                .map(|a| q.atom(*a).alias.clone())
+                .collect::<Vec<_>>()
+                .join(" ⋈ "),
+            order_cost(q, stats, &order)
+        );
+
+        let t1 = Instant::now();
+        let result = evaluate_join_order(db, q, Some(&order), &mut budget)
+            .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, &mut budget));
+        let execution = t1.elapsed();
+        QueryOutcome {
+            result,
+            planning,
+            execution,
+            tuples: budget.charged(),
+            plan: plan_desc,
+        }
+    }
+
+    /// Parses, flattens subqueries, isolates and executes a SQL query.
+    pub fn execute_sql(
+        &self,
+        db: &Database,
+        sql: &str,
+        mut budget: Budget,
+    ) -> Result<QueryOutcome, SqlError> {
+        let stmt = parse_select(sql).map_err(SqlError::Parse)?;
+        let (db, stmt) = crate::nested::flatten_subqueries(db, &stmt, &mut budget)
+            .map_err(SqlError::Nested)?;
+        let q = isolate(&stmt, &db, IsolatorOptions::default()).map_err(SqlError::Isolate)?;
+        Ok(self.execute_cq(&db, &q, budget))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htqo_engine::schema::{ColumnType, Schema};
+    use htqo_engine::relation::Relation;
+    use htqo_engine::value::Value;
+    use htqo_stats::analyze;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut r = Relation::new(Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Int)]));
+        let mut s = Relation::new(Schema::new(&[("b", ColumnType::Int), ("c", ColumnType::Int)]));
+        for i in 0..30 {
+            r.push_row(vec![Value::Int(i % 5), Value::Int(i % 7)]).unwrap();
+            s.push_row(vec![Value::Int(i % 7), Value::Int(i % 3)]).unwrap();
+        }
+        db.insert_table("r", r);
+        db.insert_table("s", s);
+        db
+    }
+
+    #[test]
+    fn commdb_runs_sql_end_to_end() {
+        let db = db();
+        let stats = analyze(&db);
+        let sim = DbmsSim::commdb(Some(stats));
+        let out = sim
+            .execute_sql(&db, "SELECT r.a, count(*) AS n FROM r, s WHERE r.b = s.b GROUP BY r.a ORDER BY n DESC", Budget::unlimited())
+            .unwrap();
+        assert!(!out.is_dnf());
+        let rel = out.result.as_ref().unwrap();
+        assert_eq!(rel.cols(), &["a".to_string(), "n".to_string()]);
+        assert!(out.tuples > 0);
+        assert!(out.plan.contains("CommDB"));
+    }
+
+    #[test]
+    fn without_stats_still_runs() {
+        let db = db();
+        let sim = DbmsSim::commdb(None);
+        assert!(!sim.has_stats());
+        let out = sim
+            .execute_sql(&db, "SELECT r.a FROM r, s WHERE r.b = s.b", Budget::unlimited())
+            .unwrap();
+        assert!(out.result.is_ok());
+    }
+
+    #[test]
+    fn dnf_is_reported_not_panicked() {
+        let db = db();
+        let sim = DbmsSim::commdb(None);
+        let out = sim
+            .execute_sql(&db, "SELECT r.a FROM r, s WHERE r.b = s.b", Budget::unlimited().with_max_tuples(3))
+            .unwrap();
+        assert!(out.is_dnf());
+    }
+
+    #[test]
+    fn bad_sql_is_a_sql_error() {
+        let db = db();
+        let sim = DbmsSim::postgres(None);
+        assert!(matches!(
+            sim.execute_sql(&db, "SELEC x FROM r", Budget::unlimited()),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            sim.execute_sql(&db, "SELECT x FROM missing", Budget::unlimited()),
+            Err(SqlError::Isolate(_))
+        ));
+    }
+
+    #[test]
+    fn postgres_uses_geqo_above_threshold() {
+        // Just exercise both code paths via plan() on synthetic queries.
+        let db = db();
+        let stats = analyze(&db);
+        let sim = DbmsSim::postgres(Some(stats));
+        let small = htqo_cq::CqBuilder::new()
+            .atom("r", "r1", &[("a", "A"), ("b", "B")])
+            .atom("s", "s1", &[("b", "B"), ("c", "C")])
+            .out_var("A")
+            .build();
+        assert_eq!(sim.plan(&db, &small).len(), 2);
+        // 9 atoms ≥ threshold 8 → genetic path.
+        let mut b = htqo_cq::CqBuilder::new();
+        for i in 0..9 {
+            let alias = format!("r{i}");
+            let l = format!("V{i}");
+            let r = format!("V{}", i + 1);
+            b = b.atom("r", &alias, &[("a", &l), ("b", &r)]);
+        }
+        let big = b.out_var("V0").build();
+        let order = sim.plan(&db, &big);
+        assert_eq!(order.len(), 9);
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(sorted, big.atom_ids().collect::<Vec<_>>());
+    }
+}

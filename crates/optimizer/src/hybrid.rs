@@ -1,0 +1,255 @@
+//! The paper's **hybrid optimizer**: structural decomposition guided by
+//! quantitative statistics (Sections 4–5).
+//!
+//! Pipeline (Figure 5): *Sql Analyzer* → *Statistics Picker* →
+//! `cost-k-decomp` → q-hypertree evaluation (tight coupling) or SQL-view
+//! rewriting (stand-alone, see [`crate::views`]).
+
+use crate::dbms::{QueryOutcome, SqlError};
+use htqo_core::{q_hypertree_decomp, QhdFailure, QhdOptions, QhdPlan, StructuralCost};
+use htqo_cq::{isolate, parse_select, ConjunctiveQuery, IsolatorOptions};
+use htqo_engine::error::{Budget, EvalError};
+use htqo_engine::schema::Database;
+use htqo_eval::evaluate_qhd;
+use htqo_stats::{DbStats, StatsDecompCost};
+use std::time::Instant;
+
+/// The hybrid structural+quantitative optimizer.
+pub struct HybridOptimizer {
+    /// Decomposition options (width bound, whether to run `Optimize`).
+    pub options: QhdOptions,
+    /// Statistics for the cost model; `None` = purely structural mode
+    /// (the paper's q-HD "without any information on the data").
+    pub stats: Option<DbStats>,
+    /// SQL-to-CQ translation options.
+    pub isolator: IsolatorOptions,
+    /// Prepared-statement-style plan cache: decompositions depend only on
+    /// the query structure (and the statistics snapshot this optimizer
+    /// holds), so re-planning an identical query is pure waste. Keyed by
+    /// the query's canonical text form.
+    cache: std::cell::RefCell<std::collections::HashMap<String, QhdPlan>>,
+}
+
+impl HybridOptimizer {
+    /// Structural-only optimizer (no statistics).
+    pub fn structural(options: QhdOptions) -> Self {
+        HybridOptimizer {
+            options,
+            stats: None,
+            isolator: IsolatorOptions::default(),
+            cache: Default::default(),
+        }
+    }
+
+    /// Hybrid optimizer with statistics.
+    pub fn with_stats(options: QhdOptions, stats: DbStats) -> Self {
+        HybridOptimizer {
+            options,
+            stats: Some(stats),
+            isolator: IsolatorOptions::default(),
+            cache: Default::default(),
+        }
+    }
+
+    /// Like [`HybridOptimizer::plan_cq`], but memoizes plans by the
+    /// query's canonical form (prepared-statement reuse). The cache key
+    /// includes `out(Q)` via the rule rendering; statistics are fixed per
+    /// optimizer instance, so a stats refresh means a new optimizer (and
+    /// an empty cache).
+    pub fn plan_cq_cached(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
+        let key = format!("{q}|k={}|opt={}", self.options.max_width, self.options.run_optimize);
+        if let Some(plan) = self.cache.borrow().get(&key) {
+            return Ok(plan.clone());
+        }
+        let plan = self.plan_cq(q)?;
+        self.cache.borrow_mut().insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Number of cached plans.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Computes the q-hypertree decomposition plan for a conjunctive query.
+    pub fn plan_cq(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
+        match &self.stats {
+            Some(stats) => {
+                let cost = StatsDecompCost::new(stats, q)
+                    .with_assume_optimize(self.options.run_optimize);
+                q_hypertree_decomp(q, &self.options, &cost)
+            }
+            None => q_hypertree_decomp(q, &self.options, &StructuralCost),
+        }
+    }
+
+    /// Plans and executes a conjunctive query on `db`.
+    pub fn execute_cq(
+        &self,
+        db: &Database,
+        q: &ConjunctiveQuery,
+        mut budget: Budget,
+    ) -> QueryOutcome {
+        let t0 = Instant::now();
+        let plan = self.plan_cq(q);
+        let planning = t0.elapsed();
+        match plan {
+            Err(fail) => QueryOutcome {
+                result: Err(EvalError::Internal(fail.to_string())),
+                planning,
+                execution: std::time::Duration::ZERO,
+                tuples: 0,
+                plan: format!("q-HD failure: {fail}"),
+            },
+            Ok(plan) => {
+                let desc = format!(
+                    "q-HD width={} vertices={} joins={} (optimize removed {})",
+                    plan.tree.width(),
+                    plan.tree.len(),
+                    plan.tree.join_work(),
+                    plan.optimize_stats.removed_atoms
+                );
+                let t1 = Instant::now();
+                let result = evaluate_qhd(db, q, &plan, &mut budget)
+                    .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, &mut budget));
+                QueryOutcome {
+                    result,
+                    planning,
+                    execution: t1.elapsed(),
+                    tuples: budget.charged(),
+                    plan: desc,
+                }
+            }
+        }
+    }
+
+    /// Parses, flattens subqueries, isolates, plans and executes a SQL
+    /// query.
+    pub fn execute_sql(
+        &self,
+        db: &Database,
+        sql: &str,
+        mut budget: Budget,
+    ) -> Result<QueryOutcome, SqlError> {
+        let stmt = parse_select(sql).map_err(SqlError::Parse)?;
+        let (db, stmt) = crate::nested::flatten_subqueries(db, &stmt, &mut budget)
+            .map_err(SqlError::Nested)?;
+        let q = isolate(&stmt, &db, self.isolator).map_err(SqlError::Isolate)?;
+        Ok(self.execute_cq(&db, &q, budget))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbms::DbmsSim;
+    use htqo_cq::CqBuilder;
+    use htqo_engine::schema::{ColumnType, Schema};
+    use htqo_engine::relation::Relation;
+    use htqo_engine::value::Value;
+    use htqo_stats::analyze;
+
+    fn chain_db(n: usize, rows: i64, domain: i64) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            let mut r = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            for t in 0..rows {
+                r.push_row(vec![
+                    Value::Int((t * 3 + i as i64) % domain),
+                    Value::Int((t * 5 + 2 * i as i64) % domain),
+                ])
+                .unwrap();
+            }
+            db.insert_table(&format!("p{i}"), r);
+        }
+        db
+    }
+
+    fn chain_query(n: usize) -> ConjunctiveQuery {
+        let mut b = CqBuilder::new();
+        for i in 0..n {
+            let l = format!("X{i}");
+            let r = format!("X{}", (i + 1) % n);
+            b = b.atom(&format!("p{i}"), &format!("p{i}"), &[("l", &l), ("r", &r)]);
+        }
+        b.out_var("X0").build()
+    }
+
+    #[test]
+    fn hybrid_agrees_with_quantitative_baseline() {
+        let db = chain_db(5, 40, 6);
+        let q = chain_query(5);
+        let stats = analyze(&db);
+        let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats.clone());
+        let commdb = DbmsSim::commdb(Some(stats));
+        let a = hybrid.execute_cq(&db, &q, Budget::unlimited());
+        let b = commdb.execute_cq(&db, &q, Budget::unlimited());
+        let ra = a.result.unwrap();
+        let rb = b.result.unwrap();
+        assert!(ra.set_eq(&rb));
+    }
+
+    #[test]
+    fn structural_mode_needs_no_stats() {
+        let db = chain_db(4, 30, 5);
+        let q = chain_query(4);
+        let opt = HybridOptimizer::structural(QhdOptions::default());
+        let out = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert!(out.result.is_ok());
+        assert!(out.plan.contains("q-HD width=2"));
+    }
+
+    #[test]
+    fn failure_surfaces_as_plan_error() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X", "Y"])
+            .atom_vars("s", &["Y", "Z"])
+            .atom_vars("t", &["Z", "X"])
+            .out_var("X")
+            .out_var("Y")
+            .out_var("Z")
+            .build();
+        let db = chain_db(0, 0, 1);
+        let opt = HybridOptimizer::structural(QhdOptions { max_width: 1, run_optimize: true });
+        let out = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert!(out.result.is_err());
+        assert!(out.plan.contains("failure"));
+    }
+
+    #[test]
+    fn plan_cache_reuses_decompositions() {
+        let db = chain_db(4, 30, 5);
+        let q = chain_query(4);
+        let opt = HybridOptimizer::structural(QhdOptions::default());
+        assert_eq!(opt.cached_plans(), 0);
+        let a = opt.plan_cq_cached(&q).unwrap();
+        assert_eq!(opt.cached_plans(), 1);
+        let b = opt.plan_cq_cached(&q).unwrap();
+        assert_eq!(opt.cached_plans(), 1);
+        assert_eq!(a.tree.width(), b.tree.width());
+        // A structurally different query gets its own entry.
+        let q2 = chain_query(3);
+        let _ = opt.plan_cq_cached(&q2).unwrap();
+        assert_eq!(opt.cached_plans(), 2);
+        // Cached plans still evaluate correctly.
+        let mut budget = Budget::unlimited();
+        let ans = htqo_eval::evaluate_qhd(&db, &q, &b, &mut budget).unwrap();
+        let mut b2 = Budget::unlimited();
+        let naive = htqo_eval::evaluate_naive(&db, &q, &mut b2).unwrap();
+        assert!(ans.set_eq(&naive));
+    }
+
+    #[test]
+    fn sql_entry_point() {
+        let db = chain_db(2, 20, 4);
+        let opt = HybridOptimizer::structural(QhdOptions::default());
+        let out = opt
+            .execute_sql(
+                &db,
+                "SELECT p0.l FROM p0, p1 WHERE p0.r = p1.l",
+                Budget::unlimited(),
+            )
+            .unwrap();
+        assert!(out.result.is_ok());
+    }
+}

@@ -1,0 +1,34 @@
+//! Query optimizers for the ICDE 2007 reproduction (Sections 5–6):
+//!
+//! - [`dp`]: System-R dynamic programming over left-deep join orders (the
+//!   quantitative planner of the *CommDB* stand-in);
+//! - [`geqo`]: a genetic join-order optimizer modelled on PostgreSQL's
+//!   GEQO;
+//! - [`dbms`]: the simulated DBMSs the paper compares against, with
+//!   with/without-statistics modes and DNF (budget/timeout) reporting;
+//! - [`hybrid`]: the paper's hybrid structural+quantitative optimizer
+//!   (cost-k-decomp + q-hypertree evaluation);
+//! - [`views`]: the *Query Manipulator* — rewriting a decomposition into
+//!   SQL views for stand-alone deployment on any DBMS.
+
+#![warn(missing_docs)]
+
+pub mod bushy;
+pub mod bushy_exec;
+pub mod dbms;
+pub mod dp;
+pub mod explain;
+pub mod geqo;
+pub mod hybrid;
+pub mod nested;
+pub mod views;
+
+pub use dbms::{DbmsSim, PlannerKind, QueryOutcome, SqlError};
+pub use bushy::{dp_bushy, JoinTree};
+pub use bushy_exec::evaluate_join_tree;
+pub use dp::{dp_join_order, greedy_join_order, order_cost};
+pub use explain::{explain_join_order, explain_qhd};
+pub use geqo::{geqo_join_order, GeqoConfig};
+pub use hybrid::HybridOptimizer;
+pub use nested::{flatten_subqueries, NestedError};
+pub use views::{execute_views, rewrite_to_views, SqlViews, ViewDef};

@@ -1,0 +1,271 @@
+//! A deterministic `dbgen` replacement: generates a TPC-H database at a
+//! given scale factor with the same shape as the official tool (uniform
+//! foreign keys, 1992–1998 order dates, 0–10% discounts, v-shaped
+//! extended prices), seeded for reproducibility.
+//!
+//! Scale factor 1 corresponds to ≈1 GB in the official benchmark, which is
+//! how the harness maps the paper's "database size (MB)" axis (Figure 8)
+//! to scale factors.
+
+use crate::schema::{base_rows, table_schema, NATIONS, REGIONS};
+use htqo_cq::date::days_from_civil;
+use htqo_engine::schema::Database;
+use htqo_engine::relation::Relation;
+use htqo_engine::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation options.
+#[derive(Clone, Debug)]
+pub struct DbgenOptions {
+    /// Scale factor (1.0 ≈ 1 GB in official TPC-H).
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DbgenOptions {
+    fn default() -> Self {
+        DbgenOptions { scale: 0.01, seed: 19920701 }
+    }
+}
+
+/// Rows of `table` at scale factor `scale` (region/nation are fixed).
+pub fn scaled_rows(table: &str, scale: f64) -> usize {
+    match table {
+        "region" => 5,
+        "nation" => 25,
+        other => ((base_rows(other) as f64 * scale).round() as usize).max(1),
+    }
+}
+
+/// Nominal database size in megabytes for a scale factor (the official
+/// benchmark's convention: SF 1 ≈ 1000 MB).
+pub fn nominal_megabytes(scale: f64) -> f64 {
+    scale * 1000.0
+}
+
+/// Generates the full database.
+pub fn generate(options: &DbgenOptions) -> Database {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let scale = options.scale;
+
+    // region
+    let mut region = Relation::new(table_schema("region"));
+    for (i, name) in REGIONS.iter().enumerate() {
+        region
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::str(name),
+                Value::str("standard region comment"),
+            ])
+            .expect("region schema");
+    }
+    db.insert_table("region", region);
+
+    // nation
+    let mut nation = Relation::new(table_schema("nation"));
+    for (i, (name, regionkey)) in NATIONS.iter().enumerate() {
+        nation
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::str(name),
+                Value::Int(*regionkey),
+            ])
+            .expect("nation schema");
+    }
+    db.insert_table("nation", nation);
+
+    // supplier
+    let n_supplier = scaled_rows("supplier", scale);
+    let mut supplier = Relation::new(table_schema("supplier"));
+    supplier.reserve(n_supplier);
+    for i in 0..n_supplier {
+        supplier
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::str(&format!("Supplier#{i:09}")),
+                Value::Int(rng.gen_range(0..25)),
+                Value::Float(round2(rng.gen_range(-999.99..9999.99))),
+            ])
+            .expect("supplier schema");
+    }
+    db.insert_table("supplier", supplier);
+
+    // customer
+    let n_customer = scaled_rows("customer", scale);
+    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    let mut customer = Relation::new(table_schema("customer"));
+    customer.reserve(n_customer);
+    for i in 0..n_customer {
+        customer
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::str(&format!("Customer#{i:09}")),
+                Value::Int(rng.gen_range(0..25)),
+                Value::str(segments[rng.gen_range(0..segments.len())]),
+                Value::Float(round2(rng.gen_range(-999.99..9999.99))),
+            ])
+            .expect("customer schema");
+    }
+    db.insert_table("customer", customer);
+
+    // part
+    let n_part = scaled_rows("part", scale);
+    let types = [
+        "ECONOMY ANODIZED STEEL",
+        "STANDARD POLISHED BRASS",
+        "SMALL PLATED COPPER",
+        "MEDIUM BRUSHED NICKEL",
+        "LARGE BURNISHED TIN",
+        "PROMO PLATED STEEL",
+    ];
+    let mut part = Relation::new(table_schema("part"));
+    part.reserve(n_part);
+    for i in 0..n_part {
+        part.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(&format!("part {i}")),
+            Value::str(types[rng.gen_range(0..types.len())]),
+            Value::str(&format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+            Value::Float(round2(900.0 + (i % 1000) as f64 / 10.0)),
+        ])
+        .expect("part schema");
+    }
+    db.insert_table("part", part);
+
+    // partsupp
+    let n_partsupp = scaled_rows("partsupp", scale);
+    let mut partsupp = Relation::new(table_schema("partsupp"));
+    partsupp.reserve(n_partsupp);
+    for _ in 0..n_partsupp {
+        partsupp
+            .push_row(vec![
+                Value::Int(rng.gen_range(0..n_part as i64)),
+                Value::Int(rng.gen_range(0..n_supplier as i64)),
+                Value::Int(rng.gen_range(1..10_000)),
+                Value::Float(round2(rng.gen_range(1.0..1000.0))),
+            ])
+            .expect("partsupp schema");
+    }
+    db.insert_table("partsupp", partsupp);
+
+    // orders: dates uniform in [1992-01-01, 1998-08-02].
+    let date_lo = days_from_civil(1992, 1, 1);
+    let date_hi = days_from_civil(1998, 8, 2);
+    let n_orders = scaled_rows("orders", scale);
+    let statuses = ["O", "F", "P"];
+    let mut orders = Relation::new(table_schema("orders"));
+    orders.reserve(n_orders);
+    let mut order_dates = Vec::with_capacity(n_orders);
+    for i in 0..n_orders {
+        let date = rng.gen_range(date_lo..=date_hi);
+        order_dates.push(date);
+        orders
+            .push_row(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..n_customer as i64)),
+                Value::str(statuses[rng.gen_range(0..statuses.len())]),
+                Value::Float(round2(rng.gen_range(850.0..555_000.0))),
+                Value::Date(date),
+                Value::Int(rng.gen_range(0..2)),
+            ])
+            .expect("orders schema");
+    }
+    db.insert_table("orders", orders);
+
+    // lineitem: each row references a random order; ship date follows the
+    // order date by 1–121 days.
+    let n_lineitem = scaled_rows("lineitem", scale);
+    let flags = ["A", "N", "R"];
+    let mut lineitem = Relation::new(table_schema("lineitem"));
+    lineitem.reserve(n_lineitem);
+    for _ in 0..n_lineitem {
+        let okey = rng.gen_range(0..n_orders as i64);
+        let qty = rng.gen_range(1..=50i64);
+        lineitem
+            .push_row(vec![
+                Value::Int(okey),
+                Value::Int(rng.gen_range(0..n_part as i64)),
+                Value::Int(rng.gen_range(0..n_supplier as i64)),
+                Value::Int(rng.gen_range(1..=7)),
+                Value::Int(qty),
+                Value::Float(round2(qty as f64 * rng.gen_range(900.0..1100.0))),
+                Value::Float((rng.gen_range(0..=10) as f64) / 100.0),
+                Value::Date(order_dates[okey as usize] + rng.gen_range(1..122)),
+                Value::str(flags[rng.gen_range(0..flags.len())]),
+            ])
+            .expect("lineitem schema");
+    }
+    db.insert_table("lineitem", lineitem);
+
+    db
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let opts = DbgenOptions { scale: 0.001, seed: 42 };
+        let a = generate(&opts);
+        let b = generate(&opts);
+        for (name, rel) in a.tables() {
+            let other = b.table(name).unwrap();
+            assert_eq!(rel.len(), other.len(), "{name}");
+            assert_eq!(rel.rows()[0], other.rows()[0], "{name}");
+        }
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let small = generate(&DbgenOptions { scale: 0.001, seed: 1 });
+        assert_eq!(small.table("region").unwrap().len(), 5);
+        assert_eq!(small.table("nation").unwrap().len(), 25);
+        assert_eq!(small.table("supplier").unwrap().len(), 10);
+        assert_eq!(small.table("orders").unwrap().len(), 1500);
+        assert_eq!(small.table("lineitem").unwrap().len(), 6000);
+        assert!((nominal_megabytes(0.2) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreign_keys_are_in_range() {
+        let db = generate(&DbgenOptions { scale: 0.001, seed: 7 });
+        let n_cust = db.table("customer").unwrap().len() as i64;
+        for row in db.table("orders").unwrap().rows() {
+            let Value::Int(ck) = row[1] else { panic!("custkey type") };
+            assert!((0..n_cust).contains(&ck));
+        }
+        let n_orders = db.table("orders").unwrap().len() as i64;
+        for row in db.table("lineitem").unwrap().rows().iter().take(100) {
+            let Value::Int(ok) = row[0] else { panic!("orderkey type") };
+            assert!((0..n_orders).contains(&ok));
+        }
+    }
+
+    #[test]
+    fn dates_are_in_the_tpch_window() {
+        let db = generate(&DbgenOptions { scale: 0.001, seed: 7 });
+        let lo = days_from_civil(1992, 1, 1);
+        let hi = days_from_civil(1998, 8, 2);
+        for row in db.table("orders").unwrap().rows() {
+            let Value::Date(d) = row[4] else { panic!("date type") };
+            assert!((lo..=hi).contains(&d));
+        }
+    }
+
+    #[test]
+    fn discounts_bounded() {
+        let db = generate(&DbgenOptions { scale: 0.001, seed: 7 });
+        for row in db.table("lineitem").unwrap().rows().iter().take(200) {
+            let Value::Float(d) = row[6] else { panic!("discount type") };
+            assert!((0.0..=0.10001).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! TPC-H substrate: schema, a deterministic `dbgen` replacement, and the
+//! benchmark queries the paper evaluates (Q5 and Q8, both cyclic with
+//! hypertree width 2).
+
+#![warn(missing_docs)]
+
+pub mod dbgen;
+pub mod queries;
+pub mod schema;
+
+pub use dbgen::{generate, nominal_megabytes, scaled_rows, DbgenOptions};
+pub use queries::{q1, q10, q3, q5, q8, q9};
+pub use schema::{base_rows, table_schema, NATIONS, REGIONS, TABLES};

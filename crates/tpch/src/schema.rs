@@ -1,0 +1,153 @@
+//! The TPC-H schema (the eight standard tables, restricted to the columns
+//! the benchmark queries in this reproduction touch, plus a few extras so
+//! the statistics subsystem has realistic work to do).
+
+use htqo_engine::schema::{ColumnType, Schema};
+
+/// Table names in generation order (respecting foreign-key dependencies).
+pub const TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+/// Schema of a TPC-H table.
+///
+/// # Panics
+/// Panics on an unknown table name.
+pub fn table_schema(name: &str) -> Schema {
+    use ColumnType::*;
+    match name {
+        "region" => Schema::new(&[
+            ("r_regionkey", Int),
+            ("r_name", Str),
+            ("r_comment", Str),
+        ]),
+        "nation" => Schema::new(&[
+            ("n_nationkey", Int),
+            ("n_name", Str),
+            ("n_regionkey", Int),
+        ]),
+        "supplier" => Schema::new(&[
+            ("s_suppkey", Int),
+            ("s_name", Str),
+            ("s_nationkey", Int),
+            ("s_acctbal", Float),
+        ]),
+        "customer" => Schema::new(&[
+            ("c_custkey", Int),
+            ("c_name", Str),
+            ("c_nationkey", Int),
+            ("c_mktsegment", Str),
+            ("c_acctbal", Float),
+        ]),
+        "part" => Schema::new(&[
+            ("p_partkey", Int),
+            ("p_name", Str),
+            ("p_type", Str),
+            ("p_brand", Str),
+            ("p_retailprice", Float),
+        ]),
+        "partsupp" => Schema::new(&[
+            ("ps_partkey", Int),
+            ("ps_suppkey", Int),
+            ("ps_availqty", Int),
+            ("ps_supplycost", Float),
+        ]),
+        "orders" => Schema::new(&[
+            ("o_orderkey", Int),
+            ("o_custkey", Int),
+            ("o_orderstatus", Str),
+            ("o_totalprice", Float),
+            ("o_orderdate", Date),
+            ("o_shippriority", Int),
+        ]),
+        "lineitem" => Schema::new(&[
+            ("l_orderkey", Int),
+            ("l_partkey", Int),
+            ("l_suppkey", Int),
+            ("l_linenumber", Int),
+            ("l_quantity", Int),
+            ("l_extendedprice", Float),
+            ("l_discount", Float),
+            ("l_shipdate", Date),
+            ("l_returnflag", Str),
+        ]),
+        other => panic!("unknown TPC-H table `{other}`"),
+    }
+}
+
+/// Base row counts at scale factor 1 (per the TPC-H specification; region
+/// and nation are fixed-size).
+pub fn base_rows(name: &str) -> usize {
+    match name {
+        "region" => 5,
+        "nation" => 25,
+        "supplier" => 10_000,
+        "customer" => 150_000,
+        "part" => 200_000,
+        "partsupp" => 800_000,
+        "orders" => 1_500_000,
+        "lineitem" => 6_000_000, // ≈4 lineitems per order on average
+        other => panic!("unknown TPC-H table `{other}`"),
+    }
+}
+
+/// The five TPC-H region names.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 TPC-H nation names with their region keys.
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_have_schemas() {
+        for t in TABLES {
+            let s = table_schema(t);
+            assert!(s.arity() >= 3, "{t}");
+            assert!(base_rows(t) > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn unknown_table_panics() {
+        table_schema("nope");
+    }
+
+    #[test]
+    fn nations_reference_valid_regions() {
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(&r));
+        }
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+    }
+}

@@ -1,0 +1,18 @@
+//! Synthetic workloads from Section 6 of the paper:
+//!
+//! - **Acyclic queries**: lines `q(y) ← p₁(x₁), …, pₙ(xₙ)` where
+//!   consecutive atoms share exactly one variable;
+//! - **Chain queries**: the simplest cyclic variation, where the first and
+//!   last atoms also share a variable;
+//! - random uniform data with configurable **cardinality** (rows per
+//!   relation) and **selectivity** (number of distinct values per
+//!   attribute — the paper varies 30/60/90; *lower* selectivity means
+//!   bigger joins and a bigger structural advantage).
+
+#![warn(missing_docs)]
+
+pub mod queries;
+pub mod synth;
+
+pub use queries::{acyclic_query, chain_query, clique_query, star_query};
+pub use synth::{clique_db, star_db, workload_db, Distribution, WorkloadSpec};

@@ -1,0 +1,232 @@
+//! Random uniform data generation for the synthetic experiments.
+
+use htqo_engine::schema::{ColumnType, Database, Schema};
+use htqo_engine::relation::Relation;
+use htqo_engine::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Value distribution for synthetic attributes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Distribution {
+    /// Uniform over `0..selectivity` (the paper's setting).
+    Uniform,
+    /// Zipf with the given exponent over `0..selectivity` — an extension
+    /// used by the skew ablation: uniform-assumption cardinality estimates
+    /// degrade under skew while the structural guarantee does not.
+    Zipf(f64),
+}
+
+/// Parameters of one synthetic database (Section 6: "synthetic data were
+/// used, which has been generated randomly by using an uniform
+/// distribution over a fixed range of values, and setting the desired
+/// values for the cardinality of each relation and the selectivity of
+/// each attribute").
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of binary relations `p0 … p{n-1}`.
+    pub relations: usize,
+    /// Rows per relation.
+    pub cardinality: usize,
+    /// Distinct values per attribute (the paper's "selectivity").
+    pub selectivity: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Value distribution (uniform in the paper's experiments).
+    pub distribution: Distribution,
+}
+
+impl WorkloadSpec {
+    /// Convenience constructor (uniform distribution, as in the paper).
+    pub fn new(relations: usize, cardinality: usize, selectivity: u64, seed: u64) -> Self {
+        WorkloadSpec {
+            relations,
+            cardinality,
+            selectivity,
+            seed,
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// Switches the value distribution to Zipf with the given exponent.
+    pub fn with_zipf(mut self, exponent: f64) -> Self {
+        self.distribution = Distribution::Zipf(exponent);
+        self
+    }
+}
+
+/// A sampler over `0..n` for either distribution.
+struct Sampler {
+    /// Cumulative weights (empty for uniform).
+    cumulative: Vec<f64>,
+    n: u64,
+}
+
+impl Sampler {
+    fn new(n: u64, distribution: Distribution) -> Self {
+        match distribution {
+            Distribution::Uniform => Sampler { cumulative: Vec::new(), n },
+            Distribution::Zipf(s) => {
+                let mut cumulative = Vec::with_capacity(n as usize);
+                let mut total = 0.0;
+                for i in 1..=n {
+                    total += (i as f64).powf(-s);
+                    cumulative.push(total);
+                }
+                Sampler { cumulative, n }
+            }
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> i64 {
+        if self.cumulative.is_empty() {
+            return rng.gen_range(0..self.n) as i64;
+        }
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < u) as i64
+    }
+}
+
+/// Generates the database for a spec: binary relations `p0 … p{n-1}` with
+/// columns `l`, `r`, values uniform over `0..selectivity`.
+pub fn workload_db(spec: &WorkloadSpec) -> Database {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let sampler = Sampler::new(spec.selectivity, spec.distribution);
+    let mut db = Database::new();
+    for i in 0..spec.relations {
+        let mut rel = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+        rel.reserve(spec.cardinality);
+        for _ in 0..spec.cardinality {
+            rel.push_row(vec![
+                Value::Int(sampler.sample(&mut rng)),
+                Value::Int(sampler.sample(&mut rng)),
+            ])
+            .expect("binary int schema");
+        }
+        db.insert_table(&format!("p{i}"), rel);
+    }
+    db
+}
+
+/// Generates the database for a [`crate::queries::star_query`]: a `hub`
+/// relation with `satellites` integer columns `c0…` plus binary satellite
+/// relations `p0…`.
+pub fn star_db(satellites: usize, cardinality: usize, selectivity: u64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = workload_db(&WorkloadSpec::new(satellites, cardinality, selectivity, seed));
+    let mut schema = Schema::default();
+    for i in 0..satellites {
+        schema.push(&format!("c{i}"), ColumnType::Int);
+    }
+    let mut hub = Relation::new(schema);
+    hub.reserve(cardinality);
+    for _ in 0..cardinality {
+        let row: Vec<Value> = (0..satellites)
+            .map(|_| Value::Int(rng.gen_range(0..selectivity) as i64))
+            .collect();
+        hub.push_row(row).expect("hub schema");
+    }
+    db.insert_table("hub", hub);
+    db
+}
+
+/// Generates the database for a [`crate::queries::clique_query`]: one
+/// binary relation `e{i}_{j}` per variable pair.
+pub fn clique_db(n: usize, cardinality: usize, selectivity: u64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut rel =
+                Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            rel.reserve(cardinality);
+            for _ in 0..cardinality {
+                rel.push_row(vec![
+                    Value::Int(rng.gen_range(0..selectivity) as i64),
+                    Value::Int(rng.gen_range(0..selectivity) as i64),
+                ])
+                .expect("binary int schema");
+            }
+            db.insert_table(&format!("e{i}_{j}"), rel);
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let db = workload_db(&WorkloadSpec::new(4, 100, 30, 1));
+        assert_eq!(db.len(), 4);
+        for (_, rel) in db.tables() {
+            assert_eq!(rel.len(), 100);
+            for row in rel.rows() {
+                let Value::Int(l) = row[0] else { panic!() };
+                let Value::Int(r) = row[1] else { panic!() };
+                assert!((0..30).contains(&l));
+                assert!((0..30).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = workload_db(&WorkloadSpec::new(2, 50, 60, 9));
+        let b = workload_db(&WorkloadSpec::new(2, 50, 60, 9));
+        assert_eq!(a.table("p0").unwrap().rows(), b.table("p0").unwrap().rows());
+        let c = workload_db(&WorkloadSpec::new(2, 50, 60, 10));
+        assert_ne!(a.table("p0").unwrap().rows(), c.table("p0").unwrap().rows());
+    }
+
+    #[test]
+    fn zipf_skews_the_frequency_distribution() {
+        let uniform = workload_db(&WorkloadSpec::new(1, 2000, 50, 3));
+        let zipf = workload_db(&WorkloadSpec::new(1, 2000, 50, 3).with_zipf(1.2));
+        let freq_of = |db: &Database, v: i64| {
+            db.table("p0")
+                .unwrap()
+                .rows()
+                .iter()
+                .filter(|r| r[0] == Value::Int(v))
+                .count()
+        };
+        // The most frequent value under Zipf dominates far more than under
+        // uniform.
+        assert!(freq_of(&zipf, 0) > 3 * freq_of(&uniform, 0));
+        // Values stay within the domain.
+        for row in zipf.table("p0").unwrap().rows().iter().take(100) {
+            let Value::Int(v) = row[0] else { panic!() };
+            assert!((0..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn star_db_has_hub_and_satellites() {
+        let db = star_db(3, 50, 10, 4);
+        assert_eq!(db.len(), 4);
+        let hub = db.table("hub").unwrap();
+        assert_eq!(hub.schema().arity(), 3);
+        assert_eq!(hub.len(), 50);
+    }
+
+    #[test]
+    fn clique_db_has_all_pairs() {
+        let db = clique_db(4, 20, 5, 9);
+        assert_eq!(db.len(), 6);
+        assert!(db.table("e0_3").is_some());
+        assert!(db.table("e3_0").is_none());
+    }
+
+    #[test]
+    fn selectivity_bounds_distinct_values() {
+        let db = workload_db(&WorkloadSpec::new(1, 1000, 30, 3));
+        let stats = htqo_stats::analyze(&db);
+        let d = stats.table("p0").unwrap().column("l").unwrap().distinct;
+        assert!(d <= 30);
+        assert!(d >= 25, "uniform over 30 values should hit most of them, got {d}");
+    }
+}

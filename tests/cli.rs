@@ -1,0 +1,88 @@
+//! Integration test for the interactive shell: drives the compiled `htqo`
+//! binary through a scripted session and checks the visible behaviour.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_htqo"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success(), "shell exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn shell_runs_a_full_session() {
+    let out = run_script(
+        "\\help\n\
+         \\load chain 4 50 8\n\
+         \\analyze\n\
+         \\tables\n\
+         SELECT p0.l, count(*) AS n FROM p0, p1 WHERE p0.r = p1.l GROUP BY p0.l ORDER BY n DESC LIMIT 3;\n\
+         \\plan SELECT p0.l FROM p0, p1, p2, p3 WHERE p0.r = p1.l AND p1.r = p2.l AND p2.r = p3.l AND p3.r = p0.l\n\
+         \\quit\n",
+    );
+    assert!(out.contains("loaded 4 chain relations"), "{out}");
+    assert!(out.contains("ANALYZE done"));
+    assert!(out.contains("p0"));
+    assert!(out.contains("l | n"));
+    assert!(out.contains("3 rows"), "LIMIT applied: {out}");
+    assert!(out.contains("q-hypertree decomposition"));
+    assert!(out.contains("quantitative baseline"));
+}
+
+#[test]
+fn shell_reports_errors_without_dying() {
+    let out = run_script(
+        "\\nosuchcommand\n\
+         SELECT broken FROM nowhere;\n\
+         \\load tpch abc\n\
+         \\quit\n",
+    );
+    assert!(out.contains("unknown command"));
+    assert!(out.contains("error:"));
+    assert!(out.contains("bad scale factor"));
+}
+
+#[test]
+fn shell_views_and_baseline() {
+    let out = run_script(
+        "\\load chain 3 30 5\n\
+         \\views SELECT p0.l FROM p0, p1, p2 WHERE p0.r = p1.l AND p1.r = p2.l AND p2.r = p0.l\n\
+         \\baseline SELECT p0.l FROM p0, p1 WHERE p0.r = p1.l\n\
+         \\quit\n",
+    );
+    assert!(out.contains("CREATE VIEW hd_view_"), "{out}");
+    assert!(out.contains("SELECT DISTINCT"));
+    assert!(out.contains("rows"));
+}
+
+#[test]
+fn shell_csv_round_trip() {
+    let dir = std::env::temp_dir().join(format!("htqo_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("p0.csv");
+    let path_str = path.to_str().unwrap();
+    let out = run_script(&format!(
+        "\\load chain 2 10 4\n\
+         \\export p0 {path_str}\n\
+         \\import copy {path_str}\n\
+         SELECT copy.l FROM copy LIMIT 1;\n\
+         \\quit\n"
+    ));
+    assert!(out.contains("wrote 10 rows"), "{out}");
+    assert!(out.contains("loaded 10 rows into `copy`"));
+    assert!(out.contains("1 rows"));
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,145 @@
+//! Failure-injection tests: resource budgets, timeouts, malformed SQL,
+//! missing tables/columns, and decomposition failures must surface as
+//! typed errors — never as panics or wrong answers.
+
+use htqo::prelude::*;
+use htqo_workloads::{chain_query, workload_db, WorkloadSpec};
+use std::time::Duration;
+
+fn db() -> Database {
+    workload_db(&WorkloadSpec::new(4, 200, 5, 123))
+}
+
+#[test]
+fn tuple_budget_produces_dnf_outcome() {
+    let db = db();
+    let q = chain_query(4);
+    let commdb = DbmsSim::commdb(None);
+    let out = commdb.execute_cq(&db, &q, Budget::unlimited().with_max_tuples(50));
+    assert!(out.is_dnf());
+    assert!(matches!(
+        out.result,
+        Err(EvalError::TupleBudgetExceeded { limit: 50 })
+    ));
+
+    // The q-HD pipeline reports DNF through the same interface.
+    let hybrid = HybridOptimizer::structural(QhdOptions::default());
+    let out = hybrid.execute_cq(&db, &q, Budget::unlimited().with_max_tuples(10));
+    assert!(out.is_dnf());
+}
+
+#[test]
+fn timeout_produces_dnf_outcome() {
+    let db = workload_db(&WorkloadSpec::new(6, 600, 4, 5));
+    let q = chain_query(6);
+    let commdb = DbmsSim::commdb(None);
+    let out = commdb.execute_cq(
+        &db,
+        &q,
+        Budget::unlimited().with_timeout(Duration::from_millis(1)),
+    );
+    // Either the timeout fires or (on a very fast machine) the query
+    // finishes; both are legal, but a timeout must be typed correctly.
+    if out.is_dnf() {
+        assert!(matches!(out.result, Err(EvalError::Timeout { .. })));
+    }
+}
+
+#[test]
+fn malformed_sql_is_a_parse_error() {
+    let db = db();
+    let sim = DbmsSim::commdb(None);
+    for bad in [
+        "SELEC a FROM t",
+        "SELECT FROM t",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t GROUP",
+        "SELECT sum(*) FROM t",
+        "SELECT a FROM t WHERE a ~ 3",
+        "SELECT a FROM t; extra",
+    ] {
+        let err = sim.execute_sql(&db, bad, Budget::unlimited());
+        assert!(
+            matches!(err, Err(htqo_optimizer::SqlError::Parse(_))),
+            "should not parse: {bad}"
+        );
+    }
+}
+
+#[test]
+fn semantic_errors_are_isolate_errors() {
+    let db = db();
+    let sim = DbmsSim::commdb(None);
+    for bad in [
+        "SELECT x FROM missing_table",
+        "SELECT missing_col FROM p0",
+        "SELECT l FROM p0, p1",            // ambiguous column
+        "SELECT p0.l FROM p0, p0",         // duplicate binding
+        "SELECT p0.l FROM p0, p1 WHERE p0.l < p1.l", // non-equi join
+    ] {
+        let err = sim.execute_sql(&db, bad, Budget::unlimited());
+        assert!(
+            matches!(err, Err(htqo_optimizer::SqlError::Isolate(_))),
+            "should not isolate: {bad}"
+        );
+    }
+}
+
+#[test]
+fn decomposition_failure_is_typed() {
+    // All three triangle variables in the output with k = 1.
+    let q = CqBuilder::new()
+        .atom_vars("p0", &["X", "Y"])
+        .atom_vars("p1", &["Y", "Z"])
+        .atom_vars("p2", &["Z", "X"])
+        .out_var("X")
+        .out_var("Y")
+        .out_var("Z")
+        .build();
+    let err = q_hypertree_decomp(
+        &q,
+        &QhdOptions { max_width: 1, run_optimize: true },
+        &StructuralCost,
+    )
+    .unwrap_err();
+    assert_eq!(err.max_width, 1);
+}
+
+#[test]
+fn yannakakis_refuses_cyclic_input() {
+    let db = db();
+    let q = chain_query(4);
+    let mut budget = Budget::unlimited();
+    assert!(matches!(
+        evaluate_yannakakis(&db, &q, &mut budget),
+        Err(EvalError::Internal(_))
+    ));
+}
+
+#[test]
+fn missing_table_at_execution_is_typed() {
+    // The query references a table the database does not have; planning
+    // succeeds (it is purely structural) but execution reports the table.
+    let db = db();
+    let q = CqBuilder::new()
+        .atom_vars("ghost", &["X", "Y"])
+        .out_var("X")
+        .build();
+    let hybrid = HybridOptimizer::structural(QhdOptions::default());
+    let out = hybrid.execute_cq(&db, &q, Budget::unlimited());
+    assert!(matches!(out.result, Err(EvalError::UnknownTable(t)) if t == "ghost"));
+}
+
+#[test]
+fn dnf_reporting_is_deterministic_for_tuple_budgets() {
+    // Unlike wall-clock timeouts, tuple budgets are deterministic: the
+    // same query + budget must fail identically across runs.
+    let db = db();
+    let q = chain_query(4);
+    let commdb = DbmsSim::commdb(None);
+    let a = commdb.execute_cq(&db, &q, Budget::unlimited().with_max_tuples(500));
+    let b = commdb.execute_cq(&db, &q, Budget::unlimited().with_max_tuples(500));
+    assert_eq!(a.is_dnf(), b.is_dnf());
+    assert_eq!(a.tuples, b.tuples);
+}
