@@ -1,20 +1,22 @@
 //! Criterion micro-benchmarks for the core kernels: GYO acyclicity,
 //! det-k/cost-k decomposition, the hybrid planner on TPC-H Q5, hash join
-//! throughput, and the q-hypertree evaluator vs the naive pipeline on a
-//! chain query.
+//! throughput, the seed-vs-overhauled join kernels (sequential and
+//! partitioned-parallel), the parallel q-hypertree schedule, and the
+//! q-hypertree evaluator vs the naive pipeline on a chain query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use htqo_core::{det_k_decomp, q_hypertree_decomp, QhdOptions, StructuralCost};
 use htqo_cq::{isolate, parse_select, IsolatorOptions};
 use htqo_engine::error::Budget;
-use htqo_engine::ops::natural_join;
-use htqo_eval::{evaluate_naive, evaluate_qhd};
+use htqo_engine::exec;
+use htqo_engine::ops::{natural_join, natural_join_seed};
+use htqo_eval::{evaluate_naive, evaluate_qhd, evaluate_qhd_with, ExecOptions};
 use htqo_core::treedecomp::{tree_decomposition, EliminationHeuristic};
 use htqo_hypergraph::acyclic::gyo;
 use htqo_hypergraph::{biconnected_components, hinge_decomposition};
 use htqo_optimizer::HybridOptimizer;
 use htqo_tpch::{generate, q5, DbgenOptions};
-use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
+use htqo_workloads::{acyclic_query, chain_query, star_db, star_query, workload_db, WorkloadSpec};
 
 fn bench_gyo(c: &mut Criterion) {
     let mut group = c.benchmark_group("gyo");
@@ -68,6 +70,69 @@ fn bench_hash_join(c: &mut Criterion) {
             natural_join(&left, &right, &mut budget).unwrap()
         })
     });
+}
+
+fn bench_join_kernels(c: &mut Criterion) {
+    // The kernel-overhaul regression bench: seed (`key_of`-boxing) kernel
+    // vs the hash-in-place kernel, sequential and partitioned-parallel,
+    // on a skewed 50k × 50k join.
+    let db = workload_db(&WorkloadSpec::new(2, 50_000, 25_000, 7).with_zipf(0.5));
+    let q = acyclic_query(2);
+    let mut budget = Budget::unlimited();
+    let left =
+        htqo_engine::scan::scan_query_atom(&db, &q, htqo_cq::AtomId(0), &mut budget).unwrap();
+    let right =
+        htqo_engine::scan::scan_query_atom(&db, &q, htqo_cq::AtomId(1), &mut budget).unwrap();
+    let machine_threads = exec::num_threads();
+
+    let mut group = c.benchmark_group("join_kernel");
+    group.sample_size(10);
+    group.bench_function("seed_50k_skew", |b| {
+        b.iter(|| {
+            let mut budget = Budget::unlimited();
+            natural_join_seed(&left, &right, &mut budget).unwrap()
+        })
+    });
+    exec::set_threads(1);
+    group.bench_function("hash_50k_skew_1t", |b| {
+        b.iter(|| {
+            let mut budget = Budget::unlimited();
+            natural_join(&left, &right, &mut budget).unwrap()
+        })
+    });
+    exec::set_threads(machine_threads);
+    group.bench_function(format!("hash_50k_skew_{machine_threads}t"), |b| {
+        b.iter(|| {
+            let mut budget = Budget::unlimited();
+            natural_join(&left, &right, &mut budget).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_eval(c: &mut Criterion) {
+    // Parallel-speedup bench: evaluate_qhd on a star query (the root's
+    // satellite subtrees and per-vertex scans are independent).
+    let n = 6;
+    let db = star_db(n, 30_000, 500, 11);
+    let q = star_query(n);
+    let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+    let threads = exec::num_threads();
+    let mut group = c.benchmark_group("parallel_eval");
+    group.sample_size(10);
+    group.bench_function("qhd_star6_1t", |b| {
+        b.iter(|| {
+            let mut budget = Budget::unlimited();
+            evaluate_qhd_with(&db, &q, &plan, &mut budget, &ExecOptions { threads: 1 }).unwrap()
+        })
+    });
+    group.bench_function(format!("qhd_star6_{threads}t"), |b| {
+        b.iter(|| {
+            let mut budget = Budget::unlimited();
+            evaluate_qhd_with(&db, &q, &plan, &mut budget, &ExecOptions { threads }).unwrap()
+        })
+    });
+    group.finish();
 }
 
 fn bench_evaluators(c: &mut Criterion) {
@@ -129,6 +194,8 @@ criterion_group!(
     bench_decomposition,
     bench_tpch_planning,
     bench_hash_join,
+    bench_join_kernels,
+    bench_parallel_eval,
     bench_evaluators,
     bench_structural_survey,
     bench_planners

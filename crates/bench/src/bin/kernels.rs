@@ -1,0 +1,228 @@
+//! Acceptance harness for the execution-layer overhaul: measures
+//!
+//! 1. the partitioned hash-join kernel against the seed (`key_of`-boxing)
+//!    kernel on a 100k × 100k skewed join, and
+//! 2. multi-threaded vs single-threaded `evaluate_qhd` on a bushy query
+//!    whose decomposition has three independent subtrees,
+//!
+//! and writes the numbers to `results/kernels.md`.
+//!
+//! ```text
+//! cargo run -p htqo-bench --release --bin kernels [-- --threads N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use htqo_core::{q_hypertree_decomp, QhdOptions, StructuralCost};
+use htqo_cq::{AtomId, CqBuilder};
+use htqo_engine::error::Budget;
+use htqo_engine::exec;
+use htqo_engine::ops::{natural_join, natural_join_seed};
+use htqo_engine::relation::Relation;
+use htqo_engine::scan::scan_query_atom;
+use htqo_engine::schema::{ColumnType, Database, Schema};
+use htqo_engine::value::Value;
+use htqo_engine::vrel::VRelation;
+use htqo_eval::{evaluate_qhd_with, ExecOptions};
+use htqo_workloads::{acyclic_query, workload_db, WorkloadSpec};
+
+const REPS: usize = 5;
+
+fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn main() {
+    let max_threads = htqo_bench::harness::threads_from_args().max(4);
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&t| t <= max_threads)
+        .collect();
+
+    let mut report = String::new();
+    let _ = writeln!(report, "# Execution-layer kernel acceptance numbers\n");
+    let _ = writeln!(
+        report,
+        "Machine: {cpus} CPU(s) visible to the process; thread sweep {sweep:?}. \
+         Wall-clock parallel speedup requires >1 CPU — on a single-CPU host the \
+         multi-thread rows measure scheduling overhead only.\n"
+    );
+
+    // ---- 1. Hash-join kernel: 100k × 100k, Zipf-skewed keys. ----
+    //
+    // Two key domains: 50k values (dense — ~563k output rows, so output
+    // materialization dominates both kernels) and 500k values (selective —
+    // table build+probe dominates, isolating the kernel difference).
+    for (domain, tag) in [(50_000u64, "dense"), (500_000, "selective")] {
+        let db = workload_db(&WorkloadSpec::new(2, 100_000, domain, 7).with_zipf(0.5));
+        let q = acyclic_query(2);
+        let mut scan_budget = Budget::unlimited();
+        let left: VRelation = scan_query_atom(&db, &q, AtomId(0), &mut scan_budget).unwrap();
+        let right: VRelation = scan_query_atom(&db, &q, AtomId(1), &mut scan_budget).unwrap();
+
+        // Kernel 0 is the seed; kernel 1+i is `natural_join` at sweep[i]
+        // threads. Measurement rounds are interleaved across kernels so
+        // host-load drift biases no single row.
+        let nkernels = 1 + sweep.len();
+        let run = |kernel: usize| -> VRelation {
+            let mut b = Budget::unlimited();
+            if kernel == 0 {
+                natural_join_seed(&left, &right, &mut b).unwrap()
+            } else {
+                exec::set_threads(sweep[kernel - 1]);
+                natural_join(&left, &right, &mut b).unwrap()
+            }
+        };
+
+        // Warm up every code path (allocator, page cache) before timing.
+        let expected = run(0).len();
+        let mut best = vec![f64::INFINITY; nkernels];
+        for _ in 0..REPS {
+            for (k, slot) in best.iter_mut().enumerate() {
+                let t = Instant::now();
+                let r = run(k);
+                *slot = slot.min(t.elapsed().as_secs_f64());
+                assert_eq!(r.len(), expected);
+            }
+        }
+
+        let _ = writeln!(
+            report,
+            "## Hash join ({tag}), 100k × 100k rows, Zipf(0.5) keys over {domain} values\n"
+        );
+        let _ = writeln!(
+            report,
+            "Output: {expected} rows. Best of {REPS} interleaved rounds.\n"
+        );
+        let _ = writeln!(report, "| kernel | time | speedup vs seed |");
+        let _ = writeln!(report, "|---|---|---|");
+        let _ = writeln!(report, "| seed (`key_of` boxing) | {:.3}s | 1.00x |", best[0]);
+        for (i, &t) in sweep.iter().enumerate() {
+            let label = if t == 1 {
+                "hash-in-place, sequential".to_string()
+            } else {
+                format!("partitioned, {t} threads")
+            };
+            let _ = writeln!(
+                report,
+                "| {label} | {:.3}s | {:.2}x |",
+                best[1 + i],
+                best[0] / best[1 + i]
+            );
+        }
+        let _ = writeln!(report);
+    }
+    exec::set_threads(max_threads);
+
+    // ---- 2. Parallel q-hypertree evaluation on a bushy query. ----
+    // hub(A,B,C) with three independent 3-atom chains hanging off A, B, C:
+    // the decomposition's root has three independent subtrees.
+    let (bdb, bq) = bushy_workload(300_000, 60_000, 2_000);
+    let plan = q_hypertree_decomp(&bq, &QhdOptions::default(), &StructuralCost).unwrap();
+
+    // Warm-up pass.
+    let r1 = {
+        let mut b = Budget::unlimited();
+        evaluate_qhd_with(&bdb, &bq, &plan, &mut b, &ExecOptions { threads: 1 }).unwrap()
+    };
+
+    let _ = writeln!(
+        report,
+        "## `evaluate_qhd`, bushy query (3 independent subtrees, 300k-row chains)\n"
+    );
+    let _ = writeln!(report, "Output: {} rows. Best of {REPS} runs.\n", r1.len());
+    let _ = writeln!(report, "| schedule | time | speedup |");
+    let _ = writeln!(report, "|---|---|---|");
+    let mut t_eval1 = 0.0;
+    for &t in &sweep {
+        let (dt, r) = best_of(|| {
+            let mut b = Budget::unlimited();
+            evaluate_qhd_with(&bdb, &bq, &plan, &mut b, &ExecOptions { threads: t }).unwrap()
+        });
+        assert!(r.set_eq(&r1), "parallel evaluation changed the answer");
+        if t == 1 {
+            t_eval1 = dt;
+            let _ = writeln!(report, "| sequential (1 thread) | {dt:.3}s | 1.00x |");
+        } else {
+            let _ = writeln!(report, "| parallel ({t} threads) | {dt:.3}s | {:.2}x |", t_eval1 / dt);
+        }
+    }
+
+    print!("{report}");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/kernels.md", &report).expect("write results/kernels.md");
+    eprintln!("\nwrote results/kernels.md");
+}
+
+/// `q(A,B,C) ← hub(A,B,C) ∧ chains`, one 3-atom chain per hub variable.
+/// Chains: `ci0(V, Vi1) ∧ ci1(Vi1, Vi2) ∧ ci2(Vi2, Vi3)`.
+fn bushy_workload(
+    chain_rows: usize,
+    domain: u64,
+    hub_rows: usize,
+) -> (Database, htqo_cq::ConjunctiveQuery) {
+    // Deterministic LCG so the harness needs no RNG dependency.
+    let mut state = 0x9E37_79B9_97F4_A7C5u64;
+    let mut next = move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % m) as i64
+    };
+
+    let mut db = Database::new();
+    let mut b = CqBuilder::new();
+    let hub_vars = ["A", "B", "C"];
+
+    let mut hub = Relation::new(Schema::new(&[
+        ("a", ColumnType::Int),
+        ("b", ColumnType::Int),
+        ("c", ColumnType::Int),
+    ]));
+    hub.reserve(hub_rows);
+    for _ in 0..hub_rows {
+        hub.push_row(vec![
+            Value::Int(next(domain)),
+            Value::Int(next(domain)),
+            Value::Int(next(domain)),
+        ])
+        .unwrap();
+    }
+    db.insert_table("hub", hub);
+    b = b.atom("hub", "hub", &[("a", "A"), ("b", "B"), ("c", "C")]);
+
+    for (i, &v) in hub_vars.iter().enumerate() {
+        for k in 0..3usize {
+            let name = format!("c{i}{k}");
+            let mut rel =
+                Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            rel.reserve(chain_rows);
+            for _ in 0..chain_rows {
+                rel.push_row(vec![Value::Int(next(domain)), Value::Int(next(domain))])
+                    .unwrap();
+            }
+            db.insert_table(&name, rel);
+            let l = if k == 0 {
+                v.to_string()
+            } else {
+                format!("{v}{k}")
+            };
+            let r = format!("{v}{}", k + 1);
+            b = b.atom(&name, &name, &[("l", &l), ("r", &r)]);
+        }
+    }
+    for v in hub_vars {
+        b = b.out_var(v);
+    }
+    (db, b.build())
+}

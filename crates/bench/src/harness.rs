@@ -118,6 +118,30 @@ pub fn run_budget() -> Budget {
         .with_max_tuples(tuples)
 }
 
+/// Applies the `--threads N` (or `--threads=N`) command-line knob shared
+/// by the figure harnesses: parses the process arguments, pins the
+/// execution-layer thread count via [`htqo_engine::exec::set_threads`],
+/// and returns the count now in effect. Without the flag, the
+/// `HTQO_THREADS` env var / machine parallelism default stands.
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut parsed: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--threads=") {
+            parsed = v.parse().ok();
+        } else if args[i] == "--threads" {
+            parsed = args.get(i + 1).and_then(|v| v.parse().ok());
+            i += 1;
+        }
+        i += 1;
+    }
+    if let Some(n) = parsed {
+        htqo_engine::exec::set_threads(n);
+    }
+    htqo_engine::exec::num_threads()
+}
+
 /// Reads an f64 environment knob with a default.
 pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)

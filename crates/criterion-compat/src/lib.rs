@@ -1,0 +1,222 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors the slice of `criterion` its benches actually use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: a short warm-up, then timed batches until a wall
+//! budget is spent; the mean and best iteration times are printed as
+//! plain text. `HTQO_BENCH_MS` (default 300) sets the per-benchmark
+//! measurement budget; command-line bench filters are honored as substring
+//! matches.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes extra args through; treat the
+        // first non-flag argument as a substring filter like criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "benches");
+        let ms = std::env::var("HTQO_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion { filter, budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name, self.filter.as_deref(), self.budget, &mut f);
+        self
+    }
+
+    /// Opens a named group; members print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is wall-budget driven here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.filter.as_deref(), self.criterion.budget, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.filter.as_deref(), self.criterion.budget, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    budget: Duration,
+    /// `(total, iters, best)` over all timed batches.
+    measured: Option<(Duration, u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the wall budget is spent.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up: a few iterations or 10% of the budget.
+        let warm_deadline = Instant::now() + self.budget / 10;
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || Instant::now() < warm_deadline {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1000 {
+                break;
+            }
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut best = Duration::MAX;
+        let deadline = Instant::now() + self.budget;
+        while iters < 10 || (Instant::now() < deadline && iters < 1_000_000) {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+            iters += 1;
+            if total > self.budget * 4 {
+                break;
+            }
+        }
+        self.measured = Some((total, iters, best));
+    }
+}
+
+fn run_one(
+    name: &str,
+    filter: Option<&str>,
+    budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher { budget, measured: None };
+    f(&mut b);
+    match b.measured {
+        Some((total, iters, best)) => {
+            let mean = total / iters.max(1) as u32;
+            println!("{name:<48} mean {mean:>12?}   best {best:>12?}   ({iters} iters)");
+        }
+        None => println!("{name:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        std::env::set_var("HTQO_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+}

@@ -6,6 +6,8 @@
 //! intermediate tuples (a deterministic proxy for work).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors surfaced during query evaluation.
@@ -70,16 +72,56 @@ impl EvalError {
 /// `charge(n)` accounts for `n` freshly materialized tuples; the deadline
 /// is polled at most every few thousand charges to keep the common path
 /// cheap.
+///
+/// # Concurrency
+///
+/// A budget starts with a plain local counter. [`Budget::fork`] promotes
+/// the counter to a shared atomic and returns a sibling handle charging
+/// the *same* pool, which is how the parallel execution layer keeps
+/// accounting exact across worker threads: every handle sees the global
+/// total, so the tuple limit trips if and only if the combined work
+/// exceeds it — independent of thread count or interleaving (the sum of
+/// charges is order-free). Call [`Budget::check_exceeded`] at merge points
+/// to surface exhaustion deterministically after parallel sections.
 #[derive(Clone, Debug)]
 pub struct Budget {
     max_tuples: Option<u64>,
     deadline: Option<(Instant, Duration)>,
-    charged: u64,
+    counter: Counter,
     since_time_check: u64,
+}
+
+/// Local or shared tuple counter. A shared handle batches its charges in
+/// `pending` and flushes to the pool every [`FLUSH_INTERVAL`] tuples (and
+/// on drop), so hot join loops do not pay one atomic RMW per output row.
+/// Exhaustion is then observed at flush points and at
+/// [`Budget::check_exceeded`] merge points; a worker can overshoot the
+/// limit by at most `FLUSH_INTERVAL` tuples before noticing, but *whether*
+/// the limit trips depends only on the order-free combined total.
+#[derive(Debug)]
+enum Counter {
+    Local(u64),
+    Shared { pool: Arc<AtomicU64>, pending: u64 },
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        match self {
+            Counter::Local(n) => Counter::Local(*n),
+            // Pending charges belong to the handle that accrued them; a
+            // clone starts with its own empty batch (copying `pending`
+            // would double-count on flush).
+            Counter::Shared { pool, .. } => Counter::Shared { pool: Arc::clone(pool), pending: 0 },
+        }
+    }
 }
 
 /// How often (in charged tuples) the deadline is polled.
 const TIME_CHECK_INTERVAL: u64 = 4096;
+
+/// How many tuples a shared [`Counter`] handle batches locally before
+/// flushing to the shared pool.
+const FLUSH_INTERVAL: u64 = 1024;
 
 impl Default for Budget {
     fn default() -> Self {
@@ -93,7 +135,7 @@ impl Budget {
         Budget {
             max_tuples: None,
             deadline: None,
-            charged: 0,
+            counter: Counter::Local(0),
             since_time_check: 0,
         }
     }
@@ -110,16 +152,44 @@ impl Budget {
         self
     }
 
-    /// Total tuples charged so far.
+    /// Total tuples charged so far (across all forked handles, plus this
+    /// handle's unflushed batch).
     pub fn charged(&self) -> u64 {
-        self.charged
+        match &self.counter {
+            Counter::Local(n) => *n,
+            Counter::Shared { pool, pending } => pool.load(Ordering::Relaxed) + pending,
+        }
+    }
+
+    /// Promotes the counter to a shared atomic (if not already) and
+    /// returns a sibling handle charging the same pool. The handle is
+    /// `Send`; give one to each parallel task.
+    pub fn fork(&mut self) -> Budget {
+        if let Counter::Local(n) = self.counter {
+            self.counter = Counter::Shared { pool: Arc::new(AtomicU64::new(n)), pending: 0 };
+        }
+        self.clone()
     }
 
     /// Accounts for `n` materialized tuples.
     pub fn charge(&mut self, n: u64) -> Result<(), EvalError> {
-        self.charged += n;
-        if let Some(limit) = self.max_tuples {
-            if self.charged > limit {
+        let total = match &mut self.counter {
+            Counter::Local(c) => {
+                *c += n;
+                Some(*c)
+            }
+            Counter::Shared { pool, pending } => {
+                *pending += n;
+                if *pending >= FLUSH_INTERVAL {
+                    let flushed = std::mem::take(pending);
+                    Some(pool.fetch_add(flushed, Ordering::Relaxed) + flushed)
+                } else {
+                    None // exhaustion observed at the next flush or merge
+                }
+            }
+        };
+        if let (Some(total), Some(limit)) = (total, self.max_tuples) {
+            if total > limit {
                 return Err(EvalError::TupleBudgetExceeded { limit });
             }
         }
@@ -135,6 +205,29 @@ impl Budget {
         Ok(())
     }
 
+    /// Deterministic exhaustion check for merge points after parallel
+    /// sections: errors iff the *combined* charges of all handles exceed
+    /// the tuple limit, regardless of which worker crossed it first.
+    pub fn check_exceeded(&self) -> Result<(), EvalError> {
+        if let Some(limit) = self.max_tuples {
+            if self.charged() > limit {
+                return Err(EvalError::TupleBudgetExceeded { limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes this handle's unflushed batch to the shared pool (no-op
+    /// for local counters). Called on drop, so totals are exact by the
+    /// time any merge point runs `check_exceeded`.
+    fn flush(&mut self) {
+        if let Counter::Shared { pool, pending } = &mut self.counter {
+            if *pending > 0 {
+                pool.fetch_add(std::mem::take(pending), Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Forces a deadline check (called between operators).
     pub fn check_time(&mut self) -> Result<(), EvalError> {
         if let Some((deadline, limit)) = self.deadline {
@@ -143,6 +236,12 @@ impl Budget {
             }
         }
         Ok(())
+    }
+}
+
+impl Drop for Budget {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -182,5 +281,61 @@ mod tests {
     fn display_messages() {
         assert!(EvalError::UnknownTable("t".into()).to_string().contains("`t`"));
         assert!(!EvalError::UnknownVariable("v".into()).is_resource_limit());
+    }
+
+    #[test]
+    fn forked_handles_share_the_pool() {
+        let mut b = Budget::unlimited().with_max_tuples(100);
+        b.charge(30).unwrap();
+        let mut h1 = b.fork();
+        let mut h2 = b.fork();
+        h1.charge(30).unwrap();
+        h2.charge(30).unwrap();
+        // Shared-handle charges are batched; they become visible to
+        // siblings when the handle flushes (here: on drop).
+        drop(h1);
+        drop(h2);
+        assert_eq!(b.charged(), 90);
+        // The combined pool trips at the merge point no matter which
+        // handle's charges crossed the limit.
+        let mut h3 = b.fork();
+        h3.charge(20).unwrap(); // batched, not yet observed
+        drop(h3);
+        let err = b.check_exceeded().unwrap_err();
+        assert_eq!(err, EvalError::TupleBudgetExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn shared_handle_trips_inline_on_flush() {
+        let mut b = Budget::unlimited().with_max_tuples(100);
+        let mut h = b.fork();
+        // A charge reaching FLUSH_INTERVAL flushes and observes the
+        // limit immediately, bounding how far a worker can overshoot.
+        let err = h.charge(FLUSH_INTERVAL).unwrap_err();
+        assert_eq!(err, EvalError::TupleBudgetExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn forked_charges_from_threads_are_exact() {
+        let mut b = Budget::unlimited();
+        let handles: Vec<Budget> = (0..8).map(|_| b.fork()).collect();
+        std::thread::scope(|s| {
+            for mut h in handles {
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.charge(1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.charged(), 8000);
+        assert!(b.check_exceeded().is_ok());
+    }
+
+    #[test]
+    fn check_exceeded_without_limit_never_errs() {
+        let mut b = Budget::unlimited();
+        b.charge(u64::MAX / 2).unwrap();
+        assert!(b.check_exceeded().is_ok());
     }
 }

@@ -1,0 +1,233 @@
+//! Minimal parallel runtime for the execution layer.
+//!
+//! The environment has no registry access, so instead of `rayon` this
+//! module provides the two primitives the evaluators need — an indexed
+//! [`parallel_map`] and a two-way [`join2`] — on top of
+//! `std::thread::scope`. A global permit pool bounds the number of live
+//! worker threads across *nested* parallel sections, so recursive
+//! tree-parallel evaluation cannot oversubscribe the machine.
+//!
+//! Thread count resolution order: explicit `workers` argument >
+//! [`set_threads`] > `HTQO_THREADS` env var > `available_parallelism()`.
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker permits beyond the calling thread. `-1` = uninitialized.
+static PERMITS: AtomicIsize = AtomicIsize::new(-1);
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("HTQO_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The execution-layer thread count currently in effect.
+pub fn num_threads() -> usize {
+    match CONFIGURED.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the thread count process-wide (the `--threads` knob of the
+/// figure harnesses). `1` disables parallel execution entirely.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n.max(1), Ordering::Relaxed);
+    // Re-arm the permit pool for the new width.
+    PERMITS.store(n.max(1) as isize - 1, Ordering::Relaxed);
+}
+
+/// Claims up to `want` worker permits from the global pool.
+fn acquire_permits(want: usize) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    let _ = PERMITS.compare_exchange(
+        -1,
+        num_threads() as isize - 1,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    let mut got = 0;
+    while got < want {
+        let cur = PERMITS.load(Ordering::Relaxed);
+        if cur <= 0 {
+            break;
+        }
+        let take = (cur as usize).min(want - got);
+        if PERMITS
+            .compare_exchange(cur, cur - take as isize, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            got += take;
+        }
+    }
+    got
+}
+
+fn release_permits(n: usize) {
+    if n > 0 {
+        PERMITS.fetch_add(n as isize, Ordering::Relaxed);
+    }
+}
+
+/// Applies `f` to every item, in parallel when worker permits are
+/// available, and returns the results **in input order**. Falls back to a
+/// plain sequential map when `workers <= 1`, for a single item, or when
+/// the permit pool is exhausted (deep nesting).
+///
+/// `workers` is an upper bound on concurrency for this call;
+/// [`num_threads`] is the usual argument.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 || workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let extra = acquire_permits(workers.min(n) - 1);
+    if extra == 0 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, R)>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let item = slots[i].lock().unwrap().take().expect("claimed once");
+        out.push((i, f(item)));
+    };
+
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..extra)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    worker(&mut out);
+                    out
+                })
+            })
+            .collect();
+        // The calling thread works too.
+        worker(&mut tagged);
+        for h in handles {
+            tagged.extend(h.join().expect("worker panicked"));
+        }
+    });
+    release_permits(extra);
+
+    tagged.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs two closures, concurrently when a worker permit is available, and
+/// returns both results.
+pub fn join2<A, B, FA, FB>(workers: usize, fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if workers <= 1 || acquire_permits(1) == 0 {
+        return (fa(), fb());
+    }
+    let out = std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let a = fa();
+        (a, hb.join().expect("worker panicked"))
+    });
+    release_permits(1);
+    out
+}
+
+/// Splits `0..len` into at most `chunks` contiguous `(start, end)` ranges
+/// of near-equal size (none empty).
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < rem);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(input.clone(), 8, |x| x * 2);
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // Sequential fallback agrees.
+        let out1 = parallel_map(input.clone(), 1, |x| x * 2);
+        assert_eq!(out, out1);
+    }
+
+    #[test]
+    fn nested_parallel_maps_terminate() {
+        let out = parallel_map((0..16).collect::<Vec<u64>>(), 4, |i| {
+            parallel_map((0..16).collect::<Vec<u64>>(), 4, move |j| i * j)
+                .into_iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..16).map(|i| (0..16).map(|j| i * j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn join2_returns_both() {
+        assert_eq!(join2(4, || 1, || "x"), (1, "x"));
+        assert_eq!(join2(1, || 2, || 3), (2, 3));
+    }
+
+    #[test]
+    fn chunk_ranges_cover() {
+        for len in [0usize, 1, 7, 64, 100] {
+            for chunks in [1usize, 3, 8, 200] {
+                let ranges = chunk_ranges(len, chunks);
+                let total: usize = ranges.iter().map(|(a, b)| b - a).sum();
+                assert_eq!(total, len);
+                assert!(ranges.iter().all(|(a, b)| a < b));
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_knob() {
+        assert!(num_threads() >= 1);
+    }
+}

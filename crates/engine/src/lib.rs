@@ -16,14 +16,19 @@
 //! - [`scan`]: atom scans with selection push-down and the hidden
 //!   `__rowid` multiplicity guard;
 //! - [`aggregate`]: GROUP BY / aggregate finalization (step (4) of the
-//!   paper's evaluation pipeline).
+//!   paper's evaluation pipeline);
+//! - [`exec`] / [`hash`]: the parallel execution substrate — a scoped
+//!   worker pool with a global thread budget, and the in-place Fx join-key
+//!   hashing the kernels are built on.
 
 #![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod csv;
 pub mod error;
+pub mod exec;
 pub mod expr;
+pub mod hash;
 pub mod ops;
 pub mod relation;
 pub mod scan;

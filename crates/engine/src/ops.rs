@@ -2,13 +2,37 @@
 //! projection, and selection. Every operator charges freshly materialized
 //! tuples to a [`Budget`], which is how the harness reproduces the paper's
 //! "did not terminate" baseline data points deterministically.
+//!
+//! # The join kernel
+//!
+//! Joins key their hash tables by a 64-bit in-place hash of the shared
+//! columns ([`crate::hash::hash_key`]) and verify candidate matches
+//! against the actual values — no per-row boxed-key allocation (the seed
+//! kernel, kept as [`natural_join_seed`], allocated one `Box<[Value]>`
+//! per build *and* probe row). Above [`PARALLEL_ROW_THRESHOLD`] total
+//! rows the kernel hash-partitions both sides and runs build+probe per
+//! partition on the [`crate::exec`] worker pool; below it a sequential
+//! pass avoids any threading overhead, so the paper's small queries are
+//! not regressed. The partitioned path's output row order is independent
+//! of worker count: the partition count is fixed, probe order is
+//! preserved within a partition, and partitions are concatenated in
+//! index order. (All consumers are set-semantic, so the sequential and
+//! partitioned paths are interchangeable; their bags are identical.)
 
 use crate::error::{Budget, EvalError};
+use crate::exec;
+use crate::hash::{hash_key, keys_eq, partition_of, FxHashMap};
 use crate::value::{Row, Value};
 use crate::vrel::VRelation;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-/// Key of a hash-join bucket: the values of the shared columns.
+/// Combined row count (both join sides) above which the hash join
+/// partitions the inputs and uses the worker pool. Below it the
+/// sequential kernel wins: partitioning two relations that fit in cache
+/// costs more than it saves.
+pub const PARALLEL_ROW_THRESHOLD: usize = 8192;
+
+/// Key of a seed-kernel hash bucket: the values of the shared columns.
 type Key = Box<[Value]>;
 
 fn key_of(row: &Row, idx: &[usize]) -> Key {
@@ -35,13 +59,282 @@ fn join_layout(a: &VRelation, b: &VRelation) -> (Vec<usize>, Vec<usize>, Vec<usi
 /// Natural join of `a` and `b` on their shared variables. With no shared
 /// variables this degenerates to a cross product (still budget-charged).
 ///
-/// The hash table is built on the smaller input.
+/// The hash table is built on the smaller input; large inputs are
+/// hash-partitioned and joined in parallel (see the module docs).
 pub fn natural_join(
     a: &VRelation,
     b: &VRelation,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
     // Build on the smaller side: swap so `build` is smallest.
+    let (build, probe, swapped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
+    let (build_shared, probe_shared, probe_rest) = join_layout(build, probe);
+
+    let mut out_cols: Vec<String> = build.cols().to_vec();
+    out_cols.extend(probe_rest.iter().map(|&j| probe.cols()[j].clone()));
+
+    let threads = exec::num_threads();
+    let rows = if !build_shared.is_empty()
+        && threads > 1
+        && build.len() + probe.len() >= PARALLEL_ROW_THRESHOLD
+    {
+        join_rows_partitioned(build, probe, &build_shared, &probe_shared, &probe_rest, threads, budget)?
+    } else {
+        join_rows_sequential(build, probe, &build_shared, &probe_shared, &probe_rest, budget)?
+    };
+    let out = VRelation::from_rows(out_cols, rows);
+
+    // The output column order depends only on (build, probe); make it
+    // deterministic w.r.t. the caller's argument order by rotating when we
+    // swapped. Variable-named columns make order semantically irrelevant,
+    // but deterministic output keeps tests and EXPLAIN stable.
+    if swapped {
+        let desired: Vec<String> = {
+            let mut cols: Vec<String> = a.cols().to_vec();
+            cols.extend(b.cols().iter().filter(|c| !a.cols().contains(c)).cloned());
+            cols
+        };
+        return Ok(reorder(&out, &desired));
+    }
+    Ok(out)
+}
+
+/// Emits the joined row `build_row ++ probe_rest(probe_row)`.
+#[inline]
+fn emit_joined(brow: &Row, prow: &Row, probe_rest: &[usize], width: usize) -> Row {
+    let mut row: Vec<Value> = Vec::with_capacity(width);
+    row.extend(brow.iter().cloned());
+    row.extend(probe_rest.iter().map(|&j| prow[j].clone()));
+    row.into_boxed_slice()
+}
+
+/// Sentinel terminating a [`ChainTable`] bucket chain.
+const CHAIN_END: u32 = u32::MAX;
+
+/// A chained-index hash table over build rows: an open-addressed slot
+/// array maps a key hash to the first row of its chain, `next` links rows
+/// sharing a hash. Key hashes come out of [`hash_key`]'s avalanche
+/// finalizer already well mixed, so slots are probed by masking the hash
+/// directly — no second hash function, no general-purpose map. Exactly
+/// two allocations per build regardless of key distribution (the seed
+/// kernel allocated a boxed key per row).
+struct ChainTable {
+    mask: usize,
+    /// `(key hash, chain head)`; a head of [`CHAIN_END`] marks an empty slot.
+    slots: Vec<(u64, u32)>,
+    next: Vec<u32>,
+}
+
+impl ChainTable {
+    /// Builds chains over `n` rows whose key hash is `hash(i)`. Iterates
+    /// in reverse so each chain lists rows in ascending order. Slot count
+    /// is `2n` rounded up to a power of two (≤50% load factor).
+    fn build(n: usize, hash: impl Fn(usize) -> u64) -> ChainTable {
+        let cap = (n.max(4) * 2).next_power_of_two();
+        let mask = cap - 1;
+        let mut slots: Vec<(u64, u32)> = vec![(0, CHAIN_END); cap];
+        let mut next = vec![CHAIN_END; n];
+        for i in (0..n).rev() {
+            let h = hash(i);
+            let mut s = (h as usize) & mask;
+            loop {
+                let (sh, head) = slots[s];
+                if head == CHAIN_END {
+                    slots[s] = (h, i as u32);
+                    break;
+                }
+                if sh == h {
+                    next[i] = head;
+                    slots[s].1 = i as u32;
+                    break;
+                }
+                s = (s + 1) & mask;
+            }
+        }
+        ChainTable { mask, slots, next }
+    }
+
+    /// First row of the chain for `hash`, or [`CHAIN_END`].
+    #[inline]
+    fn head(&self, hash: u64) -> u32 {
+        let mut s = (hash as usize) & self.mask;
+        loop {
+            let (sh, head) = self.slots[s];
+            if head == CHAIN_END || sh == hash {
+                return head;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Iterates the chain for `hash`, calling `f` with each row index.
+    #[inline]
+    fn for_each(&self, hash: u64, mut f: impl FnMut(usize) -> Result<(), EvalError>) -> Result<(), EvalError> {
+        let mut i = self.head(hash);
+        while i != CHAIN_END {
+            f(i as usize)?;
+            i = self.next[i as usize];
+        }
+        Ok(())
+    }
+
+    /// True if any row in the chain for `hash` satisfies `f`.
+    #[inline]
+    fn any(&self, hash: u64, mut f: impl FnMut(usize) -> bool) -> bool {
+        let mut i = self.head(hash);
+        while i != CHAIN_END {
+            if f(i as usize) {
+                return true;
+            }
+            i = self.next[i as usize];
+        }
+        false
+    }
+}
+
+/// Single-threaded hash join kernel: hashes keys in place, one table for
+/// the whole build side.
+fn join_rows_sequential(
+    build: &VRelation,
+    probe: &VRelation,
+    build_shared: &[usize],
+    probe_shared: &[usize],
+    probe_rest: &[usize],
+    budget: &mut Budget,
+) -> Result<Vec<Row>, EvalError> {
+    let width = build.cols().len() + probe_rest.len();
+    let table = ChainTable::build(build.len(), |i| hash_key(&build.rows()[i], build_shared));
+    let mut out: Vec<Row> = Vec::new();
+    for prow in probe.rows() {
+        table.for_each(hash_key(prow, probe_shared), |bi| {
+            let brow = &build.rows()[bi];
+            if keys_eq(brow, build_shared, prow, probe_shared) {
+                budget.charge(1)?;
+                out.push(emit_joined(brow, prow, probe_rest, width));
+            }
+            Ok(())
+        })?;
+    }
+    Ok(out)
+}
+
+/// Partitioned parallel kernel: hash both sides, split by the high hash
+/// bits, build+probe each partition on the worker pool, concatenate in
+/// partition order (deterministic output for any thread count).
+fn join_rows_partitioned(
+    build: &VRelation,
+    probe: &VRelation,
+    build_shared: &[usize],
+    probe_shared: &[usize],
+    probe_rest: &[usize],
+    threads: usize,
+    budget: &mut Budget,
+) -> Result<Vec<Row>, EvalError> {
+    let width = build.cols().len() + probe_rest.len();
+    let bits = partition_bits(threads);
+    let nparts = 1usize << bits;
+
+    let build_hashes = hashes_of(build.rows(), build_shared, threads);
+    let probe_hashes = hashes_of(probe.rows(), probe_shared, threads);
+
+    let bucket = |hashes: &[u64]| -> Vec<Vec<u32>> {
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+        for (i, &h) in hashes.iter().enumerate() {
+            parts[partition_of(h, bits)].push(i as u32);
+        }
+        parts
+    };
+    let build_parts = bucket(&build_hashes);
+    let probe_parts = bucket(&probe_hashes);
+
+    let shared = budget.fork();
+    let tasks: Vec<usize> = (0..nparts).collect();
+    let results: Vec<Result<Vec<Row>, EvalError>> = exec::parallel_map(tasks, threads, |p| {
+        let mut bud = shared.clone();
+        let bp = &build_parts[p];
+        let table = ChainTable::build(bp.len(), |k| build_hashes[bp[k] as usize]);
+        let mut out: Vec<Row> = Vec::new();
+        for &pi in &probe_parts[p] {
+            let prow = &probe.rows()[pi as usize];
+            table.for_each(probe_hashes[pi as usize], |k| {
+                let brow = &build.rows()[bp[k] as usize];
+                if keys_eq(brow, build_shared, prow, probe_shared) {
+                    bud.charge(1)?;
+                    out.push(emit_joined(brow, prow, probe_rest, width));
+                }
+                Ok(())
+            })?;
+        }
+        Ok(out)
+    });
+    merge_partition_results(results, budget)
+}
+
+/// Partition bits for the parallel kernel. Fixed (64 partitions, plenty
+/// of slack for the ≤16-worker pool even under skew) so the partitioned
+/// path's output order does not depend on the thread count.
+fn partition_bits(_threads: usize) -> u32 {
+    6
+}
+
+/// Hashes the key columns of every row, in parallel chunks.
+fn hashes_of(rows: &[Row], idx: &[usize], threads: usize) -> Vec<u64> {
+    if rows.len() < PARALLEL_ROW_THRESHOLD || threads <= 1 {
+        return rows.iter().map(|r| hash_key(r, idx)).collect();
+    }
+    let chunks = exec::chunk_ranges(rows.len(), threads * 4);
+    exec::parallel_map(chunks, threads, |(lo, hi)| {
+        rows[lo..hi].iter().map(|r| hash_key(r, idx)).collect::<Vec<u64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Folds per-partition results: budget exhaustion is surfaced first (its
+/// occurrence depends only on the combined charge total, so it is
+/// deterministic for any thread count), then the first per-partition
+/// error in partition order, then the concatenated rows.
+fn merge_partition_results(
+    results: Vec<Result<Vec<Row>, EvalError>>,
+    budget: &mut Budget,
+) -> Result<Vec<Row>, EvalError> {
+    budget.check_exceeded()?;
+    let mut parts = Vec::with_capacity(results.len());
+    for r in results {
+        parts.push(r?);
+    }
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    Ok(out)
+}
+
+/// Reorders columns of `r` to `desired` (must be a permutation).
+fn reorder(r: &VRelation, desired: &[String]) -> VRelation {
+    let perm: Vec<usize> = desired
+        .iter()
+        .map(|c| r.col_index(c).expect("reorder: missing column"))
+        .collect();
+    let rows: Vec<Row> = r
+        .rows()
+        .iter()
+        .map(|row| perm.iter().map(|&i| row[i].clone()).collect())
+        .collect();
+    VRelation::from_rows(desired.to_vec(), rows)
+}
+
+/// The seed (pre-overhaul) hash-join kernel: single-threaded, one boxed
+/// key allocated per build *and* probe row. Kept as the baseline for the
+/// kernel microbenchmarks and the allocation-regression test; planners
+/// and evaluators never call it.
+pub fn natural_join_seed(
+    a: &VRelation,
+    b: &VRelation,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
     let (build, probe, swapped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
     let (build_shared, probe_shared, probe_rest) = join_layout(build, probe);
 
@@ -66,10 +359,6 @@ pub fn natural_join(
             out.push(row.into_boxed_slice());
         }
     }
-    // The output column order depends only on (build, probe); make it
-    // deterministic w.r.t. the caller's argument order by rotating when we
-    // swapped. Variable-named columns make order semantically irrelevant,
-    // but deterministic output keeps tests and EXPLAIN stable.
     if swapped {
         let desired: Vec<String> = {
             let mut cols: Vec<String> = a.cols().to_vec();
@@ -79,20 +368,6 @@ pub fn natural_join(
         return Ok(reorder(&out, &desired));
     }
     Ok(out)
-}
-
-/// Reorders columns of `r` to `desired` (must be a permutation).
-fn reorder(r: &VRelation, desired: &[String]) -> VRelation {
-    let perm: Vec<usize> = desired
-        .iter()
-        .map(|c| r.col_index(c).expect("reorder: missing column"))
-        .collect();
-    let rows: Vec<Row> = r
-        .rows()
-        .iter()
-        .map(|row| perm.iter().map(|&i| row[i].clone()).collect())
-        .collect();
-    VRelation::from_rows(desired.to_vec(), rows)
 }
 
 /// Reference nested-loop natural join: quadratic, allocation-happy, and
@@ -127,6 +402,9 @@ pub fn nested_loop_join(
 /// Semijoin `a ⋉ b`: rows of `a` with at least one match in `b` on the
 /// shared variables. With no shared variables, returns `a` unchanged if
 /// `b` is non-empty, else the empty relation.
+///
+/// Uses the same hash-in-place scheme as [`natural_join`]; the probe side
+/// goes parallel above [`PARALLEL_ROW_THRESHOLD`].
 pub fn semijoin(a: &VRelation, b: &VRelation, budget: &mut Budget) -> Result<VRelation, EvalError> {
     let (a_shared, b_shared, _) = join_layout(a, b);
     if a_shared.is_empty() {
@@ -137,15 +415,43 @@ pub fn semijoin(a: &VRelation, b: &VRelation, budget: &mut Budget) -> Result<VRe
             Ok(a.clone())
         };
     }
-    let keys: HashSet<Key> = b.rows().iter().map(|r| key_of(r, &b_shared)).collect();
-    let mut out = VRelation::empty(a.cols().to_vec());
-    for row in a.rows() {
-        if keys.contains(&key_of(row, &a_shared)) {
-            budget.charge(1)?;
-            out.push(row.clone());
+
+    // Build: hash → chain of b-row indices (kept to verify collisions).
+    let table = ChainTable::build(b.len(), |i| hash_key(&b.rows()[i], &b_shared));
+    let matches = |row: &Row| {
+        table.any(hash_key(row, &a_shared), |bi| {
+            keys_eq(row, &a_shared, &b.rows()[bi], &b_shared)
+        })
+    };
+
+    let threads = exec::num_threads();
+    let rows: Vec<Row> = if threads > 1 && a.len() + b.len() >= PARALLEL_ROW_THRESHOLD {
+        let shared = budget.fork();
+        let chunks = exec::chunk_ranges(a.len(), threads * 4);
+        let results: Vec<Result<Vec<Row>, EvalError>> =
+            exec::parallel_map(chunks, threads, |(lo, hi)| {
+                let mut bud = shared.clone();
+                let mut out = Vec::new();
+                for row in &a.rows()[lo..hi] {
+                    if matches(row) {
+                        bud.charge(1)?;
+                        out.push(row.clone());
+                    }
+                }
+                Ok(out)
+            });
+        merge_partition_results(results, budget)?
+    } else {
+        let mut out = Vec::new();
+        for row in a.rows() {
+            if matches(row) {
+                budget.charge(1)?;
+                out.push(row.clone());
+            }
         }
-    }
-    Ok(out)
+        out
+    };
+    Ok(VRelation::from_rows(a.cols().to_vec(), rows))
 }
 
 /// Projects `a` onto `vars` (which must all exist). `distinct` switches on
@@ -165,12 +471,22 @@ pub fn project(
         .collect::<Result<_, _>>()?;
     let mut out = VRelation::empty(vars.to_vec());
     if distinct {
-        let mut seen: HashSet<Row> = HashSet::with_capacity(a.len());
+        // Dedup via an in-place hash of the projected columns: candidate
+        // duplicates are verified against rows already emitted, so no
+        // second copy of each row is ever allocated.
+        let all: Vec<usize> = (0..idx.len()).collect();
+        let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        seen.reserve(a.len());
         for row in a.rows() {
-            let proj: Row = idx.iter().map(|&i| row[i].clone()).collect();
-            if seen.insert(proj.clone()) {
+            let h = hash_key(row, &idx);
+            let bucket = seen.entry(h).or_default();
+            let dup = bucket
+                .iter()
+                .any(|&oi| keys_eq(row, &idx, &out.rows()[oi as usize], &all));
+            if !dup {
                 budget.charge(1)?;
-                out.push(proj);
+                bucket.push(out.len() as u32);
+                out.push(idx.iter().map(|&i| row[i].clone()).collect());
             }
         }
     } else {

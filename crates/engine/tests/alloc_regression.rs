@@ -1,0 +1,94 @@
+//! Allocation regression guard for the join-kernel overhaul.
+//!
+//! The seed `natural_join` boxed one `Box<[Value]>` key per build *and*
+//! probe row; the overhauled kernel hashes key columns in place. This test
+//! counts heap allocations with a counting global allocator and pins the
+//! improvement: joining the same inputs must allocate well under half of
+//! what the seed kernel allocates.
+//!
+//! (Integration test = its own binary, so the global allocator and the
+//! counter see only this file's work.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use htqo_engine::error::Budget;
+use htqo_engine::ops::{natural_join, natural_join_seed, PARALLEL_ROW_THRESHOLD};
+use htqo_engine::value::Value;
+use htqo_engine::vrel::VRelation;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn allocs_of<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, r)
+}
+
+/// Two relations sharing column `x`, sized to stay on the sequential
+/// kernel path (below [`PARALLEL_ROW_THRESHOLD`]) so the count is
+/// single-threaded-deterministic.
+fn inputs(rows: usize) -> (VRelation, VRelation) {
+    let mut a: Vec<_> = Vec::with_capacity(rows);
+    let mut b: Vec<_> = Vec::with_capacity(rows);
+    for i in 0..rows as i64 {
+        // Sparse matches: the output stays small, so output-row
+        // construction does not drown out the per-row key costs.
+        a.push(vec![Value::Int(i), Value::Int(i * 2)].into_boxed_slice());
+        b.push(vec![Value::Int(i * 7), Value::Int(i)].into_boxed_slice());
+    }
+    (
+        VRelation::from_rows(vec!["x".into(), "y".into()], a),
+        VRelation::from_rows(vec!["x".into(), "z".into()], b),
+    )
+}
+
+#[test]
+fn hash_kernel_allocates_under_half_of_seed() {
+    let rows = PARALLEL_ROW_THRESHOLD / 2 - 100; // combined < threshold
+    let (a, b) = inputs(rows);
+
+    // Warm up both paths once so lazily-initialized state is excluded.
+    let mut budget = Budget::unlimited();
+    let _ = natural_join_seed(&a, &b, &mut budget).unwrap();
+    let _ = natural_join(&a, &b, &mut budget).unwrap();
+
+    let (seed_allocs, seed_out) = allocs_of(|| {
+        let mut budget = Budget::unlimited();
+        natural_join_seed(&a, &b, &mut budget).unwrap()
+    });
+    let (hash_allocs, hash_out) = allocs_of(|| {
+        let mut budget = Budget::unlimited();
+        natural_join(&a, &b, &mut budget).unwrap()
+    });
+
+    assert!(seed_out.set_eq(&hash_out), "kernels disagree");
+    // The seed kernel boxes ~2 keys/row (build + probe) on top of the
+    // table internals; the in-place kernel must beat half its count.
+    assert!(
+        hash_allocs * 2 < seed_allocs,
+        "expected the in-place kernel to allocate <half of the seed kernel: \
+         seed={seed_allocs}, hash={hash_allocs} ({rows} rows/side)"
+    );
+}

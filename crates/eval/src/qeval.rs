@@ -14,34 +14,75 @@
 //!
 //! Because the root covers all output variables (Condition 2), no top-down
 //! or second bottom-up pass is needed.
+//!
+//! # Parallel schedule
+//!
+//! The per-vertex joins of `P′` are mutually independent, and in `P″` the
+//! *subtrees* below distinct children of a vertex are independent; both
+//! fan out across worker threads when [`ExecOptions::threads`] allows.
+//! The Section 4.1 support-order constraint binds the order in which
+//! child results are *joined into the parent*, not the order in which the
+//! subtrees are evaluated — so child subtree evaluations run concurrently
+//! while the join fold still visits support children first. Budget
+//! accounting stays exact under concurrency via [`Budget::fork`], and
+//! tuple-budget exhaustion is deterministic for any thread count because
+//! the trip condition depends only on the (order-free) sum of charges.
+
+use std::sync::Mutex;
 
 use htqo_core::hypertree::NodeId;
 use htqo_core::QhdPlan;
 use htqo_cq::{AtomId, ConjunctiveQuery};
 use htqo_engine::error::{Budget, EvalError};
+use htqo_engine::exec;
 use htqo_engine::ops::{natural_join, project, project_onto_available};
 use htqo_engine::scan::scan_query_atom;
 use htqo_engine::schema::Database;
 use htqo_engine::vrel::VRelation;
 
+/// Execution-schedule knobs for [`evaluate_qhd_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Upper bound on worker threads for this evaluation. `1` forces a
+    /// fully sequential schedule (the seed behavior); the default is the
+    /// process-wide [`exec::num_threads`].
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: exec::num_threads(),
+        }
+    }
+}
+
 /// Evaluates `q` on `db` along the decomposition in `plan`, returning the
-/// answer relation over `out(Q)` (set semantics).
+/// answer relation over `out(Q)` (set semantics). Uses the process-wide
+/// thread count; see [`evaluate_qhd_with`] to pin the schedule.
 pub fn evaluate_qhd(
     db: &Database,
     q: &ConjunctiveQuery,
     plan: &QhdPlan,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
+    evaluate_qhd_with(db, q, plan, budget, &ExecOptions::default())
+}
+
+/// [`evaluate_qhd`] with an explicit execution schedule.
+pub fn evaluate_qhd_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    plan: &QhdPlan,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<VRelation, EvalError> {
     let tree = &plan.tree;
     let h = &plan.cq_hypergraph.hypergraph;
+    let threads = opts.threads.max(1);
 
     // χ(p) as variable names, per vertex.
-    let chi_names: Vec<Vec<String>> = tree
-        .preorder()
-        .iter()
-        .map(|_| Vec::new())
-        .collect::<Vec<_>>();
-    let mut chi_names = chi_names;
+    let mut chi_names: Vec<Vec<String>> = vec![Vec::new(); tree.len()];
     for p in tree.preorder() {
         chi_names[p.index()] = tree
             .node(p)
@@ -51,33 +92,62 @@ pub fn evaluate_qhd(
             .collect();
     }
 
-    // P′: per-vertex joins.
-    let mut vertex_rel: Vec<Option<VRelation>> = vec![None; tree.len()];
-    for p in tree.preorder() {
-        budget.check_time()?;
-        let n = tree.node(p);
-        let atoms = n.assigned.union(&n.lambda);
-        // Scan the participating atoms, smallest estimated first for cheap
-        // left-deep joins (sizes are exact here — we just scanned them).
-        let mut scanned: Vec<VRelation> = Vec::with_capacity(atoms.len());
-        for e in atoms.iter() {
-            let a = AtomId(e.0);
-            scanned.push(scan_query_atom(db, q, a, budget)?);
+    // P′: per-vertex joins — independent, so fan out across workers.
+    let vertices: Vec<NodeId> = tree.preorder();
+    let vertex_rel: Vec<Mutex<Option<VRelation>>> =
+        (0..tree.len()).map(|_| Mutex::new(None)).collect();
+    if threads > 1 && vertices.len() > 1 {
+        let shared = budget.fork();
+        let results = exec::parallel_map(vertices.clone(), threads, |p| {
+            let mut b = shared.clone();
+            vertex_join(db, q, tree, p, &chi_names[p.index()], &mut b)
+        });
+        // Merge point: surface budget exhaustion deterministically first,
+        // then any other error in preorder (= deterministic) order.
+        budget.check_exceeded()?;
+        for (p, r) in vertices.iter().zip(results) {
+            *vertex_rel[p.index()].lock().unwrap() = Some(r?);
         }
-        let joined = join_connected_greedy(scanned, budget)?;
-        vertex_rel[p.index()] = Some(project_onto_available(
-            &joined,
-            &chi_names[p.index()],
-            budget,
-        )?);
+    } else {
+        for &p in &vertices {
+            let r = vertex_join(db, q, tree, p, &chi_names[p.index()], budget)?;
+            *vertex_rel[p.index()].lock().unwrap() = Some(r);
+        }
     }
 
-    // P″: single bottom-up pass, support children first.
-    let result_root = eval_bottom_up(tree, tree.root(), &chi_names, &mut vertex_rel, budget)?;
+    // P″: single bottom-up pass, support children joined first.
+    let result_root = eval_bottom_up(tree, tree.root(), &chi_names, &vertex_rel, budget, threads)?;
 
     // P‴: project the root onto out(Q).
     let out = q.out_vars();
-    project(&result_root, &out, true, budget)
+    let result = project(&result_root, &out, true, budget)?;
+    // Final merge point: once the budget has been forked, charges are
+    // batched and may not trip inline (see `Budget::charge`); surface
+    // exhaustion before declaring success so every schedule agrees.
+    budget.check_exceeded()?;
+    Ok(result)
+}
+
+/// `P′` for one vertex: scan `assigned(p) ∪ λ(p)`, join them, project
+/// onto χ(p) (restricted to available variables).
+fn vertex_join(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    tree: &htqo_core::Hypertree,
+    p: NodeId,
+    chi: &[String],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    budget.check_time()?;
+    let n = tree.node(p);
+    let atoms = n.assigned.union(&n.lambda);
+    let mut scanned: Vec<VRelation> = Vec::with_capacity(atoms.len());
+    for e in atoms.iter() {
+        let a = AtomId(e.0);
+        scanned.push(scan_query_atom(db, q, a, budget)?);
+    }
+    let joined = join_connected_greedy(scanned, budget)?;
+    project_onto_available(&joined, chi, budget)
 }
 
 /// Joins a set of relations preferring variable-connected pairs: start
@@ -125,8 +195,9 @@ fn eval_bottom_up(
     tree: &htqo_core::Hypertree,
     p: NodeId,
     chi_names: &[Vec<String>],
-    vertex_rel: &mut [Option<VRelation>],
+    vertex_rel: &[Mutex<Option<VRelation>>],
     budget: &mut Budget,
+    threads: usize,
 ) -> Result<VRelation, EvalError> {
     let node = tree.node(p);
     // Children order: support children first, then the rest.
@@ -137,10 +208,39 @@ fn eval_bottom_up(
         }
     }
 
-    let mut acc = vertex_rel[p.index()].take().expect("vertex relation computed");
-    for c in order {
+    // The subtrees below distinct children are independent: evaluate them
+    // concurrently, then fold the joins sequentially in support-first
+    // order below (the ordering constraint binds the joins, not the
+    // subtree evaluations).
+    let children: Vec<Result<VRelation, EvalError>> = if threads > 1 && order.len() > 1 {
+        let shared = budget.fork();
+        let results = exec::parallel_map(order.clone(), threads, |c| {
+            let mut b = shared.clone();
+            eval_bottom_up(tree, c, chi_names, vertex_rel, &mut b, threads)
+        });
+        budget.check_exceeded()?;
+        results
+    } else {
+        let mut results = Vec::with_capacity(order.len());
+        for &c in &order {
+            let r = eval_bottom_up(tree, c, chi_names, vertex_rel, budget, threads);
+            let failed = r.is_err();
+            results.push(r);
+            if failed {
+                break;
+            }
+        }
+        results
+    };
+
+    let mut acc = vertex_rel[p.index()]
+        .lock()
+        .unwrap()
+        .take()
+        .expect("vertex relation computed");
+    for r in children {
         budget.check_time()?;
-        let child = eval_bottom_up(tree, c, chi_names, vertex_rel, budget)?;
+        let child = r?;
         // Early projection: by the connectedness condition, the only child
         // variables the parent (or any sibling) can ever see are those in
         // χ(p), so the rest are dead weight — drop them (with dedup)
@@ -280,5 +380,45 @@ mod tests {
         let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
         let mut budget = Budget::unlimited().with_max_tuples(10);
         assert!(evaluate_qhd(&db, &q, &plan, &mut budget).is_err());
+    }
+
+    #[test]
+    fn parallel_schedule_matches_sequential() {
+        for n in 3..=6 {
+            let names: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let db = db_for(&name_refs, 40, 5, n as i64 + 10);
+            let q = chain_query(n, &["X0", "X1"]);
+            let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+            let mut bs = Budget::unlimited();
+            let seq =
+                evaluate_qhd_with(&db, &q, &plan, &mut bs, &ExecOptions { threads: 1 }).unwrap();
+            for threads in [2usize, 4, 8] {
+                let mut bp = Budget::unlimited();
+                let par =
+                    evaluate_qhd_with(&db, &q, &plan, &mut bp, &ExecOptions { threads }).unwrap();
+                assert!(seq.set_eq(&par), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    /// Pinned: tuple-budget exhaustion is identical for every thread
+    /// count — the trip condition depends only on the order-free sum of
+    /// charges, surfaced deterministically at merge points.
+    #[test]
+    fn budget_exhaustion_is_thread_count_invariant() {
+        let db = db_for(&["p0", "p1", "p2", "p3"], 50, 3, 3);
+        let q = chain_query(4, &["X0"]);
+        let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+        for threads in [1usize, 2, 3, 4, 8, 16] {
+            let mut budget = Budget::unlimited().with_max_tuples(10);
+            let err = evaluate_qhd_with(&db, &q, &plan, &mut budget, &ExecOptions { threads })
+                .unwrap_err();
+            assert_eq!(
+                err,
+                EvalError::TupleBudgetExceeded { limit: 10 },
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -7,6 +7,7 @@
 
 use htqo_cq::ConjunctiveQuery;
 use htqo_engine::error::{Budget, EvalError};
+use htqo_engine::exec;
 use htqo_engine::ops::{natural_join, project, semijoin};
 use htqo_engine::scan::scan_query_atom;
 use htqo_engine::schema::Database;
@@ -31,10 +32,25 @@ pub fn evaluate_yannakakis(
     };
     let forest: JoinForest = reduction.forest;
 
-    // Scan every atom (edge i ↔ atom i).
+    // Scan every atom (edge i ↔ atom i) — independent work, so fan out
+    // across the execution-layer worker pool.
+    let atom_ids: Vec<_> = q.atom_ids().collect();
+    let threads = exec::num_threads();
     let mut rels: Vec<VRelation> = Vec::with_capacity(q.atoms.len());
-    for a in q.atom_ids() {
-        rels.push(scan_query_atom(db, q, a, budget)?);
+    if threads > 1 && atom_ids.len() > 1 {
+        let shared = budget.fork();
+        let scans = exec::parallel_map(atom_ids, threads, |a| {
+            let mut b = shared.clone();
+            scan_query_atom(db, q, a, &mut b)
+        });
+        budget.check_exceeded()?;
+        for r in scans {
+            rels.push(r?);
+        }
+    } else {
+        for a in atom_ids {
+            rels.push(scan_query_atom(db, q, a, budget)?);
+        }
     }
 
     // Bottom-up then top-down semijoin passes per tree.
@@ -84,7 +100,11 @@ pub fn evaluate_yannakakis(
         let t = acc[r.index()].take().expect("root folded");
         answer = natural_join(&answer, &t, budget)?;
     }
-    project(&answer, &out, true, budget)
+    let answer = project(&answer, &out, true, budget)?;
+    // Final merge point: forked-budget charges are batched and may not
+    // trip inline (see `Budget::charge`); check before declaring success.
+    budget.check_exceeded()?;
+    Ok(answer)
 }
 
 /// Post-order of all trees in the forest.

@@ -1,9 +1,15 @@
 //! Execution of bushy join trees: recursive evaluation over the engine,
 //! projecting the final result onto `out(Q)` like the other pipelines.
+//!
+//! The two inputs of a `Join` node are independent subtrees, so they are
+//! evaluated concurrently when the execution layer has worker permits —
+//! bushy trees are exactly the shape that profits from tree parallelism.
+//! Budget accounting stays exact across workers via [`Budget::fork`].
 
 use crate::bushy::JoinTree;
 use htqo_cq::ConjunctiveQuery;
 use htqo_engine::error::{Budget, EvalError};
+use htqo_engine::exec;
 use htqo_engine::ops::{natural_join, project};
 use htqo_engine::scan::scan_query_atom;
 use htqo_engine::schema::Database;
@@ -18,7 +24,11 @@ pub fn evaluate_join_tree(
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
     let joined = eval_node(db, q, tree, budget)?;
-    project(&joined, &q.out_vars(), true, budget)
+    let answer = project(&joined, &q.out_vars(), true, budget)?;
+    // Final merge point: forked-budget charges are batched and may not
+    // trip inline (see `Budget::charge`); check before declaring success.
+    budget.check_exceeded()?;
+    Ok(answer)
 }
 
 fn eval_node(
@@ -31,8 +41,20 @@ fn eval_node(
     match tree {
         JoinTree::Leaf(a) => scan_query_atom(db, q, *a, budget),
         JoinTree::Join(l, r) => {
-            let lv = eval_node(db, q, l, budget)?;
-            let rv = eval_node(db, q, r, budget)?;
+            let threads = exec::num_threads();
+            let (lv, rv) = if threads > 1 {
+                let mut bl = budget.fork();
+                let mut br = budget.fork();
+                let (lv, rv) = exec::join2(
+                    threads,
+                    move || eval_node(db, q, l, &mut bl),
+                    move || eval_node(db, q, r, &mut br),
+                );
+                budget.check_exceeded()?;
+                (lv?, rv?)
+            } else {
+                (eval_node(db, q, l, budget)?, eval_node(db, q, r, budget)?)
+            };
             natural_join(&lv, &rv, budget)
         }
     }
