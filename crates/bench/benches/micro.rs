@@ -1,17 +1,19 @@
 //! Criterion micro-benchmarks for the core kernels: GYO acyclicity,
-//! det-k/cost-k decomposition, the hybrid planner on TPC-H Q5, hash join
-//! throughput, the seed-vs-overhauled join kernels (sequential and
-//! partitioned-parallel), the parallel q-hypertree schedule, and the
-//! q-hypertree evaluator vs the naive pipeline on a chain query.
+//! det-k/cost-k decomposition, the seed-vs-branch-and-bound cost-k memo
+//! (cloned-bitset std keys vs interned ids under the fx hasher), the
+//! hybrid planner on TPC-H Q5, hash join throughput, the
+//! seed-vs-overhauled join kernels (sequential and partitioned-parallel),
+//! the parallel q-hypertree schedule, and the q-hypertree evaluator vs the
+//! naive pipeline on a chain query.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use htqo_core::treedecomp::{tree_decomposition, EliminationHeuristic};
 use htqo_core::{det_k_decomp, q_hypertree_decomp, QhdOptions, StructuralCost};
 use htqo_cq::{isolate, parse_select, IsolatorOptions};
 use htqo_engine::error::Budget;
 use htqo_engine::exec;
 use htqo_engine::ops::{natural_join, natural_join_seed};
 use htqo_eval::{evaluate_naive, evaluate_qhd, evaluate_qhd_with, ExecOptions};
-use htqo_core::treedecomp::{tree_decomposition, EliminationHeuristic};
 use htqo_hypergraph::acyclic::gyo;
 use htqo_hypergraph::{biconnected_components, hinge_decomposition};
 use htqo_optimizer::HybridOptimizer;
@@ -47,8 +49,103 @@ fn bench_decomposition(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_memo_lookup(c: &mut Criterion) {
+    // The memo-key overhaul in isolation: probing a std-hasher map keyed
+    // by cloned (EdgeSet, VarSet) pairs (the seed memo) vs hash-consing
+    // the sets into u32 ids and probing a flat FxHashMap<(u32, u32), _>.
+    use htqo_engine::hash::{FxBuildHasher, FxHashMap};
+    use htqo_hypergraph::{EdgeSet, VarSet};
+    use std::collections::HashMap;
+
+    let h = chain_query(12).hypergraph().hypergraph;
+    // Key population: every (suffix component, connector) pair of the
+    // chain — the same shape the search interns.
+    let keys: Vec<(EdgeSet, VarSet)> = (0..h.num_edges())
+        .map(|i| {
+            let comp: EdgeSet = h.edge_ids().skip(i).collect();
+            let conn = h.vars_of_edges(&comp);
+            (comp, conn)
+        })
+        .collect();
+
+    let mut seed_memo: HashMap<(EdgeSet, VarSet), usize> = HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        seed_memo.insert(k.clone(), i);
+    }
+    let mut edge_ids: FxHashMap<EdgeSet, u32> = FxHashMap::default();
+    let mut var_ids: FxHashMap<VarSet, u32> = FxHashMap::default();
+    let mut flat_memo: FxHashMap<(u32, u32), usize> =
+        FxHashMap::with_hasher(FxBuildHasher::default());
+    for (i, (comp, conn)) in keys.iter().enumerate() {
+        let next = edge_ids.len() as u32;
+        let a = *edge_ids.entry(comp.clone()).or_insert(next);
+        let next = var_ids.len() as u32;
+        let b = *var_ids.entry(conn.clone()).or_insert(next);
+        flat_memo.insert((a, b), i);
+    }
+
+    let mut group = c.benchmark_group("memo_lookup");
+    group.bench_function("seed_cloned_bitset_keys", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in &keys {
+                // The seed probed by building an owned key.
+                let key = (k.0.clone(), k.1.clone());
+                if seed_memo.contains_key(&key) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("interned_u32_keys", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in &keys {
+                // The B&B search probes interner + flat map by reference.
+                let (Some(&a), Some(&b)) = (edge_ids.get(&k.0), var_ids.get(&k.1)) else {
+                    continue;
+                };
+                if flat_memo.contains_key(&(a, b)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_costk_engines(c: &mut Criterion) {
+    // Seed exhaustive search vs the branch-and-bound engine, end to end.
+    use htqo_core::search::baseline;
+    use htqo_core::{cost_k_decomp_instrumented, SearchOptions};
+    let h = chain_query(10).hypergraph().hypergraph;
+    let mut group = c.benchmark_group("costk_engine");
+    group.bench_function("seed_cycle10_k3", |b| {
+        b.iter(|| {
+            baseline::cost_k_decomp_instrumented(&h, &SearchOptions::width(3), &StructuralCost)
+                .expect("cycles decompose")
+        })
+    });
+    group.bench_function("bnb_cycle10_k3", |b| {
+        b.iter(|| {
+            cost_k_decomp_instrumented(
+                &h,
+                &SearchOptions::width(3).with_threads(1),
+                &StructuralCost,
+            )
+            .expect("cycles decompose")
+        })
+    });
+    group.finish();
+}
+
 fn bench_tpch_planning(c: &mut Criterion) {
-    let db = generate(&DbgenOptions { scale: 0.001, seed: 1 });
+    let db = generate(&DbgenOptions {
+        scale: 0.001,
+        seed: 1,
+    });
     let sql = q5("ASIA", 1994);
     let stmt = parse_select(&sql).unwrap();
     let q = isolate(&stmt, &db, IsolatorOptions::default()).unwrap();
@@ -62,8 +159,10 @@ fn bench_hash_join(c: &mut Criterion) {
     let db = workload_db(&WorkloadSpec::new(2, 10_000, 100, 7));
     let q = acyclic_query(2);
     let mut budget = Budget::unlimited();
-    let left = htqo_engine::scan::scan_query_atom(&db, &q, htqo_cq::AtomId(0), &mut budget).unwrap();
-    let right = htqo_engine::scan::scan_query_atom(&db, &q, htqo_cq::AtomId(1), &mut budget).unwrap();
+    let left =
+        htqo_engine::scan::scan_query_atom(&db, &q, htqo_cq::AtomId(0), &mut budget).unwrap();
+    let right =
+        htqo_engine::scan::scan_query_atom(&db, &q, htqo_cq::AtomId(1), &mut budget).unwrap();
     c.bench_function("hash_join_10k_x_10k", |b| {
         b.iter(|| {
             let mut budget = Budget::unlimited();
@@ -192,6 +291,8 @@ criterion_group!(
     benches,
     bench_gyo,
     bench_decomposition,
+    bench_memo_lookup,
+    bench_costk_engines,
     bench_tpch_planning,
     bench_hash_join,
     bench_join_kernels,

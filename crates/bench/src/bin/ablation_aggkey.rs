@@ -26,7 +26,10 @@ fn main() {
     // (nation, quantity) pairs repeat — exactly where set semantics
     // under-counts. (TPC-H Q5's float revenues almost never collide, which
     // hides the effect; this query exposes it.)
-    let db = generate(&DbgenOptions { scale: 0.01, seed: 7 });
+    let db = generate(&DbgenOptions {
+        scale: 0.01,
+        seed: 7,
+    });
     let stats = analyze(&db);
     let sql = "SELECT n_name, sum(l_quantity) AS qty
                FROM lineitem, supplier, nation
@@ -44,19 +47,19 @@ fn main() {
         ("AggregateAtoms (default)", AggKeyMode::AggregateAtoms),
         ("None (paper-faithful)", AggKeyMode::None),
     ] {
-        let q = isolate(
-            &stmt,
-            &db,
-            IsolatorOptions { agg_key_mode: mode },
-        )
-        .expect("query isolates");
+        let q =
+            isolate(&stmt, &db, IsolatorOptions { agg_key_mode: mode }).expect("query isolates");
         // AllAtoms forces the root to cover every atom's rowid, i.e. a
         // width-6 root for Q5 — itself the demonstration of why full bag
         // semantics destroys the decomposition (Failure at the default
         // k = 4). Give it the width it needs.
         let max_width = if mode == AggKeyMode::AllAtoms { 3 } else { 4 };
         let opt = HybridOptimizer::with_stats(
-            QhdOptions { max_width, run_optimize: true },
+            QhdOptions {
+                max_width,
+                run_optimize: true,
+                threads: 0,
+            },
             stats.clone(),
         );
         let out = opt.execute_cq(&db, &q, Budget::unlimited());

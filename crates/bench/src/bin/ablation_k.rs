@@ -35,7 +35,10 @@ fn main() {
     let clique_dbase = clique_db(5, 100, 20, 0xAB2);
     cases.push(("clique-5".into(), clique_dbase, clique_query(5)));
 
-    let tpch = generate(&DbgenOptions { scale: 0.01, seed: 42 });
+    let tpch = generate(&DbgenOptions {
+        scale: 0.01,
+        seed: 42,
+    });
     for (name, sql) in [
         ("tpch-q5", q5("ASIA", 1994)),
         ("tpch-q8", q8("AMERICA", "ECONOMY ANODIZED STEEL")),
@@ -49,13 +52,20 @@ fn main() {
         let stats = analyze(db);
         for k in 1..=6usize {
             let opt = HybridOptimizer::with_stats(
-                QhdOptions { max_width: k, run_optimize: true },
+                QhdOptions {
+                    max_width: k,
+                    run_optimize: true,
+                    threads: 0,
+                },
                 stats.clone(),
             );
             let t0 = Instant::now();
             match opt.plan_cq(q) {
                 Err(_) => {
-                    println!("| {name} | {k} | Failure | {:.2?} | — | — | — |", t0.elapsed());
+                    println!(
+                        "| {name} | {k} | Failure | {:.2?} | — | — | — |",
+                        t0.elapsed()
+                    );
                 }
                 Ok(plan) => {
                     let plan_time = t0.elapsed();

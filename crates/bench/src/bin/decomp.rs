@@ -1,0 +1,222 @@
+//! Acceptance harness for the branch-and-bound `cost-k-decomp` overhaul:
+//! compares the engineered search (interned memo keys, pruned separator
+//! enumeration, admissible bound cuts, parallel subproblem solving)
+//! against the frozen seed search on synthetic line / cycle / star
+//! hypergraphs and TPC-H Q5, and writes the numbers to
+//! `results/decomp.md`.
+//!
+//! Every row asserts that the optimal cost is identical and that on
+//! hypergraphs with ≥ 6 atoms the engineered search examines *strictly
+//! fewer* separators than the seed with nonzero pruning counters — the
+//! PR's acceptance criteria.
+//!
+//! ```text
+//! cargo run -p htqo-bench --release --bin decomp [-- --threads N]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use htqo_core::search::baseline;
+use htqo_core::{cost_k_decomp_instrumented, SearchOptions, SearchStats, StructuralCost};
+use htqo_cq::{isolate, parse_select, ConjunctiveQuery, IsolatorOptions};
+use htqo_hypergraph::Hypergraph;
+use htqo_tpch::dbgen::{generate, DbgenOptions};
+use htqo_tpch::queries::q5;
+use htqo_workloads::{acyclic_query, chain_query, star_query};
+
+const REPS: usize = 3;
+
+struct Row {
+    family: &'static str,
+    atoms: usize,
+    k: usize,
+    cost: f64,
+    seed_seps: usize,
+    bnb_seps: usize,
+    seed_subs: usize,
+    bnb_subs: usize,
+    stats: SearchStats,
+    seed_time: f64,
+    seq_time: f64,
+    par_time: f64,
+}
+
+fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("REPS >= 1"))
+}
+
+fn measure(family: &'static str, h: &Hypergraph, opts: &SearchOptions) -> Option<Row> {
+    let k = opts.max_width;
+    let (seed_time, seed) =
+        best_of(|| baseline::cost_k_decomp_instrumented(h, opts, &StructuralCost));
+    let (seq_time, seq) =
+        best_of(|| cost_k_decomp_instrumented(h, &opts.clone().with_threads(1), &StructuralCost));
+    let (par_time, par) =
+        best_of(|| cost_k_decomp_instrumented(h, &opts.clone().with_threads(4), &StructuralCost));
+
+    let (seed_cost, _, seed_stats) = match seed {
+        Some(r) => r,
+        None => {
+            assert!(
+                seq.is_none() && par.is_none(),
+                "{family}: feasibility disagreement"
+            );
+            return None;
+        }
+    };
+    let (seq_cost, _, stats) = seq.expect("seed found a decomposition, B&B must too");
+    let (par_cost, _, _) = par.expect("seed found a decomposition, parallel B&B must too");
+    assert_eq!(seed_cost, seq_cost, "{family} k={k}: seed vs B&B cost");
+    assert_eq!(
+        seq_cost, par_cost,
+        "{family} k={k}: sequential vs parallel cost"
+    );
+
+    let atoms = h.num_edges();
+    if atoms >= 6 {
+        assert!(
+            stats.separators_tried < seed_stats.separators_tried,
+            "{family} k={k}: B&B examined {} separators, seed {} — pruning must strictly win \
+             on ≥6-atom hypergraphs",
+            stats.separators_tried,
+            seed_stats.separators_tried
+        );
+        assert!(
+            stats.cover_rejects + stats.bound_cuts > 0,
+            "{family} k={k}: no pruning counter fired: {stats:?}"
+        );
+    }
+
+    Some(Row {
+        family,
+        atoms,
+        k,
+        cost: seed_cost,
+        seed_seps: seed_stats.separators_tried,
+        bnb_seps: stats.separators_tried,
+        seed_subs: seed_stats.subproblems,
+        bnb_subs: stats.subproblems,
+        stats,
+        seed_time,
+        seq_time,
+        par_time,
+    })
+}
+
+fn tpch_q5() -> ConjunctiveQuery {
+    let db = generate(&DbgenOptions {
+        scale: 0.001,
+        seed: 5,
+    });
+    let stmt = parse_select(&q5("ASIA", 1994)).expect("Q5 parses");
+    isolate(&stmt, &db, IsolatorOptions::default()).expect("Q5 isolates")
+}
+
+fn main() {
+    // The harness pins its own per-search thread counts (1 vs 4); the
+    // --threads flag only raises the worker-pool cap.
+    let _ = htqo_bench::harness::threads_from_args();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for k in 2..=4usize {
+        for n in [4usize, 6, 8, 10] {
+            let q = acyclic_query(n);
+            let h = q.hypergraph().hypergraph;
+            rows.extend(measure("line", &h, &SearchOptions::width(k)));
+            let q = chain_query(n);
+            let h = q.hypergraph().hypergraph;
+            rows.extend(measure("cycle", &h, &SearchOptions::width(k)));
+            if n <= 8 {
+                // star_query(n) has n satellites + 1 hub atom.
+                let q = star_query(n);
+                let h = q.hypergraph().hypergraph;
+                rows.extend(measure("star", &h, &SearchOptions::width(k)));
+            }
+        }
+    }
+    // TPC-H Q5 with the q-HD root-cover constraint (the paper's Example 1).
+    let q = tpch_q5();
+    let ch = q.hypergraph();
+    let out = ch.out_var_set(&q);
+    for k in 2..=4usize {
+        rows.extend(measure(
+            "tpch-q5",
+            &ch.hypergraph,
+            &SearchOptions::width_with_root_cover(k, out.clone()),
+        ));
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "# Branch-and-bound cost-k-decomp acceptance numbers\n"
+    );
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(
+        report,
+        "Machine: {cpus} CPU(s) visible to the process. Times are best of {REPS} runs \
+         (structural cost model). `seed` is the frozen exhaustive search; `B&B` is the \
+         interned + pruned branch-and-bound engine; `B&B 4t` solves independent component \
+         subproblems on four worker threads. On a single-CPU host the 4t column measures \
+         scheduling overhead only. Every row asserts identical optimal cost across all \
+         three engines, and rows with ≥ 6 atoms assert strictly fewer separators examined \
+         than the seed.\n"
+    );
+    let _ = writeln!(
+        report,
+        "| query | atoms | k | separators seed | separators B&B | subproblems seed | \
+         subproblems B&B | bound cuts | cover rejects | interned | seed | B&B | speedup | B&B 4t |"
+    );
+    let _ = writeln!(
+        report,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            report,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {:.2}ms | {:.2}ms | {:.2}x | {:.2}ms |",
+            r.family,
+            r.atoms,
+            r.k,
+            r.seed_seps,
+            r.bnb_seps,
+            r.seed_subs,
+            r.bnb_subs,
+            r.stats.bound_cuts,
+            r.stats.cover_rejects,
+            r.stats.interned_keys,
+            r.seed_time * 1e3,
+            r.seq_time * 1e3,
+            r.seed_time / r.seq_time,
+            r.par_time * 1e3,
+        );
+    }
+    let _ = writeln!(report);
+    let total_seed: usize = rows.iter().map(|r| r.seed_seps).sum();
+    let total_bnb: usize = rows.iter().map(|r| r.bnb_seps).sum();
+    let _ = writeln!(
+        report,
+        "Totals: {total_seed} separators examined by the seed vs {total_bnb} by the \
+         branch-and-bound search ({:.1}% of the seed's work). Optimal costs were \
+         identical on every row (asserted; column omitted — `cost` is the structural \
+         model's width-lexicographic score, e.g. {:.1} for the first row).",
+        100.0 * total_bnb as f64 / total_seed as f64,
+        rows.first().map(|r| r.cost).unwrap_or(0.0),
+    );
+
+    print!("{report}");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/decomp.md", &report).expect("write results/decomp.md");
+    eprintln!("\nwrote results/decomp.md");
+}

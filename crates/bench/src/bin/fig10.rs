@@ -7,18 +7,21 @@
 //! per-plan join work.
 //!
 //! ```text
-//! cargo run -p htqo-bench --release --bin fig10
+//! cargo run -p htqo-bench --release --bin fig10 [-- --threads N]
 //! ```
 
-use htqo_bench::harness::{env_f64, print_table, run_measured, Series};
+use htqo_bench::harness::{env_f64, print_table, run_measured, threads_from_args, Series};
 use htqo_core::QhdOptions;
 use htqo_optimizer::HybridOptimizer;
 use htqo_stats::analyze;
 use htqo_workloads::{chain_query, workload_db, WorkloadSpec};
 
 fn main() {
+    let threads = threads_from_args();
     let max_atoms = env_f64("HTQO_MAX_ATOMS", 10.0) as usize;
-    println!("# Figure 10 — impact of Procedure Optimize (chain, sel 60, card 450)");
+    println!(
+        "# Figure 10 — impact of Procedure Optimize (chain, sel 60, card 450, {threads} thread(s))"
+    );
 
     let mut with_opt = Series::new("q-HD with Optimize");
     let mut without_opt = Series::new("q-HD without Optimize");
@@ -32,11 +35,19 @@ fn main() {
         let stats = analyze(&db);
 
         let opt_on = HybridOptimizer::with_stats(
-            QhdOptions { max_width: 4, run_optimize: true },
+            QhdOptions {
+                max_width: 4,
+                run_optimize: true,
+                threads: 0,
+            },
             stats.clone(),
         );
         let opt_off = HybridOptimizer::with_stats(
-            QhdOptions { max_width: 4, run_optimize: false },
+            QhdOptions {
+                max_width: 4,
+                run_optimize: false,
+                threads: 0,
+            },
             stats,
         );
 

@@ -59,7 +59,10 @@ fn main() {
 }
 
 fn named(s: Series, name: &str) -> Series {
-    Series { name: name.to_string(), points: s.points }
+    Series {
+        name: name.to_string(),
+        points: s.points,
+    }
 }
 
 /// Runs both methods for atom counts 2..=max (3..=max for chains).
@@ -70,7 +73,11 @@ fn sweep(cyclic: bool, cardinality: usize, selectivity: u64, max_atoms: usize) -
     for n in start..=max_atoms {
         let spec = WorkloadSpec::new(n, cardinality, selectivity, 0xF167 + n as u64);
         let db = workload_db(&spec);
-        let q: ConjunctiveQuery = if cyclic { chain_query(n) } else { acyclic_query(n) };
+        let q: ConjunctiveQuery = if cyclic {
+            chain_query(n)
+        } else {
+            acyclic_query(n)
+        };
 
         // CommDB: quantitative planner with statistics (the paper lets
         // CommDB use statistics in Figure 7).

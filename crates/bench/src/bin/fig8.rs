@@ -36,37 +36,57 @@ fn main() {
         let mut qhd_hybrid = Series::new("q-HD (hybrid)");
         for &scale in &scales {
             let mb = nominal_megabytes(scale);
-            let db = generate(&DbgenOptions { scale, seed: 19920701 });
+            let db = generate(&DbgenOptions {
+                scale,
+                seed: 19920701,
+            });
             let stats = analyze(&db);
 
             let commdb = DbmsSim::commdb(Some(stats.clone()));
-            with_stats.push(mb, run_measured(|b| {
-                commdb.execute_sql(&db, &sql, b).expect("valid TPC-H SQL")
-            }));
+            with_stats.push(
+                mb,
+                run_measured(|b| commdb.execute_sql(&db, &sql, b).expect("valid TPC-H SQL")),
+            );
 
             let commdb_blind = DbmsSim::commdb(None);
-            no_stats.push(mb, run_measured(|b| {
-                commdb_blind.execute_sql(&db, &sql, b).expect("valid TPC-H SQL")
-            }));
+            no_stats.push(
+                mb,
+                run_measured(|b| {
+                    commdb_blind
+                        .execute_sql(&db, &sql, b)
+                        .expect("valid TPC-H SQL")
+                }),
+            );
 
             // Purely structural q-HD: the paper observed that for Q5/Q8
             // statistics did not change the chosen decomposition.
             let structural = HybridOptimizer::structural(QhdOptions::default());
-            qhd.push(mb, run_measured(|b| {
-                structural.execute_sql(&db, &sql, b).expect("valid TPC-H SQL")
-            }));
+            qhd.push(
+                mb,
+                run_measured(|b| {
+                    structural
+                        .execute_sql(&db, &sql, b)
+                        .expect("valid TPC-H SQL")
+                }),
+            );
 
             // The tightly-coupled variant: decomposition chosen with the
             // statistics-driven cost model.
             let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats);
-            qhd_hybrid.push(mb, run_measured(|b| {
-                hybrid.execute_sql(&db, &sql, b).expect("valid TPC-H SQL")
-            }));
+            qhd_hybrid.push(
+                mb,
+                run_measured(|b| hybrid.execute_sql(&db, &sql, b).expect("valid TPC-H SQL")),
+            );
         }
         print_table(
             &format!("Figure 8{panel}"),
             "MB",
-            &[with_stats.clone(), no_stats.clone(), qhd.clone(), qhd_hybrid.clone()],
+            &[
+                with_stats.clone(),
+                no_stats.clone(),
+                qhd.clone(),
+                qhd_hybrid.clone(),
+            ],
         );
     }
 }

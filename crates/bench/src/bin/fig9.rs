@@ -5,23 +5,30 @@
 //!
 //! The integrated mode benefits from *both* structure and statistics: the
 //! hybrid optimizer runs cost-k-decomp with the statistics-driven vertex
-//! cost model.
+//! cost model. A second table reports the decomposition (planning) time of
+//! the integrated mode separately, to back the paper's point that the
+//! structural phase is a negligible fraction of evaluation.
 //!
 //! ```text
-//! cargo run -p htqo-bench --release --bin fig9
+//! cargo run -p htqo-bench --release --bin fig9 [-- --threads N]
 //! ```
 
-use htqo_bench::harness::{env_f64, print_table, run_measured, Series};
+use htqo_bench::harness::{
+    env_f64, print_table, run_budget, threads_from_args, Measurement, Series,
+};
 use htqo_core::QhdOptions;
 use htqo_optimizer::{DbmsSim, HybridOptimizer};
 use htqo_stats::analyze;
 use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
 
 fn main() {
+    let threads = threads_from_args();
     let max_atoms = env_f64("HTQO_MAX_ATOMS", 10.0) as usize;
-    println!("# Figure 9 — PostgreSQL vs PostgreSQL+q-HD (sel 60, card 450)");
+    println!("# Figure 9 — PostgreSQL vs PostgreSQL+q-HD (sel 60, card 450, {threads} thread(s))");
 
     let mut series: Vec<Series> = Vec::new();
+    // (label, atoms, decomposition time) for the q-HD planning table.
+    let mut decomp_times: Vec<(String, usize, f64)> = Vec::new();
     for (label, cyclic) in [("acyclic", false), ("chain", true)] {
         let mut pg = Series::new(&format!("PostgreSQL {label}"));
         let mut pg_qhd = Series::new(&format!("PostgreSQL+q-HD {label}"));
@@ -29,18 +36,32 @@ fn main() {
         for n in start..=max_atoms {
             let spec = WorkloadSpec::new(n, 450, 60, 0xF1_69 + n as u64);
             let db = workload_db(&spec);
-            let q = if cyclic { chain_query(n) } else { acyclic_query(n) };
+            let q = if cyclic {
+                chain_query(n)
+            } else {
+                acyclic_query(n)
+            };
             let stats = analyze(&db);
 
             let postgres = DbmsSim::postgres(Some(stats.clone()));
-            pg.push(n as f64, run_measured(|b| postgres.execute_cq(&db, &q, b)));
+            let outcome = postgres.execute_cq(&db, &q, run_budget());
+            pg.push(n as f64, Measurement::of(&outcome));
 
             // Integrated mode: hybrid (structure + statistics).
             let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats);
-            pg_qhd.push(n as f64, run_measured(|b| hybrid.execute_cq(&db, &q, b)));
+            let outcome = hybrid.execute_cq(&db, &q, run_budget());
+            decomp_times.push((label.to_string(), n, outcome.planning.as_secs_f64()));
+            pg_qhd.push(n as f64, Measurement::of(&outcome));
         }
         series.push(pg);
         series.push(pg_qhd);
     }
     print_table("Figure 9", "atoms", &series);
+
+    println!("\n### q-HD decomposition time (planning share of PostgreSQL+q-HD)\n");
+    println!("| query | atoms | decomposition |");
+    println!("|---|---|---|");
+    for (label, n, secs) in &decomp_times {
+        println!("| {label} | {n} | {:.2}ms |", secs * 1e3);
+    }
 }

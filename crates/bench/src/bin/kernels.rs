@@ -43,7 +43,9 @@ fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
 
 fn main() {
     let max_threads = htqo_bench::harness::threads_from_args().max(4);
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let sweep: Vec<usize> = [1usize, 2, 4, 8]
         .into_iter()
         .filter(|&t| t <= max_threads)
@@ -54,8 +56,10 @@ fn main() {
     let _ = writeln!(
         report,
         "Machine: {cpus} CPU(s) visible to the process; thread sweep {sweep:?}. \
-         Wall-clock parallel speedup requires >1 CPU — on a single-CPU host the \
-         multi-thread rows measure scheduling overhead only.\n"
+         Wall-clock parallel speedup requires >1 CPU — on a single-CPU host every \
+         parallel row in this file (multi-threaded join kernels, parallel q-HD \
+         schedules, and the parallel decomposition search in `results/decomp.md`) \
+         measures scheduling overhead only.\n"
     );
 
     // ---- 1. Hash-join kernel: 100k × 100k, Zipf-skewed keys. ----
@@ -106,7 +110,11 @@ fn main() {
         );
         let _ = writeln!(report, "| kernel | time | speedup vs seed |");
         let _ = writeln!(report, "|---|---|---|");
-        let _ = writeln!(report, "| seed (`key_of` boxing) | {:.3}s | 1.00x |", best[0]);
+        let _ = writeln!(
+            report,
+            "| seed (`key_of` boxing) | {:.3}s | 1.00x |",
+            best[0]
+        );
         for (i, &t) in sweep.iter().enumerate() {
             let label = if t == 1 {
                 "hash-in-place, sequential".to_string()
@@ -154,7 +162,11 @@ fn main() {
             t_eval1 = dt;
             let _ = writeln!(report, "| sequential (1 thread) | {dt:.3}s | 1.00x |");
         } else {
-            let _ = writeln!(report, "| parallel ({t} threads) | {dt:.3}s | {:.2}x |", t_eval1 / dt);
+            let _ = writeln!(
+                report,
+                "| parallel ({t} threads) | {dt:.3}s | {:.2}x |",
+                t_eval1 / dt
+            );
         }
     }
 
@@ -204,8 +216,10 @@ fn bushy_workload(
     for (i, &v) in hub_vars.iter().enumerate() {
         for k in 0..3usize {
             let name = format!("c{i}{k}");
-            let mut rel =
-                Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            let mut rel = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
             rel.reserve(chain_rows);
             for _ in 0..chain_rows {
                 rel.push_row(vec![Value::Int(next(domain)), Value::Int(next(domain))])

@@ -25,7 +25,10 @@ fn main() {
     println!("\n| nominal MB | ANALYZE time | q-HD decomposition time (Q5) |");
     println!("|---|---|---|");
     for &scale in &scales {
-        let db = generate(&DbgenOptions { scale, seed: 19920701 });
+        let db = generate(&DbgenOptions {
+            scale,
+            seed: 19920701,
+        });
         let t0 = Instant::now();
         let stats = analyze(&db);
         let analyze_secs = t0.elapsed().as_secs_f64();

@@ -67,7 +67,10 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new(name: &str) -> Self {
-        Series { name: name.to_string(), points: Vec::new() }
+        Series {
+            name: name.to_string(),
+            points: Vec::new(),
+        }
     }
 
     /// Adds a point.
@@ -95,13 +98,20 @@ pub fn print_table(title: &str, x_label: &str, series: &[Series]) {
 
     let headers: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();
     println!("| {x_label} | {} |", headers.join(" | "));
-    println!("|---|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|---|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for x in xs {
         let cells: Vec<String> = series
             .iter()
             .map(|s| s.at(x).map(|m| m.cell()).unwrap_or_else(|| "—".into()))
             .collect();
-        let x_str = if x.fract() == 0.0 { format!("{x:.0}") } else { format!("{x}") };
+        let x_str = if x.fract() == 0.0 {
+            format!("{x:.0}")
+        } else {
+            format!("{x}")
+        };
         println!("| {x_str} | {} |", cells.join(" | "));
     }
 }
@@ -173,14 +183,24 @@ mod tests {
     use super::*;
 
     fn m(seconds: f64, dnf: bool) -> Measurement {
-        Measurement { seconds, tuples: 10, rows: if dnf { None } else { Some(1) }, dnf }
+        Measurement {
+            seconds,
+            tuples: 10,
+            rows: if dnf { None } else { Some(1) },
+            dnf,
+        }
     }
 
     #[test]
     fn cells_render() {
         assert_eq!(m(1.5, false).cell(), "1.500s");
         assert_eq!(m(1.5, true).cell(), "DNF");
-        let err = Measurement { seconds: 0.0, tuples: 0, rows: None, dnf: false };
+        let err = Measurement {
+            seconds: 0.0,
+            tuples: 0,
+            rows: None,
+            dnf: false,
+        };
         assert_eq!(err.cell(), "ERR");
     }
 
@@ -195,6 +215,9 @@ mod tests {
     #[test]
     fn env_defaults() {
         assert_eq!(env_f64("HTQO_NOT_SET_XYZ", 7.5), 7.5);
-        assert_eq!(env_f64_list("HTQO_NOT_SET_XYZ", &[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(
+            env_f64_list("HTQO_NOT_SET_XYZ", &[1.0, 2.0]),
+            vec![1.0, 2.0]
+        );
     }
 }

@@ -14,7 +14,11 @@ use htqo_hypergraph::{EdgeSet, Hypergraph, VarSet};
 /// The total cost of a decomposition is the **sum of its vertex costs** —
 /// a tree-aggregation-monotone function, which is what makes the dynamic
 /// program over `(component, connector)` subproblems exact.
-pub trait DecompCost {
+///
+/// Implementations must be [`Sync`]: the branch-and-bound search evaluates
+/// independent component subproblems on worker threads, each of which
+/// calls [`DecompCost::vertex_cost`] through a shared reference.
+pub trait DecompCost: Sync {
     /// Estimated cost of materializing vertex `p`: joining the relations of
     /// `λ(p) ∪ assigned(p)` and projecting onto `χ(p)`.
     fn vertex_cost(
@@ -24,6 +28,17 @@ pub trait DecompCost {
         assigned: &EdgeSet,
         chi: &VarSet,
     ) -> f64;
+
+    /// An *admissible* lower bound on [`DecompCost::vertex_cost`] over
+    /// every possible vertex of `h`: no vertex the search can build may
+    /// cost less. The branch-and-bound search charges this bound once per
+    /// still-undecomposed component when deciding whether a partial
+    /// solution can still beat the incumbent, so an over-estimate here
+    /// would prune optimal solutions. The default (`0.0`) is always
+    /// admissible and merely disables the component term of the bound.
+    fn min_vertex_cost(&self, _h: &Hypergraph) -> f64 {
+        0.0
+    }
 }
 
 /// Purely structural cost — the "no statistics available" mode of the
@@ -47,6 +62,12 @@ pub trait DecompCost {
 pub struct StructuralCost;
 
 impl DecompCost for StructuralCost {
+    /// Every vertex has `|λ| ≥ 1`, so it costs at least `100¹` (the other
+    /// terms are non-negative).
+    fn min_vertex_cost(&self, _h: &Hypergraph) -> f64 {
+        100.0
+    }
+
     fn vertex_cost(
         &self,
         h: &Hypergraph,
@@ -106,6 +127,10 @@ impl<T: DecompCost + ?Sized> DecompCost for &T {
         chi: &VarSet,
     ) -> f64 {
         (**self).vertex_cost(h, lambda, assigned, chi)
+    }
+
+    fn min_vertex_cost(&self, h: &Hypergraph) -> f64 {
+        (**self).min_vertex_cost(h)
     }
 }
 

@@ -182,7 +182,12 @@ impl Hypertree {
 
 impl fmt::Display for Hypertree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "hypertree ({} vertices, width {})", self.len(), self.width())
+        write!(
+            f,
+            "hypertree ({} vertices, width {})",
+            self.len(),
+            self.width()
+        )
     }
 }
 
@@ -240,7 +245,12 @@ mod tests {
         let mut b = HypertreeBuilder::new();
         let leaf1 = b.add(vs(&[1, 2]), es(&[1]), es(&[1]), vec![]);
         let leaf2 = b.add(vs(&[2, 3]), es(&[2]), es(&[2]), vec![]);
-        let root = b.add(vs(&[0, 1, 2, 3]), es(&[0, 3]), es(&[0, 3]), vec![leaf1, leaf2]);
+        let root = b.add(
+            vs(&[0, 1, 2, 3]),
+            es(&[0, 3]),
+            es(&[0, 3]),
+            vec![leaf1, leaf2],
+        );
         b.build(root)
     }
 

@@ -48,8 +48,8 @@ pub use dot::hypertree_to_dot;
 pub use hypertree::{Hypertree, HypertreeBuilder, Node, NodeId};
 pub use optimize::{optimize, OptimizeStats};
 pub use qhd::{q_hypertree_decomp, QhdFailure, QhdOptions, QhdPlan};
-pub use treedecomp::{tree_decomposition, to_hypertree, EliminationHeuristic, TreeDecomposition};
 pub use search::{
     cost_k_decomp, cost_k_decomp_instrumented, cost_k_decomp_with_cost, det_k_decomp,
     exists_decomposition, hypertree_width, SearchOptions, SearchStats,
 };
+pub use treedecomp::{to_hypertree, tree_decomposition, EliminationHeuristic, TreeDecomposition};

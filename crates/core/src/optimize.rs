@@ -159,7 +159,10 @@ mod tests {
         // (its χ is {A,B}), so the bound is in fact supported by it.
         let stats = optimize(&h, &mut t);
         assert_eq!(stats.removed_atoms, 1);
-        assert_eq!(t.node(t.root()).support_children, vec![crate::hypertree::NodeId(1)]);
+        assert_eq!(
+            t.node(t.root()).support_children,
+            vec![crate::hypertree::NodeId(1)]
+        );
     }
 
     #[test]

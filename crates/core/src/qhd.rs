@@ -64,11 +64,19 @@ pub struct QhdOptions {
     /// Whether to run Procedure Optimize (Figure 10 of the paper ablates
     /// this).
     pub run_optimize: bool,
+    /// Worker threads for the decomposition search (see
+    /// [`SearchOptions::threads`]): `0` follows the execution layer's
+    /// configured thread count, `1` forces the sequential search.
+    pub threads: usize,
 }
 
 impl Default for QhdOptions {
     fn default() -> Self {
-        QhdOptions { max_width: 4, run_optimize: true }
+        QhdOptions {
+            max_width: 4,
+            run_optimize: true,
+            threads: 0,
+        }
     }
 }
 
@@ -84,11 +92,14 @@ pub fn q_hypertree_decomp(
 ) -> Result<QhdPlan, QhdFailure> {
     let ch = q.hypergraph();
     let out_vars = ch.out_var_set(q);
-    let opts = SearchOptions::width_with_root_cover(options.max_width, out_vars.clone());
+    let opts = SearchOptions::width_with_root_cover(options.max_width, out_vars.clone())
+        .with_threads(options.threads);
     let Some((estimated_cost, mut tree, search_stats)) =
         cost_k_decomp_instrumented(&ch.hypergraph, &opts, cost)
     else {
-        return Err(QhdFailure { max_width: options.max_width });
+        return Err(QhdFailure {
+            max_width: options.max_width,
+        });
     };
     let optimize_stats = if options.run_optimize {
         optimize(&ch.hypergraph, &mut tree)
@@ -139,19 +150,29 @@ mod tests {
         assert_eq!(crate::search::hypertree_width(&ch.hypergraph), 1);
         let fail = q_hypertree_decomp(
             &q,
-            &QhdOptions { max_width: 1, run_optimize: true },
+            &QhdOptions {
+                max_width: 1,
+                run_optimize: true,
+                threads: 0,
+            },
             &StructuralCost,
         );
         assert!(fail.is_err());
         let plan = q_hypertree_decomp(
             &q,
-            &QhdOptions { max_width: 2, run_optimize: true },
+            &QhdOptions {
+                max_width: 2,
+                run_optimize: true,
+                threads: 0,
+            },
             &StructuralCost,
         )
         .unwrap();
         assert_eq!(plan.tree.width(), 2);
         // The root covers all output variables.
-        assert!(plan.out_vars.is_subset(&plan.tree.node(plan.tree.root()).chi));
+        assert!(plan
+            .out_vars
+            .is_subset(&plan.tree.node(plan.tree.root()).chi));
     }
 
     #[test]
@@ -160,7 +181,11 @@ mod tests {
         let with = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
         let without = q_hypertree_decomp(
             &q,
-            &QhdOptions { max_width: 4, run_optimize: false },
+            &QhdOptions {
+                max_width: 4,
+                run_optimize: false,
+                threads: 0,
+            },
             &StructuralCost,
         )
         .unwrap();
@@ -183,7 +208,11 @@ mod tests {
             .build();
         let err = q_hypertree_decomp(
             &q,
-            &QhdOptions { max_width: 1, run_optimize: true },
+            &QhdOptions {
+                max_width: 1,
+                run_optimize: true,
+                threads: 0,
+            },
             &StructuralCost,
         )
         .unwrap_err();
@@ -192,7 +221,11 @@ mod tests {
         // Width 2 suffices: two atoms cover all three variables.
         assert!(q_hypertree_decomp(
             &q,
-            &QhdOptions { max_width: 2, run_optimize: true },
+            &QhdOptions {
+                max_width: 2,
+                run_optimize: true,
+                threads: 0
+            },
             &StructuralCost,
         )
         .is_ok());
@@ -206,7 +239,11 @@ mod tests {
             .build(); // no output variables
         let plan = q_hypertree_decomp(
             &q,
-            &QhdOptions { max_width: 1, run_optimize: true },
+            &QhdOptions {
+                max_width: 1,
+                run_optimize: true,
+                threads: 0,
+            },
             &StructuralCost,
         )
         .unwrap();

@@ -5,10 +5,10 @@
 //! - **det-k-decomp** ([`exists_decomposition`], [`hypertree_width`]): a
 //!   backtracking search for *any* normal-form hypertree decomposition of
 //!   width ≤ k (Gottlob–Leone–Scarcello);
-//! - **cost-k-decomp** ([`cost_k_decomp`]): exact dynamic programming over
-//!   `(component, connector)` subproblems minimizing the sum of vertex
-//!   costs supplied by a [`DecompCost`] model (the PODS'04 weighted
-//!   decompositions the paper's optimizer uses).
+//! - **cost-k-decomp** ([`cost_k_decomp`]): exact branch-and-bound dynamic
+//!   programming over `(component, connector)` subproblems minimizing the
+//!   sum of vertex costs supplied by a [`DecompCost`] model (the PODS'04
+//!   weighted decompositions the paper's optimizer uses).
 //!
 //! Both work on the same subproblem space. A subproblem is an edge
 //! component `C` with connector variables `conn`; a candidate separator is
@@ -21,12 +21,41 @@
 //! The root subproblem can additionally be constrained to cover a set of
 //! output variables (`χ(root) ⊇ out(Q)`), which is exactly Condition 2 of
 //! q-hypertree decompositions (Definition 2 of the paper).
+//!
+//! # Engineering of the search (this module's raison d'être)
+//!
+//! The seed implementation (kept verbatim in [`baseline`] as the reference
+//! oracle for the acceptance harness and the equivalence property tests)
+//! memoized on cloned `(EdgeSet, VarSet)` pairs and enumerated every
+//! ≤k-subset of the candidate edges. This implementation keeps the same
+//! subproblem space and provably the same results, but:
+//!
+//! - **interns subproblem keys**: component and connector bitsets are
+//!   hash-consed into `u32` ids, so the memo is a flat
+//!   `FxHashMap<(u32, u32), _>` probed without cloning a single bitset;
+//! - **prunes the separator enumeration**: candidate edges are ordered by
+//!   scope coverage, whole enumeration branches are cut when the remaining
+//!   candidates cannot cover the connector (or reach the component), and
+//!   λ-equivalent separators (same `var(S)`) are deduplicated in
+//!   first-success mode;
+//! - **bounds**: a partial solution is abandoned as soon as its
+//!   accumulated cost plus an admissible per-component lower bound
+//!   ([`DecompCost::min_vertex_cost`]) reaches the incumbent;
+//! - **parallelizes**: independent `[χ]`-component subproblems are solved
+//!   concurrently on the execution layer's worker-permit pool
+//!   ([`htqo_engine::exec`]) behind [`SearchOptions::threads`], sharing
+//!   the memo through striped locks. The optimum is
+//!   thread-count-invariant: every subproblem is solved to optimality
+//!   with only subproblem-local incumbents, so scheduling order can only
+//!   change *which* equal-cost tree is found first, never the cost.
 
 use crate::cost::DecompCost;
 use crate::hypertree::{Hypertree, HypertreeBuilder, NodeId};
+use htqo_engine::exec;
+use htqo_hypergraph::fxhash::{fx_hash_one, FxHashMap, FxHashSet};
 use htqo_hypergraph::{components, EdgeId, EdgeSet, Hypergraph, VarSet};
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Search configuration.
 #[derive(Clone, Debug)]
@@ -36,17 +65,36 @@ pub struct SearchOptions {
     /// When set, the root's χ must cover these variables (Condition 2 of
     /// Definition 2 — used for q-hypertree decompositions).
     pub root_cover: Option<VarSet>,
+    /// Worker threads for independent component subproblems: `0` uses the
+    /// execution layer's configured count ([`exec::num_threads`]), `1`
+    /// forces the sequential search, `n > 1` caps the parallel width. The
+    /// returned optimum is identical for every setting.
+    pub threads: usize,
 }
 
 impl SearchOptions {
     /// Plain width-k search.
     pub fn width(k: usize) -> Self {
-        SearchOptions { max_width: k, root_cover: None }
+        SearchOptions {
+            max_width: k,
+            root_cover: None,
+            threads: 0,
+        }
     }
 
     /// Width-k search whose root must cover `out`.
     pub fn width_with_root_cover(k: usize, out: VarSet) -> Self {
-        SearchOptions { max_width: k, root_cover: Some(out) }
+        SearchOptions {
+            max_width: k,
+            root_cover: Some(out),
+            threads: 0,
+        }
+    }
+
+    /// Pins the subproblem-search thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -56,186 +104,473 @@ impl SearchOptions {
 pub struct SearchStats {
     /// Distinct `(component, connector)` subproblems solved.
     pub subproblems: usize,
-    /// Candidate separators examined across all subproblems.
+    /// Candidate separators examined across all subproblems (separators
+    /// whose enumeration branch was pruned are never examined and do not
+    /// count).
     pub separators_tried: usize,
     /// Memo-table hits (work saved by the DP).
     pub memo_hits: usize,
+    /// Enumeration branches cut because the remaining candidate edges
+    /// cannot cover the connector / root-cover deficit or reach the
+    /// component (the subset pre-check on bitset words).
+    pub cover_rejects: usize,
+    /// Separators skipped because a λ-equivalent one (identical `var(S)`)
+    /// was already tried for the same subproblem (first-success mode).
+    pub lambda_dedup: usize,
+    /// Partial solutions abandoned because accumulated cost plus the
+    /// admissible per-component lower bound reached the incumbent.
+    pub bound_cuts: usize,
+    /// Distinct component/connector bitsets interned for memo keys.
+    pub interned_keys: usize,
 }
 
 /// A shared, immutable plan node produced by the DP (converted into a
 /// [`Hypertree`] at the end; sharing matters because the memo table reuses
-/// subtrees across parents).
+/// subtrees across parents, and [`Arc`] lets worker threads share them).
 struct PlanNode {
     lambda: EdgeSet,
     chi: VarSet,
     assigned: EdgeSet,
-    children: Vec<Rc<PlanNode>>,
+    children: Vec<Arc<PlanNode>>,
 }
 
-type Memo = HashMap<(EdgeSet, VarSet), Option<(f64, Rc<PlanNode>)>>;
+type MemoEntry = Option<(f64, Arc<PlanNode>)>;
 
-struct Searcher<'a, C: DecompCost> {
+/// Hash-consing interner: each distinct set gets a dense `u32` id. Striped
+/// so worker threads intern concurrently; the id space is shared through
+/// one atomic counter. Lookups hash the set once and never clone it — the
+/// clone happens only the first time a set is seen.
+struct Interner<S> {
+    shards: Vec<Mutex<FxHashMap<S, u32>>>,
+    next: AtomicU32,
+}
+
+impl<S: std::hash::Hash + Eq + Clone> Interner<S> {
+    fn new(shards: usize) -> Self {
+        Interner {
+            shards: (0..shards)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            next: AtomicU32::new(0),
+        }
+    }
+
+    fn intern(&self, set: &S) -> u32 {
+        let shard = fx_hash_one(set) as usize & (self.shards.len() - 1);
+        let mut map = self.shards[shard].lock().unwrap();
+        if let Some(&id) = map.get(set) {
+            return id;
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        map.insert(set.clone(), id);
+        id
+    }
+
+    fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed) as usize
+    }
+}
+
+/// Shared search counters (workers increment, [`SearchStats`] snapshots).
+#[derive(Default)]
+struct AtomicStats {
+    subproblems: AtomicUsize,
+    separators_tried: AtomicUsize,
+    memo_hits: AtomicUsize,
+    cover_rejects: AtomicUsize,
+    lambda_dedup: AtomicUsize,
+    bound_cuts: AtomicUsize,
+}
+
+/// Per-subproblem enumeration state: the incumbent, locally batched
+/// counters (flushed to the shared atomics once per subproblem), and the
+/// λ-dedup table.
+struct EnumCtx {
+    best: MemoEntry,
+    separators_tried: usize,
+    cover_rejects: usize,
+    lambda_dedup: usize,
+    bound_cuts: usize,
+    /// `var(S) ∩ scope` values already tried (first-success mode only).
+    seen_covers: Option<FxHashSet<VarSet>>,
+}
+
+/// One candidate separator edge, with its precomputed scope coverage.
+struct Cand {
+    id: EdgeId,
+    /// `var(e) ∩ scope` — everything the edge can contribute to χ.
+    cover: VarSet,
+    in_comp: bool,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Subproblem keys currently being solved by this thread's recursion
+    /// (the in-progress re-entry guard: the progress condition makes true
+    /// cycles impossible, and this assertion enforces it in debug builds).
+    static IN_PROGRESS: std::cell::RefCell<Vec<(u32, u32)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+struct Searcher<'a> {
     h: &'a Hypergraph,
     k: usize,
-    cost: C,
-    memo: Memo,
+    cost: &'a dyn DecompCost,
     /// In first-success mode the search stops refining once any solution is
     /// found for a subproblem.
     first_success: bool,
-    stats: SearchStats,
+    threads: usize,
+    /// Admissible lower bound charged per undecomposed component.
+    comp_lb: f64,
+    comp_ids: Interner<EdgeSet>,
+    conn_ids: Interner<VarSet>,
+    memo: Vec<Mutex<FxHashMap<(u32, u32), MemoEntry>>>,
+    stats: AtomicStats,
 }
 
-impl<'a, C: DecompCost> Searcher<'a, C> {
-    fn new(h: &'a Hypergraph, k: usize, cost: C, first_success: bool) -> Self {
-        Searcher { h, k, cost, memo: HashMap::new(), first_success, stats: SearchStats::default() }
+impl<'a> Searcher<'a> {
+    fn new(
+        h: &'a Hypergraph,
+        k: usize,
+        cost: &'a dyn DecompCost,
+        first_success: bool,
+        threads: usize,
+    ) -> Self {
+        // Power-of-two stripe counts keep shard selection a mask.
+        let stripes = if threads <= 1 { 1 } else { 16 };
+        Searcher {
+            h,
+            k,
+            cost,
+            first_success,
+            threads,
+            comp_lb: cost.min_vertex_cost(h),
+            comp_ids: Interner::new(stripes),
+            conn_ids: Interner::new(stripes),
+            memo: (0..stripes)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    fn snapshot(&self) -> SearchStats {
+        SearchStats {
+            subproblems: self.stats.subproblems.load(Ordering::Relaxed),
+            separators_tried: self.stats.separators_tried.load(Ordering::Relaxed),
+            memo_hits: self.stats.memo_hits.load(Ordering::Relaxed),
+            cover_rejects: self.stats.cover_rejects.load(Ordering::Relaxed),
+            lambda_dedup: self.stats.lambda_dedup.load(Ordering::Relaxed),
+            bound_cuts: self.stats.bound_cuts.load(Ordering::Relaxed),
+            interned_keys: self.comp_ids.len() + self.conn_ids.len(),
+        }
+    }
+
+    fn memo_shard(&self, key: (u32, u32)) -> &Mutex<FxHashMap<(u32, u32), MemoEntry>> {
+        &self.memo[fx_hash_one(&key) as usize & (self.memo.len() - 1)]
+    }
+
+    /// Solves a memoized subproblem: the optimal decomposition of the
+    /// component `comp` whose root covers the connector `conn`.
+    fn solve(&self, comp: &EdgeSet, conn: &VarSet) -> MemoEntry {
+        let key = (self.comp_ids.intern(comp), self.conn_ids.intern(conn));
+        if let Some(cached) = self.memo_shard(key).lock().unwrap().get(&key) {
+            self.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.stats.subproblems.fetch_add(1, Ordering::Relaxed);
+        // In-progress re-entry guard: a subproblem re-entered by its own
+        // recursion would mean a separator failed the progress condition
+        // (every separator assigns at least one component edge, so child
+        // components strictly shrink — true cycles are impossible).
+        #[cfg(debug_assertions)]
+        IN_PROGRESS.with(|stack| {
+            let stack = stack.borrow();
+            debug_assert!(
+                !stack.contains(&key),
+                "re-entered in-progress subproblem {key:?}: progress condition violated"
+            );
+        });
+        #[cfg(debug_assertions)]
+        IN_PROGRESS.with(|stack| stack.borrow_mut().push(key));
+        let result = self.solve_uncached(comp, conn, None);
+        #[cfg(debug_assertions)]
+        IN_PROGRESS.with(|stack| {
+            let popped = stack.borrow_mut().pop();
+            debug_assert_eq!(popped, Some(key));
+        });
+        // Two workers may race on the same subproblem; both compute the
+        // same optimum, so either insert wins harmlessly.
+        self.memo_shard(key)
+            .lock()
+            .unwrap()
+            .insert(key, result.clone());
+        result
     }
 
     /// Enumerates candidate separators for a subproblem and returns the
     /// best (or first) solution.
-    fn solve(&mut self, comp: &EdgeSet, conn: &VarSet) -> Option<(f64, Rc<PlanNode>)> {
-        let key = (comp.clone(), conn.clone());
-        if let Some(cached) = self.memo.get(&key) {
-            self.stats.memo_hits += 1;
-            return cached.clone();
-        }
-        self.stats.subproblems += 1;
-        // Mark in-progress to guard against accidental re-entry (the
-        // progress condition makes true cycles impossible).
-        let result = self.solve_uncached(comp, conn, None);
-        self.memo.insert(key, result.clone());
-        result
-    }
-
     fn solve_uncached(
-        &mut self,
+        &self,
         comp: &EdgeSet,
         conn: &VarSet,
         root_cover: Option<&VarSet>,
-    ) -> Option<(f64, Rc<PlanNode>)> {
+    ) -> MemoEntry {
         let comp_vars = self.h.vars_of_edges(comp);
         let scope = conn.union(&comp_vars);
-        // Candidate separator edges: anything touching the subproblem.
-        let candidates: Vec<EdgeId> = self
+
+        // Candidate separator edges: anything touching the subproblem,
+        // ordered by decreasing scope coverage (ties by id for
+        // determinism). High-coverage edges first means good incumbents
+        // are found early, which powers the bound cuts below.
+        let mut candidates: Vec<Cand> = self
             .h
             .edge_ids()
-            .filter(|&e| self.h.edge_vars(e).intersects(&scope))
+            .filter_map(|e| {
+                let cover = self.h.edge_vars(e).intersection(&scope);
+                (!cover.is_empty()).then(|| Cand {
+                    id: e,
+                    cover,
+                    in_comp: comp.contains(e),
+                })
+            })
             .collect();
+        candidates.sort_by(|a, b| b.cover.len().cmp(&a.cover.len()).then(a.id.cmp(&b.id)));
 
-        let mut best: Option<(f64, Rc<PlanNode>)> = None;
+        // Suffix tables for the branch pre-checks: what coverage (and
+        // component contact) is still reachable from candidate `i` on.
+        let n = candidates.len();
+        let mut suffix_cover = vec![VarSet::new(); n + 1];
+        let mut suffix_in_comp = vec![false; n + 1];
+        for i in (0..n).rev() {
+            suffix_cover[i] = suffix_cover[i + 1].union(&candidates[i].cover);
+            suffix_in_comp[i] = suffix_in_comp[i + 1] || candidates[i].in_comp;
+        }
+
+        let mut ctx = EnumCtx {
+            best: None,
+            separators_tried: 0,
+            cover_rejects: 0,
+            lambda_dedup: 0,
+            bound_cuts: 0,
+            seen_covers: self.first_success.then(FxHashSet::default),
+        };
         let mut sep = Vec::with_capacity(self.k);
+        // Per-depth χ scratch buffers: `scratch[d]` holds `var(sep) ∩
+        // scope` for the current depth-d prefix, so extending a separator
+        // never allocates (the buffers are reused across the whole
+        // enumeration).
+        let mut scratch = vec![VarSet::new(); self.k + 1];
         self.enumerate(
             &candidates,
+            &suffix_cover,
+            &suffix_in_comp,
             0,
             &mut sep,
+            &mut scratch,
+            false,
             comp,
             conn,
-            &scope,
             root_cover,
-            &mut best,
+            &mut ctx,
         );
-        best
+        self.stats
+            .separators_tried
+            .fetch_add(ctx.separators_tried, Ordering::Relaxed);
+        self.stats
+            .cover_rejects
+            .fetch_add(ctx.cover_rejects, Ordering::Relaxed);
+        self.stats
+            .lambda_dedup
+            .fetch_add(ctx.lambda_dedup, Ordering::Relaxed);
+        self.stats
+            .bound_cuts
+            .fetch_add(ctx.bound_cuts, Ordering::Relaxed);
+        ctx.best
     }
 
-    /// Recursive subset enumeration (sizes 1..=k).
+    /// Recursive subset enumeration (sizes 1..=k) with branch pruning.
+    /// `scratch[sep.len()]` is `var(sep) ∩ scope`, maintained
+    /// incrementally — it is exactly the χ this separator would produce.
     #[allow(clippy::too_many_arguments)]
     fn enumerate(
-        &mut self,
-        candidates: &[EdgeId],
+        &self,
+        candidates: &[Cand],
+        suffix_cover: &[VarSet],
+        suffix_in_comp: &[bool],
         start: usize,
         sep: &mut Vec<EdgeId>,
+        scratch: &mut [VarSet],
+        has_comp_edge: bool,
         comp: &EdgeSet,
         conn: &VarSet,
-        scope: &VarSet,
         root_cover: Option<&VarSet>,
-        best: &mut Option<(f64, Rc<PlanNode>)>,
+        ctx: &mut EnumCtx,
     ) {
-        if self.first_success && best.is_some() {
+        if self.first_success && ctx.best.is_some() {
             return;
         }
-        if !sep.is_empty() {
-            self.try_separator(sep, comp, conn, scope, root_cover, best);
+        let depth = sep.len();
+        if !sep.is_empty()
+            && has_comp_edge
+            && conn.is_subset(&scratch[depth])
+            && root_cover.is_none_or(|req| req.is_subset(&scratch[depth]))
+        {
+            // λ-equivalence dedup: two separators with the same var(S)
+            // produce the same χ, the same components and the same child
+            // subproblems. In first-success mode one verdict settles all
+            // of them; in cost mode their vertex costs differ, so every
+            // one must be priced.
+            let duplicate = match &mut ctx.seen_covers {
+                Some(seen) => !seen.insert(scratch[depth].clone()),
+                None => false,
+            };
+            if duplicate {
+                ctx.lambda_dedup += 1;
+            } else {
+                ctx.separators_tried += 1;
+                self.try_separator(sep, &scratch[depth], comp, ctx);
+            }
         }
-        if sep.len() == self.k {
+        if depth == self.k {
+            return;
+        }
+        // Branch feasibility pre-checks (word-level subset tests, no
+        // allocation): prune the whole extension subtree when the
+        // remaining candidates cannot supply the missing connector/root
+        // coverage or the progress edge.
+        if !conn.is_subset_of_union(&scratch[depth], &suffix_cover[start])
+            || root_cover
+                .is_some_and(|req| !req.is_subset_of_union(&scratch[depth], &suffix_cover[start]))
+            || (!has_comp_edge && !suffix_in_comp[start])
+        {
+            ctx.cover_rejects += 1;
             return;
         }
         for i in start..candidates.len() {
-            sep.push(candidates[i]);
-            self.enumerate(candidates, i + 1, sep, comp, conn, scope, root_cover, best);
+            if self.first_success && ctx.best.is_some() {
+                return;
+            }
+            let cand = &candidates[i];
+            sep.push(cand.id);
+            // scratch[depth+1] = scratch[depth] ∪ cover(cand), reusing the
+            // buffer's allocation.
+            let (lo, hi) = scratch.split_at_mut(depth + 1);
+            hi[0].clear();
+            hi[0].union_with(&lo[depth]);
+            hi[0].union_with(&cand.cover);
+            self.enumerate(
+                candidates,
+                suffix_cover,
+                suffix_in_comp,
+                i + 1,
+                sep,
+                scratch,
+                has_comp_edge || cand.in_comp,
+                comp,
+                conn,
+                root_cover,
+                ctx,
+            );
             sep.pop();
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn try_separator(
-        &mut self,
-        sep: &[EdgeId],
-        comp: &EdgeSet,
-        conn: &VarSet,
-        scope: &VarSet,
-        root_cover: Option<&VarSet>,
-        best: &mut Option<(f64, Rc<PlanNode>)>,
-    ) {
-        self.stats.separators_tried += 1;
+    /// Prices one full candidate separator: recurses on the
+    /// `[χ]`-components and updates the incumbent. The separator has
+    /// already passed the progress, connector-cover and root-cover checks.
+    fn try_separator(&self, sep: &[EdgeId], chi: &VarSet, comp: &EdgeSet, ctx: &mut EnumCtx) {
         let sep_set: EdgeSet = sep.iter().copied().collect();
-        // Progress: at least one separator edge inside the component (this
-        // edge becomes covered, so child components strictly shrink).
-        if sep_set.is_disjoint(comp) {
-            return;
-        }
-        let sep_vars = self.h.vars_of_edges(&sep_set);
-        // The connector must be fully covered for connectedness.
-        if !conn.is_subset(&sep_vars) {
-            return;
-        }
-        let chi = sep_vars.intersection(scope);
-        if let Some(required) = root_cover {
-            if !required.is_subset(&chi) {
-                return;
-            }
-        }
         // Edges of the component fully covered here are enforced here.
         let assigned: EdgeSet = comp
             .iter()
-            .filter(|&e| self.h.edge_vars(e).is_subset(&chi))
+            .filter(|&e| self.h.edge_vars(e).is_subset(chi))
             .collect();
 
-        let mut total = self
-            .cost
-            .vertex_cost(self.h, &sep_set, &assigned, &chi);
-        if let Some((bound, _)) = best {
+        let mut total = self.cost.vertex_cost(self.h, &sep_set, &assigned, chi);
+        // First bound cut on the vertex cost alone, before paying for the
+        // component split.
+        if let Some((bound, _)) = &ctx.best {
             if total >= *bound {
-                return; // children can only add cost
+                ctx.bound_cuts += 1;
+                return;
             }
         }
-
-        let subcomps = components(self.h, comp, &chi);
-        let mut children = Vec::with_capacity(subcomps.len());
-        for sc in &subcomps {
-            let child_conn = self.h.vars_of_edges(sc).intersection(&chi);
-            match self.solve(sc, &child_conn) {
-                Some((c, plan)) => {
-                    total += c;
-                    if let Some((bound, _)) = best {
-                        if total >= *bound {
-                            return;
-                        }
-                    }
-                    children.push(plan);
+        let subcomps = components(self.h, comp, chi);
+        // Refined cut: even if every remaining component decomposed at the
+        // admissible minimum, this branch cannot beat the incumbent.
+        if self.comp_lb > 0.0 && !subcomps.is_empty() {
+            if let Some((bound, _)) = &ctx.best {
+                if total + subcomps.len() as f64 * self.comp_lb >= *bound {
+                    ctx.bound_cuts += 1;
+                    return;
                 }
-                None => return, // this separator cannot decompose the rest
             }
         }
 
-        let better = match best {
+        let parallel = self.threads > 1 && subcomps.len() > 1;
+        let mut children = Vec::with_capacity(subcomps.len());
+        if parallel {
+            // Solve independent components concurrently on the worker
+            // pool. Each subproblem is solved to optimality regardless of
+            // siblings, so the combined result equals the sequential one.
+            let jobs: Vec<(EdgeSet, VarSet)> = subcomps
+                .into_iter()
+                .map(|sc| {
+                    let child_conn = self.h.vars_of_edges(&sc).intersection(chi);
+                    (sc, child_conn)
+                })
+                .collect();
+            let solved = exec::parallel_map(jobs, self.threads, |(sc, child_conn)| {
+                self.solve(&sc, &child_conn)
+            });
+            for entry in solved {
+                match entry {
+                    Some((c, plan)) => {
+                        total += c;
+                        children.push(plan);
+                    }
+                    None => return, // this separator cannot decompose the rest
+                }
+            }
+            if let Some((bound, _)) = &ctx.best {
+                if total >= *bound {
+                    ctx.bound_cuts += 1;
+                    return;
+                }
+            }
+        } else {
+            let remaining = subcomps.len();
+            for (solved, sc) in subcomps.iter().enumerate() {
+                let child_conn = self.h.vars_of_edges(sc).intersection(chi);
+                match self.solve(sc, &child_conn) {
+                    Some((c, plan)) => {
+                        total += c;
+                        // Children still unsolved each cost ≥ comp_lb.
+                        let rest = (remaining - solved - 1) as f64 * self.comp_lb;
+                        if let Some((bound, _)) = &ctx.best {
+                            if total + rest >= *bound {
+                                ctx.bound_cuts += 1;
+                                return;
+                            }
+                        }
+                        children.push(plan);
+                    }
+                    None => return, // this separator cannot decompose the rest
+                }
+            }
+        }
+
+        let better = match &ctx.best {
             None => true,
             Some((bound, _)) => total < *bound,
         };
         if better {
-            *best = Some((
+            ctx.best = Some((
                 total,
-                Rc::new(PlanNode {
+                Arc::new(PlanNode {
                     lambda: sep_set,
-                    chi,
+                    chi: chi.clone(),
                     assigned,
                     children,
                 }),
@@ -248,7 +583,12 @@ impl<'a, C: DecompCost> Searcher<'a, C> {
 fn build_tree(plan: &PlanNode) -> Hypertree {
     fn rec(plan: &PlanNode, b: &mut HypertreeBuilder) -> NodeId {
         let children: Vec<NodeId> = plan.children.iter().map(|c| rec(c, b)).collect();
-        b.add(plan.chi.clone(), plan.lambda.clone(), plan.assigned.clone(), children)
+        b.add(
+            plan.chi.clone(),
+            plan.lambda.clone(),
+            plan.assigned.clone(),
+            children,
+        )
     }
     let mut b = HypertreeBuilder::new();
     let root = rec(plan, &mut b);
@@ -331,14 +671,239 @@ fn search(
         let root = b.add(VarSet::new(), EdgeSet::new(), EdgeSet::new(), vec![]);
         return Some((0.0, b.build(root), SearchStats::default()));
     }
-    let mut s = Searcher::new(h, opts.max_width.max(1), cost, first_success);
+    let threads = if opts.threads == 0 {
+        exec::num_threads()
+    } else {
+        opts.threads
+    };
+    let s = Searcher::new(h, opts.max_width.max(1), cost, first_success, threads);
     let all = h.all_edges();
     let (total, plan) = s.solve_uncached(&all, &VarSet::new(), opts.root_cover.as_ref())?;
     let tree = build_tree(&plan);
     debug_assert!(crate::validate::check_edge_coverage(h, &tree).is_ok());
     debug_assert!(crate::validate::check_connectedness(h, &tree).is_ok());
     debug_assert!(crate::validate::check_assignment(h, &tree).is_ok());
-    Some((total, tree, s.stats))
+    Some((total, tree, s.snapshot()))
+}
+
+/// The seed search implementation, frozen as the reference oracle.
+///
+/// This is the pre-branch-and-bound engine the repository seeded with: a
+/// `std::collections::HashMap` memo keyed by cloned `(EdgeSet, VarSet)`
+/// pairs and an exhaustive, unpruned enumeration of all ≤k-edge
+/// separators. It exists so the acceptance harness
+/// (`crates/bench/src/bin/decomp.rs`) and the equivalence property tests
+/// can compare the engineered search against a known-exact baseline —
+/// production callers should use [`cost_k_decomp`] and friends.
+pub mod baseline {
+    use super::{build_tree_seed, SearchOptions, SearchStats};
+    use crate::cost::DecompCost;
+    use crate::hypertree::{Hypertree, HypertreeBuilder};
+    use htqo_hypergraph::{components, EdgeId, EdgeSet, Hypergraph, VarSet};
+    use std::collections::HashMap;
+    use std::rc::Rc;
+
+    pub(super) struct PlanNode {
+        pub(super) lambda: EdgeSet,
+        pub(super) chi: VarSet,
+        pub(super) assigned: EdgeSet,
+        pub(super) children: Vec<Rc<PlanNode>>,
+    }
+
+    type Memo = HashMap<(EdgeSet, VarSet), Option<(f64, Rc<PlanNode>)>>;
+
+    struct Searcher<'a> {
+        h: &'a Hypergraph,
+        k: usize,
+        cost: &'a dyn DecompCost,
+        memo: Memo,
+        first_success: bool,
+        stats: SearchStats,
+    }
+
+    impl<'a> Searcher<'a> {
+        fn solve(&mut self, comp: &EdgeSet, conn: &VarSet) -> Option<(f64, Rc<PlanNode>)> {
+            let key = (comp.clone(), conn.clone());
+            if let Some(cached) = self.memo.get(&key) {
+                self.stats.memo_hits += 1;
+                return cached.clone();
+            }
+            self.stats.subproblems += 1;
+            let result = self.solve_uncached(comp, conn, None);
+            self.memo.insert(key, result.clone());
+            result
+        }
+
+        fn solve_uncached(
+            &mut self,
+            comp: &EdgeSet,
+            conn: &VarSet,
+            root_cover: Option<&VarSet>,
+        ) -> Option<(f64, Rc<PlanNode>)> {
+            let comp_vars = self.h.vars_of_edges(comp);
+            let scope = conn.union(&comp_vars);
+            let candidates: Vec<EdgeId> = self
+                .h
+                .edge_ids()
+                .filter(|&e| self.h.edge_vars(e).intersects(&scope))
+                .collect();
+            let mut best = None;
+            let mut sep = Vec::with_capacity(self.k);
+            self.enumerate(
+                &candidates,
+                0,
+                &mut sep,
+                comp,
+                conn,
+                &scope,
+                root_cover,
+                &mut best,
+            );
+            best
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn enumerate(
+            &mut self,
+            candidates: &[EdgeId],
+            start: usize,
+            sep: &mut Vec<EdgeId>,
+            comp: &EdgeSet,
+            conn: &VarSet,
+            scope: &VarSet,
+            root_cover: Option<&VarSet>,
+            best: &mut Option<(f64, Rc<PlanNode>)>,
+        ) {
+            if self.first_success && best.is_some() {
+                return;
+            }
+            if !sep.is_empty() {
+                self.try_separator(sep, comp, conn, scope, root_cover, best);
+            }
+            if sep.len() == self.k {
+                return;
+            }
+            for i in start..candidates.len() {
+                sep.push(candidates[i]);
+                self.enumerate(candidates, i + 1, sep, comp, conn, scope, root_cover, best);
+                sep.pop();
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn try_separator(
+            &mut self,
+            sep: &[EdgeId],
+            comp: &EdgeSet,
+            conn: &VarSet,
+            scope: &VarSet,
+            root_cover: Option<&VarSet>,
+            best: &mut Option<(f64, Rc<PlanNode>)>,
+        ) {
+            self.stats.separators_tried += 1;
+            let sep_set: EdgeSet = sep.iter().copied().collect();
+            if sep_set.is_disjoint(comp) {
+                return;
+            }
+            let sep_vars = self.h.vars_of_edges(&sep_set);
+            if !conn.is_subset(&sep_vars) {
+                return;
+            }
+            let chi = sep_vars.intersection(scope);
+            if let Some(required) = root_cover {
+                if !required.is_subset(&chi) {
+                    return;
+                }
+            }
+            let assigned: EdgeSet = comp
+                .iter()
+                .filter(|&e| self.h.edge_vars(e).is_subset(&chi))
+                .collect();
+
+            let mut total = self.cost.vertex_cost(self.h, &sep_set, &assigned, &chi);
+            if let Some((bound, _)) = best {
+                if total >= *bound {
+                    return;
+                }
+            }
+
+            let subcomps = components(self.h, comp, &chi);
+            let mut children = Vec::with_capacity(subcomps.len());
+            for sc in &subcomps {
+                let child_conn = self.h.vars_of_edges(sc).intersection(&chi);
+                match self.solve(sc, &child_conn) {
+                    Some((c, plan)) => {
+                        total += c;
+                        if let Some((bound, _)) = best {
+                            if total >= *bound {
+                                return;
+                            }
+                        }
+                        children.push(plan);
+                    }
+                    None => return,
+                }
+            }
+
+            let better = match best {
+                None => true,
+                Some((bound, _)) => total < *bound,
+            };
+            if better {
+                *best = Some((
+                    total,
+                    Rc::new(PlanNode {
+                        lambda: sep_set,
+                        chi,
+                        assigned,
+                        children,
+                    }),
+                ));
+            }
+        }
+    }
+
+    /// The seed `cost_k_decomp`, with cost and instrumentation. Exact, but
+    /// unpruned and sequential — the oracle the engineered search is
+    /// verified against.
+    pub fn cost_k_decomp_instrumented(
+        h: &Hypergraph,
+        opts: &SearchOptions,
+        cost: &dyn DecompCost,
+    ) -> Option<(f64, Hypertree, SearchStats)> {
+        if h.num_edges() == 0 {
+            let mut b = HypertreeBuilder::new();
+            let root = b.add(VarSet::new(), EdgeSet::new(), EdgeSet::new(), vec![]);
+            return Some((0.0, b.build(root), SearchStats::default()));
+        }
+        let mut s = Searcher {
+            h,
+            k: opts.max_width.max(1),
+            cost,
+            memo: HashMap::new(),
+            first_success: false,
+            stats: SearchStats::default(),
+        };
+        let all = h.all_edges();
+        let (total, plan) = s.solve_uncached(&all, &VarSet::new(), opts.root_cover.as_ref())?;
+        Some((total, build_tree_seed(&plan), s.stats))
+    }
+}
+
+/// Materializes a baseline plan into a [`Hypertree`].
+fn build_tree_seed(plan: &baseline::PlanNode) -> Hypertree {
+    fn rec(plan: &baseline::PlanNode, b: &mut HypertreeBuilder) -> NodeId {
+        let children: Vec<NodeId> = plan.children.iter().map(|c| rec(c, b)).collect();
+        b.add(
+            plan.chi.clone(),
+            plan.lambda.clone(),
+            plan.assigned.clone(),
+            children,
+        )
+    }
+    let mut b = HypertreeBuilder::new();
+    let root = rec(plan, &mut b);
+    b.build(root)
 }
 
 #[cfg(test)]
@@ -409,11 +974,7 @@ mod tests {
 
     #[test]
     fn root_cover_constraint_is_honoured() {
-        let h = build(&[
-            ("a", &["X", "Y"]),
-            ("b", &["Y", "Z"]),
-            ("c", &["Z", "W"]),
-        ]);
+        let h = build(&[("a", &["X", "Y"]), ("b", &["Y", "Z"]), ("c", &["Z", "W"])]);
         // Require X and W at the root: impossible with k = 1 (the paper's
         // Example 4 effect: the output cover may force a larger width).
         let out: VarSet = ["X", "W"]
@@ -439,7 +1000,11 @@ mod tests {
     #[test]
     fn structural_cost_prefers_fewer_vertices() {
         // A single edge covering everything should beat two vertices.
-        let h = build(&[("big", &["X", "Y", "Z"]), ("r", &["X", "Y"]), ("s", &["Y", "Z"])]);
+        let h = build(&[
+            ("big", &["X", "Y", "Z"]),
+            ("r", &["X", "Y"]),
+            ("s", &["Y", "Z"]),
+        ]);
         let t = cost_k_decomp(&h, &SearchOptions::width(2), &StructuralCost).unwrap();
         // big covers r and s: one vertex suffices.
         assert_eq!(t.len(), 1);
@@ -477,5 +1042,88 @@ mod tests {
         ]);
         let t = cost_k_decomp(&h, &SearchOptions::width(3), &StructuralCost).unwrap();
         assert!(t.width() <= 2);
+    }
+
+    #[test]
+    fn pruning_counters_fire_and_costs_match_baseline() {
+        // 6-edge cyclic chain: pruning must both fire and stay exact.
+        let h = build(&[
+            ("p1", &["A", "B"]),
+            ("p2", &["B", "C"]),
+            ("p3", &["C", "D"]),
+            ("p4", &["D", "E"]),
+            ("p5", &["E", "F"]),
+            ("p6", &["F", "A"]),
+        ]);
+        for k in 2..=4 {
+            let opts = SearchOptions::width(k);
+            let (seed_cost, _, seed_stats) =
+                baseline::cost_k_decomp_instrumented(&h, &opts, &StructuralCost).unwrap();
+            let (bnb_cost, tree, stats) =
+                cost_k_decomp_instrumented(&h, &opts, &StructuralCost).unwrap();
+            assert_eq!(seed_cost, bnb_cost, "k={k}");
+            assert!(validate::check_edge_coverage(&h, &tree).is_ok());
+            assert!(
+                stats.separators_tried < seed_stats.separators_tried,
+                "k={k}: {} !< {}",
+                stats.separators_tried,
+                seed_stats.separators_tried
+            );
+            assert!(stats.bound_cuts + stats.cover_rejects > 0, "k={k}");
+            assert!(stats.interned_keys > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let h = build(&[
+            ("p1", &["A", "B"]),
+            ("p2", &["B", "C"]),
+            ("p3", &["C", "D"]),
+            ("p4", &["D", "E"]),
+            ("p5", &["E", "A"]),
+            ("hub", &["A", "C", "E"]),
+        ]);
+        for k in 2..=3 {
+            let seq = cost_k_decomp_with_cost(
+                &h,
+                &SearchOptions::width(k).with_threads(1),
+                &StructuralCost,
+            );
+            let par = cost_k_decomp_with_cost(
+                &h,
+                &SearchOptions::width(k).with_threads(4),
+                &StructuralCost,
+            );
+            match (seq, par) {
+                (Some((cs, ts)), Some((cp, tp))) => {
+                    assert_eq!(cs, cp, "k={k}");
+                    assert_eq!(ts.width(), tp.width());
+                }
+                (None, None) => {}
+                other => panic!(
+                    "k={k}: sequential/parallel disagree: {:?}",
+                    other.0.is_some()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_diamond_reentry_is_a_memo_hit_not_a_cycle() {
+        // A "cyclic-looking" subproblem graph: the two width-1 separators
+        // {a} and {b} leave the same tail component {c, d}, so the tail
+        // subproblem is reached twice. The second visit must be served by
+        // the memo (and must not trip the in-progress re-entry guard).
+        let h = build(&[
+            ("a", &["X", "Y"]),
+            ("b", &["X", "Y"]),
+            ("c", &["Y", "Z"]),
+            ("d", &["Z", "W"]),
+        ]);
+        let (_, tree, stats) =
+            cost_k_decomp_instrumented(&h, &SearchOptions::width(2), &StructuralCost).unwrap();
+        assert!(validate::check_edge_coverage(&h, &tree).is_ok());
+        assert!(stats.memo_hits > 0, "diamond must hit the memo: {stats:?}");
     }
 }

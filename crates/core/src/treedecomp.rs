@@ -98,12 +98,17 @@ pub fn tree_decomposition(h: &Hypergraph, heuristic: EliminationHeuristic) -> Tr
     let n = h.num_vars();
     if n == 0 {
         return TreeDecomposition {
-            bags: vec![Bag { vars: VarSet::new(), children: vec![] }],
+            bags: vec![Bag {
+                vars: VarSet::new(),
+                children: vec![],
+            }],
         };
     }
     // Working adjacency (grows with fill edges).
     let g = PrimalGraph::of(h);
-    let mut adj: Vec<VarSet> = (0..n).map(|v| g.neighbours(Var(v as u32)).clone()).collect();
+    let mut adj: Vec<VarSet> = (0..n)
+        .map(|v| g.neighbours(Var(v as u32)).clone())
+        .collect();
     let mut eliminated = vec![false; n];
     // For each eliminated vertex: its bag = {v} ∪ current neighbours.
     let mut elim_bags: Vec<(Var, VarSet)> = Vec::with_capacity(n);
@@ -177,7 +182,10 @@ pub fn tree_decomposition(h: &Hypergraph, heuristic: EliminationHeuristic) -> Tr
     let mut stack = vec![root];
     while let Some(i) = stack.pop() {
         index_map[i] = bags.len();
-        bags.push(Bag { vars: elim_bags[i].1.clone(), children: Vec::new() });
+        bags.push(Bag {
+            vars: elim_bags[i].1.clone(),
+            children: Vec::new(),
+        });
         for &c in &children[i] {
             stack.push(c);
         }
@@ -249,9 +257,7 @@ pub fn to_hypertree(h: &Hypergraph, td: &TreeDecomposition) -> Hypertree {
         // Enforce every not-yet-assigned atom covered by this bag.
         let assigned: EdgeSet = h
             .edge_ids()
-            .filter(|&e| {
-                !assigned_done.contains(e) && h.edge_vars(e).is_subset(&bag.vars)
-            })
+            .filter(|&e| !assigned_done.contains(e) && h.edge_vars(e).is_subset(&bag.vars))
             .collect();
         assigned_done.union_with(&assigned);
         b.add(bag.vars.clone(), lambda, assigned, kids)
@@ -277,7 +283,10 @@ mod tests {
     #[test]
     fn path_has_treewidth_1() {
         let h = build(&[("a", &["X", "Y"]), ("b", &["Y", "Z"]), ("c", &["Z", "W"])]);
-        for heur in [EliminationHeuristic::MinDegree, EliminationHeuristic::MinFill] {
+        for heur in [
+            EliminationHeuristic::MinDegree,
+            EliminationHeuristic::MinFill,
+        ] {
             let td = tree_decomposition(&h, heur);
             assert!(td.is_valid_for(&h));
             assert_eq!(td.width(), 1, "{heur:?}");

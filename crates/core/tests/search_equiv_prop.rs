@@ -1,0 +1,150 @@
+//! Equivalence property tests for the branch-and-bound search engine.
+//!
+//! The engineered `cost-k-decomp` (interned memo keys, pruned separator
+//! enumeration, admissible bound cuts, optional parallel subproblem
+//! solving) must return **exactly** the seed exhaustive search's optimal
+//! cost — not approximately: every pruning rule is argued exact, and these
+//! tests hold the implementation to that argument on random hypergraphs,
+//! with and without a root-cover constraint, sequentially and with four
+//! worker threads.
+
+use htqo_core::search::baseline;
+use htqo_core::{cost_k_decomp_instrumented, validate, DecompCost, SearchOptions, StructuralCost};
+use htqo_hypergraph::{EdgeSet, Hypergraph, VarSet};
+use proptest::prelude::*;
+
+fn arb_hypergraph(max_vars: usize, max_edges: usize) -> impl Strategy<Value = Hypergraph> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..max_vars, 1..=3.min(max_vars)),
+        1..=max_edges,
+    )
+    .prop_map(|edge_sets| {
+        let mut b = Hypergraph::builder();
+        for (i, vars) in edge_sets.iter().enumerate() {
+            let names: Vec<String> = vars.iter().map(|v| format!("V{v}")).collect();
+            let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            b.edge(&format!("e{i}"), &refs);
+        }
+        b.build()
+    })
+}
+
+/// A deliberately lumpy cost model with the *default* (zero)
+/// `min_vertex_cost`: exercises the bound-cut code path where the
+/// component term vanishes and only incumbent comparisons prune.
+struct LumpyCost;
+
+impl DecompCost for LumpyCost {
+    fn vertex_cost(
+        &self,
+        _h: &Hypergraph,
+        lambda: &EdgeSet,
+        assigned: &EdgeSet,
+        chi: &VarSet,
+    ) -> f64 {
+        // Non-monotone in |λ| on purpose; still strictly positive.
+        7.0 * lambda.len() as f64 + 1.5 * chi.len() as f64 - (assigned.len() as f64).min(3.0) + 4.0
+    }
+}
+
+fn check_equivalence(
+    h: &Hypergraph,
+    k: usize,
+    root_cover: Option<VarSet>,
+    cost: &dyn DecompCost,
+) -> Result<(), TestCaseError> {
+    let opts = match &root_cover {
+        Some(out) => SearchOptions::width_with_root_cover(k, out.clone()),
+        None => SearchOptions::width(k),
+    };
+    let seed = baseline::cost_k_decomp_instrumented(h, &opts, cost);
+    let seq = cost_k_decomp_instrumented(h, &opts.clone().with_threads(1), cost);
+    let par = cost_k_decomp_instrumented(h, &opts.with_threads(4), cost);
+
+    match (&seed, &seq, &par) {
+        (None, None, None) => {}
+        (Some((c0, _, _)), Some((c1, t1, _)), Some((c2, t2, _))) => {
+            // Exact equality: all three searches price identical trees by
+            // summing vertex costs in the same deterministic order, so no
+            // epsilon is needed.
+            prop_assert_eq!(c0, c1, "seed vs B&B sequential (k={})", k);
+            prop_assert_eq!(c1, c2, "B&B sequential vs parallel (k={})", k);
+            for t in [t1, t2] {
+                prop_assert!(t.width() <= k);
+                validate::check_edge_coverage(h, t).unwrap();
+                validate::check_connectedness(h, t).unwrap();
+                validate::check_assignment(h, t).unwrap();
+                if let Some(out) = &root_cover {
+                    prop_assert!(out.is_subset(&t.node(t.root()).chi));
+                }
+            }
+        }
+        _ => {
+            return Err(TestCaseError::fail(format!(
+                "feasibility disagreement at k={k}: seed={} seq={} par={}",
+                seed.is_some(),
+                seq.is_some(),
+                par.is_some()
+            )));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// B&B (sequential and 4-thread) matches the seed exhaustive search's
+    /// optimal cost for k ∈ {2, 3, 4} under the structural cost model.
+    #[test]
+    fn bnb_matches_seed_structural(h in arb_hypergraph(6, 6)) {
+        for k in 2..=4 {
+            check_equivalence(&h, k, None, &StructuralCost)?;
+        }
+    }
+
+    /// Same equivalence with a root-cover constraint (the q-HD Condition 2
+    /// path), including infeasible instances where all three searches must
+    /// agree on Failure.
+    #[test]
+    fn bnb_matches_seed_with_root_cover(
+        h in arb_hypergraph(6, 6),
+        out_bits in prop::collection::vec(any::<bool>(), 6),
+    ) {
+        let out: VarSet = h
+            .var_ids()
+            .filter(|v| out_bits.get(v.index()).copied().unwrap_or(false))
+            .collect();
+        for k in 2..=4 {
+            check_equivalence(&h, k, Some(out.clone()), &StructuralCost)?;
+        }
+    }
+
+    /// A custom cost model that keeps the default zero `min_vertex_cost`:
+    /// the admissible-bound component term is disabled and correctness
+    /// must not depend on it.
+    #[test]
+    fn bnb_matches_seed_custom_cost(h in arb_hypergraph(6, 5)) {
+        for k in 2..=3 {
+            check_equivalence(&h, k, None, &LumpyCost)?;
+        }
+    }
+
+    /// Pruning only removes work, never solutions: whenever the seed finds
+    /// a decomposition, the B&B search examines at most as many separators.
+    #[test]
+    fn bnb_never_examines_more_separators(h in arb_hypergraph(6, 6)) {
+        let opts = SearchOptions::width(3);
+        let seed = baseline::cost_k_decomp_instrumented(&h, &opts, &StructuralCost);
+        let bnb = cost_k_decomp_instrumented(&h, &opts.with_threads(1), &StructuralCost);
+        if let (Some((_, _, s0)), Some((_, _, s1))) = (seed, bnb) {
+            prop_assert!(s1.separators_tried <= s0.separators_tried,
+                "B&B tried {} separators, seed {}", s1.separators_tried, s0.separators_tried);
+            // The root is solved unmemoized; keys are interned only once
+            // recursion reaches child subproblems.
+            if s1.subproblems > 0 {
+                prop_assert!(s1.interned_keys > 0);
+            }
+        }
+    }
+}

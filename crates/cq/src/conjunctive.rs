@@ -374,8 +374,7 @@ impl ConjunctiveQuery {
             b.var(&v);
         }
         for atom in &self.atoms {
-            let vars: htqo_hypergraph::VarSet =
-                atom.vars().iter().map(|v| b.var(v)).collect();
+            let vars: htqo_hypergraph::VarSet = atom.vars().iter().map(|v| b.var(v)).collect();
             b.edge_of(&atom.alias, vars);
         }
         let h = b.build();
@@ -412,7 +411,10 @@ impl fmt::Display for ConjunctiveQuery {
                 .map(|flt| {
                     format!(
                         "{}.{} {} {}",
-                        self.atoms[flt.atom.index()].alias, flt.column, flt.op, flt.value
+                        self.atoms[flt.atom.index()].alias,
+                        flt.column,
+                        flt.op,
+                        flt.value
                     )
                 })
                 .collect();
@@ -441,10 +443,7 @@ impl CqHypergraph {
 
     /// `out(Q)` as a [`htqo_hypergraph::VarSet`].
     pub fn out_var_set(&self, q: &ConjunctiveQuery) -> htqo_hypergraph::VarSet {
-        q.out_vars()
-            .iter()
-            .filter_map(|n| self.var(n))
-            .collect()
+        q.out_vars().iter().filter_map(|n| self.var(n)).collect()
     }
 
     /// The atom id corresponding to hypergraph edge `e`.
@@ -592,11 +591,7 @@ mod tests {
         let q = CqBuilder::new()
             .atom_vars("r", &["X", "Y"])
             .out_var("X")
-            .out_agg(
-                AggFunc::Sum,
-                Some(ScalarExpr::Var("Y".into())),
-                "total",
-            )
+            .out_agg(AggFunc::Sum, Some(ScalarExpr::Var("Y".into())), "total")
             .group("X")
             .build();
         assert_eq!(q.out_vars(), vec!["X".to_string(), "Y".to_string()]);
@@ -666,7 +661,10 @@ mod tests {
         };
         assert_eq!(atom.var_of_column("o_custkey"), Some("CustKey"));
         assert_eq!(atom.var_of_column("nope"), None);
-        assert_eq!(atom.columns_of_var("OrdKey").collect::<Vec<_>>(), vec!["o_orderkey"]);
+        assert_eq!(
+            atom.columns_of_var("OrdKey").collect::<Vec<_>>(),
+            vec!["o_orderkey"]
+        );
         assert_eq!(atom.vars(), vec!["OrdKey", "CustKey"]);
     }
 

@@ -132,27 +132,45 @@ mod tests {
     #[test]
     fn interval_year_addition() {
         let d = parse_date("1994-01-01").unwrap();
-        assert_eq!(format_date(add_interval(d, 1, IntervalUnit::Year)), "1995-01-01");
+        assert_eq!(
+            format_date(add_interval(d, 1, IntervalUnit::Year)),
+            "1995-01-01"
+        );
     }
 
     #[test]
     fn interval_month_clamps() {
         let d = parse_date("1996-01-31").unwrap();
-        assert_eq!(format_date(add_interval(d, 1, IntervalUnit::Month)), "1996-02-29");
+        assert_eq!(
+            format_date(add_interval(d, 1, IntervalUnit::Month)),
+            "1996-02-29"
+        );
         let d2 = parse_date("1995-01-31").unwrap();
-        assert_eq!(format_date(add_interval(d2, 1, IntervalUnit::Month)), "1995-02-28");
+        assert_eq!(
+            format_date(add_interval(d2, 1, IntervalUnit::Month)),
+            "1995-02-28"
+        );
     }
 
     #[test]
     fn interval_day_addition() {
         let d = parse_date("1994-12-31").unwrap();
-        assert_eq!(format_date(add_interval(d, 1, IntervalUnit::Day)), "1995-01-01");
+        assert_eq!(
+            format_date(add_interval(d, 1, IntervalUnit::Day)),
+            "1995-01-01"
+        );
     }
 
     #[test]
     fn negative_intervals() {
         let d = parse_date("1994-03-01").unwrap();
-        assert_eq!(format_date(add_interval(d, -1, IntervalUnit::Month)), "1994-02-01");
-        assert_eq!(format_date(add_interval(d, -2, IntervalUnit::Year)), "1992-03-01");
+        assert_eq!(
+            format_date(add_interval(d, -1, IntervalUnit::Month)),
+            "1994-02-01"
+        );
+        assert_eq!(
+            format_date(add_interval(d, -2, IntervalUnit::Year)),
+            "1992-03-01"
+        );
     }
 }

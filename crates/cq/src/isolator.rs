@@ -59,8 +59,10 @@ impl MapSchema {
 
     /// Registers a table with its columns.
     pub fn table(mut self, name: &str, columns: &[&str]) -> Self {
-        self.tables
-            .insert(name.to_string(), columns.iter().map(|c| c.to_string()).collect());
+        self.tables.insert(
+            name.to_string(),
+            columns.iter().map(|c| c.to_string()).collect(),
+        );
         self
     }
 }
@@ -139,11 +141,17 @@ impl fmt::Display for IsolateError {
                 write!(f, "IN subquery must be flattened before isolation")
             }
             IsolateError::UnsupportedSelectItem(s) => {
-                write!(f, "unsupported SELECT item (expected column or aggregate): {s}")
+                write!(
+                    f,
+                    "unsupported SELECT item (expected column or aggregate): {s}"
+                )
             }
             IsolateError::UnknownOrderKey(k) => write!(f, "unknown ORDER BY key `{k}`"),
             IsolateError::UnknownHavingLabel(k) => {
-                write!(f, "HAVING references `{k}`, which is not a SELECT output label")
+                write!(
+                    f,
+                    "HAVING references `{k}`, which is not a SELECT output label"
+                )
             }
         }
     }
@@ -173,7 +181,9 @@ pub fn isolate(
         bindings.push((binding, t.table.clone(), cols));
     }
 
-    let resolver = Resolver { bindings: &bindings };
+    let resolver = Resolver {
+        bindings: &bindings,
+    };
 
     // 2. Interning of attributes and union-find over them.
     let mut attrs: Vec<Attr> = Vec::new();
@@ -229,7 +239,10 @@ pub fn isolate(
     let mut select_attr_of_item: Vec<SelectResolution> = Vec::new();
     for item in &stmt.select {
         match item {
-            SelectItem::Expr { expr: SqlExpr::Col(c), alias } => {
+            SelectItem::Expr {
+                expr: SqlExpr::Col(c),
+                alias,
+            } => {
                 let attr = resolver.resolve(c)?;
                 let i = intern(attr, &mut uf);
                 select_attr_of_item.push(SelectResolution::Plain {
@@ -287,9 +300,8 @@ pub fn isolate(
     }
 
     // 7. Output items.
-    let var_of_attr = |i: usize, uf: &mut UnionFind| -> String {
-        var_of_class[&uf.find(i)].clone()
-    };
+    let var_of_attr =
+        |i: usize, uf: &mut UnionFind| -> String { var_of_class[&uf.find(i)].clone() };
     let mut output: Vec<OutputItem> = Vec::new();
     let mut agg_atoms: Vec<usize> = Vec::new();
     for res in &select_attr_of_item {
@@ -422,7 +434,11 @@ enum SelectResolution {
 enum ResolvedExpr {
     Attr(usize),
     Lit(Literal),
-    Binary(Box<ResolvedExpr>, crate::conjunctive::ArithOp, Box<ResolvedExpr>),
+    Binary(
+        Box<ResolvedExpr>,
+        crate::conjunctive::ArithOp,
+        Box<ResolvedExpr>,
+    ),
 }
 
 fn resolve_expr(
@@ -546,7 +562,9 @@ struct ClassNamer {
 
 impl ClassNamer {
     fn new() -> Self {
-        ClassNamer { used: HashMap::new() }
+        ClassNamer {
+            used: HashMap::new(),
+        }
     }
 
     fn name_for(&mut self, column: &str) -> String {
@@ -617,7 +635,10 @@ mod tests {
             2
         );
         // r_name = 'ASIA' is a filter on region.
-        assert!(q.filters.iter().any(|f| f.column == "r_name" && f.op == CmpOp::Eq));
+        assert!(q
+            .filters
+            .iter()
+            .any(|f| f.column == "r_name" && f.op == CmpOp::Eq));
         // out(Q) ⊇ {N_NAME, L_EXTENDEDPRICE, L_DISCOUNT}.
         let out = q.out_vars();
         assert!(out.iter().any(|v| v == "N_NAME"));
@@ -640,7 +661,9 @@ mod tests {
         let q = isolate(
             &stmt,
             &tpch_schema(),
-            IsolatorOptions { agg_key_mode: AggKeyMode::None },
+            IsolatorOptions {
+                agg_key_mode: AggKeyMode::None,
+            },
         )
         .unwrap();
         assert!(!q.out_vars().iter().any(|v| v.starts_with("__rid")));
@@ -648,18 +671,22 @@ mod tests {
 
     #[test]
     fn all_atoms_mode_adds_every_rowid() {
-        let stmt = parse_select(
-            "SELECT count(*) FROM customer, orders WHERE c_custkey = o_custkey",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT count(*) FROM customer, orders WHERE c_custkey = o_custkey")
+                .unwrap();
         let q = isolate(
             &stmt,
             &tpch_schema(),
-            IsolatorOptions { agg_key_mode: AggKeyMode::AllAtoms },
+            IsolatorOptions {
+                agg_key_mode: AggKeyMode::AllAtoms,
+            },
         )
         .unwrap();
         assert_eq!(
-            q.out_vars().iter().filter(|v| v.starts_with("__rid")).count(),
+            q.out_vars()
+                .iter()
+                .filter(|v| v.starts_with("__rid"))
+                .count(),
             2
         );
     }
@@ -675,7 +702,10 @@ mod tests {
         .unwrap();
         let q = isolate(&stmt, &tpch_schema(), IsolatorOptions::default()).unwrap();
         assert_eq!(
-            q.out_vars().iter().filter(|v| v.starts_with("__rid")).count(),
+            q.out_vars()
+                .iter()
+                .filter(|v| v.starts_with("__rid"))
+                .count(),
             2
         );
     }
@@ -705,10 +735,7 @@ mod tests {
         assert_eq!(q.atoms.len(), 2);
         assert_eq!(q.atoms[0].alias, "r1");
         assert_eq!(q.atoms[1].alias, "r2");
-        assert_eq!(
-            q.atoms[0].var_of_column("b"),
-            q.atoms[1].var_of_column("a")
-        );
+        assert_eq!(q.atoms[0].var_of_column("b"), q.atoms[1].var_of_column("a"));
     }
 
     #[test]
@@ -782,10 +809,8 @@ mod tests {
     #[test]
     fn having_labels_resolve_or_error() {
         let schema = MapSchema::new().table("r", &["g", "x"]);
-        let stmt = parse_select(
-            "SELECT g, sum(x) AS total FROM r GROUP BY g HAVING total > 5",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("SELECT g, sum(x) AS total FROM r GROUP BY g HAVING total > 5").unwrap();
         let q = isolate(&stmt, &schema, IsolatorOptions::default()).unwrap();
         assert_eq!(q.having.len(), 1);
         assert_eq!(q.having[0].0, "total");

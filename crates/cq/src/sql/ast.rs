@@ -154,21 +154,33 @@ mod tests {
 
     #[test]
     fn column_ref_display() {
-        let c = ColumnRef { qualifier: Some("t".into()), column: "x".into() };
+        let c = ColumnRef {
+            qualifier: Some("t".into()),
+            column: "x".into(),
+        };
         assert_eq!(c.to_string(), "t.x");
-        let u = ColumnRef { qualifier: None, column: "x".into() };
+        let u = ColumnRef {
+            qualifier: None,
+            column: "x".into(),
+        };
         assert_eq!(u.to_string(), "x");
     }
 
     #[test]
     fn expr_columns_in_order() {
         let e = SqlExpr::Binary(
-            Box::new(SqlExpr::Col(ColumnRef { qualifier: None, column: "a".into() })),
+            Box::new(SqlExpr::Col(ColumnRef {
+                qualifier: None,
+                column: "a".into(),
+            })),
             ArithOp::Mul,
             Box::new(SqlExpr::Binary(
                 Box::new(SqlExpr::Lit(Literal::Int(1))),
                 ArithOp::Sub,
-                Box::new(SqlExpr::Col(ColumnRef { qualifier: None, column: "b".into() })),
+                Box::new(SqlExpr::Col(ColumnRef {
+                    qualifier: None,
+                    column: "b".into(),
+                })),
             )),
         );
         let cols: Vec<String> = e.columns().iter().map(|c| c.column.clone()).collect();
@@ -177,9 +189,15 @@ mod tests {
 
     #[test]
     fn table_ref_binding() {
-        let t = TableRef { table: "orders".into(), alias: Some("o".into()) };
+        let t = TableRef {
+            table: "orders".into(),
+            alias: Some("o".into()),
+        };
         assert_eq!(t.binding(), "o");
-        let u = TableRef { table: "orders".into(), alias: None };
+        let u = TableRef {
+            table: "orders".into(),
+            alias: None,
+        };
         assert_eq!(u.binding(), "orders");
     }
 }

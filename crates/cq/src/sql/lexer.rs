@@ -114,47 +114,80 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: i,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    offset: i,
+                });
                 i += 2;
             }
             '<' => {
@@ -199,7 +232,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         i += 1;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -207,7 +243,12 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -226,7 +267,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         offset: start,
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -280,7 +324,10 @@ mod tests {
     #[test]
     fn operators() {
         let ks = kinds("a = b <> c <= d >= e < f > g != h");
-        let ops: Vec<&TokenKind> = ks.iter().filter(|k| !matches!(k, TokenKind::Ident(_))).collect();
+        let ops: Vec<&TokenKind> = ks
+            .iter()
+            .filter(|k| !matches!(k, TokenKind::Ident(_)))
+            .collect();
         assert_eq!(
             ops,
             vec![

@@ -133,7 +133,10 @@ impl Parser {
     /// Requires an identifier that is not a reserved keyword.
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Ident(s), .. }) if !is_reserved(s) => {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) if !is_reserved(s) => {
                 let s = s.clone();
                 self.pos += 1;
                 Ok(s)
@@ -219,13 +222,24 @@ impl Parser {
         }
         let limit = if self.eat_keyword("LIMIT") {
             match self.next() {
-                Some(Token { kind: TokenKind::Int(n), .. }) if n >= 0 => Some(n as usize),
+                Some(Token {
+                    kind: TokenKind::Int(n),
+                    ..
+                }) if n >= 0 => Some(n as usize),
                 _ => return Err(self.err_at("expected a non-negative integer after LIMIT".into())),
             }
         } else {
             None
         };
-        Ok(SelectStmt { select, from, predicates, group_by, having, order_by, limit })
+        Ok(SelectStmt {
+            select,
+            from,
+            predicates,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem, ParseError> {
@@ -251,10 +265,20 @@ impl Parser {
 
     fn peek_agg_func(&self) -> Option<AggFunc> {
         // An aggregate is an agg keyword immediately followed by `(`.
-        let Token { kind: TokenKind::Ident(s), .. } = self.peek()? else {
+        let Token {
+            kind: TokenKind::Ident(s),
+            ..
+        } = self.peek()?
+        else {
             return None;
         };
-        if !matches!(self.tokens.get(self.pos + 1), Some(Token { kind: TokenKind::LParen, .. })) {
+        if !matches!(
+            self.tokens.get(self.pos + 1),
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            })
+        ) {
             return None;
         }
         match s.to_ascii_uppercase().as_str() {
@@ -308,7 +332,11 @@ impl Parser {
         self.expect_kind(&TokenKind::LParen)?;
         let subquery = Box::new(self.stmt()?);
         self.expect_kind(&TokenKind::RParen)?;
-        Ok(Predicate::InSubquery { col, subquery, negated })
+        Ok(Predicate::InSubquery {
+            col,
+            subquery,
+            negated,
+        })
     }
 
     fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
@@ -322,7 +350,9 @@ impl Parser {
             TokenKind::Le => CmpOp::Le,
             TokenKind::Gt => CmpOp::Gt,
             TokenKind::Ge => CmpOp::Ge,
-            _ => return Err(self.err_at(format!("expected comparison operator, found `{}`", t.kind))),
+            _ => {
+                return Err(self.err_at(format!("expected comparison operator, found `{}`", t.kind)))
+            }
         };
         self.pos += 1;
         Ok(op)
@@ -349,7 +379,11 @@ impl Parser {
                         left = SqlExpr::Lit(Literal::Date(add_interval(d, n, unit)));
                         continue;
                     }
-                    _ => return Err(self.err_at("interval arithmetic requires a date literal".into())),
+                    _ => {
+                        return Err(
+                            self.err_at("interval arithmetic requires a date literal".into())
+                        )
+                    }
                 }
             }
             let right = self.mul_expr()?;
@@ -408,7 +442,11 @@ impl Parser {
             }
             Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("DATE") => {
                 self.pos += 1;
-                let Some(Token { kind: TokenKind::Str(d), .. }) = self.next() else {
+                let Some(Token {
+                    kind: TokenKind::Str(d),
+                    ..
+                }) = self.next()
+                else {
                     return Err(self.err_at("expected string after DATE".into()));
                 };
                 let days = parse_date(&d)
@@ -427,7 +465,11 @@ impl Parser {
     /// current token).
     fn interval(&mut self) -> Result<(i32, IntervalUnit), ParseError> {
         self.expect_keyword("INTERVAL")?;
-        let Some(Token { kind: TokenKind::Str(n), .. }) = self.next() else {
+        let Some(Token {
+            kind: TokenKind::Str(n),
+            ..
+        }) = self.next()
+        else {
             return Err(self.err_at("expected quoted number after INTERVAL".into()));
         };
         let n: i32 = n
@@ -450,9 +492,15 @@ impl Parser {
         let first = self.expect_ident()?;
         if self.eat_kind(&TokenKind::Dot) {
             let column = self.expect_ident()?;
-            Ok(ColumnRef { qualifier: Some(first), column })
+            Ok(ColumnRef {
+                qualifier: Some(first),
+                column,
+            })
         } else {
-            Ok(ColumnRef { qualifier: None, column: first })
+            Ok(ColumnRef {
+                qualifier: None,
+                column: first,
+            })
         }
     }
 
@@ -471,7 +519,18 @@ impl Parser {
 fn is_reserved(s: &str) -> bool {
     matches!(
         s.to_ascii_uppercase().as_str(),
-        "SELECT" | "FROM" | "WHERE" | "GROUP" | "ORDER" | "BY" | "AS" | "AND" | "ASC" | "DESC" | "HAVING" | "LIMIT"
+        "SELECT"
+            | "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "ORDER"
+            | "BY"
+            | "AS"
+            | "AND"
+            | "ASC"
+            | "DESC"
+            | "HAVING"
+            | "LIMIT"
     )
 }
 
@@ -493,7 +552,10 @@ mod tests {
         assert_eq!(s.from[0].binding(), "o");
         assert_eq!(s.from[1].binding(), "l");
         match &s.select[0] {
-            SelectItem::Expr { expr: SqlExpr::Col(c), alias } => {
+            SelectItem::Expr {
+                expr: SqlExpr::Col(c),
+                alias,
+            } => {
                 assert_eq!(c.qualifier.as_deref(), Some("o"));
                 assert_eq!(alias.as_deref(), Some("out1"));
             }
@@ -505,7 +567,10 @@ mod tests {
     fn where_conjunction() {
         let s = parse_select("SELECT a FROM t, u WHERE t.a = u.b AND t.c >= 5").unwrap();
         assert_eq!(s.predicates.len(), 2);
-        assert!(matches!(s.predicates[1], Predicate::Cmp { op: CmpOp::Ge, .. }));
+        assert!(matches!(
+            s.predicates[1],
+            Predicate::Cmp { op: CmpOp::Ge, .. }
+        ));
     }
 
     #[test]
@@ -516,13 +581,21 @@ mod tests {
         .unwrap();
         assert_eq!(s.select.len(), 3);
         match &s.select[1] {
-            SelectItem::Aggregate { func: AggFunc::Sum, expr: Some(_), alias } => {
+            SelectItem::Aggregate {
+                func: AggFunc::Sum,
+                expr: Some(_),
+                alias,
+            } => {
                 assert_eq!(alias.as_deref(), Some("revenue"));
             }
             other => panic!("unexpected: {other:?}"),
         }
         match &s.select[2] {
-            SelectItem::Aggregate { func: AggFunc::Count, expr: None, .. } => {}
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                expr: None,
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
         assert_eq!(s.group_by.len(), 1);
@@ -539,10 +612,18 @@ mod tests {
             "SELECT a FROM t WHERE d >= date '1994-01-01' AND d < date '1994-01-01' + interval '1' year",
         )
         .unwrap();
-        let Predicate::Cmp { right: SqlExpr::Lit(Literal::Date(d0)), .. } = &s.predicates[0] else {
+        let Predicate::Cmp {
+            right: SqlExpr::Lit(Literal::Date(d0)),
+            ..
+        } = &s.predicates[0]
+        else {
             panic!("expected folded date");
         };
-        let Predicate::Cmp { right: SqlExpr::Lit(Literal::Date(d1)), .. } = &s.predicates[1] else {
+        let Predicate::Cmp {
+            right: SqlExpr::Lit(Literal::Date(d1)),
+            ..
+        } = &s.predicates[1]
+        else {
             panic!("expected folded date");
         };
         assert_eq!(*d1 - *d0, 365);
@@ -642,7 +723,11 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let s = parse_select("SELECT a + b * c FROM t").unwrap();
-        let SelectItem::Expr { expr: SqlExpr::Binary(_, ArithOp::Add, rhs), .. } = &s.select[0] else {
+        let SelectItem::Expr {
+            expr: SqlExpr::Binary(_, ArithOp::Add, rhs),
+            ..
+        } = &s.select[0]
+        else {
             panic!("expected top-level +");
         };
         assert!(matches!(**rhs, SqlExpr::Binary(_, ArithOp::Mul, _)));

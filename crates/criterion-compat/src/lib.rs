@@ -33,24 +33,26 @@ impl Default for Criterion {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(300u64);
-        Criterion { filter, budget: Duration::from_millis(ms) }
+        Criterion {
+            filter,
+            budget: Duration::from_millis(ms),
+        }
     }
 }
 
 impl Criterion {
     /// Runs one benchmark.
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        mut f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_one(name, self.filter.as_deref(), self.budget, &mut f);
         self
     }
 
     /// Opens a named group; members print as `group/name`.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -74,7 +76,12 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.0);
-        run_one(&full, self.criterion.filter.as_deref(), self.criterion.budget, &mut f);
+        run_one(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.criterion.budget,
+            &mut f,
+        );
         self
     }
 
@@ -87,9 +94,12 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         let full = format!("{}/{}", self.name, id.0);
-        run_one(&full, self.criterion.filter.as_deref(), self.criterion.budget, &mut |b| {
-            f(b, input)
-        });
+        run_one(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.criterion.budget,
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -160,18 +170,16 @@ impl Bencher {
     }
 }
 
-fn run_one(
-    name: &str,
-    filter: Option<&str>,
-    budget: Duration,
-    f: &mut dyn FnMut(&mut Bencher),
-) {
+fn run_one(name: &str, filter: Option<&str>, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
     if let Some(pat) = filter {
         if !name.contains(pat) {
             return;
         }
     }
-    let mut b = Bencher { budget, measured: None };
+    let mut b = Bencher {
+        budget,
+        measured: None,
+    };
     f(&mut b);
     match b.measured {
         Some((total, iters, best)) => {

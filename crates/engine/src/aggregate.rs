@@ -28,7 +28,12 @@ pub fn finalize(
         .collect();
     // SQL allows duplicate output column names (`SELECT a.x, b.x`); our
     // relations do not, so repeated labels get a numeric suffix.
-    let labels = uniquify(&visible.iter().map(|o| o.label().to_string()).collect::<Vec<_>>());
+    let labels = uniquify(
+        &visible
+            .iter()
+            .map(|o| o.label().to_string())
+            .collect::<Vec<_>>(),
+    );
 
     let result = if q.has_aggregates() {
         aggregate(answer, q, &visible, &labels, budget)?
@@ -96,10 +101,9 @@ pub fn finalize(
         sort_by(&result, &keys)?
     };
     Ok(match q.limit {
-        Some(n) if n < result.len() => VRelation::from_rows(
-            result.cols().to_vec(),
-            result.rows()[..n].to_vec(),
-        ),
+        Some(n) if n < result.len() => {
+            VRelation::from_rows(result.cols().to_vec(), result.rows()[..n].to_vec())
+        }
         _ => result,
     })
 }
@@ -195,7 +199,10 @@ fn aggregate(
     if groups.is_empty() && q.group_by.is_empty() {
         let key: Row = Vec::new().into_boxed_slice();
         order.push(key.clone());
-        groups.insert(key, visible.iter().map(|o| Accumulator::for_item(o)).collect());
+        groups.insert(
+            key,
+            visible.iter().map(|o| Accumulator::for_item(o)).collect(),
+        );
     }
 
     let mut out = VRelation::empty(labels.to_vec());
@@ -220,10 +227,23 @@ fn aggregate(
 enum Accumulator {
     /// Placeholder for plain grouping variables.
     Group,
-    Sum { int: i64, float: f64, any_float: bool, n: u64 },
-    Count { n: u64 },
-    MinMax { best: Option<Value>, min: bool },
-    Avg { sum: f64, n: u64 },
+    Sum {
+        int: i64,
+        float: f64,
+        any_float: bool,
+        n: u64,
+    },
+    Count {
+        n: u64,
+    },
+    MinMax {
+        best: Option<Value>,
+        min: bool,
+    },
+    Avg {
+        sum: f64,
+        n: u64,
+    },
 }
 
 impl Accumulator {
@@ -231,10 +251,21 @@ impl Accumulator {
         match item {
             OutputItem::Var { .. } => Accumulator::Group,
             OutputItem::Aggregate { func, .. } => match func {
-                AggFunc::Sum => Accumulator::Sum { int: 0, float: 0.0, any_float: false, n: 0 },
+                AggFunc::Sum => Accumulator::Sum {
+                    int: 0,
+                    float: 0.0,
+                    any_float: false,
+                    n: 0,
+                },
                 AggFunc::Count => Accumulator::Count { n: 0 },
-                AggFunc::Min => Accumulator::MinMax { best: None, min: true },
-                AggFunc::Max => Accumulator::MinMax { best: None, min: false },
+                AggFunc::Min => Accumulator::MinMax {
+                    best: None,
+                    min: true,
+                },
+                AggFunc::Max => Accumulator::MinMax {
+                    best: None,
+                    min: false,
+                },
                 AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
             },
         }
@@ -255,26 +286,29 @@ impl Accumulator {
                     *n += 1;
                 }
             }
-            Accumulator::Sum { int, float, any_float, n } => {
-                match value {
-                    Value::Null => {}
-                    Value::Int(i) => {
-                        *int = int.wrapping_add(i);
-                        *n += 1;
-                    }
-                    Value::Float(x) => {
-                        *float += x;
-                        *any_float = true;
-                        *n += 1;
-                    }
-                    other => {
-                        return Err(EvalError::Internal(format!(
-                            "SUM over non-numeric value ({})",
-                            other.type_name()
-                        )))
-                    }
+            Accumulator::Sum {
+                int,
+                float,
+                any_float,
+                n,
+            } => match value {
+                Value::Null => {}
+                Value::Int(i) => {
+                    *int = int.wrapping_add(i);
+                    *n += 1;
                 }
-            }
+                Value::Float(x) => {
+                    *float += x;
+                    *any_float = true;
+                    *n += 1;
+                }
+                other => {
+                    return Err(EvalError::Internal(format!(
+                        "SUM over non-numeric value ({})",
+                        other.type_name()
+                    )))
+                }
+            },
             Accumulator::MinMax { best, min } => {
                 if value.is_null() {
                     return Ok(());
@@ -283,7 +317,11 @@ impl Accumulator {
                     None => true,
                     Some(b) => {
                         let ord = value.cmp(b);
-                        if *min { ord.is_lt() } else { ord.is_gt() }
+                        if *min {
+                            ord.is_lt()
+                        } else {
+                            ord.is_gt()
+                        }
                     }
                 };
                 if better {
@@ -306,7 +344,12 @@ impl Accumulator {
         match self {
             Accumulator::Group => Value::Null,
             Accumulator::Count { n } => Value::Int(*n as i64),
-            Accumulator::Sum { int, float, any_float, n } => {
+            Accumulator::Sum {
+                int,
+                float,
+                any_float,
+                n,
+            } => {
                 if *n == 0 {
                     Value::Null
                 } else if *any_float {
@@ -398,7 +441,11 @@ mod tests {
             .build();
         let a = answer(
             &["X"],
-            vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(3)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         );
         let mut budget = Budget::unlimited();
         let out = finalize(&a, &q, &mut budget).unwrap();
@@ -504,7 +551,11 @@ mod tests {
             .build();
         let a = answer(
             &["X"],
-            vec![vec![Value::Int(1)], vec![Value::Int(3)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(3)],
+                vec![Value::Int(2)],
+            ],
         );
         let mut budget = Budget::unlimited();
         let out = finalize(&a, &q, &mut budget).unwrap();

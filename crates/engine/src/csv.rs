@@ -6,8 +6,8 @@
 //! `name:type` pairs with `type ∈ {int, float, str, date}`; dates are
 //! `YYYY-MM-DD`; empty unquoted fields are NULL.
 
-use crate::schema::{ColumnType, Schema};
 use crate::relation::Relation;
+use crate::schema::{ColumnType, Schema};
 use crate::value::Value;
 use htqo_cq::date::{format_date, parse_date};
 use std::fmt;
@@ -66,7 +66,10 @@ pub fn read_csv(r: impl Read) -> Result<Relation, CsvError> {
     let mut reader = BufReader::new(r);
     let mut header = String::new();
     if reader.read_line(&mut header)? == 0 {
-        return Err(CsvError::Format { line: 1, message: "empty input".into() });
+        return Err(CsvError::Format {
+            line: 1,
+            message: "empty input".into(),
+        });
     }
     let mut schema = Schema::default();
     for field in split_line(header.trim_end_matches(['\r', '\n']), 1)? {
@@ -165,10 +168,16 @@ fn parse_cell(field: &Field, ty: ColumnType) -> Result<Value, String> {
     }
     Ok(match ty {
         ColumnType::Int => Value::Int(
-            field.text.parse().map_err(|_| format!("bad int `{}`", field.text))?,
+            field
+                .text
+                .parse()
+                .map_err(|_| format!("bad int `{}`", field.text))?,
         ),
         ColumnType::Float => Value::Float(
-            field.text.parse().map_err(|_| format!("bad float `{}`", field.text))?,
+            field
+                .text
+                .parse()
+                .map_err(|_| format!("bad float `{}`", field.text))?,
         ),
         ColumnType::Date => Value::Date(
             parse_date(&field.text).ok_or_else(|| format!("bad date `{}`", field.text))?,
@@ -254,7 +263,12 @@ mod tests {
             ("day", ColumnType::Date),
         ]));
         rel.extend_rows(vec![
-            vec![Value::Int(1), Value::str("plain"), Value::Float(1.5), Value::Date(0)],
+            vec![
+                Value::Int(1),
+                Value::str("plain"),
+                Value::Float(1.5),
+                Value::Date(0),
+            ],
             vec![
                 Value::Int(2),
                 Value::str("with, comma and \"quotes\""),

@@ -111,7 +111,10 @@ impl Clone for Counter {
             // Pending charges belong to the handle that accrued them; a
             // clone starts with its own empty batch (copying `pending`
             // would double-count on flush).
-            Counter::Shared { pool, .. } => Counter::Shared { pool: Arc::clone(pool), pending: 0 },
+            Counter::Shared { pool, .. } => Counter::Shared {
+                pool: Arc::clone(pool),
+                pending: 0,
+            },
         }
     }
 }
@@ -166,7 +169,10 @@ impl Budget {
     /// `Send`; give one to each parallel task.
     pub fn fork(&mut self) -> Budget {
         if let Counter::Local(n) = self.counter {
-            self.counter = Counter::Shared { pool: Arc::new(AtomicU64::new(n)), pending: 0 };
+            self.counter = Counter::Shared {
+                pool: Arc::new(AtomicU64::new(n)),
+                pending: 0,
+            };
         }
         self.clone()
     }
@@ -279,7 +285,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(EvalError::UnknownTable("t".into()).to_string().contains("`t`"));
+        assert!(EvalError::UnknownTable("t".into())
+            .to_string()
+            .contains("`t`"));
         assert!(!EvalError::UnknownVariable("v".into()).is_resource_limit());
     }
 

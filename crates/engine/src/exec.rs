@@ -68,7 +68,12 @@ fn acquire_permits(want: usize) -> usize {
         }
         let take = (cur as usize).min(want - got);
         if PERMITS
-            .compare_exchange(cur, cur - take as isize, Ordering::Relaxed, Ordering::Relaxed)
+            .compare_exchange(
+                cur,
+                cur - take as isize,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
             .is_ok()
         {
             got += take;

@@ -103,13 +103,22 @@ mod tests {
 
     #[test]
     fn int_arithmetic_stays_int_except_div() {
-        assert_eq!(arith(&Value::Int(7), ArithOp::Mul, &Value::Int(3)).unwrap(), Value::Int(21));
-        assert_eq!(arith(&Value::Int(7), ArithOp::Div, &Value::Int(2)).unwrap(), Value::Float(3.5));
+        assert_eq!(
+            arith(&Value::Int(7), ArithOp::Mul, &Value::Int(3)).unwrap(),
+            Value::Int(21)
+        );
+        assert_eq!(
+            arith(&Value::Int(7), ArithOp::Div, &Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
     }
 
     #[test]
     fn null_propagates() {
-        assert_eq!(arith(&Value::Null, ArithOp::Add, &Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(
+            arith(&Value::Null, ArithOp::Add, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]

@@ -7,84 +7,15 @@
 //! actual column values, so the hash only has to be fast, not perfect.
 //!
 //! [`FxHasher`] is the well-known multiply-xor hash used by rustc
-//! (`rustc-hash`), reimplemented here because the environment has no
-//! registry access.
+//! (`rustc-hash`); the implementation lives in [`htqo_hypergraph::fxhash`]
+//! (the bottom of the crate stack) so the decomposition search can intern
+//! bitsets through the same hasher, and is re-exported here for the join
+//! kernels.
 
 use crate::value::Row;
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::hash::{Hash, Hasher};
 
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// The rustc multiply-xor hasher: one rotate-xor-multiply per word.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().unwrap()));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut buf = [0u8; 8];
-            buf[..rest.len()].copy_from_slice(rest);
-            self.add(u64::from_le_bytes(buf));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_i32(&mut self, v: i32) {
-        self.add(v as u64);
-    }
-
-    #[inline]
-    fn write_i64(&mut self, v: i64) {
-        self.add(v as u64);
-    }
-}
-
-/// `BuildHasher` for [`FxHasher`].
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
-
-/// `HashMap` keyed through [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+pub use htqo_hypergraph::fxhash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 
 /// Hashes the key columns `idx` of `row` in place (no allocation).
 ///
@@ -108,10 +39,7 @@ pub fn hash_key(row: &Row, idx: &[usize]) -> u64 {
 #[inline]
 pub fn keys_eq(a: &Row, a_idx: &[usize], b: &Row, b_idx: &[usize]) -> bool {
     debug_assert_eq!(a_idx.len(), b_idx.len());
-    a_idx
-        .iter()
-        .zip(b_idx)
-        .all(|(&i, &j)| a[i] == b[j])
+    a_idx.iter().zip(b_idx).all(|(&i, &j)| a[i] == b[j])
 }
 
 /// Partition of a 64-bit hash into one of `2^bits` buckets (high bits, so
@@ -173,7 +101,10 @@ mod tests {
             let p = partition_of(hash_key(&row(&[Value::Int(i)]), &[0]), bits);
             counts[p] += 1;
         }
-        assert!(counts.iter().all(|&c| c > 500), "skewed partitions: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 500),
+            "skewed partitions: {counts:?}"
+        );
         assert_eq!(partition_of(u64::MAX, 0), 0);
     }
 

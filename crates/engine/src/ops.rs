@@ -67,7 +67,11 @@ pub fn natural_join(
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
     // Build on the smaller side: swap so `build` is smallest.
-    let (build, probe, swapped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
+    let (build, probe, swapped) = if a.len() <= b.len() {
+        (a, b, false)
+    } else {
+        (b, a, true)
+    };
     let (build_shared, probe_shared, probe_rest) = join_layout(build, probe);
 
     let mut out_cols: Vec<String> = build.cols().to_vec();
@@ -78,9 +82,24 @@ pub fn natural_join(
         && threads > 1
         && build.len() + probe.len() >= PARALLEL_ROW_THRESHOLD
     {
-        join_rows_partitioned(build, probe, &build_shared, &probe_shared, &probe_rest, threads, budget)?
+        join_rows_partitioned(
+            build,
+            probe,
+            &build_shared,
+            &probe_shared,
+            &probe_rest,
+            threads,
+            budget,
+        )?
     } else {
-        join_rows_sequential(build, probe, &build_shared, &probe_shared, &probe_rest, budget)?
+        join_rows_sequential(
+            build,
+            probe,
+            &build_shared,
+            &probe_shared,
+            &probe_rest,
+            budget,
+        )?
     };
     let out = VRelation::from_rows(out_cols, rows);
 
@@ -169,7 +188,11 @@ impl ChainTable {
 
     /// Iterates the chain for `hash`, calling `f` with each row index.
     #[inline]
-    fn for_each(&self, hash: u64, mut f: impl FnMut(usize) -> Result<(), EvalError>) -> Result<(), EvalError> {
+    fn for_each(
+        &self,
+        hash: u64,
+        mut f: impl FnMut(usize) -> Result<(), EvalError>,
+    ) -> Result<(), EvalError> {
         let mut i = self.head(hash);
         while i != CHAIN_END {
             f(i as usize)?;
@@ -284,7 +307,10 @@ fn hashes_of(rows: &[Row], idx: &[usize], threads: usize) -> Vec<u64> {
     }
     let chunks = exec::chunk_ranges(rows.len(), threads * 4);
     exec::parallel_map(chunks, threads, |(lo, hi)| {
-        rows[lo..hi].iter().map(|r| hash_key(r, idx)).collect::<Vec<u64>>()
+        rows[lo..hi]
+            .iter()
+            .map(|r| hash_key(r, idx))
+            .collect::<Vec<u64>>()
     })
     .into_iter()
     .flatten()
@@ -335,7 +361,11 @@ pub fn natural_join_seed(
     b: &VRelation,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
-    let (build, probe, swapped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
+    let (build, probe, swapped) = if a.len() <= b.len() {
+        (a, b, false)
+    } else {
+        (b, a, true)
+    };
     let (build_shared, probe_shared, probe_rest) = join_layout(build, probe);
 
     let mut out_cols: Vec<String> = build.cols().to_vec();
@@ -348,7 +378,9 @@ pub fn natural_join_seed(
     }
     for prow in probe.rows() {
         let key = key_of(prow, &probe_shared);
-        let Some(matches) = table.get(&key) else { continue };
+        let Some(matches) = table.get(&key) else {
+            continue;
+        };
         budget.charge(matches.len() as u64)?;
         out.reserve(matches.len());
         for &bi in matches {
@@ -540,10 +572,7 @@ pub fn select_rows(
 
 /// Sorts rows by the given `(column, descending)` keys, using SQL
 /// comparison semantics with a total-order fallback.
-pub fn sort_by(
-    a: &VRelation,
-    keys: &[(String, bool)],
-) -> Result<VRelation, EvalError> {
+pub fn sort_by(a: &VRelation, keys: &[(String, bool)]) -> Result<VRelation, EvalError> {
     let idx: Vec<(usize, bool)> = keys
         .iter()
         .map(|(v, desc)| {
@@ -667,12 +696,8 @@ mod tests {
     fn project_onto_available_ignores_missing() {
         let a = rel(&["x", "y"], &[&[1, 10]]);
         let mut budget = Budget::unlimited();
-        let p = project_onto_available(
-            &a,
-            &["x".to_string(), "w".to_string()],
-            &mut budget,
-        )
-        .unwrap();
+        let p =
+            project_onto_available(&a, &["x".to_string(), "w".to_string()], &mut budget).unwrap();
         assert_eq!(p.cols(), &["x".to_string()]);
     }
 
@@ -691,7 +716,14 @@ mod tests {
         let rows: Vec<Vec<i64>> = sorted
             .rows()
             .iter()
-            .map(|r| r.iter().map(|v| match v { Value::Int(i) => *i, _ => panic!() }).collect())
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        Value::Int(i) => *i,
+                        _ => panic!(),
+                    })
+                    .collect()
+            })
             .collect();
         assert_eq!(rows, vec![vec![1, 3], vec![1, 1], vec![2, 1]]);
         assert!(sort_by(&a, &[("zz".to_string(), false)]).is_err());

@@ -31,7 +31,11 @@ impl fmt::Display for RelationError {
             RelationError::ArityMismatch { expected, got } => {
                 write!(f, "row arity {got} does not match schema arity {expected}")
             }
-            RelationError::TypeMismatch { column, expected, got } => {
+            RelationError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
                 write!(f, "column `{column}` expects {expected:?}, got {got}")
             }
         }
@@ -50,7 +54,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, rows: Vec::new() }
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The schema.
@@ -147,7 +154,13 @@ mod tests {
     fn push_checks_arity() {
         let mut r = Relation::new(schema());
         let err = r.push_row(vec![Value::Int(1)]).unwrap_err();
-        assert_eq!(err, RelationError::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            RelationError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -37,10 +37,12 @@ pub fn scan_atom(
     let resolved_filters: Vec<(usize, htqo_cq::CmpOp, Value)> = filters
         .iter()
         .map(|f| {
-            let idx = schema.index_of(&f.column).ok_or_else(|| EvalError::UnknownColumn {
-                relation: atom.relation.clone(),
-                column: f.column.clone(),
-            })?;
+            let idx = schema
+                .index_of(&f.column)
+                .ok_or_else(|| EvalError::UnknownColumn {
+                    relation: atom.relation.clone(),
+                    column: f.column.clone(),
+                })?;
             Ok((idx, f.op, Value::from(&f.value)))
         })
         .collect::<Result<_, EvalError>>()?;
@@ -54,10 +56,14 @@ pub fn scan_atom(
         let src = if column == ROWID_COLUMN {
             Source::RowId
         } else {
-            Source::Col(schema.index_of(column).ok_or_else(|| EvalError::UnknownColumn {
-                relation: atom.relation.clone(),
-                column: column.clone(),
-            })?)
+            Source::Col(
+                schema
+                    .index_of(column)
+                    .ok_or_else(|| EvalError::UnknownColumn {
+                        relation: atom.relation.clone(),
+                        column: column.clone(),
+                    })?,
+            )
         };
         if let Some(pos) = out_vars.iter().position(|v| v == var) {
             // Rowid repetition cannot add a constraint (it is unique).
@@ -108,8 +114,8 @@ pub fn scan_query_atom(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{ColumnType, Schema};
     use crate::relation::Relation;
+    use crate::schema::{ColumnType, Schema};
     use htqo_cq::{AtomId, CmpOp, CqBuilder, Literal};
 
     fn db() -> Database {
@@ -213,7 +219,8 @@ mod tests {
     fn date_filter_comparisons() {
         let mut db = Database::new();
         let mut t = Relation::new(Schema::new(&[("d", ColumnType::Date)]));
-        t.extend_rows(vec![vec![Value::Date(10)], vec![Value::Date(20)]]).unwrap();
+        t.extend_rows(vec![vec![Value::Date(10)], vec![Value::Date(20)]])
+            .unwrap();
         db.insert_table("t", t);
         let q = CqBuilder::new()
             .atom("t", "t", &[("d", "D")])

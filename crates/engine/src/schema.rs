@@ -40,7 +40,9 @@ impl Schema {
     /// # Panics
     /// Panics on duplicate column names.
     pub fn new(cols: &[(&str, ColumnType)]) -> Self {
-        let mut s = Schema { columns: Vec::with_capacity(cols.len()) };
+        let mut s = Schema {
+            columns: Vec::with_capacity(cols.len()),
+        };
         for (name, ty) in cols {
             s.push(name, *ty);
         }
@@ -52,11 +54,11 @@ impl Schema {
     /// # Panics
     /// Panics if the name already exists.
     pub fn push(&mut self, name: &str, ty: ColumnType) {
-        assert!(
-            self.index_of(name).is_none(),
-            "duplicate column `{name}`"
-        );
-        self.columns.push(Column { name: name.to_string(), ty });
+        assert!(self.index_of(name).is_none(), "duplicate column `{name}`");
+        self.columns.push(Column {
+            name: name.to_string(),
+            ty,
+        });
     }
 
     /// Number of columns.
@@ -185,7 +187,10 @@ mod tests {
         let mut db = Database::new();
         db.insert_table(
             "t",
-            Relation::new(Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Str)])),
+            Relation::new(Schema::new(&[
+                ("a", ColumnType::Int),
+                ("b", ColumnType::Str),
+            ])),
         );
         assert_eq!(
             htqo_cq::isolator::SchemaProvider::columns(&db, "t"),

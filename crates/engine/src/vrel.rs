@@ -28,7 +28,10 @@ impl VRelation {
         for c in &cols {
             assert!(seen.insert(c.clone()), "duplicate variable `{c}`");
         }
-        VRelation { cols, rows: Vec::new() }
+        VRelation {
+            cols,
+            rows: Vec::new(),
+        }
     }
 
     /// The *neutral* relation: zero columns, one (empty) row — the identity
@@ -113,7 +116,12 @@ impl VRelation {
         let theirs: HashSet<Row> = other
             .rows
             .iter()
-            .map(|r| perm.iter().map(|&i| r[i].clone()).collect::<Vec<_>>().into_boxed_slice())
+            .map(|r| {
+                perm.iter()
+                    .map(|&i| r[i].clone())
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            })
             .collect();
         mine == theirs
     }
@@ -153,7 +161,12 @@ mod tests {
         VRelation::from_rows(
             cols.iter().map(|c| c.to_string()).collect(),
             rows.iter()
-                .map(|r| r.iter().map(|&i| Value::Int(i)).collect::<Vec<_>>().into_boxed_slice())
+                .map(|r| {
+                    r.iter()
+                        .map(|&i| Value::Int(i))
+                        .collect::<Vec<_>>()
+                        .into_boxed_slice()
+                })
                 .collect(),
         )
     }

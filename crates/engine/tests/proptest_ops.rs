@@ -9,8 +9,11 @@ use proptest::prelude::*;
 
 /// A random small relation over a subset of the variables {x, y, z, w}.
 fn arb_vrel() -> impl Strategy<Value = VRelation> {
-    (1usize..=3, prop::collection::vec(prop::collection::vec(0i64..5, 3), 0..25)).prop_map(
-        |(ncols, rows)| {
+    (
+        1usize..=3,
+        prop::collection::vec(prop::collection::vec(0i64..5, 3), 0..25),
+    )
+        .prop_map(|(ncols, rows)| {
             let names = ["x", "y", "z"];
             let cols: Vec<String> = names[..ncols].iter().map(|s| s.to_string()).collect();
             VRelation::from_rows(
@@ -19,14 +22,16 @@ fn arb_vrel() -> impl Strategy<Value = VRelation> {
                     .map(|r| r[..ncols].iter().map(|&i| Value::Int(i)).collect())
                     .collect(),
             )
-        },
-    )
+        })
 }
 
 /// Like [`arb_vrel`] but over {y, z, w} so joins share a varying subset.
 fn arb_vrel_shifted() -> impl Strategy<Value = VRelation> {
-    (1usize..=3, prop::collection::vec(prop::collection::vec(0i64..5, 3), 0..25)).prop_map(
-        |(ncols, rows)| {
+    (
+        1usize..=3,
+        prop::collection::vec(prop::collection::vec(0i64..5, 3), 0..25),
+    )
+        .prop_map(|(ncols, rows)| {
             let names = ["y", "z", "w"];
             let cols: Vec<String> = names[..ncols].iter().map(|s| s.to_string()).collect();
             VRelation::from_rows(
@@ -35,8 +40,7 @@ fn arb_vrel_shifted() -> impl Strategy<Value = VRelation> {
                     .map(|r| r[..ncols].iter().map(|&i| Value::Int(i)).collect())
                     .collect(),
             )
-        },
-    )
+        })
 }
 
 proptest! {

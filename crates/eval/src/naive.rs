@@ -36,7 +36,9 @@ pub fn evaluate_join_order(
     let mut seen = vec![false; q.atoms.len()];
     for a in order {
         if seen[a.index()] {
-            return Err(EvalError::Internal(format!("atom {a:?} repeated in join order")));
+            return Err(EvalError::Internal(format!(
+                "atom {a:?} repeated in join order"
+            )));
         }
         seen[a.index()] = true;
     }
@@ -68,20 +70,26 @@ pub fn evaluate_naive(
 mod tests {
     use super::*;
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::value::Value;
 
     fn db() -> Database {
         let mut db = Database::new();
-        let mut r = Relation::new(Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Int)]));
+        let mut r = Relation::new(Schema::new(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+        ]));
         r.extend_rows(vec![
             vec![Value::Int(1), Value::Int(10)],
             vec![Value::Int(2), Value::Int(20)],
         ])
         .unwrap();
         db.insert_table("r", r);
-        let mut s = Relation::new(Schema::new(&[("b", ColumnType::Int), ("c", ColumnType::Int)]));
+        let mut s = Relation::new(Schema::new(&[
+            ("b", ColumnType::Int),
+            ("c", ColumnType::Int),
+        ]));
         s.extend_rows(vec![
             vec![Value::Int(10), Value::Int(100)],
             vec![Value::Int(10), Value::Int(101)],
@@ -129,9 +137,7 @@ mod tests {
 
     #[test]
     fn boolean_query_yields_neutralish_answer() {
-        let qb = CqBuilder::new()
-            .atom("r", "r", &[("a", "A")])
-            .build();
+        let qb = CqBuilder::new().atom("r", "r", &[("a", "A")]).build();
         let mut budget = Budget::unlimited();
         let ans = evaluate_naive(&db(), &qb, &mut budget).unwrap();
         assert_eq!(ans.cols().len(), 0);

@@ -273,14 +273,17 @@ mod tests {
     use crate::naive::evaluate_naive;
     use htqo_core::{q_hypertree_decomp, QhdOptions, StructuralCost};
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::value::Value;
 
     fn db_for(names: &[&str], rows_per: i64, domain: i64, seed: i64) -> Database {
         let mut db = Database::new();
         for (k, name) in names.iter().enumerate() {
-            let mut r = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            let mut r = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
             for t in 0..rows_per {
                 let a = (t * 7 + k as i64 * 3 + seed) % domain;
                 let b = (t * 11 + k as i64 * 5 + seed * 2) % domain;
@@ -328,7 +331,11 @@ mod tests {
         for run_optimize in [true, false] {
             let plan = q_hypertree_decomp(
                 &q,
-                &QhdOptions { max_width: 3, run_optimize },
+                &QhdOptions {
+                    max_width: 3,
+                    run_optimize,
+                    threads: 0,
+                },
                 &StructuralCost,
             )
             .unwrap();
@@ -356,9 +363,15 @@ mod tests {
     fn empty_result_propagates() {
         // Disjoint domains: no join results.
         let mut db = Database::new();
-        let mut p0 = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+        let mut p0 = Relation::new(Schema::new(&[
+            ("l", ColumnType::Int),
+            ("r", ColumnType::Int),
+        ]));
         p0.push_row(vec![Value::Int(1), Value::Int(2)]).unwrap();
-        let mut p1 = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+        let mut p1 = Relation::new(Schema::new(&[
+            ("l", ColumnType::Int),
+            ("r", ColumnType::Int),
+        ]));
         p1.push_row(vec![Value::Int(7), Value::Int(8)]).unwrap();
         db.insert_table("p0", p0);
         db.insert_table("p1", p1);

@@ -84,9 +84,12 @@ pub fn evaluate_yannakakis(
             .cols()
             .iter()
             .filter(|v| {
-                out.contains(v) || ch.hypergraph.edge_vars(n).iter().any(|hv| {
-                    ch.hypergraph.var_name(hv) == v.as_str()
-                })
+                out.contains(v)
+                    || ch
+                        .hypergraph
+                        .edge_vars(n)
+                        .iter()
+                        .any(|hv| ch.hypergraph.var_name(hv) == v.as_str())
             })
             .cloned()
             .collect();
@@ -127,8 +130,8 @@ mod tests {
     use super::*;
     use crate::naive::evaluate_naive;
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::value::Value;
 
     fn chain_db(n_rel: usize, tuples: i64) -> Database {
@@ -136,9 +139,13 @@ mod tests {
         // domain so joins actually connect.
         let mut db = Database::new();
         for i in 0..n_rel {
-            let mut r = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            let mut r = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
             for t in 0..tuples {
-                r.push_row(vec![Value::Int(t % 5), Value::Int((t + i as i64) % 5)]).unwrap();
+                r.push_row(vec![Value::Int(t % 5), Value::Int((t + i as i64) % 5)])
+                    .unwrap();
             }
             db.insert_table(&format!("p{i}"), r);
         }
@@ -178,7 +185,10 @@ mod tests {
         let mut bn = Budget::unlimited();
         let _ = evaluate_yannakakis(&db, &q, &mut by).unwrap();
         let _ = evaluate_naive(&db, &q, &mut bn).unwrap();
-        assert!(by.charged() <= bn.charged() * 2, "yannakakis should not do much more work");
+        assert!(
+            by.charged() <= bn.charged() * 2,
+            "yannakakis should not do much more work"
+        );
     }
 
     #[test]
@@ -193,7 +203,10 @@ mod tests {
         for n in ["r", "s", "t"] {
             db.insert_table(
                 n,
-                Relation::new(Schema::new(&[("X", ColumnType::Int), ("Y", ColumnType::Int)])),
+                Relation::new(Schema::new(&[
+                    ("X", ColumnType::Int),
+                    ("Y", ColumnType::Int),
+                ])),
             );
         }
         // Atom columns are named after variables in atom_vars; patch the

@@ -200,7 +200,10 @@ mod tests {
         let h = build(&[
             ("customer", &["CustKey", "CNationKey"]),
             ("orders", &["OrdKey", "CustKey"]),
-            ("lineitem", &["SuppKey", "OrdKey", "ExtendedPrice", "Discount"]),
+            (
+                "lineitem",
+                &["SuppKey", "OrdKey", "ExtendedPrice", "Discount"],
+            ),
             ("supplier", &["SuppKey", "CNationKey"]),
             ("nation", &["Name", "CNationKey", "RegionKey"]),
             ("region", &["RegionKey"]),

@@ -50,7 +50,10 @@ pub fn biconnected_components(h: &Hypergraph) -> Blocks {
         // Iterative DFS: (vertex, neighbour iterator index).
         let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
         let neigh = |v: usize| -> Vec<usize> {
-            g.neighbours(Var(v as u32)).iter().map(|u| u.index()).collect()
+            g.neighbours(Var(v as u32))
+                .iter()
+                .map(|u| u.index())
+                .collect()
         };
         disc[start] = timer;
         low[start] = timer;
@@ -117,7 +120,10 @@ pub fn biconnected_components(h: &Hypergraph) -> Blocks {
         }
     }
 
-    Blocks { blocks, cut_vertices: cuts }
+    Blocks {
+        blocks,
+        cut_vertices: cuts,
+    }
 }
 
 #[cfg(test)]

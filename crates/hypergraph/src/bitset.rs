@@ -82,7 +82,9 @@ impl BitSet {
     #[inline]
     pub fn contains(&self, idx: usize) -> bool {
         let (w, b) = (idx / WORD_BITS, idx % WORD_BITS);
-        self.words.get(w).is_some_and(|word| word & (1u64 << b) != 0)
+        self.words
+            .get(w)
+            .is_some_and(|word| word & (1u64 << b) != 0)
     }
 
     /// Number of elements.
@@ -154,6 +156,17 @@ impl BitSet {
             .iter()
             .enumerate()
             .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// True if `self ⊆ a ∪ b`, without materializing the union — the
+    /// word-level pre-check the separator enumeration runs on every
+    /// branch (connector coverage against already-chosen ∪ still-available
+    /// candidate variables).
+    pub fn is_subset_of_union(&self, a: &BitSet, b: &BitSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let u = a.words.get(i).copied().unwrap_or(0) | b.words.get(i).copied().unwrap_or(0);
+            w & !u == 0
+        })
     }
 
     /// True if `self ∩ other = ∅`.

@@ -77,11 +77,7 @@ mod tests {
 
     #[test]
     fn empty_separator_gives_connected_components() {
-        let h = build(&[
-            ("a", &["X", "Y"]),
-            ("b", &["Y", "Z"]),
-            ("c", &["P", "Q"]),
-        ]);
+        let h = build(&[("a", &["X", "Y"]), ("b", &["Y", "Z"]), ("c", &["P", "Q"])]);
         let comps = components(&h, &h.all_edges(), &VarSet::new());
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].len(), 2);

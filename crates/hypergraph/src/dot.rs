@@ -10,10 +10,20 @@ use std::fmt::Write as _;
 pub fn hypergraph_to_dot(h: &Hypergraph) -> String {
     let mut out = String::from("graph hypergraph {\n");
     for e in h.edge_ids() {
-        let _ = writeln!(out, "  e{} [shape=box, label=\"{}\"];", e.index(), escape(h.edge_name(e)));
+        let _ = writeln!(
+            out,
+            "  e{} [shape=box, label=\"{}\"];",
+            e.index(),
+            escape(h.edge_name(e))
+        );
     }
     for v in h.var_ids() {
-        let _ = writeln!(out, "  v{} [shape=ellipse, label=\"{}\"];", v.index(), escape(h.var_name(v)));
+        let _ = writeln!(
+            out,
+            "  v{} [shape=ellipse, label=\"{}\"];",
+            v.index(),
+            escape(h.var_name(v))
+        );
     }
     for e in h.edge_ids() {
         for v in h.edge_vars(e).iter() {

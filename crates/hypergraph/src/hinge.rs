@@ -48,12 +48,18 @@ impl HingeForest {
 /// Computes a hinge forest by iterated splitting, and with it the degree
 /// of cyclicity of `h`.
 pub fn hinge_decomposition(h: &Hypergraph) -> HingeForest {
-    let mut forest = HingeForest { nodes: Vec::new(), roots: Vec::new() };
+    let mut forest = HingeForest {
+        nodes: Vec::new(),
+        roots: Vec::new(),
+    };
     // One tree per connected component of the edge set.
     let comps = crate::components::components(h, &h.all_edges(), &crate::ids::VarSet::new());
     for comp in comps {
         let root = forest.nodes.len();
-        forest.nodes.push(HingeNode { edges: comp, children: Vec::new() });
+        forest.nodes.push(HingeNode {
+            edges: comp,
+            children: Vec::new(),
+        });
         forest.roots.push(root);
         split_recursively(h, &mut forest, root);
     }
@@ -97,7 +103,10 @@ fn split_recursively(h: &Hypergraph, forest: &mut HingeForest, idx: usize) {
         let mut part_indices = vec![idx];
         for part in parts.iter().skip(1) {
             let ni = forest.nodes.len();
-            forest.nodes.push(HingeNode { edges: part.clone(), children: Vec::new() });
+            forest.nodes.push(HingeNode {
+                edges: part.clone(),
+                children: Vec::new(),
+            });
             forest.nodes[idx].children.push((ni, e));
             part_indices.push(ni);
         }

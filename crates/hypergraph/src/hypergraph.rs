@@ -1,8 +1,8 @@
 //! The query hypergraph `H(Q) = (V, E)`: one vertex per variable, one
 //! hyperedge per query atom (Section 2 of the paper).
 
+use crate::fxhash::FxHashMap;
 use crate::ids::{EdgeId, EdgeSet, Var, VarSet};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A named hyperedge: the set of variables of one query atom.
@@ -128,9 +128,19 @@ impl Hypergraph {
 
 impl fmt::Display for Hypergraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "hypergraph ({} vars, {} edges)", self.num_vars(), self.num_edges())?;
+        writeln!(
+            f,
+            "hypergraph ({} vars, {} edges)",
+            self.num_vars(),
+            self.num_edges()
+        )?;
         for e in self.edge_ids() {
-            writeln!(f, "  {} {}", self.edge_name(e), self.display_vars(self.edge_vars(e)))?;
+            writeln!(
+                f,
+                "  {} {}",
+                self.edge_name(e),
+                self.display_vars(self.edge_vars(e))
+            )?;
         }
         Ok(())
     }
@@ -140,7 +150,7 @@ impl fmt::Display for Hypergraph {
 #[derive(Default)]
 pub struct HypergraphBuilder {
     var_names: Vec<String>,
-    var_index: HashMap<String, Var>,
+    var_index: FxHashMap<String, Var>,
     edges: Vec<Hyperedge>,
 }
 

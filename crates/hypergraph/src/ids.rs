@@ -125,6 +125,11 @@ macro_rules! typed_set {
                 self.0.is_subset(&other.0)
             }
 
+            /// True if `self ⊆ a ∪ b`, without materializing the union.
+            pub fn is_subset_of_union(&self, a: &Self, b: &Self) -> bool {
+                self.0.is_subset_of_union(&a.0, &b.0)
+            }
+
             /// True if the sets share no element.
             pub fn is_disjoint(&self, other: &Self) -> bool {
                 self.0.is_disjoint(&other.0)

@@ -104,7 +104,9 @@ impl JoinForest {
         let adj = self.adjacency();
         for v in h.var_ids() {
             let holders = h.edges_with_var(v);
-            let Some(start) = holders.first() else { continue };
+            let Some(start) = holders.first() else {
+                continue;
+            };
             // BFS restricted to nodes whose edge contains `v`.
             let mut seen = vec![false; self.len()];
             let mut queue = vec![start];

@@ -33,6 +33,7 @@ pub mod biconnected;
 pub mod bitset;
 pub mod components;
 pub mod dot;
+pub mod fxhash;
 pub mod hinge;
 pub mod hypergraph;
 pub mod ids;
@@ -42,6 +43,7 @@ pub mod primal;
 pub use biconnected::{biconnected_components, Blocks};
 pub use bitset::BitSet;
 pub use components::{components, connector};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hinge::{degree_of_cyclicity, hinge_decomposition, HingeForest};
 pub use hypergraph::{Hyperedge, Hypergraph, HypergraphBuilder};
 pub use ids::{EdgeId, EdgeSet, Var, VarSet};

@@ -1,6 +1,8 @@
 //! Property tests for the structural substrate.
 
-use htqo_hypergraph::{acyclic, biconnected_components, components, Hypergraph, PrimalGraph, VarSet};
+use htqo_hypergraph::{
+    acyclic, biconnected_components, components, Hypergraph, PrimalGraph, VarSet,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random hypergraph with up to `max_edges` edges over up to

@@ -125,9 +125,7 @@ pub fn dp_bushy(q: &ConjunctiveQuery, stats: &DbStats) -> Option<(f64, JoinTree)
         }
         best[mask] = best_here;
     }
-    best[full]
-        .take()
-        .map(|(cost, _, tree)| (cost, tree))
+    best[full].take().map(|(cost, _, tree)| (cost, tree))
 }
 
 #[cfg(test)]
@@ -135,8 +133,8 @@ mod tests {
     use super::*;
     use crate::dp::{dp_join_order, order_cost};
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::value::Value;
     use htqo_stats::analyze;
 
@@ -148,7 +146,9 @@ mod tests {
         // Big "bridge" relation over (Y1, Y2).
         let mut bridge = Relation::new(schema());
         for i in 0..3000 {
-            bridge.push_row(vec![Value::Int(i % 60), Value::Int(i % 59)]).unwrap();
+            bridge
+                .push_row(vec![Value::Int(i % 60), Value::Int(i % 59)])
+                .unwrap();
         }
         // Selective filters on each side.
         let mut fa = Relation::new(schema());
@@ -178,7 +178,10 @@ mod tests {
         let (bushy_cost, tree) = dp_bushy(&q, &stats).expect("small query");
         let ld = dp_join_order(&q, &stats);
         let ld_cost = order_cost(&q, &stats, &ld);
-        assert!(bushy_cost <= ld_cost + 1e-6, "bushy {bushy_cost} vs left-deep {ld_cost}");
+        assert!(
+            bushy_cost <= ld_cost + 1e-6,
+            "bushy {bushy_cost} vs left-deep {ld_cost}"
+        );
         // The tree covers every atom exactly once.
         let mut atoms = tree.atoms();
         atoms.sort();

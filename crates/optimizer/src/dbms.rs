@@ -128,7 +128,11 @@ impl DbmsSim {
 
     /// Custom simulator.
     pub fn new(name: &str, planner: PlannerKind, stats: Option<DbStats>) -> Self {
-        DbmsSim { name: name.to_string(), planner, stats }
+        DbmsSim {
+            name: name.to_string(),
+            planner,
+            stats,
+        }
     }
 
     /// True if the simulator is allowed to use gathered statistics.
@@ -212,8 +216,8 @@ impl DbmsSim {
         mut budget: Budget,
     ) -> Result<QueryOutcome, SqlError> {
         let stmt = parse_select(sql).map_err(SqlError::Parse)?;
-        let (db, stmt) = crate::nested::flatten_subqueries(db, &stmt, &mut budget)
-            .map_err(SqlError::Nested)?;
+        let (db, stmt) =
+            crate::nested::flatten_subqueries(db, &stmt, &mut budget).map_err(SqlError::Nested)?;
         let q = isolate(&stmt, &db, IsolatorOptions::default()).map_err(SqlError::Isolate)?;
         Ok(self.execute_cq(&db, &q, budget))
     }
@@ -222,18 +226,26 @@ impl DbmsSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::value::Value;
     use htqo_stats::analyze;
 
     fn db() -> Database {
         let mut db = Database::new();
-        let mut r = Relation::new(Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Int)]));
-        let mut s = Relation::new(Schema::new(&[("b", ColumnType::Int), ("c", ColumnType::Int)]));
+        let mut r = Relation::new(Schema::new(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+        ]));
+        let mut s = Relation::new(Schema::new(&[
+            ("b", ColumnType::Int),
+            ("c", ColumnType::Int),
+        ]));
         for i in 0..30 {
-            r.push_row(vec![Value::Int(i % 5), Value::Int(i % 7)]).unwrap();
-            s.push_row(vec![Value::Int(i % 7), Value::Int(i % 3)]).unwrap();
+            r.push_row(vec![Value::Int(i % 5), Value::Int(i % 7)])
+                .unwrap();
+            s.push_row(vec![Value::Int(i % 7), Value::Int(i % 3)])
+                .unwrap();
         }
         db.insert_table("r", r);
         db.insert_table("s", s);
@@ -246,7 +258,11 @@ mod tests {
         let stats = analyze(&db);
         let sim = DbmsSim::commdb(Some(stats));
         let out = sim
-            .execute_sql(&db, "SELECT r.a, count(*) AS n FROM r, s WHERE r.b = s.b GROUP BY r.a ORDER BY n DESC", Budget::unlimited())
+            .execute_sql(
+                &db,
+                "SELECT r.a, count(*) AS n FROM r, s WHERE r.b = s.b GROUP BY r.a ORDER BY n DESC",
+                Budget::unlimited(),
+            )
             .unwrap();
         assert!(!out.is_dnf());
         let rel = out.result.as_ref().unwrap();
@@ -261,7 +277,11 @@ mod tests {
         let sim = DbmsSim::commdb(None);
         assert!(!sim.has_stats());
         let out = sim
-            .execute_sql(&db, "SELECT r.a FROM r, s WHERE r.b = s.b", Budget::unlimited())
+            .execute_sql(
+                &db,
+                "SELECT r.a FROM r, s WHERE r.b = s.b",
+                Budget::unlimited(),
+            )
             .unwrap();
         assert!(out.result.is_ok());
     }
@@ -271,7 +291,11 @@ mod tests {
         let db = db();
         let sim = DbmsSim::commdb(None);
         let out = sim
-            .execute_sql(&db, "SELECT r.a FROM r, s WHERE r.b = s.b", Budget::unlimited().with_max_tuples(3))
+            .execute_sql(
+                &db,
+                "SELECT r.a FROM r, s WHERE r.b = s.b",
+                Budget::unlimited().with_max_tuples(3),
+            )
             .unwrap();
         assert!(out.is_dnf());
     }

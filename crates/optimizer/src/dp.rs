@@ -23,10 +23,7 @@ pub fn dp_join_order(q: &ConjunctiveQuery, stats: &DbStats) -> Vec<AtomId> {
     if n > EXHAUSTIVE_LIMIT {
         return greedy_join_order(q, stats);
     }
-    let profiles: Vec<Profile> = q
-        .atom_ids()
-        .map(|a| atom_profile(stats, q, a))
-        .collect();
+    let profiles: Vec<Profile> = q.atom_ids().map(|a| atom_profile(stats, q, a)).collect();
 
     // best[mask] = (cost, last atom added, profile)
     let full: usize = (1 << n) - 1;
@@ -35,7 +32,9 @@ pub fn dp_join_order(q: &ConjunctiveQuery, stats: &DbStats) -> Vec<AtomId> {
         best[1 << i] = Some((p.card, i, p.clone()));
     }
     for mask in 1..=full {
-        let Some((cost, _, profile)) = best[mask].clone() else { continue };
+        let Some((cost, _, profile)) = best[mask].clone() else {
+            continue;
+        };
         for (i, p) in profiles.iter().enumerate() {
             if mask & (1 << i) != 0 {
                 continue;
@@ -70,10 +69,7 @@ pub fn dp_join_order(q: &ConjunctiveQuery, stats: &DbStats) -> Vec<AtomId> {
 /// exhaustive limit, like real planners switch to heuristics).
 pub fn greedy_join_order(q: &ConjunctiveQuery, stats: &DbStats) -> Vec<AtomId> {
     let n = q.atoms.len();
-    let profiles: Vec<Profile> = q
-        .atom_ids()
-        .map(|a| atom_profile(stats, q, a))
-        .collect();
+    let profiles: Vec<Profile> = q.atom_ids().map(|a| atom_profile(stats, q, a)).collect();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
     // Smallest atom first.
@@ -102,7 +98,9 @@ pub fn greedy_join_order(q: &ConjunctiveQuery, stats: &DbStats) -> Vec<AtomId> {
 /// and the DP/GEQO optima — are unaffected.
 pub fn order_cost(q: &ConjunctiveQuery, stats: &DbStats, order: &[AtomId]) -> f64 {
     let mut iter = order.iter();
-    let Some(&first) = iter.next() else { return 0.0 };
+    let Some(&first) = iter.next() else {
+        return 0.0;
+    };
     let mut acc = atom_profile(stats, q, first);
     let mut cost = acc.card;
     for &a in iter {
@@ -118,8 +116,8 @@ pub fn order_cost(q: &ConjunctiveQuery, stats: &DbStats, order: &[AtomId]) -> f6
 mod tests {
     use super::*;
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::value::Value;
     use htqo_stats::analyze;
 
@@ -130,7 +128,8 @@ mod tests {
         let schema = || Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]);
         let mut fact = Relation::new(schema());
         for i in 0..2000 {
-            fact.push_row(vec![Value::Int(i % 100), Value::Int(i % 61)]).unwrap();
+            fact.push_row(vec![Value::Int(i % 100), Value::Int(i % 61)])
+                .unwrap();
         }
         let mut dim = Relation::new(schema());
         for i in 0..5 {

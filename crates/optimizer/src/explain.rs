@@ -30,15 +30,14 @@ pub fn explain_join_order(q: &ConjunctiveQuery, stats: &DbStats, order: &[AtomId
     );
     for &a in iter {
         acc = join_profiles(&acc, &atom_profile(stats, q, a));
-        let _ = writeln!(
-            out,
-            "⋈ {:<27} est {:>12.0} rows",
-            q.atom(a).alias,
-            acc.card
-        );
+        let _ = writeln!(out, "⋈ {:<27} est {:>12.0} rows", q.atom(a).alias, acc.card);
     }
     if q.has_aggregates() {
-        let _ = writeln!(out, "aggregate/group-by → {} output columns", q.output.len());
+        let _ = writeln!(
+            out,
+            "aggregate/group-by → {} output columns",
+            q.output.len()
+        );
     }
     out
 }
@@ -126,7 +125,10 @@ mod tests {
 
     #[test]
     fn explain_both_plan_kinds() {
-        let db = generate(&DbgenOptions { scale: 0.001, seed: 2 });
+        let db = generate(&DbgenOptions {
+            scale: 0.001,
+            seed: 2,
+        });
         let stats = analyze(&db);
         let stmt = parse_select(&q5("ASIA", 1994)).unwrap();
         let q = isolate(&stmt, &db, IsolatorOptions::default()).unwrap();

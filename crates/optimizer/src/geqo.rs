@@ -125,8 +125,8 @@ mod tests {
     use super::*;
     use crate::dp::dp_join_order;
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::value::Value;
     use htqo_stats::analyze;
 
@@ -134,10 +134,18 @@ mod tests {
         let mut db = Database::new();
         let mut b = CqBuilder::new();
         for i in 0..n {
-            let mut r = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
-            let rows = if i == 0 { 10 } else { 200 + (i as i64 * 37) % 100 };
+            let mut r = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
+            let rows = if i == 0 {
+                10
+            } else {
+                200 + (i as i64 * 37) % 100
+            };
             for t in 0..rows {
-                r.push_row(vec![Value::Int(t % 7), Value::Int(t % 11)]).unwrap();
+                r.push_row(vec![Value::Int(t % 7), Value::Int(t % 11)])
+                    .unwrap();
             }
             db.insert_table(&format!("p{i}"), r);
             let l = format!("X{i}");

@@ -57,7 +57,10 @@ impl HybridOptimizer {
     /// optimizer instance, so a stats refresh means a new optimizer (and
     /// an empty cache).
     pub fn plan_cq_cached(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
-        let key = format!("{q}|k={}|opt={}", self.options.max_width, self.options.run_optimize);
+        let key = format!(
+            "{q}|k={}|opt={}",
+            self.options.max_width, self.options.run_optimize
+        );
         if let Some(plan) = self.cache.borrow().get(&key) {
             return Ok(plan.clone());
         }
@@ -75,8 +78,8 @@ impl HybridOptimizer {
     pub fn plan_cq(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
         match &self.stats {
             Some(stats) => {
-                let cost = StatsDecompCost::new(stats, q)
-                    .with_assume_optimize(self.options.run_optimize);
+                let cost =
+                    StatsDecompCost::new(stats, q).with_assume_optimize(self.options.run_optimize);
                 q_hypertree_decomp(q, &self.options, &cost)
             }
             None => q_hypertree_decomp(q, &self.options, &StructuralCost),
@@ -132,8 +135,8 @@ impl HybridOptimizer {
         mut budget: Budget,
     ) -> Result<QueryOutcome, SqlError> {
         let stmt = parse_select(sql).map_err(SqlError::Parse)?;
-        let (db, stmt) = crate::nested::flatten_subqueries(db, &stmt, &mut budget)
-            .map_err(SqlError::Nested)?;
+        let (db, stmt) =
+            crate::nested::flatten_subqueries(db, &stmt, &mut budget).map_err(SqlError::Nested)?;
         let q = isolate(&stmt, &db, self.isolator).map_err(SqlError::Isolate)?;
         Ok(self.execute_cq(&db, &q, budget))
     }
@@ -144,15 +147,18 @@ mod tests {
     use super::*;
     use crate::dbms::DbmsSim;
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::value::Value;
     use htqo_stats::analyze;
 
     fn chain_db(n: usize, rows: i64, domain: i64) -> Database {
         let mut db = Database::new();
         for i in 0..n {
-            let mut r = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            let mut r = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
             for t in 0..rows {
                 r.push_row(vec![
                     Value::Int((t * 3 + i as i64) % domain),
@@ -210,7 +216,11 @@ mod tests {
             .out_var("Z")
             .build();
         let db = chain_db(0, 0, 1);
-        let opt = HybridOptimizer::structural(QhdOptions { max_width: 1, run_optimize: true });
+        let opt = HybridOptimizer::structural(QhdOptions {
+            max_width: 1,
+            run_optimize: true,
+            threads: 0,
+        });
         let out = opt.execute_cq(&db, &q, Budget::unlimited());
         assert!(out.result.is_err());
         assert!(out.plan.contains("failure"));

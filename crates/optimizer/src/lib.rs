@@ -23,9 +23,9 @@ pub mod hybrid;
 pub mod nested;
 pub mod views;
 
-pub use dbms::{DbmsSim, PlannerKind, QueryOutcome, SqlError};
 pub use bushy::{dp_bushy, JoinTree};
 pub use bushy_exec::evaluate_join_tree;
+pub use dbms::{DbmsSim, PlannerKind, QueryOutcome, SqlError};
 pub use dp::{dp_join_order, greedy_join_order, order_cost};
 pub use explain::{explain_join_order, explain_qhd};
 pub use geqo::{geqo_join_order, GeqoConfig};

@@ -81,7 +81,12 @@ fn flatten_at(
     let mut out = stmt.clone();
     let mut counter = 0usize;
     for pred in out.predicates.iter_mut() {
-        let Predicate::InSubquery { col, subquery, negated } = pred else {
+        let Predicate::InSubquery {
+            col,
+            subquery,
+            negated,
+        } = pred
+        else {
             continue;
         };
         if *negated {
@@ -119,7 +124,10 @@ fn flatten_at(
 
         // Rewrite `col IN (…)` into `col = __subq_k_i.v` plus the FROM
         // entry for the temporary table.
-        out.from.push(TableRef { table: name.clone(), alias: None });
+        out.from.push(TableRef {
+            table: name.clone(),
+            alias: None,
+        });
         *pred = Predicate::Cmp {
             left: SqlExpr::Col(col.clone()),
             op: CmpOp::Eq,
@@ -139,17 +147,25 @@ mod tests {
     use crate::hybrid::HybridOptimizer;
     use htqo_core::QhdOptions;
     use htqo_cq::parse_select;
-    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::value::Value;
 
     fn db() -> Database {
         let mut db = Database::new();
-        let mut r = Relation::new(Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Int)]));
-        let mut s = Relation::new(Schema::new(&[("b", ColumnType::Int), ("c", ColumnType::Int)]));
+        let mut r = Relation::new(Schema::new(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+        ]));
+        let mut s = Relation::new(Schema::new(&[
+            ("b", ColumnType::Int),
+            ("c", ColumnType::Int),
+        ]));
         for i in 0..30i64 {
-            r.push_row(vec![Value::Int(i % 6), Value::Int(i % 5)]).unwrap();
-            s.push_row(vec![Value::Int(i % 5), Value::Int(i % 4)]).unwrap();
+            r.push_row(vec![Value::Int(i % 6), Value::Int(i % 5)])
+                .unwrap();
+            s.push_row(vec![Value::Int(i % 5), Value::Int(i % 4)])
+                .unwrap();
         }
         db.insert_table("r", r);
         db.insert_table("s", s);
@@ -214,8 +230,7 @@ mod tests {
     #[test]
     fn multi_column_subquery_is_rejected() {
         let db = db();
-        let stmt =
-            parse_select("SELECT r.a FROM r WHERE r.b IN (SELECT s.b, s.c FROM s)").unwrap();
+        let stmt = parse_select("SELECT r.a FROM r WHERE r.b IN (SELECT s.b, s.c FROM s)").unwrap();
         let mut budget = Budget::unlimited();
         assert!(matches!(
             flatten_subqueries(&db, &stmt, &mut budget),

@@ -16,12 +16,12 @@ use htqo_core::QhdPlan;
 use htqo_cq::date::format_date;
 use htqo_cq::isolator::ROWID_VAR_PREFIX;
 use htqo_cq::{
-    isolate, parse_select, AggFunc, AtomId, ConjunctiveQuery, IsolatorOptions, Literal,
-    OutputItem, ScalarExpr, SortDir,
+    isolate, parse_select, AggFunc, AtomId, ConjunctiveQuery, IsolatorOptions, Literal, OutputItem,
+    ScalarExpr, SortDir,
 };
 use htqo_engine::error::{Budget, EvalError};
-use htqo_engine::schema::{ColumnType, Database, Schema};
 use htqo_engine::relation::Relation;
+use htqo_engine::schema::{ColumnType, Database, Schema};
 use htqo_engine::value::Value;
 use htqo_engine::vrel::VRelation;
 use htqo_eval::evaluate_naive;
@@ -112,7 +112,14 @@ pub fn rewrite_to_views(q: &ConjunctiveQuery, plan: &QhdPlan, prefix: &str) -> S
             }
             let filters = q
                 .filters_of(a)
-                .map(|f| format!("{binding}.{} {} {}", f.column, f.op.sql(), sql_literal(&f.value)))
+                .map(|f| {
+                    format!(
+                        "{binding}.{} {} {}",
+                        f.column,
+                        f.op.sql(),
+                        sql_literal(&f.value)
+                    )
+                })
                 .collect();
             sources.push(Source {
                 from_clause: format!("{} {}", atom.relation, binding),
@@ -359,8 +366,10 @@ mod tests {
     fn chain_db(n: usize, rows: i64, domain: i64) -> Database {
         let mut db = Database::new();
         for i in 0..n {
-            let mut r =
-                Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            let mut r = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
             for t in 0..rows {
                 r.push_row(vec![
                     Value::Int((t * 3 + i as i64) % domain),
@@ -414,8 +423,13 @@ mod tests {
     #[test]
     fn filters_appear_in_view_where_clauses() {
         let mut db = chain_db(2, 10, 4);
-        let mut named = Relation::new(Schema::new(&[("l", ColumnType::Int), ("nm", ColumnType::Str)]));
-        named.push_row(vec![Value::Int(1), Value::str("it's")]).unwrap();
+        let mut named = Relation::new(Schema::new(&[
+            ("l", ColumnType::Int),
+            ("nm", ColumnType::Str),
+        ]));
+        named
+            .push_row(vec![Value::Int(1), Value::str("it's")])
+            .unwrap();
         db.insert_table("named", named);
         let q = CqBuilder::new()
             .atom("p0", "p0", &[("l", "X"), ("r", "Y")])
@@ -457,7 +471,11 @@ mod tests {
         let opt = HybridOptimizer::structural(QhdOptions::default());
         let plan = opt.plan_cq(&q).unwrap();
         let views = rewrite_to_views(&q, &plan, "v");
-        assert!(views.final_query.contains("HAVING n >= 2"), "{}", views.final_query);
+        assert!(
+            views.final_query.contains("HAVING n >= 2"),
+            "{}",
+            views.final_query
+        );
         assert!(views.final_query.contains("LIMIT 3"));
         let mut b1 = Budget::unlimited();
         let via = execute_views(&db, &views, &mut b1).unwrap();
@@ -478,11 +496,7 @@ mod tests {
                 b = b.atom(&format!("p{i}"), &format!("p{i}"), &[("l", &l), ("r", &r)]);
             }
             b.out_var("X0")
-                .out_agg(
-                    AggFunc::Count,
-                    None,
-                    "n",
-                )
+                .out_agg(AggFunc::Count, None, "n")
                 .group("X0")
                 .order("n", SortDir::Desc)
                 .build()

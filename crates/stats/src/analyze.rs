@@ -105,7 +105,11 @@ pub fn analyze_sampled(db: &Database, step: usize) -> DbStats {
                     max = Some(v.clone());
                 }
             }
-            let scale = if sampled == 0 { 1.0 } else { rel.len() as f64 / sampled as f64 };
+            let scale = if sampled == 0 {
+                1.0
+            } else {
+                rel.len() as f64 / sampled as f64
+            };
             let distinct = ((seen.len() as f64) * scale).round().max(seen.len() as f64) as u64;
             table.columns.insert(
                 col.name.clone(),
@@ -127,12 +131,15 @@ pub fn analyze_sampled(db: &Database, step: usize) -> DbStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use htqo_engine::schema::{ColumnType, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Schema};
 
     fn db() -> Database {
         let mut db = Database::new();
-        let mut r = Relation::new(Schema::new(&[("a", ColumnType::Int), ("s", ColumnType::Str)]));
+        let mut r = Relation::new(Schema::new(&[
+            ("a", ColumnType::Int),
+            ("s", ColumnType::Str),
+        ]));
         for i in 0..50 {
             r.push_row(vec![Value::Int(i % 10), Value::str(&format!("v{}", i % 3))])
                 .unwrap();

@@ -29,7 +29,11 @@ impl<'a> StatsDecompCost<'a> {
     /// Creates the cost model for `query` with the given statistics
     /// (assumes Procedure Optimize will run).
     pub fn new(stats: &'a DbStats, query: &'a ConjunctiveQuery) -> Self {
-        StatsDecompCost { stats, query, assume_optimize: true }
+        StatsDecompCost {
+            stats,
+            query,
+            assume_optimize: true,
+        }
     }
 
     /// Selects whether the model should assume Optimize will prune
@@ -61,6 +65,13 @@ impl<'a> StatsDecompCost<'a> {
 }
 
 impl DecompCost for StatsDecompCost<'_> {
+    /// Every vertex pays at least the per-vertex constant of
+    /// [`StatsDecompCost::vertex_cost`] (cardinality estimates and the
+    /// bounding-atom term are non-negative), so `1.0` is admissible.
+    fn min_vertex_cost(&self, _h: &Hypergraph) -> f64 {
+        1.0
+    }
+
     fn vertex_cost(
         &self,
         _h: &Hypergraph,
@@ -89,8 +100,8 @@ mod tests {
     use crate::analyze::analyze;
     use htqo_core::{cost_k_decomp_with_cost, SearchOptions, StructuralCost};
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::value::Value;
 
     /// Triangle query over one big and two small relations: the cost-based
@@ -100,7 +111,8 @@ mod tests {
         let schema = || Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]);
         let mut big = Relation::new(schema());
         for i in 0..1000 {
-            big.push_row(vec![Value::Int(i % 50), Value::Int(i % 37)]).unwrap();
+            big.push_row(vec![Value::Int(i % 50), Value::Int(i % 37)])
+                .unwrap();
         }
         let mut small1 = Relation::new(schema());
         let mut small2 = Relation::new(schema());

@@ -89,11 +89,7 @@ pub fn atom_profile(stats: &DbStats, q: &ConjunctiveQuery, a: AtomId) -> Profile
     Profile { card, distinct }
 }
 
-fn range_fraction(
-    col: Option<&crate::stats::ColumnStats>,
-    bound: &Literal,
-    below: bool,
-) -> f64 {
+fn range_fraction(col: Option<&crate::stats::ColumnStats>, bound: &Literal, below: bool) -> f64 {
     let Some(col) = col else {
         return DEFAULT_RANGE_SELECTIVITY;
     };
@@ -169,17 +165,24 @@ mod tests {
     use super::*;
     use crate::analyze::analyze;
     use htqo_cq::CqBuilder;
-    use htqo_engine::schema::{ColumnType, Database, Schema};
     use htqo_engine::relation::Relation;
+    use htqo_engine::schema::{ColumnType, Database, Schema};
 
     fn db() -> Database {
         let mut db = Database::new();
-        let mut r = Relation::new(Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Int)]));
+        let mut r = Relation::new(Schema::new(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+        ]));
         for i in 0..100 {
-            r.push_row(vec![Value::Int(i % 20), Value::Int(i % 10)]).unwrap();
+            r.push_row(vec![Value::Int(i % 20), Value::Int(i % 10)])
+                .unwrap();
         }
         db.insert_table("r", r);
-        let mut s = Relation::new(Schema::new(&[("b", ColumnType::Int), ("c", ColumnType::Int)]));
+        let mut s = Relation::new(Schema::new(&[
+            ("b", ColumnType::Int),
+            ("c", ColumnType::Int),
+        ]));
         for i in 0..50 {
             s.push_row(vec![Value::Int(i % 10), Value::Int(i)]).unwrap();
         }
@@ -265,7 +268,11 @@ mod tests {
     fn rowid_column_is_a_key() {
         let stats = analyze(&db());
         let qr = CqBuilder::new()
-            .atom("r", "r", &[("a", "A"), (htqo_cq::isolator::ROWID_COLUMN, "RID")])
+            .atom(
+                "r",
+                "r",
+                &[("a", "A"), (htqo_cq::isolator::ROWID_COLUMN, "RID")],
+            )
             .out_var("A")
             .build();
         let p = atom_profile(&stats, &qr, AtomId(0));

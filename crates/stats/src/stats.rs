@@ -60,11 +60,17 @@ impl DbStats {
         const DEFAULT_DISTINCT: u64 = 100;
         let mut stats = DbStats::default();
         for (name, rel) in db.tables() {
-            let mut t = TableStats { rows: DEFAULT_ROWS, columns: BTreeMap::new() };
+            let mut t = TableStats {
+                rows: DEFAULT_ROWS,
+                columns: BTreeMap::new(),
+            };
             for col in rel.schema().columns() {
                 t.columns.insert(
                     col.name.clone(),
-                    ColumnStats { distinct: DEFAULT_DISTINCT, ..Default::default() },
+                    ColumnStats {
+                        distinct: DEFAULT_DISTINCT,
+                        ..Default::default()
+                    },
                 );
             }
             stats.tables.insert(name.to_string(), t);
@@ -95,7 +101,10 @@ impl EquiDepthHistogram {
             let idx = (b * sorted.len()) / buckets - 1;
             bounds.push(sorted[idx].clone());
         }
-        Some(EquiDepthHistogram { bounds, rows: sorted.len() as u64 })
+        Some(EquiDepthHistogram {
+            bounds,
+            rows: sorted.len() as u64,
+        })
     }
 
     /// Number of buckets.
@@ -165,12 +174,15 @@ mod tests {
 
     #[test]
     fn defaults_cover_all_tables_and_columns() {
-        use htqo_engine::schema::{ColumnType, Database, Schema};
         use htqo_engine::relation::Relation;
+        use htqo_engine::schema::{ColumnType, Database, Schema};
         let mut db = Database::new();
         db.insert_table(
             "t",
-            Relation::new(Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Str)])),
+            Relation::new(Schema::new(&[
+                ("a", ColumnType::Int),
+                ("b", ColumnType::Str),
+            ])),
         );
         let s = DbStats::defaults_for(&db);
         let t = s.table("t").unwrap();

@@ -9,8 +9,8 @@
 
 use crate::schema::{base_rows, table_schema, NATIONS, REGIONS};
 use htqo_cq::date::days_from_civil;
-use htqo_engine::schema::Database;
 use htqo_engine::relation::Relation;
+use htqo_engine::schema::Database;
 use htqo_engine::value::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,7 +26,10 @@ pub struct DbgenOptions {
 
 impl Default for DbgenOptions {
     fn default() -> Self {
-        DbgenOptions { scale: 0.01, seed: 19920701 }
+        DbgenOptions {
+            scale: 0.01,
+            seed: 19920701,
+        }
     }
 }
 
@@ -95,7 +98,13 @@ pub fn generate(options: &DbgenOptions) -> Database {
 
     // customer
     let n_customer = scaled_rows("customer", scale);
-    let segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+    let segments = [
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "MACHINERY",
+        "HOUSEHOLD",
+    ];
     let mut customer = Relation::new(table_schema("customer"));
     customer.reserve(n_customer);
     for i in 0..n_customer {
@@ -128,7 +137,11 @@ pub fn generate(options: &DbgenOptions) -> Database {
             Value::Int(i as i64),
             Value::str(&format!("part {i}")),
             Value::str(types[rng.gen_range(0..types.len())]),
-            Value::str(&format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+            Value::str(&format!(
+                "Brand#{}{}",
+                rng.gen_range(1..6),
+                rng.gen_range(1..6)
+            )),
             Value::Float(round2(900.0 + (i % 1000) as f64 / 10.0)),
         ])
         .expect("part schema");
@@ -213,7 +226,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let opts = DbgenOptions { scale: 0.001, seed: 42 };
+        let opts = DbgenOptions {
+            scale: 0.001,
+            seed: 42,
+        };
         let a = generate(&opts);
         let b = generate(&opts);
         for (name, rel) in a.tables() {
@@ -225,7 +241,10 @@ mod tests {
 
     #[test]
     fn row_counts_scale() {
-        let small = generate(&DbgenOptions { scale: 0.001, seed: 1 });
+        let small = generate(&DbgenOptions {
+            scale: 0.001,
+            seed: 1,
+        });
         assert_eq!(small.table("region").unwrap().len(), 5);
         assert_eq!(small.table("nation").unwrap().len(), 25);
         assert_eq!(small.table("supplier").unwrap().len(), 10);
@@ -236,35 +255,52 @@ mod tests {
 
     #[test]
     fn foreign_keys_are_in_range() {
-        let db = generate(&DbgenOptions { scale: 0.001, seed: 7 });
+        let db = generate(&DbgenOptions {
+            scale: 0.001,
+            seed: 7,
+        });
         let n_cust = db.table("customer").unwrap().len() as i64;
         for row in db.table("orders").unwrap().rows() {
-            let Value::Int(ck) = row[1] else { panic!("custkey type") };
+            let Value::Int(ck) = row[1] else {
+                panic!("custkey type")
+            };
             assert!((0..n_cust).contains(&ck));
         }
         let n_orders = db.table("orders").unwrap().len() as i64;
         for row in db.table("lineitem").unwrap().rows().iter().take(100) {
-            let Value::Int(ok) = row[0] else { panic!("orderkey type") };
+            let Value::Int(ok) = row[0] else {
+                panic!("orderkey type")
+            };
             assert!((0..n_orders).contains(&ok));
         }
     }
 
     #[test]
     fn dates_are_in_the_tpch_window() {
-        let db = generate(&DbgenOptions { scale: 0.001, seed: 7 });
+        let db = generate(&DbgenOptions {
+            scale: 0.001,
+            seed: 7,
+        });
         let lo = days_from_civil(1992, 1, 1);
         let hi = days_from_civil(1998, 8, 2);
         for row in db.table("orders").unwrap().rows() {
-            let Value::Date(d) = row[4] else { panic!("date type") };
+            let Value::Date(d) = row[4] else {
+                panic!("date type")
+            };
             assert!((lo..=hi).contains(&d));
         }
     }
 
     #[test]
     fn discounts_bounded() {
-        let db = generate(&DbgenOptions { scale: 0.001, seed: 7 });
+        let db = generate(&DbgenOptions {
+            scale: 0.001,
+            seed: 7,
+        });
         for row in db.table("lineitem").unwrap().rows().iter().take(200) {
-            let Value::Float(d) = row[6] else { panic!("discount type") };
+            let Value::Float(d) = row[6] else {
+                panic!("discount type")
+            };
             assert!((0.0..=0.10001).contains(&d));
         }
     }

@@ -131,11 +131,14 @@ ORDER BY revenue DESC"
 #[cfg(test)]
 mod tests {
     use crate::dbgen::{generate, DbgenOptions};
-    use htqo_cq::{isolate, parse_select, IsolatorOptions};
     use htqo_core::hypertree_width;
+    use htqo_cq::{isolate, parse_select, IsolatorOptions};
 
     fn isolate_on_tpch(sql: &str) -> htqo_cq::ConjunctiveQuery {
-        let db = generate(&DbgenOptions { scale: 0.0005, seed: 5 });
+        let db = generate(&DbgenOptions {
+            scale: 0.0005,
+            seed: 5,
+        });
         let stmt = parse_select(sql).expect("parses");
         isolate(&stmt, &db, IsolatorOptions::default()).expect("isolates")
     }
@@ -197,7 +200,11 @@ mod tests {
         assert_eq!(q.atoms.len(), 6);
         assert!(htqo_core::q_hypertree_decomp(
             &q,
-            &htqo_core::QhdOptions { max_width: 2, run_optimize: true },
+            &htqo_core::QhdOptions {
+                max_width: 2,
+                run_optimize: true,
+                threads: 0
+            },
             &htqo_core::StructuralCost,
         )
         .is_err());
@@ -212,7 +219,10 @@ mod tests {
 
     #[test]
     fn q3_and_q10_are_acyclic() {
-        for sql in [super::q3("BUILDING", "1995-03-15"), super::q10("1993-10-01")] {
+        for sql in [
+            super::q3("BUILDING", "1995-03-15"),
+            super::q10("1993-10-01"),
+        ] {
             let q = isolate_on_tpch(&sql);
             let ch = q.hypergraph();
             assert!(htqo_hypergraph::acyclic::is_acyclic(&ch.hypergraph));

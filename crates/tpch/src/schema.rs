@@ -16,16 +16,8 @@ pub const TABLES: [&str; 8] = [
 pub fn table_schema(name: &str) -> Schema {
     use ColumnType::*;
     match name {
-        "region" => Schema::new(&[
-            ("r_regionkey", Int),
-            ("r_name", Str),
-            ("r_comment", Str),
-        ]),
-        "nation" => Schema::new(&[
-            ("n_nationkey", Int),
-            ("n_name", Str),
-            ("n_regionkey", Int),
-        ]),
+        "region" => Schema::new(&[("r_regionkey", Int), ("r_name", Str), ("r_comment", Str)]),
+        "nation" => Schema::new(&[("n_nationkey", Int), ("n_name", Str), ("n_regionkey", Int)]),
         "supplier" => Schema::new(&[
             ("s_suppkey", Int),
             ("s_name", Str),

@@ -162,13 +162,21 @@ mod tests {
         let q = clique_query(5);
         let fail = htqo_core::q_hypertree_decomp(
             &q,
-            &htqo_core::QhdOptions { max_width: 2, run_optimize: true },
+            &htqo_core::QhdOptions {
+                max_width: 2,
+                run_optimize: true,
+                threads: 0,
+            },
             &htqo_core::StructuralCost,
         );
         assert!(fail.is_err());
         assert!(htqo_core::q_hypertree_decomp(
             &q,
-            &htqo_core::QhdOptions { max_width: 3, run_optimize: true },
+            &htqo_core::QhdOptions {
+                max_width: 3,
+                run_optimize: true,
+                threads: 0
+            },
             &htqo_core::StructuralCost,
         )
         .is_ok());

@@ -1,7 +1,7 @@
 //! Random uniform data generation for the synthetic experiments.
 
-use htqo_engine::schema::{ColumnType, Database, Schema};
 use htqo_engine::relation::Relation;
+use htqo_engine::schema::{ColumnType, Database, Schema};
 use htqo_engine::value::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,7 +65,10 @@ struct Sampler {
 impl Sampler {
     fn new(n: u64, distribution: Distribution) -> Self {
         match distribution {
-            Distribution::Uniform => Sampler { cumulative: Vec::new(), n },
+            Distribution::Uniform => Sampler {
+                cumulative: Vec::new(),
+                n,
+            },
             Distribution::Zipf(s) => {
                 let mut cumulative = Vec::with_capacity(n as usize);
                 let mut total = 0.0;
@@ -95,7 +98,10 @@ pub fn workload_db(spec: &WorkloadSpec) -> Database {
     let sampler = Sampler::new(spec.selectivity, spec.distribution);
     let mut db = Database::new();
     for i in 0..spec.relations {
-        let mut rel = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+        let mut rel = Relation::new(Schema::new(&[
+            ("l", ColumnType::Int),
+            ("r", ColumnType::Int),
+        ]));
         rel.reserve(spec.cardinality);
         for _ in 0..spec.cardinality {
             rel.push_row(vec![
@@ -114,7 +120,12 @@ pub fn workload_db(spec: &WorkloadSpec) -> Database {
 /// relations `p0…`.
 pub fn star_db(satellites: usize, cardinality: usize, selectivity: u64, seed: u64) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut db = workload_db(&WorkloadSpec::new(satellites, cardinality, selectivity, seed));
+    let mut db = workload_db(&WorkloadSpec::new(
+        satellites,
+        cardinality,
+        selectivity,
+        seed,
+    ));
     let mut schema = Schema::default();
     for i in 0..satellites {
         schema.push(&format!("c{i}"), ColumnType::Int);
@@ -138,8 +149,10 @@ pub fn clique_db(n: usize, cardinality: usize, selectivity: u64, seed: u64) -> D
     let mut db = Database::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            let mut rel =
-                Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+            let mut rel = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
             rel.reserve(cardinality);
             for _ in 0..cardinality {
                 rel.push_row(vec![
@@ -227,6 +240,9 @@ mod tests {
         let stats = htqo_stats::analyze(&db);
         let d = stats.table("p0").unwrap().column("l").unwrap().distinct;
         assert!(d <= 30);
-        assert!(d >= 25, "uniform over 30 values should hit most of them, got {d}");
+        assert!(
+            d >= 25,
+            "uniform over 30 values should hit most of them, got {d}"
+        );
     }
 }

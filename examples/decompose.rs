@@ -35,9 +35,12 @@ fn main() {
         acyclic::is_acyclic(&ch0.hypergraph),
         hypertree_width(&ch0.hypergraph)
     );
-    let plan0 = q_hypertree_decomp(&q0, &QhdOptions::default(), &StructuralCost)
-        .expect("Q0 decomposes");
-    println!("\nwidth-{} decomposition (cf. Figure 2):", plan0.tree.width());
+    let plan0 =
+        q_hypertree_decomp(&q0, &QhdOptions::default(), &StructuralCost).expect("Q0 decomposes");
+    println!(
+        "\nwidth-{} decomposition (cf. Figure 2):",
+        plan0.tree.width()
+    );
     print!("{}", plan0.tree.display(&ch0.hypergraph));
 
     // ---- Example 4 (paper): query Q1 ---------------------------------
@@ -73,8 +76,16 @@ fn main() {
         q1.out_vars()
     );
     assert!(
-        q_hypertree_decomp(&q1, &QhdOptions { max_width: 1, run_optimize: true }, &StructuralCost)
-            .is_err(),
+        q_hypertree_decomp(
+            &q1,
+            &QhdOptions {
+                max_width: 1,
+                run_optimize: true,
+                threads: 0
+            },
+            &StructuralCost
+        )
+        .is_err(),
         "width 1 must fail: Condition 2 forces width 2"
     );
     let plan1 = q_hypertree_decomp(&q1, &QhdOptions::default(), &StructuralCost)

@@ -12,7 +12,10 @@ use htqo_optimizer::flatten_subqueries;
 use htqo_tpch::{generate, DbgenOptions};
 
 fn main() {
-    let db = generate(&DbgenOptions { scale: 0.005, seed: 11 });
+    let db = generate(&DbgenOptions {
+        scale: 0.005,
+        seed: 11,
+    });
 
     // Revenue per nation, restricted to suppliers from nations that have
     // at least one customer in the BUILDING market segment.

@@ -11,7 +11,10 @@ use htqo::prelude::*;
 use htqo_tpch::{generate, q5, DbgenOptions};
 
 fn main() {
-    let db = generate(&DbgenOptions { scale: 0.002, seed: 3 });
+    let db = generate(&DbgenOptions {
+        scale: 0.002,
+        seed: 3,
+    });
     let sql = q5("EUROPE", 1995);
     println!("-- original query ------------------------------------------");
     println!("{sql}\n");
@@ -36,5 +39,8 @@ fn main() {
         .result
         .expect("direct execution");
     assert!(via_views.set_eq(&direct), "round-trip mismatch");
-    println!("-- verified: script result == direct q-HD execution ({} rows)", direct.len());
+    println!(
+        "-- verified: script result == direct q-HD execution ({} rows)",
+        direct.len()
+    );
 }

@@ -34,7 +34,11 @@ fn main() {
             .find(|&k| {
                 q_hypertree_decomp(
                     q,
-                    &QhdOptions { max_width: k, run_optimize: true },
+                    &QhdOptions {
+                        max_width: k,
+                        run_optimize: true,
+                        threads: 0,
+                    },
                     &StructuralCost,
                 )
                 .is_ok()
@@ -57,7 +61,10 @@ fn main() {
     show("clique-6", &clique_query(6));
 
     // TPC-H Q5 through the real SQL pipeline.
-    let db = htqo_tpch::generate(&htqo_tpch::DbgenOptions { scale: 0.001, seed: 1 });
+    let db = htqo_tpch::generate(&htqo_tpch::DbgenOptions {
+        scale: 0.001,
+        seed: 1,
+    });
     let stmt = parse_select(&htqo_tpch::q5("ASIA", 1994)).unwrap();
     let q5 = isolate(&stmt, &db, IsolatorOptions::default()).unwrap();
     show("TPC-H Q5", &q5);
@@ -69,8 +76,10 @@ fn main() {
     println!("Reading the separations:");
     println!("- star-5: the 5-ary hub atom costs the graph-based methods width ≥ 4,");
     println!("  while hypertree width is 1 (one atom covers the whole bag).");
-    println!("- chains: hinges cannot break cycles either (degree = n); the whole cycle
-  is ONE biconnected block (width = n), while the");
+    println!(
+        "- chains: hinges cannot break cycles either (degree = n); the whole cycle
+  is ONE biconnected block (width = n), while the"
+    );
     println!("  bounded notions stay at 2.");
     println!("- TPC-H Q8: hypertree width 1, but the output variables force");
     println!("  q-hypertree width 2 — Condition 2 of Definition 2 at work.");

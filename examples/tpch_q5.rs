@@ -17,7 +17,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.01);
     println!("generating TPC-H at scale factor {scale}…");
-    let db = generate(&DbgenOptions { scale, seed: 19920701 });
+    let db = generate(&DbgenOptions {
+        scale,
+        seed: 19920701,
+    });
     for (name, rel) in db.tables() {
         println!("  {name:<9} {:>8} rows", rel.len());
     }
@@ -45,7 +48,10 @@ fn main() {
     // paper's observation in Section 6.1).
     let hybrid = HybridOptimizer::structural(QhdOptions::default());
     let plan = hybrid.plan_cq(&q).expect("Q5 decomposes at width 2");
-    println!("q-hypertree decomposition of Q5 (width {}):", plan.tree.width());
+    println!(
+        "q-hypertree decomposition of Q5 (width {}):",
+        plan.tree.width()
+    );
     print!("{}", plan.tree.display(&ch.hypergraph));
     println!();
 

@@ -96,7 +96,10 @@ impl Shell {
                         seed: 19920701,
                     });
                     self.stats = None;
-                    println!("loaded TPC-H at SF {scale} ({} tuples)", self.db.total_tuples());
+                    println!(
+                        "loaded TPC-H at SF {scale} ({} tuples)",
+                        self.db.total_tuples()
+                    );
                     Ok(())
                 }
                 ["chain", n, card, sel] => {

@@ -7,7 +7,10 @@ use htqo_tpch::{generate, q1, q10, q3, q5, q8, q9, DbgenOptions};
 use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
 
 fn tpch() -> (Database, DbStats) {
-    let db = generate(&DbgenOptions { scale: 0.002, seed: 77 });
+    let db = generate(&DbgenOptions {
+        scale: 0.002,
+        seed: 77,
+    });
     let stats = analyze(&db);
     (db, stats)
 }
@@ -24,7 +27,10 @@ fn run_all_and_compare(db: &Database, stats: &DbStats, sql: &str) -> VRelation {
         results.push((name.to_string(), out.result.unwrap()));
     }
     for (name, opt) in [
-        ("qhd-structural", HybridOptimizer::structural(QhdOptions::default())),
+        (
+            "qhd-structural",
+            HybridOptimizer::structural(QhdOptions::default()),
+        ),
         (
             "qhd-hybrid",
             HybridOptimizer::with_stats(QhdOptions::default(), stats.clone()),
@@ -32,7 +38,11 @@ fn run_all_and_compare(db: &Database, stats: &DbStats, sql: &str) -> VRelation {
         (
             "qhd-no-optimize",
             HybridOptimizer::with_stats(
-                QhdOptions { max_width: 4, run_optimize: false },
+                QhdOptions {
+                    max_width: 4,
+                    run_optimize: false,
+                    threads: 0,
+                },
                 stats.clone(),
             ),
         ),
@@ -45,8 +55,7 @@ fn run_all_and_compare(db: &Database, stats: &DbStats, sql: &str) -> VRelation {
     // like the optimizers do internally).
     let stmt = parse_select(sql).unwrap();
     let mut budget = Budget::unlimited();
-    let (flat_db, flat_stmt) =
-        htqo_optimizer::flatten_subqueries(db, &stmt, &mut budget).unwrap();
+    let (flat_db, flat_stmt) = htqo_optimizer::flatten_subqueries(db, &stmt, &mut budget).unwrap();
     let q = isolate(&flat_stmt, &flat_db, IsolatorOptions::default()).unwrap();
     let opt = HybridOptimizer::with_stats(QhdOptions::default(), stats.clone());
     let plan = opt.plan_cq(&q).unwrap();
@@ -160,14 +169,23 @@ fn synthetic_chains_all_methods_agree() {
         let q = chain_query(n);
 
         let commdb = DbmsSim::commdb(Some(stats.clone()));
-        let base = commdb.execute_cq(&db, &q, Budget::unlimited()).result.unwrap();
+        let base = commdb
+            .execute_cq(&db, &q, Budget::unlimited())
+            .result
+            .unwrap();
 
         let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats.clone());
-        let ours = hybrid.execute_cq(&db, &q, Budget::unlimited()).result.unwrap();
+        let ours = hybrid
+            .execute_cq(&db, &q, Budget::unlimited())
+            .result
+            .unwrap();
         assert!(base.set_eq(&ours), "chain n={n}");
 
         let structural = HybridOptimizer::structural(QhdOptions::default());
-        let s = structural.execute_cq(&db, &q, Budget::unlimited()).result.unwrap();
+        let s = structural
+            .execute_cq(&db, &q, Budget::unlimited())
+            .result
+            .unwrap();
         assert!(base.set_eq(&s), "structural chain n={n}");
     }
 }

@@ -31,7 +31,13 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
                 any::<u64>(),
             )
         })
-        .prop_map(|(atoms, out, rows, domain, seed)| Shape { atoms, out, rows, domain, seed })
+        .prop_map(|(atoms, out, rows, domain, seed)| Shape {
+            atoms,
+            out,
+            rows,
+            domain,
+            seed,
+        })
 }
 
 fn build(shape: &Shape) -> (Database, ConjunctiveQuery) {
@@ -41,7 +47,10 @@ fn build(shape: &Shape) -> (Database, ConjunctiveQuery) {
     let mut db = Database::new();
     let mut b = CqBuilder::new();
     for (i, (l, r)) in shape.atoms.iter().enumerate() {
-        let mut rel = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+        let mut rel = Relation::new(Schema::new(&[
+            ("l", ColumnType::Int),
+            ("r", ColumnType::Int),
+        ]));
         for _ in 0..shape.rows {
             rel.push_row(vec![
                 Value::Int(rng.gen_range(0..shape.domain) as i64),
@@ -52,7 +61,11 @@ fn build(shape: &Shape) -> (Database, ConjunctiveQuery) {
         db.insert_table(&format!("t{i}"), rel);
         let lv = format!("V{l}");
         let rv = format!("V{r}");
-        b = b.atom(&format!("t{i}"), &format!("t{i}"), &[("l", &lv), ("r", &rv)]);
+        b = b.atom(
+            &format!("t{i}"),
+            &format!("t{i}"),
+            &[("l", &lv), ("r", &rv)],
+        );
     }
     // Output variables must exist in the query; shape.out indexes the pool.
     let mut q = b;
@@ -123,7 +136,7 @@ proptest! {
         // Disabling Optimize must also yield a valid decomposition.
         let plan2 = q_hypertree_decomp(
             &q,
-            &QhdOptions { max_width: 4, run_optimize: false },
+            &QhdOptions { max_width: 4, run_optimize: false, threads: 0 },
             &StructuralCost,
         )
         .unwrap();

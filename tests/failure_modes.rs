@@ -74,8 +74,8 @@ fn semantic_errors_are_isolate_errors() {
     for bad in [
         "SELECT x FROM missing_table",
         "SELECT missing_col FROM p0",
-        "SELECT l FROM p0, p1",            // ambiguous column
-        "SELECT p0.l FROM p0, p0",         // duplicate binding
+        "SELECT l FROM p0, p1",                      // ambiguous column
+        "SELECT p0.l FROM p0, p0",                   // duplicate binding
         "SELECT p0.l FROM p0, p1 WHERE p0.l < p1.l", // non-equi join
     ] {
         let err = sim.execute_sql(&db, bad, Budget::unlimited());
@@ -99,7 +99,11 @@ fn decomposition_failure_is_typed() {
         .build();
     let err = q_hypertree_decomp(
         &q,
-        &QhdOptions { max_width: 1, run_optimize: true },
+        &QhdOptions {
+            max_width: 1,
+            run_optimize: true,
+            threads: 0,
+        },
         &StructuralCost,
     )
     .unwrap_err();

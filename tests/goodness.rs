@@ -60,8 +60,11 @@ fn baseline_vs_qhd_gap_widens_exponentially() {
             &q,
             Budget::unlimited().with_max_tuples(5_000_000),
         );
-        let ours = HybridOptimizer::with_stats(QhdOptions::default(), stats)
-            .execute_cq(&db, &q, Budget::unlimited());
+        let ours = HybridOptimizer::with_stats(QhdOptions::default(), stats).execute_cq(
+            &db,
+            &q,
+            Budget::unlimited(),
+        );
         assert!(ours.result.is_ok());
         // The baseline may legally DNF at n = 8; its charged work is still
         // a valid lower bound for the ratio.

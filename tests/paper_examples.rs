@@ -56,8 +56,7 @@ fn example2_q0_decomposition_is_valid() {
     let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
     assert_eq!(plan.tree.width(), 2);
     let ch = &plan.cq_hypergraph;
-    htqo_core::validate::check_qhd(&ch.hypergraph, &plan.tree, &plan.out_vars)
-        .expect("valid q-HD");
+    htqo_core::validate::check_qhd(&ch.hypergraph, &plan.tree, &plan.out_vars).expect("valid q-HD");
 }
 
 #[test]
@@ -70,7 +69,11 @@ fn example4_q1_acyclic_but_qhd_width_2() {
     // …but Condition 2 of Definition 2 forces width 2 (Figure 3).
     let fail = q_hypertree_decomp(
         &q,
-        &QhdOptions { max_width: 1, run_optimize: true },
+        &QhdOptions {
+            max_width: 1,
+            run_optimize: true,
+            threads: 0,
+        },
         &StructuralCost,
     );
     assert!(fail.is_err());
@@ -90,7 +93,11 @@ fn example4_optimize_prunes_like_hd1_prime() {
     let with = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
     let without = q_hypertree_decomp(
         &q,
-        &QhdOptions { max_width: 4, run_optimize: false },
+        &QhdOptions {
+            max_width: 4,
+            run_optimize: false,
+            threads: 0,
+        },
         &StructuralCost,
     )
     .unwrap();
@@ -100,7 +107,10 @@ fn example4_optimize_prunes_like_hd1_prime() {
 #[test]
 fn example1_q5_structure() {
     // Build CQ(Q5) through the real SQL pipeline on the TPC-H catalog.
-    let db = htqo_tpch::generate(&htqo_tpch::DbgenOptions { scale: 0.001, seed: 1 });
+    let db = htqo_tpch::generate(&htqo_tpch::DbgenOptions {
+        scale: 0.001,
+        seed: 1,
+    });
     let sql = htqo_tpch::q5("ASIA", 1994);
     let stmt = parse_select(&sql).unwrap();
     let q = isolate(&stmt, &db, IsolatorOptions::default()).unwrap();

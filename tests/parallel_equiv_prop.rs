@@ -33,7 +33,13 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
                 any::<u64>(),
             )
         })
-        .prop_map(|(atoms, out, rows, domain, seed)| Shape { atoms, out, rows, domain, seed })
+        .prop_map(|(atoms, out, rows, domain, seed)| Shape {
+            atoms,
+            out,
+            rows,
+            domain,
+            seed,
+        })
 }
 
 fn build(shape: &Shape) -> (Database, ConjunctiveQuery) {
@@ -43,7 +49,10 @@ fn build(shape: &Shape) -> (Database, ConjunctiveQuery) {
     let mut db = Database::new();
     let mut b = CqBuilder::new();
     for (i, (l, r)) in shape.atoms.iter().enumerate() {
-        let mut rel = Relation::new(Schema::new(&[("l", ColumnType::Int), ("r", ColumnType::Int)]));
+        let mut rel = Relation::new(Schema::new(&[
+            ("l", ColumnType::Int),
+            ("r", ColumnType::Int),
+        ]));
         for _ in 0..shape.rows {
             // An empty relation for every 7th seed-atom combination keeps
             // the empty-result path exercised.
@@ -59,7 +68,11 @@ fn build(shape: &Shape) -> (Database, ConjunctiveQuery) {
         db.insert_table(&format!("t{i}"), rel);
         let lv = format!("V{l}");
         let rv = format!("V{r}");
-        b = b.atom(&format!("t{i}"), &format!("t{i}"), &[("l", &lv), ("r", &rv)]);
+        b = b.atom(
+            &format!("t{i}"),
+            &format!("t{i}"),
+            &[("l", &lv), ("r", &rv)],
+        );
     }
     let mut q = b;
     let used: Vec<String> = shape
