@@ -222,13 +222,33 @@ fn bench_parallel_eval(c: &mut Criterion) {
     group.bench_function("qhd_star6_1t", |b| {
         b.iter(|| {
             let mut budget = Budget::unlimited();
-            evaluate_qhd_with(&db, &q, &plan, &mut budget, &ExecOptions { threads: 1 }).unwrap()
+            evaluate_qhd_with(
+                &db,
+                &q,
+                &plan,
+                &mut budget,
+                &ExecOptions {
+                    threads: 1,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
         })
     });
     group.bench_function(format!("qhd_star6_{threads}t"), |b| {
         b.iter(|| {
             let mut budget = Budget::unlimited();
-            evaluate_qhd_with(&db, &q, &plan, &mut budget, &ExecOptions { threads }).unwrap()
+            evaluate_qhd_with(
+                &db,
+                &q,
+                &plan,
+                &mut budget,
+                &ExecOptions {
+                    threads,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap()
         })
     });
     group.finish();

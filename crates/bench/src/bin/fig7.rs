@@ -7,11 +7,12 @@
 //! {500,750,1000} at selectivity 30.
 //!
 //! ```text
-//! cargo run -p htqo-bench --release --bin fig7 [-- --threads N]
+//! cargo run -p htqo-bench --release --bin fig7 [-- --threads N] [--columnar|--rows]
 //! ```
 //! Knobs: `--threads N` (execution-layer worker threads; default = machine
-//! parallelism), `HTQO_TIMEOUT_SECS` (default 10), `HTQO_MAX_TUPLES`
-//! (default 20M), `HTQO_MAX_ATOMS` (default 10).
+//! parallelism), `--columnar` / `--rows` (intermediate-result carrier;
+//! default columnar, see `HTQO_COLUMNAR`), `HTQO_TIMEOUT_SECS` (default
+//! 10), `HTQO_MAX_TUPLES` (default 20M), `HTQO_MAX_ATOMS` (default 10).
 
 use htqo_bench::{run_measured, Series};
 use htqo_core::QhdOptions;
@@ -22,10 +23,14 @@ use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
 
 fn main() {
     let threads = htqo_bench::harness::threads_from_args();
+    let columnar = htqo_bench::harness::carrier_from_args();
     let max_atoms = htqo_bench::harness::env_f64("HTQO_MAX_ATOMS", 10.0) as usize;
     println!("# Figure 7 — CommDB vs q-HD on synthetic queries");
     println!("(x = number of body atoms; cells = total time, DNF = budget hit)");
-    println!("(execution layer: {threads} thread(s))");
+    println!(
+        "(execution layer: {threads} thread(s), {} carrier)",
+        if columnar { "columnar" } else { "row" }
+    );
 
     // Panels (a) and (b): cardinality 500, selectivity ∈ {30, 60, 90}.
     for (panel, cyclic) in [("(a) Acyclic queries", false), ("(b) Chain queries", true)] {

@@ -10,7 +10,7 @@
 //! paper's literal axis.
 //!
 //! ```text
-//! cargo run -p htqo-bench --release --bin fig8 [-- --threads N]
+//! cargo run -p htqo-bench --release --bin fig8 [-- --threads N] [--columnar|--rows]
 //! ```
 
 use htqo_bench::harness::{env_f64_list, print_table, run_measured, Series};
@@ -21,10 +21,14 @@ use htqo_tpch::{generate, nominal_megabytes, q5, q8, DbgenOptions};
 
 fn main() {
     let threads = htqo_bench::harness::threads_from_args();
+    let columnar = htqo_bench::harness::carrier_from_args();
     let scales = env_f64_list("HTQO_FIG8_SCALES", &[0.02, 0.04, 0.06, 0.08, 0.10]);
     println!("# Figure 8 — TPC-H Q5 / Q8: CommDB vs q-HD vs database size");
     println!("(x = nominal database size in MB, SF×1000; cells = total time)");
-    println!("(execution layer: {threads} thread(s))");
+    println!(
+        "(execution layer: {threads} thread(s), {} carrier)",
+        if columnar { "columnar" } else { "row" }
+    );
 
     for (panel, sql) in [
         ("(a) Query Q5", q5("ASIA", 1994)),

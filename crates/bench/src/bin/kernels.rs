@@ -1,21 +1,29 @@
-//! Acceptance harness for the execution-layer overhaul: measures
+//! Acceptance harness for the execution-layer overhauls: measures
 //!
-//! 1. the partitioned hash-join kernel against the seed (`key_of`-boxing)
-//!    kernel on a 100k × 100k skewed join, and
+//! 1. the row hash-join kernels (seed `key_of`-boxing and the in-place
+//!    partitioned overhaul) against the **columnar** kernel on a
+//!    100k × 100k skewed join, and
 //! 2. multi-threaded vs single-threaded `evaluate_qhd` on a bushy query
-//!    whose decomposition has three independent subtrees,
+//!    whose decomposition has three independent subtrees, on both the
+//!    row and the columnar carrier,
 //!
-//! and writes the numbers to `results/kernels.md`.
+//! and writes the numbers to `results/kernels.md` plus a
+//! machine-readable `BENCH_kernels.json` at the repo root.
 //!
 //! ```text
 //! cargo run -p htqo-bench --release --bin kernels [-- --threads N]
 //! ```
+//!
+//! `HTQO_KERNELS_ROWS` scales every input (default 100000 rows per join
+//! side); CI smoke-runs the harness at a tiny scale.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use htqo_core::{q_hypertree_decomp, QhdOptions, StructuralCost};
 use htqo_cq::{AtomId, CqBuilder};
+use htqo_engine::cops;
+use htqo_engine::crel::CRel;
 use htqo_engine::error::Budget;
 use htqo_engine::exec;
 use htqo_engine::ops::{natural_join, natural_join_seed};
@@ -50,59 +58,82 @@ fn main() {
         .into_iter()
         .filter(|&t| t <= max_threads)
         .collect();
+    let scale = htqo_bench::harness::env_f64("HTQO_KERNELS_ROWS", 100_000.0) as usize;
 
     let mut report = String::new();
+    // Machine-readable companion: kernel → variant → seconds.
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"rows_per_side\": {scale},\n  \"cpus\": {cpus},\n  \"threads_sweep\": {sweep:?},"
+    );
     let _ = writeln!(report, "# Execution-layer kernel acceptance numbers\n");
     let _ = writeln!(
         report,
-        "Machine: {cpus} CPU(s) visible to the process; thread sweep {sweep:?}. \
+        "Machine: {cpus} CPU(s) visible to the process; thread sweep {sweep:?}; \
+         {scale} rows per join side (`HTQO_KERNELS_ROWS`). \
          Wall-clock parallel speedup requires >1 CPU — on a single-CPU host every \
          parallel row in this file (multi-threaded join kernels, parallel q-HD \
          schedules, and the parallel decomposition search in `results/decomp.md`) \
          measures scheduling overhead only.\n"
     );
 
-    // ---- 1. Hash-join kernel: 100k × 100k, Zipf-skewed keys. ----
+    // ---- 1. Hash-join kernels: row (seed + in-place) vs columnar. ----
     //
-    // Two key domains: 50k values (dense — ~563k output rows, so output
-    // materialization dominates both kernels) and 500k values (selective —
-    // table build+probe dominates, isolating the kernel difference).
-    for (domain, tag) in [(50_000u64, "dense"), (500_000, "selective")] {
-        let db = workload_db(&WorkloadSpec::new(2, 100_000, domain, 7).with_zipf(0.5));
+    // Two key domains: dense (output materialization dominates — where the
+    // columnar gather pays off most) and selective (table build+probe
+    // dominates, isolating the hashing difference).
+    let _ = writeln!(json, "  \"join\": {{");
+    for (di, (domain, tag)) in [
+        ((scale / 2) as u64, "dense"),
+        ((scale * 5) as u64, "selective"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let db = workload_db(&WorkloadSpec::new(2, scale, domain, 7).with_zipf(0.5));
         let q = acyclic_query(2);
         let mut scan_budget = Budget::unlimited();
         let left: VRelation = scan_query_atom(&db, &q, AtomId(0), &mut scan_budget).unwrap();
         let right: VRelation = scan_query_atom(&db, &q, AtomId(1), &mut scan_budget).unwrap();
+        let cleft = CRel::from_vrel(&left);
+        let cright = CRel::from_vrel(&right);
 
-        // Kernel 0 is the seed; kernel 1+i is `natural_join` at sweep[i]
-        // threads. Measurement rounds are interleaved across kernels so
-        // host-load drift biases no single row.
-        let nkernels = 1 + sweep.len();
-        let run = |kernel: usize| -> VRelation {
+        // Kernel 0 is the seed; kernels 1..=s are `natural_join` at
+        // sweep[i] threads; kernels s+1.. are the columnar kernel at
+        // sweep[i] threads. Measurement rounds are interleaved across
+        // kernels so host-load drift biases no single row.
+        let s = sweep.len();
+        let nkernels = 1 + 2 * s;
+        let run = |kernel: usize| -> usize {
             let mut b = Budget::unlimited();
             if kernel == 0 {
-                natural_join_seed(&left, &right, &mut b).unwrap()
-            } else {
+                natural_join_seed(&left, &right, &mut b).unwrap().len()
+            } else if kernel <= s {
                 exec::set_threads(sweep[kernel - 1]);
-                natural_join(&left, &right, &mut b).unwrap()
+                natural_join(&left, &right, &mut b).unwrap().len()
+            } else {
+                exec::set_threads(sweep[kernel - 1 - s]);
+                cops::natural_join(&cleft, &cright, &mut b).unwrap().len()
             }
         };
 
         // Warm up every code path (allocator, page cache) before timing.
-        let expected = run(0).len();
+        let expected = run(0);
+        assert_eq!(run(nkernels - 1), expected, "columnar kernel disagrees");
         let mut best = vec![f64::INFINITY; nkernels];
         for _ in 0..REPS {
             for (k, slot) in best.iter_mut().enumerate() {
                 let t = Instant::now();
                 let r = run(k);
                 *slot = slot.min(t.elapsed().as_secs_f64());
-                assert_eq!(r.len(), expected);
+                assert_eq!(r, expected);
             }
         }
 
         let _ = writeln!(
             report,
-            "## Hash join ({tag}), 100k × 100k rows, Zipf(0.5) keys over {domain} values\n"
+            "## Hash join ({tag}), {scale} × {scale} rows, Zipf(0.5) keys over {domain} values\n"
         );
         let _ = writeln!(
             report,
@@ -117,9 +148,9 @@ fn main() {
         );
         for (i, &t) in sweep.iter().enumerate() {
             let label = if t == 1 {
-                "hash-in-place, sequential".to_string()
+                "row, in-place, sequential".to_string()
             } else {
-                format!("partitioned, {t} threads")
+                format!("row, partitioned, {t} threads")
             };
             let _ = writeln!(
                 report,
@@ -128,52 +159,133 @@ fn main() {
                 best[0] / best[1 + i]
             );
         }
+        for (i, &t) in sweep.iter().enumerate() {
+            let label = if t == 1 {
+                "columnar, sequential".to_string()
+            } else {
+                format!("columnar, partitioned, {t} threads")
+            };
+            let _ = writeln!(
+                report,
+                "| {label} | {:.3}s | {:.2}x |",
+                best[1 + s + i],
+                best[0] / best[1 + s + i]
+            );
+        }
         let _ = writeln!(report);
+
+        let fmt_sweep = |offset: usize| {
+            sweep
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("\"{t}\": {:.6}", best[offset + i]))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(
+            json,
+            "    \"{tag}\": {{ \"output_rows\": {expected}, \"seed_s\": {:.6}, \
+             \"row_s\": {{ {} }}, \"columnar_s\": {{ {} }} }}{}",
+            best[0],
+            fmt_sweep(1),
+            fmt_sweep(1 + s),
+            if di == 0 { "," } else { "" }
+        );
     }
+    let _ = writeln!(json, "  }},");
     exec::set_threads(max_threads);
 
-    // ---- 2. Parallel q-hypertree evaluation on a bushy query. ----
+    // ---- 2. Parallel q-hypertree evaluation, row vs columnar carrier. ----
     // hub(A,B,C) with three independent 3-atom chains hanging off A, B, C:
     // the decomposition's root has three independent subtrees.
-    let (bdb, bq) = bushy_workload(300_000, 60_000, 2_000);
+    let (bdb, bq) = bushy_workload(scale * 3, (scale * 3 / 5) as u64, scale / 50);
     let plan = q_hypertree_decomp(&bq, &QhdOptions::default(), &StructuralCost).unwrap();
 
     // Warm-up pass.
     let r1 = {
         let mut b = Budget::unlimited();
-        evaluate_qhd_with(&bdb, &bq, &plan, &mut b, &ExecOptions { threads: 1 }).unwrap()
+        evaluate_qhd_with(
+            &bdb,
+            &bq,
+            &plan,
+            &mut b,
+            &ExecOptions {
+                threads: 1,
+                columnar: true,
+            },
+        )
+        .unwrap()
     };
 
     let _ = writeln!(
         report,
-        "## `evaluate_qhd`, bushy query (3 independent subtrees, 300k-row chains)\n"
+        "## `evaluate_qhd`, bushy query (3 independent subtrees, {}-row chains)\n",
+        scale * 3
     );
     let _ = writeln!(report, "Output: {} rows. Best of {REPS} runs.\n", r1.len());
-    let _ = writeln!(report, "| schedule | time | speedup |");
+    let _ = writeln!(report, "| schedule | row carrier | columnar carrier |");
     let _ = writeln!(report, "|---|---|---|");
-    let mut t_eval1 = 0.0;
-    for &t in &sweep {
-        let (dt, r) = best_of(|| {
-            let mut b = Budget::unlimited();
-            evaluate_qhd_with(&bdb, &bq, &plan, &mut b, &ExecOptions { threads: t }).unwrap()
-        });
-        assert!(r.set_eq(&r1), "parallel evaluation changed the answer");
-        if t == 1 {
-            t_eval1 = dt;
-            let _ = writeln!(report, "| sequential (1 thread) | {dt:.3}s | 1.00x |");
-        } else {
-            let _ = writeln!(
-                report,
-                "| parallel ({t} threads) | {dt:.3}s | {:.2}x |",
-                t_eval1 / dt
-            );
+    let _ = writeln!(json, "  \"qhd_bushy\": {{");
+    let mut carrier_best = [f64::INFINITY; 2];
+    for (ti, &t) in sweep.iter().enumerate() {
+        let mut cells = Vec::new();
+        let mut secs = [0.0f64; 2];
+        for (ci, columnar) in [false, true].into_iter().enumerate() {
+            let (dt, r) = best_of(|| {
+                let mut b = Budget::unlimited();
+                evaluate_qhd_with(
+                    &bdb,
+                    &bq,
+                    &plan,
+                    &mut b,
+                    &ExecOptions {
+                        threads: t,
+                        columnar,
+                    },
+                )
+                .unwrap()
+            });
+            assert!(r.set_eq(&r1), "schedule changed the answer");
+            carrier_best[ci] = carrier_best[ci].min(dt);
+            secs[ci] = dt;
+            cells.push(format!("{dt:.3}s"));
         }
+        let label = if t == 1 {
+            "sequential (1 thread)".to_string()
+        } else {
+            format!("parallel ({t} threads)")
+        };
+        let _ = writeln!(report, "| {label} | {} |", cells.join(" | "));
+        let _ = writeln!(
+            json,
+            "    \"{t}\": {{ \"row_s\": {:.6}, \"columnar_s\": {:.6} }}{}",
+            secs[0],
+            secs[1],
+            if ti + 1 == sweep.len() { "" } else { "," }
+        );
     }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"qhd_bushy_output_rows\": {},\n  \"qhd_best_row_s\": {:.6},\n  \
+         \"qhd_best_columnar_s\": {:.6}\n}}",
+        r1.len(),
+        carrier_best[0],
+        carrier_best[1]
+    );
+    let _ = writeln!(
+        report,
+        "\nBest schedule: row {:.3}s, columnar {:.3}s ({:.2}x).",
+        carrier_best[0],
+        carrier_best[1],
+        carrier_best[0] / carrier_best[1]
+    );
 
     print!("{report}");
     std::fs::create_dir_all("results").ok();
     std::fs::write("results/kernels.md", &report).expect("write results/kernels.md");
-    eprintln!("\nwrote results/kernels.md");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    eprintln!("\nwrote results/kernels.md and BENCH_kernels.json");
 }
 
 /// `q(A,B,C) ← hub(A,B,C) ∧ chains`, one 3-atom chain per hub variable.
@@ -183,6 +295,8 @@ fn bushy_workload(
     domain: u64,
     hub_rows: usize,
 ) -> (Database, htqo_cq::ConjunctiveQuery) {
+    let domain = domain.max(2);
+    let hub_rows = hub_rows.max(1);
     // Deterministic LCG so the harness needs no RNG dependency.
     let mut state = 0x9E37_79B9_97F4_A7C5u64;
     let mut next = move |m: u64| {

@@ -152,6 +152,22 @@ pub fn threads_from_args() -> usize {
     htqo_engine::exec::num_threads()
 }
 
+/// Applies the `--columnar` / `--rows` command-line knob shared by the
+/// figure harnesses: pins the evaluators' carrier default process-wide
+/// via [`htqo_engine::exec::set_columnar_default`] and returns the
+/// default now in effect (`true` = columnar). Without either flag, the
+/// `HTQO_COLUMNAR` env var / columnar default stands.
+pub fn carrier_from_args() -> bool {
+    for arg in std::env::args() {
+        match arg.as_str() {
+            "--columnar" => htqo_engine::exec::set_columnar_default(true),
+            "--rows" => htqo_engine::exec::set_columnar_default(false),
+            _ => {}
+        }
+    }
+    htqo_engine::exec::columnar_default()
+}
+
 /// Reads an f64 environment knob with a default.
 pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name)

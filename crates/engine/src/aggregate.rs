@@ -3,8 +3,12 @@
 //! aggregate functions, final projection (dropping hidden rowid guards) and
 //! ORDER BY.
 
+use crate::cops;
+use crate::crel::CRel;
+use crate::dict;
 use crate::error::{Budget, EvalError};
 use crate::expr::eval_scalar;
+use crate::hash::FxHashMap;
 use crate::ops::sort_by;
 use crate::value::{Row, Value};
 use crate::vrel::VRelation;
@@ -12,15 +16,8 @@ use htqo_cq::isolator::is_hidden_label;
 use htqo_cq::{AggFunc, ConjunctiveQuery, OutputItem, SortDir};
 use std::collections::HashMap;
 
-/// Computes the final output of `q` from the answer relation of `CQ(Q)`.
-///
-/// `answer` must contain every variable of `out(Q)` as a column (hidden
-/// rowid variables included); its rows are assumed distinct.
-pub fn finalize(
-    answer: &VRelation,
-    q: &ConjunctiveQuery,
-    budget: &mut Budget,
-) -> Result<VRelation, EvalError> {
+/// Visible output items of `q` and their (uniquified) labels.
+fn visible_output(q: &ConjunctiveQuery) -> (Vec<&OutputItem>, Vec<String>) {
     let visible: Vec<&OutputItem> = q
         .output
         .iter()
@@ -34,7 +31,31 @@ pub fn finalize(
             .map(|o| o.label().to_string())
             .collect::<Vec<_>>(),
     );
+    (visible, labels)
+}
 
+/// Visible head variables in SELECT order (errors on aggregates — callers
+/// check `q.has_aggregates()` first).
+fn head_vars(visible: &[&OutputItem]) -> Vec<String> {
+    visible
+        .iter()
+        .map(|o| match o {
+            OutputItem::Var { var, .. } => var.clone(),
+            OutputItem::Aggregate { .. } => unreachable!("filtered above"),
+        })
+        .collect()
+}
+
+/// Computes the final output of `q` from the answer relation of `CQ(Q)`.
+///
+/// `answer` must contain every variable of `out(Q)` as a column (hidden
+/// rowid variables included); its rows are assumed distinct.
+pub fn finalize(
+    answer: &VRelation,
+    q: &ConjunctiveQuery,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let (visible, labels) = visible_output(q);
     let result = if q.has_aggregates() {
         aggregate(answer, q, &visible, &labels, budget)?
     } else {
@@ -42,13 +63,7 @@ pub fn finalize(
         // variables (set semantics, matching the CQ answer definition),
         // then lay the columns out in SELECT order (a variable may be
         // selected more than once).
-        let vars: Vec<String> = visible
-            .iter()
-            .map(|o| match o {
-                OutputItem::Var { var, .. } => Ok(var.clone()),
-                OutputItem::Aggregate { .. } => unreachable!("filtered above"),
-            })
-            .collect::<Result<_, EvalError>>()?;
+        let vars = head_vars(&visible);
         let mut distinct_vars = vars.clone();
         distinct_vars.dedup_preserving();
         let projected = crate::ops::project(answer, &distinct_vars, true, budget)?;
@@ -63,7 +78,45 @@ pub fn finalize(
             .collect();
         VRelation::from_rows(labels.clone(), rows)
     };
+    finalize_tail(result, q, budget)
+}
 
+/// [`finalize`] over the columnar carrier: the grouping/projection front
+/// runs column-at-a-time (vectorized group-key hashing, gather-based
+/// layout), then the small post-aggregation result flows through the same
+/// HAVING / ORDER BY / LIMIT tail as the row path.
+pub fn finalize_c(
+    answer: &CRel,
+    q: &ConjunctiveQuery,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let (visible, labels) = visible_output(q);
+    let result = if q.has_aggregates() {
+        aggregate_c(answer, q, &visible, &labels, budget)?
+    } else {
+        let vars = head_vars(&visible);
+        let mut distinct_vars = vars.clone();
+        distinct_vars.dedup_preserving();
+        let projected = cops::project(answer, &distinct_vars, true, budget)?;
+        // SELECT-order layout: a repeated variable is a column clone, not
+        // a per-row copy.
+        let idx: Vec<usize> = vars
+            .iter()
+            .map(|v| projected.col_index(v).expect("just projected"))
+            .collect();
+        let columns: Vec<crate::column::Column> =
+            idx.iter().map(|&i| projected.column(i).clone()).collect();
+        CRel::new(labels.clone(), columns, projected.len()).to_vrel()
+    };
+    finalize_tail(result, q, budget)
+}
+
+/// The shared post-aggregation tail: HAVING, ORDER BY, LIMIT.
+fn finalize_tail(
+    result: VRelation,
+    q: &ConjunctiveQuery,
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
     // HAVING over output labels (post-aggregation row filter).
     let result = if q.having.is_empty() {
         result
@@ -214,6 +267,109 @@ fn aggregate(
                 OutputItem::Var { var, .. } => {
                     let gpos = q.group_by.iter().position(|g| g == var).expect("validated");
                     key[gpos].clone()
+                }
+                OutputItem::Aggregate { .. } => acc.finish(),
+            });
+        }
+        out.push(row.into_boxed_slice());
+    }
+    Ok(out)
+}
+
+/// Columnar grouping: group identity is decided by one vectorized
+/// key-hash pass over the GROUP BY columns plus typed cell verification —
+/// no boxed `Row` keys are built for the hash map. Accumulator feeding
+/// still materializes a row per input tuple *only* when some aggregate
+/// carries a scalar expression (which is row-shaped by nature);
+/// `COUNT(*)`-style aggregates run without touching a `Value`.
+fn aggregate_c(
+    answer: &CRel,
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let group_idx: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|v| {
+            answer
+                .col_index(v)
+                .ok_or_else(|| EvalError::UnknownVariable(v.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Validate: non-aggregate visible items must be grouping variables.
+    for item in visible {
+        if let OutputItem::Var { var, .. } = item {
+            if !q.group_by.contains(var) {
+                return Err(EvalError::Internal(format!(
+                    "output variable `{var}` is neither aggregated nor grouped"
+                )));
+            }
+        }
+    }
+
+    let needs_row = visible
+        .iter()
+        .any(|o| matches!(o, OutputItem::Aggregate { expr: Some(_), .. }));
+    let cols = answer.cols().to_vec();
+
+    let reader = dict::reader();
+    let hashes = cops::key_hashes(answer, &group_idx, &reader);
+    // hash → candidate group ids; groups remember their first-seen row.
+    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    let mut first_row: Vec<u32> = Vec::new();
+    let mut accs: Vec<Vec<Accumulator>> = Vec::new();
+    let mut scratch: Row = Vec::new().into_boxed_slice();
+    for (i, &h) in hashes.iter().enumerate() {
+        let bucket = buckets.entry(h).or_default();
+        let gid = bucket.iter().copied().find(|&g| {
+            let j = first_row[g as usize] as usize;
+            group_idx
+                .iter()
+                .all(|&c| answer.column(c).eq_at(i, answer.column(c), j, &reader))
+        });
+        let gid = match gid {
+            Some(g) => g as usize,
+            None => {
+                budget.charge(1)?;
+                let g = first_row.len();
+                bucket.push(g as u32);
+                first_row.push(i as u32);
+                accs.push(visible.iter().map(|o| Accumulator::for_item(o)).collect());
+                g
+            }
+        };
+        if needs_row {
+            let row: Vec<Value> = answer
+                .columns()
+                .iter()
+                .map(|c| c.value_with(i, &reader))
+                .collect();
+            scratch = row.into_boxed_slice();
+        }
+        for (acc, item) in accs[gid].iter_mut().zip(visible) {
+            acc.feed(item, &cols, &scratch)?;
+        }
+    }
+
+    // Global aggregate over empty input still produces one row.
+    if accs.is_empty() && q.group_by.is_empty() {
+        first_row.push(0);
+        accs.push(visible.iter().map(|o| Accumulator::for_item(o)).collect());
+    }
+
+    let mut out = VRelation::empty(labels.to_vec());
+    for (g, group_accs) in accs.iter().enumerate() {
+        let mut row: Vec<Value> = Vec::with_capacity(visible.len());
+        for (acc, item) in group_accs.iter().zip(visible) {
+            row.push(match item {
+                OutputItem::Var { var, .. } => {
+                    let gpos = q.group_by.iter().position(|g| g == var).expect("validated");
+                    answer
+                        .column(group_idx[gpos])
+                        .value_with(first_row[g] as usize, &reader)
                 }
                 OutputItem::Aggregate { .. } => acc.finish(),
             });
@@ -562,6 +718,68 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out.value(0, "X"), Some(&Value::Int(3)));
         assert_eq!(out.value(1, "X"), Some(&Value::Int(2)));
+    }
+
+    /// The columnar front agrees with the row front — answers and budget
+    /// charges — across the aggregate, projection, HAVING and ORDER BY
+    /// paths.
+    #[test]
+    fn finalize_c_matches_row_finalize() {
+        let queries = vec![
+            CqBuilder::new()
+                .atom_vars("r", &["G", "X"])
+                .out_var("G")
+                .out_agg(AggFunc::Sum, Some(ScalarExpr::Var("X".into())), "total")
+                .group("G")
+                .order("total", SortDir::Desc)
+                .build(),
+            CqBuilder::new()
+                .atom_vars("r", &["G", "X"])
+                .out_var("G")
+                .out_agg(AggFunc::Count, None, "n")
+                .out_agg(AggFunc::Avg, Some(ScalarExpr::Var("X".into())), "avg")
+                .group("G")
+                .having("n", htqo_cq::CmpOp::Ge, htqo_cq::Literal::Int(2))
+                .build(),
+            CqBuilder::new()
+                .atom_vars("r", &["G", "X"])
+                .out_var("G")
+                .out_var("X")
+                .order("X", SortDir::Asc)
+                .limit(2)
+                .build(),
+        ];
+        let a = answer(
+            &["G", "X"],
+            vec![
+                vec![Value::str("a"), Value::Int(1)],
+                vec![Value::str("a"), Value::Int(2)],
+                vec![Value::str("b"), Value::Int(5)],
+                vec![Value::Null, Value::Int(7)],
+            ],
+        );
+        let ca = crate::crel::CRel::from_vrel(&a);
+        for q in &queries {
+            let mut b1 = Budget::unlimited();
+            let mut b2 = Budget::unlimited();
+            let row = finalize(&a, q, &mut b1).unwrap();
+            let col = finalize_c(&ca, q, &mut b2).unwrap();
+            assert_eq!(row, col);
+            assert_eq!(b1.charged(), b2.charged());
+        }
+    }
+
+    #[test]
+    fn finalize_c_empty_global_aggregate() {
+        let q = CqBuilder::new()
+            .atom_vars("r", &["X"])
+            .out_agg(AggFunc::Count, None, "n")
+            .build();
+        let ca = crate::crel::CRel::empty(vec!["X".into()]);
+        let mut budget = Budget::unlimited();
+        let out = finalize_c(&ca, &q, &mut budget).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.value(0, "n"), Some(&Value::Int(0)));
     }
 
     #[test]

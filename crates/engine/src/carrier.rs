@@ -1,0 +1,232 @@
+//! The **carrier** abstraction: the handful of physical operations the
+//! evaluators (q-hypertree, Yannakakis, bushy join trees) need from an
+//! intermediate relation, implemented by both the row-at-a-time
+//! [`VRelation`] (the seed representation, kept as the oracle path) and
+//! the columnar [`CRel`] (the default). Evaluators are written once,
+//! generic over `C: Carrier`, and dispatched by
+//! [`crate::exec::ExecOptions::columnar`].
+//!
+//! Both implementations make **identical budget charges** for the same
+//! logical work (the columnar kernels mirror the row kernels' charging
+//! points one-for-one), so budget-exhaustion behavior and the figures'
+//! tuple counts are carrier-independent.
+
+use crate::crel::CRel;
+use crate::error::{Budget, EvalError};
+use crate::schema::Database;
+use crate::vrel::VRelation;
+use crate::{cops, ops, scan};
+use htqo_cq::{AtomId, ConjunctiveQuery};
+
+/// Operations an evaluator needs from an intermediate relation.
+///
+/// `Send` lets carriers cross the execution layer's worker threads.
+pub trait Carrier: Sized + Send {
+    /// Scans atom `a` of `q` (with the atom's own filters) from `db`.
+    fn scan_query_atom(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        a: AtomId,
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError>;
+
+    /// Natural join on shared variable names.
+    fn natural_join(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError>;
+
+    /// Semijoin `self ⋉ other`.
+    fn semijoin(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError>;
+
+    /// Projection onto `vars` (all must exist), optionally distinct.
+    fn project(
+        &self,
+        vars: &[String],
+        distinct: bool,
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError>;
+
+    /// Distinct projection onto the intersection of `vars` and the
+    /// available columns.
+    fn project_onto_available(
+        &self,
+        vars: &[String],
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError>;
+
+    /// The join identity: zero columns, one empty row.
+    fn neutral() -> Self;
+
+    /// Number of rows.
+    fn len(&self) -> usize;
+
+    /// True if there are no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column (variable) names.
+    fn cols(&self) -> &[String];
+
+    /// Position of variable `v`, if present.
+    fn col_index(&self, v: &str) -> Option<usize>;
+
+    /// Converts into the row representation at the pipeline boundary.
+    fn into_vrel(self) -> VRelation;
+}
+
+impl Carrier for VRelation {
+    fn scan_query_atom(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        a: AtomId,
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError> {
+        scan::scan_query_atom(db, q, a, budget)
+    }
+
+    fn natural_join(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError> {
+        ops::natural_join(self, other, budget)
+    }
+
+    fn semijoin(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError> {
+        ops::semijoin(self, other, budget)
+    }
+
+    fn project(
+        &self,
+        vars: &[String],
+        distinct: bool,
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError> {
+        ops::project(self, vars, distinct, budget)
+    }
+
+    fn project_onto_available(
+        &self,
+        vars: &[String],
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError> {
+        ops::project_onto_available(self, vars, budget)
+    }
+
+    fn neutral() -> Self {
+        VRelation::neutral()
+    }
+
+    fn len(&self) -> usize {
+        VRelation::len(self)
+    }
+
+    fn cols(&self) -> &[String] {
+        VRelation::cols(self)
+    }
+
+    fn col_index(&self, v: &str) -> Option<usize> {
+        VRelation::col_index(self, v)
+    }
+
+    fn into_vrel(self) -> VRelation {
+        self
+    }
+}
+
+impl Carrier for CRel {
+    fn scan_query_atom(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        a: AtomId,
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError> {
+        scan::scan_query_atom_c(db, q, a, budget)
+    }
+
+    fn natural_join(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError> {
+        cops::natural_join(self, other, budget)
+    }
+
+    fn semijoin(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError> {
+        cops::semijoin(self, other, budget)
+    }
+
+    fn project(
+        &self,
+        vars: &[String],
+        distinct: bool,
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError> {
+        cops::project(self, vars, distinct, budget)
+    }
+
+    fn project_onto_available(
+        &self,
+        vars: &[String],
+        budget: &mut Budget,
+    ) -> Result<Self, EvalError> {
+        cops::project_onto_available(self, vars, budget)
+    }
+
+    fn neutral() -> Self {
+        CRel::neutral()
+    }
+
+    fn len(&self) -> usize {
+        CRel::len(self)
+    }
+
+    fn cols(&self) -> &[String] {
+        CRel::cols(self)
+    }
+
+    fn col_index(&self, v: &str) -> Option<usize> {
+        CRel::col_index(self, v)
+    }
+
+    fn into_vrel(self) -> VRelation {
+        self.to_vrel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+    use htqo_cq::CqBuilder;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut r = Relation::new(Schema::new(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Int),
+        ]));
+        r.extend_rows(vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+        ])
+        .unwrap();
+        db.insert_table("r", r);
+        db
+    }
+
+    /// One pipeline, both carriers: identical answers, identical charges.
+    fn run<C: Carrier>(budget: &mut Budget) -> VRelation {
+        let q = CqBuilder::new()
+            .atom("r", "r", &[("a", "X"), ("b", "Y")])
+            .out_var("X")
+            .build();
+        let s = C::scan_query_atom(&db(), &q, htqo_cq::AtomId(0), budget).unwrap();
+        let j = s.natural_join(&C::neutral(), budget).unwrap();
+        let p = j.project(&["X".to_string()], true, budget).unwrap();
+        p.into_vrel()
+    }
+
+    #[test]
+    fn carriers_agree() {
+        let mut b1 = Budget::unlimited();
+        let mut b2 = Budget::unlimited();
+        let rows = run::<VRelation>(&mut b1);
+        let cols = run::<CRel>(&mut b2);
+        assert!(rows.set_eq(&cols));
+        assert_eq!(b1.charged(), b2.charged());
+    }
+}

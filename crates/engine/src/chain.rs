@@ -1,0 +1,92 @@
+//! The chained-index hash table shared by the row ([`crate::ops`]) and
+//! columnar ([`crate::cops`]) join kernels.
+
+use crate::error::EvalError;
+
+/// Sentinel terminating a [`ChainTable`] bucket chain.
+pub(crate) const CHAIN_END: u32 = u32::MAX;
+
+/// A chained-index hash table over build rows: an open-addressed slot
+/// array maps a key hash to the first row of its chain, `next` links rows
+/// sharing a hash. Key hashes arrive already well mixed (the kernels'
+/// avalanche finalizers), so slots are probed by masking the hash
+/// directly — no second hash function, no general-purpose map. Exactly
+/// two allocations per build regardless of key distribution (the seed
+/// kernel allocated a boxed key per row).
+pub(crate) struct ChainTable {
+    mask: usize,
+    /// `(key hash, chain head)`; a head of [`CHAIN_END`] marks an empty slot.
+    slots: Vec<(u64, u32)>,
+    next: Vec<u32>,
+}
+
+impl ChainTable {
+    /// Builds chains over `n` rows whose key hash is `hash(i)`. Iterates
+    /// in reverse so each chain lists rows in ascending order. Slot count
+    /// is `2n` rounded up to a power of two (≤50% load factor).
+    pub(crate) fn build(n: usize, hash: impl Fn(usize) -> u64) -> ChainTable {
+        let cap = (n.max(4) * 2).next_power_of_two();
+        let mask = cap - 1;
+        let mut slots: Vec<(u64, u32)> = vec![(0, CHAIN_END); cap];
+        let mut next = vec![CHAIN_END; n];
+        for i in (0..n).rev() {
+            let h = hash(i);
+            let mut s = (h as usize) & mask;
+            loop {
+                let (sh, head) = slots[s];
+                if head == CHAIN_END {
+                    slots[s] = (h, i as u32);
+                    break;
+                }
+                if sh == h {
+                    next[i] = head;
+                    slots[s].1 = i as u32;
+                    break;
+                }
+                s = (s + 1) & mask;
+            }
+        }
+        ChainTable { mask, slots, next }
+    }
+
+    /// First row of the chain for `hash`, or [`CHAIN_END`].
+    #[inline]
+    pub(crate) fn head(&self, hash: u64) -> u32 {
+        let mut s = (hash as usize) & self.mask;
+        loop {
+            let (sh, head) = self.slots[s];
+            if head == CHAIN_END || sh == hash {
+                return head;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Iterates the chain for `hash`, calling `f` with each row index.
+    #[inline]
+    pub(crate) fn for_each(
+        &self,
+        hash: u64,
+        mut f: impl FnMut(usize) -> Result<(), EvalError>,
+    ) -> Result<(), EvalError> {
+        let mut i = self.head(hash);
+        while i != CHAIN_END {
+            f(i as usize)?;
+            i = self.next[i as usize];
+        }
+        Ok(())
+    }
+
+    /// True if any row in the chain for `hash` satisfies `f`.
+    #[inline]
+    pub(crate) fn any(&self, hash: u64, mut f: impl FnMut(usize) -> bool) -> bool {
+        let mut i = self.head(hash);
+        while i != CHAIN_END {
+            if f(i as usize) {
+                return true;
+            }
+            i = self.next[i as usize];
+        }
+        false
+    }
+}

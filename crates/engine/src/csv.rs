@@ -53,7 +53,7 @@ pub fn write_csv(rel: &Relation, w: &mut impl Write) -> Result<(), CsvError> {
         .map(|c| format!("{}:{}", c.name, type_tag(c.ty)))
         .collect();
     writeln!(w, "{}", header.join(","))?;
-    for row in rel.rows() {
+    for row in rel.iter_rows() {
         let cells: Vec<String> = row.iter().map(render_cell).collect();
         writeln!(w, "{}", cells.join(","))?;
     }
@@ -288,7 +288,7 @@ mod tests {
         write_csv(&rel, &mut buf).unwrap();
         let back = read_csv(&buf[..]).unwrap();
         assert_eq!(back.schema(), rel.schema());
-        assert_eq!(back.rows(), rel.rows());
+        assert_eq!(back.to_rows(), rel.to_rows());
     }
 
     #[test]
@@ -303,8 +303,8 @@ mod tests {
     #[test]
     fn quoted_empty_is_string_unquoted_is_null() {
         let rel = read_csv("a:str,b:str\n\"\",\n".as_bytes()).unwrap();
-        assert_eq!(rel.rows()[0][0], Value::str(""));
-        assert_eq!(rel.rows()[0][1], Value::Null);
+        assert_eq!(rel.row(0)[0], Value::str(""));
+        assert_eq!(rel.row(0)[1], Value::Null);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! The process-wide string dictionary backing columnar string storage.
+//!
+//! Columnar relations store strings as fixed-width `u32` *codes* into this
+//! dictionary, so join keys, group keys and dedup hashes over string
+//! columns compare and hash machine words instead of chasing `Arc<str>`
+//! pointers. One dictionary is shared by the whole catalog (not one per
+//! relation) so a code is meaningful across relations: two cells are equal
+//! iff their codes are equal, and a join between any two columnar
+//! relations never has to re-encode either side.
+//!
+//! The dictionary also memoizes each string's 64-bit content hash at
+//! intern time ([`DictReader::hash_of`]). Kernels hash *content*, not
+//! codes, so the order in which strings were first interned (which varies
+//! across processes and test interleavings) never leaks into hash-derived
+//! row orders such as the partitioned join's partition assignment.
+//!
+//! Interning takes the write lock and happens only on load paths (CSV
+//! import, `dbgen`, row→columnar conversion); kernels are read-only and
+//! take a [`DictReader`] once per column pass, then index with plain
+//! loads.
+
+use crate::hash::FxHashMap;
+use htqo_hypergraph::fxhash::fx_hash_one;
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard};
+
+/// Code reserved for NULL slots in string columns; never interned.
+pub const NULL_CODE: u32 = u32::MAX;
+
+#[derive(Default)]
+struct DictInner {
+    map: FxHashMap<Arc<str>, u32>,
+    strs: Vec<Arc<str>>,
+    hashes: Vec<u64>,
+}
+
+fn dict() -> &'static RwLock<DictInner> {
+    static DICT: OnceLock<RwLock<DictInner>> = OnceLock::new();
+    DICT.get_or_init(|| RwLock::new(DictInner::default()))
+}
+
+/// Content hash used for dictionary codes and `Mixed`-column string cells
+/// (must agree, so a coded cell and a boxed cell with the same text hash
+/// equal).
+pub fn str_hash(s: &str) -> u64 {
+    fx_hash_one(&s)
+}
+
+/// Interns `s`, returning its code (idempotent).
+pub fn intern(s: &str) -> u32 {
+    // Fast path: already interned.
+    if let Some(&c) = dict().read().expect("dict poisoned").map.get(s) {
+        return c;
+    }
+    let mut d = dict().write().expect("dict poisoned");
+    if let Some(&c) = d.map.get(s) {
+        return c;
+    }
+    let code = u32::try_from(d.strs.len()).expect("string dictionary overflow");
+    assert!(code != NULL_CODE, "string dictionary full");
+    let arc: Arc<str> = Arc::from(s);
+    d.strs.push(arc.clone());
+    d.hashes.push(str_hash(s));
+    d.map.insert(arc, code);
+    code
+}
+
+/// Interns an already-allocated `Arc<str>` without copying it on a miss.
+pub fn intern_arc(s: &Arc<str>) -> u32 {
+    if let Some(&c) = dict().read().expect("dict poisoned").map.get(&**s) {
+        return c;
+    }
+    let mut d = dict().write().expect("dict poisoned");
+    if let Some(&c) = d.map.get(&**s) {
+        return c;
+    }
+    let code = u32::try_from(d.strs.len()).expect("string dictionary overflow");
+    assert!(code != NULL_CODE, "string dictionary full");
+    d.strs.push(s.clone());
+    d.hashes.push(str_hash(s));
+    d.map.insert(s.clone(), code);
+    code
+}
+
+/// Resolves a code to its string (cheap `Arc` clone).
+pub fn resolve(code: u32) -> Arc<str> {
+    dict().read().expect("dict poisoned").strs[code as usize].clone()
+}
+
+/// A read guard over the dictionary: take once per column pass, then
+/// resolve/hash codes with plain indexed loads.
+pub struct DictReader(RwLockReadGuard<'static, DictInner>);
+
+/// Acquires a read view of the dictionary.
+pub fn reader() -> DictReader {
+    DictReader(dict().read().expect("dict poisoned"))
+}
+
+impl DictReader {
+    /// The string behind `code`.
+    pub fn str_of(&self, code: u32) -> &str {
+        &self.0.strs[code as usize]
+    }
+
+    /// Shared handle to the string behind `code`.
+    pub fn arc_of(&self, code: u32) -> Arc<str> {
+        self.0.strs[code as usize].clone()
+    }
+
+    /// The memoized content hash of the string behind `code`.
+    #[inline]
+    pub fn hash_of(&self, code: u32) -> u64 {
+        self.0.hashes[code as usize]
+    }
+
+    /// The code of `s`, if it has been interned.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.0.map.get(s).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_content_based() {
+        let a = intern("columnar-test-alpha");
+        let b = intern("columnar-test-alpha");
+        assert_eq!(a, b);
+        let c = intern("columnar-test-beta");
+        assert_ne!(a, c);
+        assert_eq!(&*resolve(a), "columnar-test-alpha");
+    }
+
+    #[test]
+    fn intern_arc_matches_intern() {
+        let s: Arc<str> = Arc::from("columnar-test-gamma");
+        let a = intern_arc(&s);
+        assert_eq!(a, intern("columnar-test-gamma"));
+    }
+
+    #[test]
+    fn reader_exposes_hashes() {
+        let code = intern("columnar-test-delta");
+        let d = reader();
+        assert_eq!(d.hash_of(code), str_hash("columnar-test-delta"));
+        assert_eq!(d.code_of("columnar-test-delta"), Some(code));
+        assert_eq!(d.str_of(code), "columnar-test-delta");
+    }
+}

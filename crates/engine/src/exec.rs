@@ -10,10 +10,14 @@
 //! Thread count resolution order: explicit `workers` argument >
 //! [`set_threads`] > `HTQO_THREADS` env var > `available_parallelism()`.
 
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Carrier default: `0` = unset (env var / columnar), `1` = rows,
+/// `2` = columnar.
+static CARRIER: AtomicU8 = AtomicU8::new(0);
 
 /// Worker permits beyond the calling thread. `-1` = uninitialized.
 static PERMITS: AtomicIsize = AtomicIsize::new(-1);
@@ -47,6 +51,56 @@ pub fn set_threads(n: usize) {
     CONFIGURED.store(n.max(1), Ordering::Relaxed);
     // Re-arm the permit pool for the new width.
     PERMITS.store(n.max(1) as isize - 1, Ordering::Relaxed);
+}
+
+/// Whether evaluators default to the columnar carrier ([`crate::crel::CRel`])
+/// rather than the row representation. Resolution order:
+/// [`set_columnar_default`] > `HTQO_COLUMNAR` env var (`0`/`false` turns
+/// it off) > columnar.
+pub fn columnar_default() -> bool {
+    match CARRIER.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static DEFAULT: OnceLock<bool> = OnceLock::new();
+            *DEFAULT.get_or_init(|| {
+                !matches!(
+                    std::env::var("HTQO_COLUMNAR").as_deref(),
+                    Ok("0") | Ok("false") | Ok("off")
+                )
+            })
+        }
+    }
+}
+
+/// Overrides the carrier default process-wide (the `--columnar` /
+/// `--rows` knob of the figure harnesses).
+pub fn set_columnar_default(columnar: bool) {
+    CARRIER.store(if columnar { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Execution-schedule knobs for the evaluators
+/// (`evaluate_qhd_with` and friends in the downstream crates).
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Upper bound on worker threads for this evaluation. `1` forces a
+    /// fully sequential schedule (the seed behavior); the default is the
+    /// process-wide [`num_threads`].
+    pub threads: usize,
+    /// Run the pipeline on the columnar carrier ([`crate::crel::CRel`])
+    /// instead of boxed rows. The default is the process-wide
+    /// [`columnar_default`]. Both carriers produce identical answers and
+    /// budget charges; rows survive as the oracle path.
+    pub columnar: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: num_threads(),
+            columnar: columnar_default(),
+        }
+    }
 }
 
 /// Claims up to `want` worker permits from the global pool.

@@ -58,8 +58,15 @@ pub fn arith(l: &Value, op: ArithOp, r: &Value) -> Result<Value, EvalError> {
 
 /// SQL comparison: NULL operands and incomparable types fail the predicate.
 pub fn apply_cmp(op: CmpOp, left: &Value, right: &Value) -> bool {
+    cmp_matches(op, left.sql_cmp(right))
+}
+
+/// True if an SQL comparison outcome satisfies `op` (`None` — NULL or
+/// incomparable types — never does). Shared by the row predicate path
+/// ([`apply_cmp`]) and the columnar scan's typed-cell comparisons.
+pub fn cmp_matches(op: CmpOp, ord: Option<std::cmp::Ordering>) -> bool {
     use std::cmp::Ordering::*;
-    match left.sql_cmp(right) {
+    match ord {
         None => false,
         Some(ord) => match op {
             CmpOp::Eq => ord == Equal,

@@ -24,7 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod carrier;
+mod chain;
+pub mod column;
+pub mod cops;
+pub mod crel;
 pub mod csv;
+pub mod dict;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -36,9 +42,12 @@ pub mod schema;
 pub mod value;
 pub mod vrel;
 
-pub use aggregate::finalize;
+pub use aggregate::{finalize, finalize_c};
+pub use carrier::Carrier;
+pub use crel::CRel;
 pub use csv::{read_csv, write_csv, CsvError};
 pub use error::{Budget, EvalError};
+pub use exec::ExecOptions;
 pub use relation::{Relation, RelationError};
 pub use schema::{Column, ColumnType, Database, Schema};
 pub use value::{Row, Value};

@@ -1,11 +1,20 @@
-//! Atom scans: turn a stored relation into an intermediate [`VRelation`]
-//! over the atom's query variables, applying the atom's constant filters
+//! Atom scans: turn a stored relation into an intermediate relation over
+//! the atom's query variables, applying the atom's constant filters
 //! (selection push-down) and materializing the hidden `__rowid` column when
 //! the isolator's multiplicity guard asked for it.
+//!
+//! The scan is columnar end to end ([`scan_atom_c`]): filters compare
+//! typed cells against the resolved constants in place, the surviving row
+//! indices are gathered once per output column, and no boxed `Value` is
+//! touched. The row-returning [`scan_atom`] is the same scan followed by a
+//! [`crate::crel::CRel::to_vrel`] conversion (identical budget charges).
 
+use crate::column::Column;
+use crate::crel::CRel;
+use crate::dict;
 use crate::error::{Budget, EvalError};
-use crate::expr::apply_cmp;
-use crate::schema::Database;
+use crate::expr::cmp_matches;
+use crate::schema::{ColumnType, Database};
 use crate::value::Value;
 use crate::vrel::VRelation;
 use htqo_cq::isolator::ROWID_COLUMN;
@@ -19,15 +28,15 @@ enum Source {
     RowId,
 }
 
-/// Scans `atom` from `db`, applying `filters` (which must all belong to the
-/// atom). Repeated variables within the atom (e.g. `r(X, X)`) impose
-/// within-tuple equality.
-pub fn scan_atom(
+/// Scans `atom` from `db` into a columnar relation, applying `filters`
+/// (which must all belong to the atom). Repeated variables within the
+/// atom (e.g. `r(X, X)`) impose within-tuple equality.
+pub fn scan_atom_c(
     db: &Database,
     atom: &Atom,
     filters: &[&Filter],
     budget: &mut Budget,
-) -> Result<VRelation, EvalError> {
+) -> Result<CRel, EvalError> {
     let rel = db
         .table(&atom.relation)
         .ok_or_else(|| EvalError::UnknownTable(atom.relation.clone()))?;
@@ -76,31 +85,68 @@ pub fn scan_atom(
         }
     }
 
-    let mut out = VRelation::empty(out_vars);
-    for (rowid, row) in rel.rows().iter().enumerate() {
+    // Selection: evaluate filters and within-tuple equalities against the
+    // typed columns in place, collecting surviving row indices.
+    let reader = dict::reader();
+    let mut sel: Vec<u32> = Vec::new();
+    for rowid in 0..rel.len() {
         if !resolved_filters
             .iter()
-            .all(|(i, op, v)| apply_cmp(*op, &row[*i], v))
+            .all(|(i, op, v)| cmp_matches(*op, rel.column(*i).cmp_value(rowid, v, &reader)))
         {
             continue;
         }
-        if !equalities.iter().all(|(a, b)| row[*a] == row[*b]) {
+        if !equalities
+            .iter()
+            .all(|(a, b)| rel.column(*a).eq_at(rowid, rel.column(*b), rowid, &reader))
+        {
             continue;
         }
         budget.charge(1)?;
-        let tuple: Vec<Value> = sources
-            .iter()
-            .map(|s| match s {
-                Source::Col(i) => row[*i].clone(),
-                Source::RowId => Value::Int(rowid as i64),
-            })
-            .collect();
-        out.push(tuple.into_boxed_slice());
+        sel.push(rowid as u32);
     }
-    Ok(out)
+    drop(reader);
+
+    // Projection: one gather per output column.
+    let columns: Vec<Column> = sources
+        .iter()
+        .map(|s| match s {
+            Source::Col(i) => rel.column(*i).gather(&sel),
+            Source::RowId => {
+                let mut c = Column::with_capacity(ColumnType::Int, sel.len());
+                for &i in &sel {
+                    c.push_value(&Value::Int(i as i64));
+                }
+                c
+            }
+        })
+        .collect();
+    Ok(CRel::new(out_vars, columns, sel.len()))
 }
 
-/// Convenience: scans atom `a` of `q` with its own filters.
+/// Scans `atom` into a row relation: the columnar scan plus a row
+/// conversion (compatibility view; identical budget charges).
+pub fn scan_atom(
+    db: &Database,
+    atom: &Atom,
+    filters: &[&Filter],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    Ok(scan_atom_c(db, atom, filters, budget)?.to_vrel())
+}
+
+/// Convenience: scans atom `a` of `q` with its own filters (columnar).
+pub fn scan_query_atom_c(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    a: htqo_cq::AtomId,
+    budget: &mut Budget,
+) -> Result<CRel, EvalError> {
+    let filters: Vec<&Filter> = q.filters_of(a).collect();
+    scan_atom_c(db, q.atom(a), &filters, budget)
+}
+
+/// Convenience: scans atom `a` of `q` with its own filters (rows).
 pub fn scan_query_atom(
     db: &Database,
     q: &ConjunctiveQuery,

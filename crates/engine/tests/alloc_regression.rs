@@ -12,6 +12,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use htqo_engine::cops;
+use htqo_engine::crel::CRel;
 use htqo_engine::error::Budget;
 use htqo_engine::ops::{natural_join, natural_join_seed, PARALLEL_ROW_THRESHOLD};
 use htqo_engine::value::Value;
@@ -90,5 +92,58 @@ fn hash_kernel_allocates_under_half_of_seed() {
         hash_allocs * 2 < seed_allocs,
         "expected the in-place kernel to allocate <half of the seed kernel: \
          seed={seed_allocs}, hash={hash_allocs} ({rows} rows/side)"
+    );
+}
+
+/// Two relations with many matches, so output-row construction dominates:
+/// `x` values repeat, each probe row matches several build rows.
+fn dense_inputs(rows: usize) -> (VRelation, VRelation) {
+    let mut a: Vec<_> = Vec::with_capacity(rows);
+    let mut b: Vec<_> = Vec::with_capacity(rows);
+    for i in 0..rows as i64 {
+        a.push(vec![Value::Int(i % 200), Value::Int(i)].into_boxed_slice());
+        b.push(vec![Value::Int(i % 200), Value::Int(i * 3)].into_boxed_slice());
+    }
+    (
+        VRelation::from_rows(vec!["x".into(), "y".into()], a),
+        VRelation::from_rows(vec!["x".into(), "z".into()], b),
+    )
+}
+
+/// The columnar kernel gathers output columns instead of boxing one
+/// `Box<[Value]>` per joined row, so its allocations **per joined row**
+/// must drop well below the row kernel's (which pays ≥1 allocation per
+/// output row just to materialize it).
+#[test]
+fn columnar_join_allocates_fraction_per_joined_row() {
+    let rows = 1500usize; // combined < PARALLEL_ROW_THRESHOLD
+    assert!(2 * rows < PARALLEL_ROW_THRESHOLD);
+    let (a, b) = dense_inputs(rows);
+    // Conversions (and dictionary warm-up) happen outside the counter.
+    let ca = CRel::from_vrel(&a);
+    let cb = CRel::from_vrel(&b);
+    let mut budget = Budget::unlimited();
+    let _ = natural_join(&a, &b, &mut budget).unwrap();
+    let _ = cops::natural_join(&ca, &cb, &mut budget).unwrap();
+
+    let (row_allocs, row_out) = allocs_of(|| {
+        let mut budget = Budget::unlimited();
+        natural_join(&a, &b, &mut budget).unwrap()
+    });
+    let (col_allocs, col_out) = allocs_of(|| {
+        let mut budget = Budget::unlimited();
+        cops::natural_join(&ca, &cb, &mut budget).unwrap()
+    });
+
+    let n = row_out.len();
+    assert_eq!(n, col_out.len(), "kernels disagree on output size");
+    assert!(n > 5000, "inputs should join densely, got {n} rows");
+    // The row kernel boxes every output row; the columnar kernel's
+    // allocations are per *column* and per index-vector growth, so per
+    // joined row they must come in at a small fraction.
+    assert!(
+        col_allocs * 4 < row_allocs,
+        "expected the columnar kernel to allocate <1/4 of the row kernel \
+         on a dense join: row={row_allocs}, columnar={col_allocs} ({n} joined rows)"
     );
 }

@@ -139,6 +139,6 @@ proptest! {
         htqo_engine::write_csv(&rel, &mut buf).unwrap();
         let back = htqo_engine::read_csv(&buf[..]).unwrap();
         prop_assert_eq!(back.schema(), rel.schema());
-        prop_assert_eq!(back.rows(), rel.rows());
+        prop_assert_eq!(back.to_rows(), rel.to_rows());
     }
 }

@@ -15,5 +15,7 @@ pub mod qeval;
 pub mod yannakakis;
 
 pub use naive::{evaluate_join_order, evaluate_naive};
-pub use qeval::{evaluate_qhd, evaluate_qhd_query, evaluate_qhd_with, ExecOptions};
-pub use yannakakis::evaluate_yannakakis;
+pub use qeval::{
+    evaluate_qhd, evaluate_qhd_query, evaluate_qhd_query_with, evaluate_qhd_with, ExecOptions,
+};
+pub use yannakakis::{evaluate_yannakakis, evaluate_yannakakis_with};

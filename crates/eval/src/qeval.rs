@@ -15,6 +15,15 @@
 //! Because the root covers all output variables (Condition 2), no top-down
 //! or second bottom-up pass is needed.
 //!
+//! # Carriers
+//!
+//! The pipeline is written once, generic over [`Carrier`], and runs on
+//! either the columnar [`CRel`] (the default — flat typed columns,
+//! dictionary-encoded strings, gather-based output) or the row
+//! [`VRelation`] (the seed representation, kept as the oracle path).
+//! [`ExecOptions::columnar`] picks the carrier; answers and budget
+//! charges are identical either way.
+//!
 //! # Parallel schedule
 //!
 //! The per-vertex joins of `P′` are mutually independent, and in `P″` the
@@ -33,33 +42,19 @@ use std::sync::Mutex;
 use htqo_core::hypertree::NodeId;
 use htqo_core::QhdPlan;
 use htqo_cq::{AtomId, ConjunctiveQuery};
+use htqo_engine::carrier::Carrier;
+use htqo_engine::crel::CRel;
 use htqo_engine::error::{Budget, EvalError};
 use htqo_engine::exec;
-use htqo_engine::ops::{natural_join, project, project_onto_available};
-use htqo_engine::scan::scan_query_atom;
 use htqo_engine::schema::Database;
 use htqo_engine::vrel::VRelation;
 
-/// Execution-schedule knobs for [`evaluate_qhd_with`].
-#[derive(Clone, Copy, Debug)]
-pub struct ExecOptions {
-    /// Upper bound on worker threads for this evaluation. `1` forces a
-    /// fully sequential schedule (the seed behavior); the default is the
-    /// process-wide [`exec::num_threads`].
-    pub threads: usize,
-}
-
-impl Default for ExecOptions {
-    fn default() -> Self {
-        ExecOptions {
-            threads: exec::num_threads(),
-        }
-    }
-}
+pub use htqo_engine::exec::ExecOptions;
 
 /// Evaluates `q` on `db` along the decomposition in `plan`, returning the
 /// answer relation over `out(Q)` (set semantics). Uses the process-wide
-/// thread count; see [`evaluate_qhd_with`] to pin the schedule.
+/// thread count and carrier default; see [`evaluate_qhd_with`] to pin the
+/// schedule.
 pub fn evaluate_qhd(
     db: &Database,
     q: &ConjunctiveQuery,
@@ -77,6 +72,21 @@ pub fn evaluate_qhd_with(
     budget: &mut Budget,
     opts: &ExecOptions,
 ) -> Result<VRelation, EvalError> {
+    if opts.columnar {
+        evaluate_qhd_generic::<CRel>(db, q, plan, budget, opts).map(Carrier::into_vrel)
+    } else {
+        evaluate_qhd_generic::<VRelation>(db, q, plan, budget, opts)
+    }
+}
+
+/// The carrier-generic pipeline behind [`evaluate_qhd_with`].
+fn evaluate_qhd_generic<C: Carrier>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    plan: &QhdPlan,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<C, EvalError> {
     let tree = &plan.tree;
     let h = &plan.cq_hypergraph.hypergraph;
     let threads = opts.threads.max(1);
@@ -94,13 +104,12 @@ pub fn evaluate_qhd_with(
 
     // P′: per-vertex joins — independent, so fan out across workers.
     let vertices: Vec<NodeId> = tree.preorder();
-    let vertex_rel: Vec<Mutex<Option<VRelation>>> =
-        (0..tree.len()).map(|_| Mutex::new(None)).collect();
+    let vertex_rel: Vec<Mutex<Option<C>>> = (0..tree.len()).map(|_| Mutex::new(None)).collect();
     if threads > 1 && vertices.len() > 1 {
         let shared = budget.fork();
         let results = exec::parallel_map(vertices.clone(), threads, |p| {
             let mut b = shared.clone();
-            vertex_join(db, q, tree, p, &chi_names[p.index()], &mut b)
+            vertex_join::<C>(db, q, tree, p, &chi_names[p.index()], &mut b)
         });
         // Merge point: surface budget exhaustion deterministically first,
         // then any other error in preorder (= deterministic) order.
@@ -110,7 +119,7 @@ pub fn evaluate_qhd_with(
         }
     } else {
         for &p in &vertices {
-            let r = vertex_join(db, q, tree, p, &chi_names[p.index()], budget)?;
+            let r = vertex_join::<C>(db, q, tree, p, &chi_names[p.index()], budget)?;
             *vertex_rel[p.index()].lock().unwrap() = Some(r);
         }
     }
@@ -120,7 +129,7 @@ pub fn evaluate_qhd_with(
 
     // P‴: project the root onto out(Q).
     let out = q.out_vars();
-    let result = project(&result_root, &out, true, budget)?;
+    let result = result_root.project(&out, true, budget)?;
     // Final merge point: once the budget has been forked, charges are
     // batched and may not trip inline (see `Budget::charge`); surface
     // exhaustion before declaring success so every schedule agrees.
@@ -130,24 +139,24 @@ pub fn evaluate_qhd_with(
 
 /// `P′` for one vertex: scan `assigned(p) ∪ λ(p)`, join them, project
 /// onto χ(p) (restricted to available variables).
-fn vertex_join(
+fn vertex_join<C: Carrier>(
     db: &Database,
     q: &ConjunctiveQuery,
     tree: &htqo_core::Hypertree,
     p: NodeId,
     chi: &[String],
     budget: &mut Budget,
-) -> Result<VRelation, EvalError> {
+) -> Result<C, EvalError> {
     budget.check_time()?;
     let n = tree.node(p);
     let atoms = n.assigned.union(&n.lambda);
-    let mut scanned: Vec<VRelation> = Vec::with_capacity(atoms.len());
+    let mut scanned: Vec<C> = Vec::with_capacity(atoms.len());
     for e in atoms.iter() {
         let a = AtomId(e.0);
-        scanned.push(scan_query_atom(db, q, a, budget)?);
+        scanned.push(C::scan_query_atom(db, q, a, budget)?);
     }
     let joined = join_connected_greedy(scanned, budget)?;
-    project_onto_available(&joined, chi, budget)
+    joined.project_onto_available(chi, budget)
 }
 
 /// Joins a set of relations preferring variable-connected pairs: start
@@ -156,17 +165,17 @@ fn vertex_join(
 /// connected relation remains. This is the "choice of the topological
 /// order" freedom the paper grants the evaluator (Section 4) applied
 /// within one vertex.
-fn join_connected_greedy(
-    mut inputs: Vec<VRelation>,
+fn join_connected_greedy<C: Carrier>(
+    mut inputs: Vec<C>,
     budget: &mut Budget,
-) -> Result<VRelation, EvalError> {
+) -> Result<C, EvalError> {
     let Some(first_idx) = inputs
         .iter()
         .enumerate()
         .min_by_key(|(_, r)| r.len())
         .map(|(i, _)| i)
     else {
-        return Ok(VRelation::neutral());
+        return Ok(C::neutral());
     };
     let mut acc = inputs.swap_remove(first_idx);
     while !inputs.is_empty() {
@@ -186,19 +195,19 @@ fn join_connected_greedy(
                 .expect("non-empty")
         });
         let next = inputs.swap_remove(idx);
-        acc = natural_join(&acc, &next, budget)?;
+        acc = acc.natural_join(&next, budget)?;
     }
     Ok(acc)
 }
 
-fn eval_bottom_up(
+fn eval_bottom_up<C: Carrier>(
     tree: &htqo_core::Hypertree,
     p: NodeId,
     chi_names: &[Vec<String>],
-    vertex_rel: &[Mutex<Option<VRelation>>],
+    vertex_rel: &[Mutex<Option<C>>],
     budget: &mut Budget,
     threads: usize,
-) -> Result<VRelation, EvalError> {
+) -> Result<C, EvalError> {
     let node = tree.node(p);
     // Children order: support children first, then the rest.
     let mut order: Vec<NodeId> = node.support_children.clone();
@@ -212,7 +221,7 @@ fn eval_bottom_up(
     // concurrently, then fold the joins sequentially in support-first
     // order below (the ordering constraint binds the joins, not the
     // subtree evaluations).
-    let children: Vec<Result<VRelation, EvalError>> = if threads > 1 && order.len() > 1 {
+    let children: Vec<Result<C, EvalError>> = if threads > 1 && order.len() > 1 {
         let shared = budget.fork();
         let results = exec::parallel_map(order.clone(), threads, |c| {
             let mut b = shared.clone();
@@ -245,12 +254,12 @@ fn eval_bottom_up(
         // variables the parent (or any sibling) can ever see are those in
         // χ(p), so the rest are dead weight — drop them (with dedup)
         // before the join instead of after.
-        let child = project_onto_available(&child, &chi_names[p.index()], budget)?;
-        acc = natural_join(&acc, &child, budget)?;
+        let child = child.project_onto_available(&chi_names[p.index()], budget)?;
+        acc = acc.natural_join(&child, budget)?;
         // Project eagerly after each child join to keep intermediates at
         // χ(p) arity (still a *join*, not a semijoin: children may supply
         // χ(p) variables the vertex's own atoms lack).
-        acc = project_onto_available(&acc, &chi_names[p.index()], budget)?;
+        acc = acc.project_onto_available(&chi_names[p.index()], budget)?;
     }
     Ok(acc)
 }
@@ -263,8 +272,27 @@ pub fn evaluate_qhd_query(
     plan: &QhdPlan,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
-    let answer = evaluate_qhd(db, q, plan, budget)?;
-    htqo_engine::aggregate::finalize(&answer, q, budget)
+    evaluate_qhd_query_with(db, q, plan, budget, &ExecOptions::default())
+}
+
+/// [`evaluate_qhd_query`] with an explicit execution schedule. On the
+/// columnar carrier the answer stays columnar end to end — the final
+/// aggregation front runs column-at-a-time too
+/// ([`htqo_engine::aggregate::finalize_c`]).
+pub fn evaluate_qhd_query_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    plan: &QhdPlan,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<VRelation, EvalError> {
+    if opts.columnar {
+        let answer = evaluate_qhd_generic::<CRel>(db, q, plan, budget, opts)?;
+        htqo_engine::aggregate::finalize_c(&answer, q, budget)
+    } else {
+        let answer = evaluate_qhd_generic::<VRelation>(db, q, plan, budget, opts)?;
+        htqo_engine::aggregate::finalize(&answer, q, budget)
+    }
 }
 
 #[cfg(test)]
@@ -404,13 +432,72 @@ mod tests {
             let q = chain_query(n, &["X0", "X1"]);
             let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
             let mut bs = Budget::unlimited();
-            let seq =
-                evaluate_qhd_with(&db, &q, &plan, &mut bs, &ExecOptions { threads: 1 }).unwrap();
+            let seq = evaluate_qhd_with(
+                &db,
+                &q,
+                &plan,
+                &mut bs,
+                &ExecOptions {
+                    threads: 1,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
             for threads in [2usize, 4, 8] {
                 let mut bp = Budget::unlimited();
-                let par =
-                    evaluate_qhd_with(&db, &q, &plan, &mut bp, &ExecOptions { threads }).unwrap();
+                let par = evaluate_qhd_with(
+                    &db,
+                    &q,
+                    &plan,
+                    &mut bp,
+                    &ExecOptions {
+                        threads,
+                        ..ExecOptions::default()
+                    },
+                )
+                .unwrap();
                 assert!(seq.set_eq(&par), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    /// Pinned: the two carriers produce identical answers and identical
+    /// budget charges across decomposition shapes and thread counts.
+    #[test]
+    fn columnar_carrier_matches_row_carrier() {
+        for n in 3..=6 {
+            let names: Vec<String> = (0..n).map(|i| format!("p{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let db = db_for(&name_refs, 35, 5, n as i64 + 20);
+            let q = chain_query(n, &["X0", "X1"]);
+            let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
+            for threads in [1usize, 4] {
+                let mut br = Budget::unlimited();
+                let mut bc = Budget::unlimited();
+                let rows = evaluate_qhd_with(
+                    &db,
+                    &q,
+                    &plan,
+                    &mut br,
+                    &ExecOptions {
+                        threads,
+                        columnar: false,
+                    },
+                )
+                .unwrap();
+                let cols = evaluate_qhd_with(
+                    &db,
+                    &q,
+                    &plan,
+                    &mut bc,
+                    &ExecOptions {
+                        threads,
+                        columnar: true,
+                    },
+                )
+                .unwrap();
+                assert!(rows.set_eq(&cols), "n={n} threads={threads}");
+                assert_eq!(br.charged(), bc.charged(), "n={n} threads={threads}");
             }
         }
     }
@@ -423,15 +510,23 @@ mod tests {
         let db = db_for(&["p0", "p1", "p2", "p3"], 50, 3, 3);
         let q = chain_query(4, &["X0"]);
         let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost).unwrap();
-        for threads in [1usize, 2, 3, 4, 8, 16] {
-            let mut budget = Budget::unlimited().with_max_tuples(10);
-            let err = evaluate_qhd_with(&db, &q, &plan, &mut budget, &ExecOptions { threads })
+        for columnar in [false, true] {
+            for threads in [1usize, 2, 3, 4, 8, 16] {
+                let mut budget = Budget::unlimited().with_max_tuples(10);
+                let err = evaluate_qhd_with(
+                    &db,
+                    &q,
+                    &plan,
+                    &mut budget,
+                    &ExecOptions { threads, columnar },
+                )
                 .unwrap_err();
-            assert_eq!(
-                err,
-                EvalError::TupleBudgetExceeded { limit: 10 },
-                "threads={threads}"
-            );
+                assert_eq!(
+                    err,
+                    EvalError::TupleBudgetExceeded { limit: 10 },
+                    "threads={threads} columnar={columnar}"
+                );
+            }
         }
     }
 }

@@ -6,17 +6,19 @@
 //! Runs in time polynomial in the combined size of input and output.
 
 use htqo_cq::ConjunctiveQuery;
+use htqo_engine::carrier::Carrier;
+use htqo_engine::crel::CRel;
 use htqo_engine::error::{Budget, EvalError};
-use htqo_engine::exec;
-use htqo_engine::ops::{natural_join, project, semijoin};
-use htqo_engine::scan::scan_query_atom;
+use htqo_engine::exec::{self, ExecOptions};
 use htqo_engine::schema::Database;
 use htqo_engine::vrel::VRelation;
 use htqo_hypergraph::acyclic::gyo;
 use htqo_hypergraph::{EdgeId, JoinForest};
 
 /// Evaluates an **acyclic** conjunctive query with the three-pass
-/// Yannakakis algorithm, returning the answer over `out(Q)`.
+/// Yannakakis algorithm, returning the answer over `out(Q)`. Uses the
+/// process-wide thread count and carrier default; see
+/// [`evaluate_yannakakis_with`] to pin the schedule.
 ///
 /// Returns `EvalError::Internal` if the query hypergraph is cyclic.
 pub fn evaluate_yannakakis(
@@ -24,6 +26,31 @@ pub fn evaluate_yannakakis(
     q: &ConjunctiveQuery,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
+    evaluate_yannakakis_with(db, q, budget, &ExecOptions::default())
+}
+
+/// [`evaluate_yannakakis`] with an explicit execution schedule.
+pub fn evaluate_yannakakis_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<VRelation, EvalError> {
+    if opts.columnar {
+        yannakakis_generic::<CRel>(db, q, budget, opts).map(Carrier::into_vrel)
+    } else {
+        yannakakis_generic::<VRelation>(db, q, budget, opts)
+    }
+}
+
+/// The carrier-generic three-pass pipeline behind
+/// [`evaluate_yannakakis_with`].
+fn yannakakis_generic<C: Carrier>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<C, EvalError> {
     let ch = q.hypergraph();
     let Some(reduction) = gyo(&ch.hypergraph) else {
         return Err(EvalError::Internal(
@@ -35,13 +62,13 @@ pub fn evaluate_yannakakis(
     // Scan every atom (edge i ↔ atom i) — independent work, so fan out
     // across the execution-layer worker pool.
     let atom_ids: Vec<_> = q.atom_ids().collect();
-    let threads = exec::num_threads();
-    let mut rels: Vec<VRelation> = Vec::with_capacity(q.atoms.len());
+    let threads = opts.threads.max(1);
+    let mut rels: Vec<C> = Vec::with_capacity(q.atoms.len());
     if threads > 1 && atom_ids.len() > 1 {
         let shared = budget.fork();
         let scans = exec::parallel_map(atom_ids, threads, |a| {
             let mut b = shared.clone();
-            scan_query_atom(db, q, a, &mut b)
+            C::scan_query_atom(db, q, a, &mut b)
         });
         budget.check_exceeded()?;
         for r in scans {
@@ -49,7 +76,7 @@ pub fn evaluate_yannakakis(
         }
     } else {
         for a in atom_ids {
-            rels.push(scan_query_atom(db, q, a, budget)?);
+            rels.push(C::scan_query_atom(db, q, a, budget)?);
         }
     }
 
@@ -59,24 +86,24 @@ pub fn evaluate_yannakakis(
     // (i) bottom-up: parent ⋉ child.
     for &n in &post {
         if let Some(p) = forest.parent(n) {
-            rels[p.index()] = semijoin(&rels[p.index()], &rels[n.index()], budget)?;
+            rels[p.index()] = rels[p.index()].semijoin(&rels[n.index()], budget)?;
         }
     }
     // (ii) top-down: child ⋉ parent.
     for &n in post.iter().rev() {
         if let Some(p) = forest.parent(n) {
-            rels[n.index()] = semijoin(&rels[n.index()], &rels[p.index()], budget)?;
+            rels[n.index()] = rels[n.index()].semijoin(&rels[p.index()], budget)?;
         }
     }
 
     // (iii) bottom-up joins, projecting onto vertex vars ∪ (out ∩ subtree).
     let out = q.out_vars();
-    let mut acc: Vec<Option<VRelation>> = rels.into_iter().map(Some).collect();
+    let mut acc: Vec<Option<C>> = rels.into_iter().map(Some).collect();
     for &n in &post {
         let mut t = acc[n.index()].take().expect("present");
         for c in forest.children(n) {
             let child = acc[c.index()].take().expect("children already folded");
-            t = natural_join(&t, &child, budget)?;
+            t = t.natural_join(&child, budget)?;
         }
         // Keep this vertex's variables plus any output variables gathered
         // from the subtree.
@@ -93,17 +120,17 @@ pub fn evaluate_yannakakis(
             })
             .cloned()
             .collect();
-        t = project(&t, &keep, true, budget)?;
+        t = t.project(&keep, true, budget)?;
         acc[n.index()] = Some(t);
     }
 
     // Combine the (independent) trees and project onto out(Q).
-    let mut answer = VRelation::neutral();
+    let mut answer = C::neutral();
     for r in roots {
         let t = acc[r.index()].take().expect("root folded");
-        answer = natural_join(&answer, &t, budget)?;
+        answer = answer.natural_join(&t, budget)?;
     }
-    let answer = project(&answer, &out, true, budget)?;
+    let answer = answer.project(&out, true, budget)?;
     // Final merge point: forked-budget charges are batched and may not
     // trip inline (see `Budget::charge`); check before declaring success.
     budget.check_exceeded()?;
@@ -189,6 +216,40 @@ mod tests {
             by.charged() <= bn.charged() * 2,
             "yannakakis should not do much more work"
         );
+    }
+
+    /// Pinned: the columnar and row carriers agree — answers and budget
+    /// charges — across chain lengths.
+    #[test]
+    fn carriers_agree_on_yannakakis() {
+        for n in 1..=4 {
+            let db = chain_db(n, 15);
+            let q = line_query(n);
+            let mut br = Budget::unlimited();
+            let mut bc = Budget::unlimited();
+            let rows = evaluate_yannakakis_with(
+                &db,
+                &q,
+                &mut br,
+                &ExecOptions {
+                    threads: 1,
+                    columnar: false,
+                },
+            )
+            .unwrap();
+            let cols = evaluate_yannakakis_with(
+                &db,
+                &q,
+                &mut bc,
+                &ExecOptions {
+                    threads: 1,
+                    columnar: true,
+                },
+            )
+            .unwrap();
+            assert!(rows.set_eq(&cols), "n={n}");
+            assert_eq!(br.charged(), bc.charged(), "n={n}");
+        }
     }
 
     #[test]

@@ -8,54 +8,84 @@
 
 use crate::bushy::JoinTree;
 use htqo_cq::ConjunctiveQuery;
+use htqo_engine::carrier::Carrier;
+use htqo_engine::crel::CRel;
 use htqo_engine::error::{Budget, EvalError};
-use htqo_engine::exec;
-use htqo_engine::ops::{natural_join, project};
-use htqo_engine::scan::scan_query_atom;
+use htqo_engine::exec::{self, ExecOptions};
 use htqo_engine::schema::Database;
 use htqo_engine::vrel::VRelation;
 
 /// Evaluates a bushy join tree bottom-up, returning the answer over
-/// `out(Q)` (set semantics, matching the other evaluators).
+/// `out(Q)` (set semantics, matching the other evaluators). Uses the
+/// process-wide thread count and carrier default; see
+/// [`evaluate_join_tree_with`] to pin the schedule.
 pub fn evaluate_join_tree(
     db: &Database,
     q: &ConjunctiveQuery,
     tree: &JoinTree,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
-    let joined = eval_node(db, q, tree, budget)?;
-    let answer = project(&joined, &q.out_vars(), true, budget)?;
+    evaluate_join_tree_with(db, q, tree, budget, &ExecOptions::default())
+}
+
+/// [`evaluate_join_tree`] with an explicit execution schedule.
+pub fn evaluate_join_tree_with(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    tree: &JoinTree,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<VRelation, EvalError> {
+    if opts.columnar {
+        eval_tree_generic::<CRel>(db, q, tree, budget, opts).map(Carrier::into_vrel)
+    } else {
+        eval_tree_generic::<VRelation>(db, q, tree, budget, opts)
+    }
+}
+
+fn eval_tree_generic<C: Carrier>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    tree: &JoinTree,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<C, EvalError> {
+    let joined = eval_node::<C>(db, q, tree, budget, opts.threads.max(1))?;
+    let answer = joined.project(&q.out_vars(), true, budget)?;
     // Final merge point: forked-budget charges are batched and may not
     // trip inline (see `Budget::charge`); check before declaring success.
     budget.check_exceeded()?;
     Ok(answer)
 }
 
-fn eval_node(
+fn eval_node<C: Carrier>(
     db: &Database,
     q: &ConjunctiveQuery,
     tree: &JoinTree,
     budget: &mut Budget,
-) -> Result<VRelation, EvalError> {
+    threads: usize,
+) -> Result<C, EvalError> {
     budget.check_time()?;
     match tree {
-        JoinTree::Leaf(a) => scan_query_atom(db, q, *a, budget),
+        JoinTree::Leaf(a) => C::scan_query_atom(db, q, *a, budget),
         JoinTree::Join(l, r) => {
-            let threads = exec::num_threads();
             let (lv, rv) = if threads > 1 {
                 let mut bl = budget.fork();
                 let mut br = budget.fork();
                 let (lv, rv) = exec::join2(
                     threads,
-                    move || eval_node(db, q, l, &mut bl),
-                    move || eval_node(db, q, r, &mut br),
+                    move || eval_node::<C>(db, q, l, &mut bl, threads),
+                    move || eval_node::<C>(db, q, r, &mut br, threads),
                 );
                 budget.check_exceeded()?;
                 (lv?, rv?)
             } else {
-                (eval_node(db, q, l, budget)?, eval_node(db, q, r, budget)?)
+                (
+                    eval_node::<C>(db, q, l, budget, threads)?,
+                    eval_node::<C>(db, q, r, budget, threads)?,
+                )
             };
-            natural_join(&lv, &rv, budget)
+            lv.natural_join(&rv, budget)
         }
     }
 }
@@ -80,6 +110,42 @@ mod tests {
             let naive = htqo_eval::evaluate_naive(&db, &q, &mut b2).unwrap();
             assert!(bushy.set_eq(&naive), "n={n}");
         }
+    }
+
+    /// Pinned: the columnar and row carriers agree on bushy execution —
+    /// answers and budget charges.
+    #[test]
+    fn carriers_agree_on_bushy_trees() {
+        let db = workload_db(&WorkloadSpec::new(4, 60, 6, 9));
+        let q = chain_query(4);
+        let stats = analyze(&db);
+        let (_, tree) = dp_bushy(&q, &stats).unwrap();
+        let mut br = Budget::unlimited();
+        let mut bc = Budget::unlimited();
+        let rows = evaluate_join_tree_with(
+            &db,
+            &q,
+            &tree,
+            &mut br,
+            &ExecOptions {
+                threads: 1,
+                columnar: false,
+            },
+        )
+        .unwrap();
+        let cols = evaluate_join_tree_with(
+            &db,
+            &q,
+            &tree,
+            &mut bc,
+            &ExecOptions {
+                threads: 1,
+                columnar: true,
+            },
+        )
+        .unwrap();
+        assert!(rows.set_eq(&cols));
+        assert_eq!(br.charged(), bc.charged());
     }
 
     #[test]

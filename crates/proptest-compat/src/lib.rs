@@ -272,6 +272,73 @@ fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
     Some((class, min, max))
 }
 
+/// See [`prop_oneof!`]: draws one of the weighted strategies.
+pub struct OneOf<T>(Vec<(u32, BoxedStrategy<T>)>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.0.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, s) in &self.0 {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick < sum of weights")
+    }
+}
+
+/// Support function for [`prop_oneof!`] — use the macro instead.
+pub fn one_of<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+    assert!(
+        arms.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0,
+        "prop_oneof! needs a positive total weight"
+    );
+    OneOf(arms)
+}
+
+/// Chooses between strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$((
+            $weight as u32,
+            $crate::Strategy::boxed($strategy),
+        )),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$((1u32, $crate::Strategy::boxed($strategy))),+])
+    };
+}
+
+/// `Option` strategies (`prop::option::…`).
+pub mod option {
+    use super::*;
+
+    /// `None` one draw in four, `Some(element)` otherwise (matching the
+    /// [`Arbitrary`] impl for `Option`).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy(element)
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
 /// Types with a canonical strategy, used through [`any`].
 pub trait Arbitrary: Sized {
     /// Generates an arbitrary value.
@@ -289,6 +356,14 @@ macro_rules! impl_arbitrary_int {
 }
 
 impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    /// Uniform over bit patterns — covers NaNs, infinities, ±0.0 and
+    /// subnormals, like upstream's full-range float strategy.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
@@ -412,7 +487,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
         ProptestConfig, Strategy, TestCaseError, TestRng,
     };
 }

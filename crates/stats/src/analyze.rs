@@ -9,6 +9,7 @@
 //! reproduces that comparison.
 
 use crate::stats::{ColumnStats, DbStats, EquiDepthHistogram, TableStats};
+use htqo_engine::dict;
 use htqo_engine::schema::Database;
 use htqo_engine::value::Value;
 use std::collections::BTreeMap;
@@ -34,15 +35,19 @@ pub fn analyze_with_buckets(db: &Database, buckets: usize) -> DbStats {
             columns: BTreeMap::new(),
         };
         for (ci, col) in rel.schema().columns().iter().enumerate() {
+            // Columnar storage: walk the one stored column directly.
+            let stored = rel.column(ci);
+            let reader = dict::reader();
             let mut values: Vec<Value> = Vec::with_capacity(rel.len());
             let mut nulls = 0u64;
-            for row in rel.rows() {
-                if row[ci].is_null() {
+            for i in 0..rel.len() {
+                if stored.is_null(i) {
                     nulls += 1;
                 } else {
-                    values.push(row[ci].clone());
+                    values.push(stored.value_with(i, &reader));
                 }
             }
+            drop(reader);
             values.sort();
             let distinct = {
                 // Sorted: count boundaries (exact).
@@ -87,24 +92,27 @@ pub fn analyze_sampled(db: &Database, step: usize) -> DbStats {
             columns: BTreeMap::new(),
         };
         for (ci, col) in rel.schema().columns().iter().enumerate() {
+            let stored = rel.column(ci);
+            let reader = dict::reader();
             let mut seen: HashSet<Value> = HashSet::new();
             let mut min: Option<Value> = None;
             let mut max: Option<Value> = None;
             let mut sampled = 0u64;
-            for row in rel.rows().iter().step_by(step) {
-                let v = &row[ci];
-                if v.is_null() {
+            for i in (0..rel.len()).step_by(step) {
+                if stored.is_null(i) {
                     continue;
                 }
+                let v = stored.value_with(i, &reader);
                 sampled += 1;
-                seen.insert(v.clone());
-                if min.as_ref().is_none_or(|m| v < m) {
+                if min.as_ref().is_none_or(|m| &v < m) {
                     min = Some(v.clone());
                 }
-                if max.as_ref().is_none_or(|m| v > m) {
+                if max.as_ref().is_none_or(|m| &v > m) {
                     max = Some(v.clone());
                 }
+                seen.insert(v);
             }
+            drop(reader);
             let scale = if sampled == 0 {
                 1.0
             } else {

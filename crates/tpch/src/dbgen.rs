@@ -56,44 +56,38 @@ pub fn generate(options: &DbgenOptions) -> Database {
 
     // region
     let mut region = Relation::new(table_schema("region"));
-    for (i, name) in REGIONS.iter().enumerate() {
-        region
-            .push_row(vec![
-                Value::Int(i as i64),
-                Value::str(name),
-                Value::str("standard region comment"),
-            ])
-            .expect("region schema");
-    }
+    region.push_many_unchecked(REGIONS.iter().enumerate().map(|(i, name)| {
+        vec![
+            Value::Int(i as i64),
+            Value::str(name),
+            Value::str("standard region comment"),
+        ]
+    }));
     db.insert_table("region", region);
 
     // nation
     let mut nation = Relation::new(table_schema("nation"));
-    for (i, (name, regionkey)) in NATIONS.iter().enumerate() {
-        nation
-            .push_row(vec![
-                Value::Int(i as i64),
-                Value::str(name),
-                Value::Int(*regionkey),
-            ])
-            .expect("nation schema");
-    }
+    nation.push_many_unchecked(NATIONS.iter().enumerate().map(|(i, (name, regionkey))| {
+        vec![
+            Value::Int(i as i64),
+            Value::str(name),
+            Value::Int(*regionkey),
+        ]
+    }));
     db.insert_table("nation", nation);
 
     // supplier
     let n_supplier = scaled_rows("supplier", scale);
     let mut supplier = Relation::new(table_schema("supplier"));
     supplier.reserve(n_supplier);
-    for i in 0..n_supplier {
-        supplier
-            .push_row(vec![
-                Value::Int(i as i64),
-                Value::str(&format!("Supplier#{i:09}")),
-                Value::Int(rng.gen_range(0..25)),
-                Value::Float(round2(rng.gen_range(-999.99..9999.99))),
-            ])
-            .expect("supplier schema");
-    }
+    supplier.push_many_unchecked((0..n_supplier).map(|i| {
+        vec![
+            Value::Int(i as i64),
+            Value::str(&format!("Supplier#{i:09}")),
+            Value::Int(rng.gen_range(0..25)),
+            Value::Float(round2(rng.gen_range(-999.99..9999.99))),
+        ]
+    }));
     db.insert_table("supplier", supplier);
 
     // customer
@@ -107,17 +101,15 @@ pub fn generate(options: &DbgenOptions) -> Database {
     ];
     let mut customer = Relation::new(table_schema("customer"));
     customer.reserve(n_customer);
-    for i in 0..n_customer {
-        customer
-            .push_row(vec![
-                Value::Int(i as i64),
-                Value::str(&format!("Customer#{i:09}")),
-                Value::Int(rng.gen_range(0..25)),
-                Value::str(segments[rng.gen_range(0..segments.len())]),
-                Value::Float(round2(rng.gen_range(-999.99..9999.99))),
-            ])
-            .expect("customer schema");
-    }
+    customer.push_many_unchecked((0..n_customer).map(|i| {
+        vec![
+            Value::Int(i as i64),
+            Value::str(&format!("Customer#{i:09}")),
+            Value::Int(rng.gen_range(0..25)),
+            Value::str(segments[rng.gen_range(0..segments.len())]),
+            Value::Float(round2(rng.gen_range(-999.99..9999.99))),
+        ]
+    }));
     db.insert_table("customer", customer);
 
     // part
@@ -132,8 +124,8 @@ pub fn generate(options: &DbgenOptions) -> Database {
     ];
     let mut part = Relation::new(table_schema("part"));
     part.reserve(n_part);
-    for i in 0..n_part {
-        part.push_row(vec![
+    part.push_many_unchecked((0..n_part).map(|i| {
+        vec![
             Value::Int(i as i64),
             Value::str(&format!("part {i}")),
             Value::str(types[rng.gen_range(0..types.len())]),
@@ -143,25 +135,22 @@ pub fn generate(options: &DbgenOptions) -> Database {
                 rng.gen_range(1..6)
             )),
             Value::Float(round2(900.0 + (i % 1000) as f64 / 10.0)),
-        ])
-        .expect("part schema");
-    }
+        ]
+    }));
     db.insert_table("part", part);
 
     // partsupp
     let n_partsupp = scaled_rows("partsupp", scale);
     let mut partsupp = Relation::new(table_schema("partsupp"));
     partsupp.reserve(n_partsupp);
-    for _ in 0..n_partsupp {
-        partsupp
-            .push_row(vec![
-                Value::Int(rng.gen_range(0..n_part as i64)),
-                Value::Int(rng.gen_range(0..n_supplier as i64)),
-                Value::Int(rng.gen_range(1..10_000)),
-                Value::Float(round2(rng.gen_range(1.0..1000.0))),
-            ])
-            .expect("partsupp schema");
-    }
+    partsupp.push_many_unchecked((0..n_partsupp).map(|_| {
+        vec![
+            Value::Int(rng.gen_range(0..n_part as i64)),
+            Value::Int(rng.gen_range(0..n_supplier as i64)),
+            Value::Int(rng.gen_range(1..10_000)),
+            Value::Float(round2(rng.gen_range(1.0..1000.0))),
+        ]
+    }));
     db.insert_table("partsupp", partsupp);
 
     // orders: dates uniform in [1992-01-01, 1998-08-02].
@@ -172,20 +161,18 @@ pub fn generate(options: &DbgenOptions) -> Database {
     let mut orders = Relation::new(table_schema("orders"));
     orders.reserve(n_orders);
     let mut order_dates = Vec::with_capacity(n_orders);
-    for i in 0..n_orders {
+    orders.push_many_unchecked((0..n_orders).map(|i| {
         let date = rng.gen_range(date_lo..=date_hi);
         order_dates.push(date);
-        orders
-            .push_row(vec![
-                Value::Int(i as i64),
-                Value::Int(rng.gen_range(0..n_customer as i64)),
-                Value::str(statuses[rng.gen_range(0..statuses.len())]),
-                Value::Float(round2(rng.gen_range(850.0..555_000.0))),
-                Value::Date(date),
-                Value::Int(rng.gen_range(0..2)),
-            ])
-            .expect("orders schema");
-    }
+        vec![
+            Value::Int(i as i64),
+            Value::Int(rng.gen_range(0..n_customer as i64)),
+            Value::str(statuses[rng.gen_range(0..statuses.len())]),
+            Value::Float(round2(rng.gen_range(850.0..555_000.0))),
+            Value::Date(date),
+            Value::Int(rng.gen_range(0..2)),
+        ]
+    }));
     db.insert_table("orders", orders);
 
     // lineitem: each row references a random order; ship date follows the
@@ -194,23 +181,21 @@ pub fn generate(options: &DbgenOptions) -> Database {
     let flags = ["A", "N", "R"];
     let mut lineitem = Relation::new(table_schema("lineitem"));
     lineitem.reserve(n_lineitem);
-    for _ in 0..n_lineitem {
+    lineitem.push_many_unchecked((0..n_lineitem).map(|_| {
         let okey = rng.gen_range(0..n_orders as i64);
         let qty = rng.gen_range(1..=50i64);
-        lineitem
-            .push_row(vec![
-                Value::Int(okey),
-                Value::Int(rng.gen_range(0..n_part as i64)),
-                Value::Int(rng.gen_range(0..n_supplier as i64)),
-                Value::Int(rng.gen_range(1..=7)),
-                Value::Int(qty),
-                Value::Float(round2(qty as f64 * rng.gen_range(900.0..1100.0))),
-                Value::Float((rng.gen_range(0..=10) as f64) / 100.0),
-                Value::Date(order_dates[okey as usize] + rng.gen_range(1..122)),
-                Value::str(flags[rng.gen_range(0..flags.len())]),
-            ])
-            .expect("lineitem schema");
-    }
+        vec![
+            Value::Int(okey),
+            Value::Int(rng.gen_range(0..n_part as i64)),
+            Value::Int(rng.gen_range(0..n_supplier as i64)),
+            Value::Int(rng.gen_range(1..=7)),
+            Value::Int(qty),
+            Value::Float(round2(qty as f64 * rng.gen_range(900.0..1100.0))),
+            Value::Float((rng.gen_range(0..=10) as f64) / 100.0),
+            Value::Date(order_dates[okey as usize] + rng.gen_range(1..122)),
+            Value::str(flags[rng.gen_range(0..flags.len())]),
+        ]
+    }));
     db.insert_table("lineitem", lineitem);
 
     db
@@ -235,7 +220,7 @@ mod tests {
         for (name, rel) in a.tables() {
             let other = b.table(name).unwrap();
             assert_eq!(rel.len(), other.len(), "{name}");
-            assert_eq!(rel.rows()[0], other.rows()[0], "{name}");
+            assert_eq!(rel.row(0), other.row(0), "{name}");
         }
     }
 
@@ -260,14 +245,14 @@ mod tests {
             seed: 7,
         });
         let n_cust = db.table("customer").unwrap().len() as i64;
-        for row in db.table("orders").unwrap().rows() {
+        for row in db.table("orders").unwrap().iter_rows() {
             let Value::Int(ck) = row[1] else {
                 panic!("custkey type")
             };
             assert!((0..n_cust).contains(&ck));
         }
         let n_orders = db.table("orders").unwrap().len() as i64;
-        for row in db.table("lineitem").unwrap().rows().iter().take(100) {
+        for row in db.table("lineitem").unwrap().iter_rows().take(100) {
             let Value::Int(ok) = row[0] else {
                 panic!("orderkey type")
             };
@@ -283,7 +268,7 @@ mod tests {
         });
         let lo = days_from_civil(1992, 1, 1);
         let hi = days_from_civil(1998, 8, 2);
-        for row in db.table("orders").unwrap().rows() {
+        for row in db.table("orders").unwrap().iter_rows() {
             let Value::Date(d) = row[4] else {
                 panic!("date type")
             };
@@ -297,7 +282,7 @@ mod tests {
             scale: 0.001,
             seed: 7,
         });
-        for row in db.table("lineitem").unwrap().rows().iter().take(200) {
+        for row in db.table("lineitem").unwrap().iter_rows().take(200) {
             let Value::Float(d) = row[6] else {
                 panic!("discount type")
             };

@@ -177,7 +177,7 @@ mod tests {
         assert_eq!(db.len(), 4);
         for (_, rel) in db.tables() {
             assert_eq!(rel.len(), 100);
-            for row in rel.rows() {
+            for row in rel.iter_rows() {
                 let Value::Int(l) = row[0] else { panic!() };
                 let Value::Int(r) = row[1] else { panic!() };
                 assert!((0..30).contains(&l));
@@ -190,9 +190,15 @@ mod tests {
     fn deterministic_per_seed() {
         let a = workload_db(&WorkloadSpec::new(2, 50, 60, 9));
         let b = workload_db(&WorkloadSpec::new(2, 50, 60, 9));
-        assert_eq!(a.table("p0").unwrap().rows(), b.table("p0").unwrap().rows());
+        assert_eq!(
+            a.table("p0").unwrap().to_rows(),
+            b.table("p0").unwrap().to_rows()
+        );
         let c = workload_db(&WorkloadSpec::new(2, 50, 60, 10));
-        assert_ne!(a.table("p0").unwrap().rows(), c.table("p0").unwrap().rows());
+        assert_ne!(
+            a.table("p0").unwrap().to_rows(),
+            c.table("p0").unwrap().to_rows()
+        );
     }
 
     #[test]
@@ -202,8 +208,7 @@ mod tests {
         let freq_of = |db: &Database, v: i64| {
             db.table("p0")
                 .unwrap()
-                .rows()
-                .iter()
+                .iter_rows()
                 .filter(|r| r[0] == Value::Int(v))
                 .count()
         };
@@ -211,7 +216,7 @@ mod tests {
         // uniform.
         assert!(freq_of(&zipf, 0) > 3 * freq_of(&uniform, 0));
         // Values stay within the domain.
-        for row in zipf.table("p0").unwrap().rows().iter().take(100) {
+        for row in zipf.table("p0").unwrap().iter_rows().take(100) {
             let Value::Int(v) = row[0] else { panic!() };
             assert!((0..50).contains(&v));
         }

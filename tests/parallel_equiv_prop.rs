@@ -106,11 +106,11 @@ proptest! {
         let plan = q_hypertree_decomp(&q, &QhdOptions::default(), &StructuralCost)
             .expect("width 4 suffices for ≤5 binary atoms");
         let mut bs = Budget::unlimited();
-        let seq = evaluate_qhd_with(&db, &q, &plan, &mut bs, &ExecOptions { threads: 1 }).unwrap();
+        let seq = evaluate_qhd_with(&db, &q, &plan, &mut bs, &ExecOptions { threads: 1, ..ExecOptions::default() }).unwrap();
         for threads in [2usize, 4, 8] {
             let mut bp = Budget::unlimited();
             let par =
-                evaluate_qhd_with(&db, &q, &plan, &mut bp, &ExecOptions { threads }).unwrap();
+                evaluate_qhd_with(&db, &q, &plan, &mut bp, &ExecOptions { threads, ..ExecOptions::default() }).unwrap();
             prop_assert!(seq.set_eq(&par), "threads={}", threads);
             prop_assert_eq!(seq.is_empty(), par.is_empty());
             // Exact work accounting is schedule-independent too.
@@ -129,10 +129,10 @@ proptest! {
         // are exercised across the run.
         let limit = 64;
         let mut bs = Budget::unlimited().with_max_tuples(limit);
-        let seq = evaluate_qhd_with(&db, &q, &plan, &mut bs, &ExecOptions { threads: 1 });
+        let seq = evaluate_qhd_with(&db, &q, &plan, &mut bs, &ExecOptions { threads: 1, ..ExecOptions::default() });
         for threads in [2usize, 4, 8] {
             let mut bp = Budget::unlimited().with_max_tuples(limit);
-            let par = evaluate_qhd_with(&db, &q, &plan, &mut bp, &ExecOptions { threads });
+            let par = evaluate_qhd_with(&db, &q, &plan, &mut bp, &ExecOptions { threads, ..ExecOptions::default() });
             match (&seq, &par) {
                 (Ok(s), Ok(p)) => prop_assert!(s.set_eq(p), "threads={}", threads),
                 (Err(es), Err(ep)) => prop_assert_eq!(es, ep, "threads={}", threads),
