@@ -16,7 +16,7 @@ use htqo_core::QhdOptions;
 use htqo_cq::{isolate, parse_select, AggKeyMode, IsolatorOptions};
 use htqo_engine::error::Budget;
 use htqo_engine::value::Value;
-use htqo_optimizer::HybridOptimizer;
+use htqo_optimizer::{HybridOptimizer, RetryPolicy};
 use htqo_stats::analyze;
 use htqo_tpch::{generate, DbgenOptions};
 
@@ -61,7 +61,8 @@ fn main() {
                 threads: 0,
             },
             stats.clone(),
-        );
+        )
+        .with_retry(RetryPolicy::none());
         let out = opt.execute_cq(&db, &q, Budget::unlimited());
         let secs = out.total_time().as_secs_f64();
         let tuples = out.tuples;

@@ -16,7 +16,7 @@ use htqo_core::QhdOptions;
 use htqo_cq::{isolate, parse_select, ConjunctiveQuery, IsolatorOptions};
 use htqo_engine::error::Budget;
 use htqo_engine::schema::Database;
-use htqo_optimizer::HybridOptimizer;
+use htqo_optimizer::{HybridOptimizer, RetryPolicy};
 use htqo_stats::analyze;
 use htqo_tpch::{generate, q5, q8, DbgenOptions};
 use htqo_workloads::{chain_query, clique_db, clique_query, workload_db, WorkloadSpec};
@@ -58,7 +58,8 @@ fn main() {
                     threads: 0,
                 },
                 stats.clone(),
-            );
+            )
+            .with_retry(RetryPolicy::none());
             let t0 = Instant::now();
             match opt.plan_cq(q) {
                 Err(_) => {

@@ -19,7 +19,7 @@
 
 use htqo_bench::harness::run_budget;
 use htqo_core::QhdOptions;
-use htqo_optimizer::{order_cost, DbmsSim, HybridOptimizer};
+use htqo_optimizer::{order_cost, DbmsSim, HybridOptimizer, RetryPolicy};
 use htqo_stats::analyze;
 use htqo_workloads::{chain_query, workload_db, WorkloadSpec};
 
@@ -42,7 +42,8 @@ fn main() {
         let order = commdb.plan(&db, &q);
         let est = order_cost(&q, &stats, &order);
         let base = commdb.execute_cq(&db, &q, run_budget());
-        let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats);
+        let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats)
+            .with_retry(RetryPolicy::none());
         let ours = hybrid.execute_cq(&db, &q, run_budget());
 
         let actual = base.tuples as f64;

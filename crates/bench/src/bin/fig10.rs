@@ -12,7 +12,7 @@
 
 use htqo_bench::harness::{env_f64, print_table, run_measured, threads_from_args, Series};
 use htqo_core::QhdOptions;
-use htqo_optimizer::HybridOptimizer;
+use htqo_optimizer::{HybridOptimizer, RetryPolicy};
 use htqo_stats::analyze;
 use htqo_workloads::{chain_query, workload_db, WorkloadSpec};
 
@@ -41,7 +41,8 @@ fn main() {
                 threads: 0,
             },
             stats.clone(),
-        );
+        )
+        .with_retry(RetryPolicy::none());
         let opt_off = HybridOptimizer::with_stats(
             QhdOptions {
                 max_width: 4,
@@ -49,7 +50,8 @@ fn main() {
                 threads: 0,
             },
             stats,
-        );
+        )
+        .with_retry(RetryPolicy::none());
 
         // Plan-shape detail.
         let plan_on = opt_on.plan_cq(&q).expect("chain decomposes");

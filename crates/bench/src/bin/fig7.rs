@@ -17,7 +17,7 @@
 use htqo_bench::{run_measured, Series};
 use htqo_core::QhdOptions;
 use htqo_cq::ConjunctiveQuery;
-use htqo_optimizer::{DbmsSim, HybridOptimizer};
+use htqo_optimizer::{DbmsSim, HybridOptimizer, RetryPolicy};
 use htqo_stats::analyze;
 use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
 
@@ -92,8 +92,10 @@ fn sweep(cyclic: bool, cardinality: usize, selectivity: u64, max_atoms: usize) -
         commdb_series.push(n as f64, m);
 
         // q-HD stand-alone (purely structural, as in the paper: total time
-        // includes decomposition).
-        let hybrid = HybridOptimizer::structural(QhdOptions::default());
+        // includes decomposition). No fallback ladder: a DNF data point
+        // must stay a DNF data point in the figure.
+        let hybrid =
+            HybridOptimizer::structural(QhdOptions::default()).with_retry(RetryPolicy::none());
         let m = run_measured(|b| hybrid.execute_cq(&db, &q, b));
         qhd_series.push(n as f64, m);
     }

@@ -15,7 +15,7 @@
 
 use htqo_bench::harness::{env_f64_list, print_table, run_measured, Series};
 use htqo_core::QhdOptions;
-use htqo_optimizer::{DbmsSim, HybridOptimizer};
+use htqo_optimizer::{DbmsSim, HybridOptimizer, RetryPolicy};
 use htqo_stats::analyze;
 use htqo_tpch::{generate, nominal_megabytes, q5, q8, DbgenOptions};
 
@@ -64,7 +64,8 @@ fn main() {
 
             // Purely structural q-HD: the paper observed that for Q5/Q8
             // statistics did not change the chosen decomposition.
-            let structural = HybridOptimizer::structural(QhdOptions::default());
+            let structural =
+                HybridOptimizer::structural(QhdOptions::default()).with_retry(RetryPolicy::none());
             qhd.push(
                 mb,
                 run_measured(|b| {
@@ -76,7 +77,8 @@ fn main() {
 
             // The tightly-coupled variant: decomposition chosen with the
             // statistics-driven cost model.
-            let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats);
+            let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats)
+                .with_retry(RetryPolicy::none());
             qhd_hybrid.push(
                 mb,
                 run_measured(|b| hybrid.execute_sql(&db, &sql, b).expect("valid TPC-H SQL")),

@@ -17,7 +17,7 @@ use htqo_bench::harness::{
     env_f64, print_table, run_budget, threads_from_args, Measurement, Series,
 };
 use htqo_core::QhdOptions;
-use htqo_optimizer::{DbmsSim, HybridOptimizer};
+use htqo_optimizer::{DbmsSim, HybridOptimizer, RetryPolicy};
 use htqo_stats::analyze;
 use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
 
@@ -48,7 +48,8 @@ fn main() {
             pg.push(n as f64, Measurement::of(&outcome));
 
             // Integrated mode: hybrid (structure + statistics).
-            let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats);
+            let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats)
+                .with_retry(RetryPolicy::none());
             let outcome = hybrid.execute_cq(&db, &q, run_budget());
             decomp_times.push((label.to_string(), n, outcome.planning.as_secs_f64()));
             pg_qhd.push(n as f64, Measurement::of(&outcome));

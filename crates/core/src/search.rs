@@ -523,7 +523,12 @@ impl<'a> Searcher<'a> {
                 .collect();
             let solved = exec::parallel_map(jobs, self.threads, |(sc, child_conn)| {
                 self.solve(&sc, &child_conn)
-            });
+            })
+            // Planning-layer closures never touch the engine kernels, so a
+            // panic here is a real bug in the search itself: re-raise it on
+            // the caller (permits and the shared memo are already
+            // consistent — parallel_map returned them before erroring).
+            .unwrap_or_else(|e| panic!("{e}"));
             for entry in solved {
                 match entry {
                     Some((c, plan)) => {

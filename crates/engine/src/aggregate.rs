@@ -55,6 +55,7 @@ pub fn finalize(
     q: &ConjunctiveQuery,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
+    crate::fail_point!("aggregate::finalize");
     let (visible, labels) = visible_output(q);
     let result = if q.has_aggregates() {
         aggregate(answer, q, &visible, &labels, budget)?
@@ -90,6 +91,7 @@ pub fn finalize_c(
     q: &ConjunctiveQuery,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
+    crate::fail_point!("aggregate::finalize");
     let (visible, labels) = visible_output(q);
     let result = if q.has_aggregates() {
         aggregate_c(answer, q, &visible, &labels, budget)?

@@ -104,6 +104,7 @@ fn reorder(r: CRel, desired: &[String]) -> CRel {
 /// [`crate::ops::natural_join`]. Same budget charges, same output bag,
 /// same deterministic ordering contract.
 pub fn natural_join(a: &CRel, b: &CRel, budget: &mut Budget) -> Result<CRel, EvalError> {
+    crate::fail_point!("cops::join");
     let (build, probe, swapped) = if a.len() <= b.len() {
         (a, b, false)
     } else {
@@ -205,7 +206,8 @@ fn join_pairs_partitioned(
 
     let shared = budget.fork();
     let tasks: Vec<usize> = (0..nparts).collect();
-    let results: Vec<Result<PairLists, EvalError>> = exec::parallel_map(tasks, threads, |p| {
+    let results = exec::parallel_map(tasks, threads, |p| {
+        crate::fail_point!("cops::join::partition");
         let reader = dict::reader();
         let mut bud = shared.clone();
         let bp = &build_parts[p];
@@ -235,9 +237,11 @@ fn join_pairs_partitioned(
     });
 
     // Budget exhaustion first (deterministic for any thread count), then
-    // the first per-partition error, then concatenation in partition
-    // order — mirrors `ops::merge_partition_results`.
+    // a contained worker panic, then the first per-partition error, then
+    // concatenation in partition order — mirrors
+    // `ops::merge_partition_results`.
     budget.check_exceeded()?;
+    let results = results?;
     let mut parts = Vec::with_capacity(results.len());
     for r in results {
         parts.push(r?);
@@ -254,6 +258,7 @@ fn join_pairs_partitioned(
 
 /// Semijoin `a ⋉ b` — the columnar [`crate::ops::semijoin`].
 pub fn semijoin(a: &CRel, b: &CRel, budget: &mut Budget) -> Result<CRel, EvalError> {
+    crate::fail_point!("cops::semijoin");
     let (a_shared, b_shared, _) = join_layout(a, b);
     if a_shared.is_empty() {
         return if b.is_empty() {
@@ -279,22 +284,21 @@ pub fn semijoin(a: &CRel, b: &CRel, budget: &mut Budget) -> Result<CRel, EvalErr
         drop(reader);
         let shared = budget.fork();
         let chunks = exec::chunk_ranges(a.len(), threads * 4);
-        let results: Vec<Result<Vec<u32>, EvalError>> =
-            exec::parallel_map(chunks, threads, |(lo, hi)| {
-                let reader = dict::reader();
-                let mut bud = shared.clone();
-                let mut out = Vec::new();
-                for i in lo..hi {
-                    if matches(i, &reader) {
-                        bud.charge(1)?;
-                        out.push(i as u32);
-                    }
+        let results = exec::parallel_map(chunks, threads, |(lo, hi)| {
+            let reader = dict::reader();
+            let mut bud = shared.clone();
+            let mut out = Vec::new();
+            for i in lo..hi {
+                if matches(i, &reader) {
+                    bud.charge(1)?;
+                    out.push(i as u32);
                 }
-                Ok(out)
-            });
+            }
+            Ok(out)
+        });
         budget.check_exceeded()?;
-        let mut parts = Vec::with_capacity(results.len());
-        for r in results {
+        let mut parts = Vec::with_capacity(results.as_ref().map_or(0, Vec::len));
+        for r in results? {
             parts.push(r?);
         }
         parts.into_iter().flatten().collect()
@@ -321,6 +325,7 @@ pub fn project(
     distinct: bool,
     budget: &mut Budget,
 ) -> Result<CRel, EvalError> {
+    crate::fail_point!("cops::project");
     let idx: Vec<usize> = vars
         .iter()
         .map(|v| {

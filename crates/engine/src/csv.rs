@@ -13,15 +13,21 @@ use htqo_cq::date::{format_date, parse_date};
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 
-/// CSV errors with line positions.
+/// CSV errors with line (and, where known, column) positions.
 #[derive(Debug)]
 pub enum CsvError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Structural problem (header, quoting, arity) at a 1-based line.
+    /// Structural problem (header, quoting, arity, cell parse) at a
+    /// 1-based line.
     Format {
         /// 1-based line number.
         line: usize,
+        /// 1-based field position within the line, when the problem is
+        /// attributable to one field (cell parse errors, bad header
+        /// fields, quoting errors). `None` for whole-line problems such
+        /// as an arity mismatch.
+        column: Option<usize>,
         /// Explanation.
         message: String,
     },
@@ -31,7 +37,16 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "io error: {e}"),
-            CsvError::Format { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Format {
+                line,
+                column: Some(column),
+                message,
+            } => write!(f, "line {line}, column {column}: {message}"),
+            CsvError::Format {
+                line,
+                column: None,
+                message,
+            } => write!(f, "line {line}: {message}"),
         }
     }
 }
@@ -68,13 +83,18 @@ pub fn read_csv(r: impl Read) -> Result<Relation, CsvError> {
     if reader.read_line(&mut header)? == 0 {
         return Err(CsvError::Format {
             line: 1,
+            column: None,
             message: "empty input".into(),
         });
     }
     let mut schema = Schema::default();
-    for field in split_line(header.trim_end_matches(['\r', '\n']), 1)? {
+    for (ci, field) in split_line(header.trim_end_matches(['\r', '\n']), 1)?
+        .iter()
+        .enumerate()
+    {
         let (name, ty) = field.text.rsplit_once(':').ok_or(CsvError::Format {
             line: 1,
+            column: Some(ci + 1),
             message: format!("header field `{}` is not name:type", field.text),
         })?;
         let ty = match ty {
@@ -85,6 +105,7 @@ pub fn read_csv(r: impl Read) -> Result<Relation, CsvError> {
             other => {
                 return Err(CsvError::Format {
                     line: 1,
+                    column: Some(ci + 1),
                     message: format!("unknown type `{other}`"),
                 })
             }
@@ -105,18 +126,21 @@ pub fn read_csv(r: impl Read) -> Result<Relation, CsvError> {
         if fields.len() != arity {
             return Err(CsvError::Format {
                 line: lineno,
+                column: None,
                 message: format!("expected {arity} fields, got {}", fields.len()),
             });
         }
         let mut row = Vec::with_capacity(arity);
-        for (field, ty) in fields.iter().zip(&types) {
+        for (ci, (field, ty)) in fields.iter().zip(&types).enumerate() {
             row.push(parse_cell(field, *ty).map_err(|message| CsvError::Format {
                 line: lineno,
+                column: Some(ci + 1),
                 message,
             })?);
         }
         rel.push_row(row).map_err(|e| CsvError::Format {
             line: lineno,
+            column: None,
             message: e.to_string(),
         })?;
     }
@@ -210,6 +234,7 @@ fn split_line(line: &str, lineno: usize) -> Result<Vec<Field>, CsvError> {
                     None => {
                         return Err(CsvError::Format {
                             line: lineno,
+                            column: Some(fields.len() + 1),
                             message: "unterminated quoted field".into(),
                         })
                     }
@@ -227,6 +252,7 @@ fn split_line(line: &str, lineno: usize) -> Result<Vec<Field>, CsvError> {
                 Some(c) => {
                     return Err(CsvError::Format {
                         line: lineno,
+                        column: Some(fields.len() + 1),
                         message: format!("unexpected `{c}` after closing quote"),
                     })
                 }
@@ -317,6 +343,47 @@ mod tests {
         assert!(err.to_string().contains("unknown type"));
         let err = read_csv("a:str\n\"open\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn errors_carry_column_positions() {
+        // The bad cell is the second field of line 2.
+        let err = read_csv("a:int,b:int\n1,xyz\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CsvError::Format {
+                    line: 2,
+                    column: Some(2),
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("line 2, column 2"));
+        // Bad header type in the second header field.
+        let err = read_csv("a:int,b:wat\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::Format {
+                line: 1,
+                column: Some(2),
+                ..
+            }
+        ));
+        // Unterminated quote in the third field.
+        let err = read_csv("a:str,b:str,c:str\nx,y,\"open\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::Format {
+                line: 2,
+                column: Some(3),
+                ..
+            }
+        ));
+        // Arity mismatches are whole-line problems: no column.
+        let err = read_csv("a:int\n1,2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvError::Format { column: None, .. }));
     }
 
     #[test]

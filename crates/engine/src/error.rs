@@ -3,10 +3,13 @@
 //! The paper reports baseline executions that "do not terminate after more
 //! than 10 minutes"; our harness reproduces those DNF data points with a
 //! [`Budget`] that bounds wall-clock time and the number of materialized
-//! intermediate tuples (a deterministic proxy for work).
+//! intermediate tuples (a deterministic proxy for work). The budget also
+//! carries the cooperative-cancellation token ([`CancelToken`]): any
+//! in-flight evaluation can be aborted from another thread, observed at
+//! the same polling points as the deadline.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,6 +25,18 @@ pub enum EvalError {
     Timeout {
         /// The configured limit.
         limit: Duration,
+    },
+    /// The evaluation was cancelled from another thread via its budget's
+    /// [`CancelToken`]. Not a resource limit: a cancelled run is neither a
+    /// DNF data point nor retried by the fallback ladder.
+    Cancelled,
+    /// A worker thread of the parallel execution layer panicked. The
+    /// panic was contained by [`crate::exec`]: permits were returned to
+    /// the pool and the shared budget stayed consistent, so the caller
+    /// can retry (e.g. on a different plan) or report cleanly.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
     },
     /// A referenced table does not exist.
     UnknownTable(String),
@@ -45,6 +60,10 @@ impl fmt::Display for EvalError {
                 write!(f, "tuple budget exceeded ({limit} tuples)")
             }
             EvalError::Timeout { limit } => write!(f, "timed out after {limit:?}"),
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
+            EvalError::WorkerPanicked { message } => {
+                write!(f, "worker thread panicked: {message}")
+            }
             EvalError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             EvalError::UnknownColumn { relation, column } => {
                 write!(f, "unknown column `{column}` in relation `{relation}`")
@@ -65,13 +84,63 @@ impl EvalError {
             EvalError::TupleBudgetExceeded { .. } | EvalError::Timeout { .. }
         )
     }
+
+    /// True if this error came from a [`CancelToken`].
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, EvalError::Cancelled)
+    }
+
+    /// True for errors that a *different plan* (or a bigger budget) could
+    /// plausibly avoid: resource limits, contained worker panics, and
+    /// internal plan inconsistencies. Semantic errors (unknown
+    /// table/column/variable) and cancellation are final — no fallback
+    /// rung can answer them. This classification drives the hybrid
+    /// optimizer's graceful-degradation ladder.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EvalError::TupleBudgetExceeded { .. }
+                | EvalError::Timeout { .. }
+                | EvalError::WorkerPanicked { .. }
+                | EvalError::Internal(_)
+        )
+    }
+}
+
+/// A shared cancellation flag: clone it, hand one copy to
+/// [`Budget::with_cancel_token`], keep the other, and call
+/// [`CancelToken::cancel`] from any thread to abort the evaluation. The
+/// evaluation observes the flag at the budget's existing polling points
+/// (`charge` every [`TIME_CHECK_INTERVAL`] tuples, `check_time` between
+/// operators, `check_exceeded` at parallel merge points) and surfaces
+/// [`EvalError::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
 }
 
 /// A work budget threaded through every operator.
 ///
 /// `charge(n)` accounts for `n` freshly materialized tuples; the deadline
-/// is polled at most every few thousand charges to keep the common path
-/// cheap.
+/// and cancellation token are polled at most every few thousand charges
+/// to keep the common path cheap.
 ///
 /// # Concurrency
 ///
@@ -87,6 +156,7 @@ impl EvalError {
 pub struct Budget {
     max_tuples: Option<u64>,
     deadline: Option<(Instant, Duration)>,
+    cancel: Option<CancelToken>,
     counter: Counter,
     since_time_check: u64,
 }
@@ -119,7 +189,8 @@ impl Clone for Counter {
     }
 }
 
-/// How often (in charged tuples) the deadline is polled.
+/// How often (in charged tuples) the deadline and cancellation token are
+/// polled.
 const TIME_CHECK_INTERVAL: u64 = 4096;
 
 /// How many tuples a shared [`Counter`] handle batches locally before
@@ -138,6 +209,7 @@ impl Budget {
         Budget {
             max_tuples: None,
             deadline: None,
+            cancel: None,
             counter: Counter::Local(0),
             since_time_check: 0,
         }
@@ -153,6 +225,54 @@ impl Budget {
     pub fn with_timeout(mut self, limit: Duration) -> Self {
         self.deadline = Some((Instant::now() + limit, limit));
         self
+    }
+
+    /// Attaches a cancellation token. Keep a clone of the token; calling
+    /// [`CancelToken::cancel`] on it aborts the evaluation with
+    /// [`EvalError::Cancelled`] at the next polling point.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The configured tuple limit, if any.
+    pub fn max_tuples(&self) -> Option<u64> {
+        self.max_tuples
+    }
+
+    /// The configured wall-clock limit, if any (the original duration,
+    /// not the remaining time).
+    pub fn timeout(&self) -> Option<Duration> {
+        self.deadline.map(|(_, limit)| limit)
+    }
+
+    /// A fresh budget with the same limits and cancellation token but a
+    /// zeroed counter and a deadline restarted from now. This is what the
+    /// hybrid optimizer's fallback ladder hands each retry rung: the rung
+    /// gets a full budget of its own, while cancellation still spans the
+    /// whole query.
+    pub fn renewed(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        b.max_tuples = self.max_tuples;
+        if let Some((_, limit)) = self.deadline {
+            b = b.with_timeout(limit);
+        }
+        b.cancel = self.cancel.clone();
+        b
+    }
+
+    /// Like [`Budget::renewed`], but with both limits scaled by `factor`
+    /// (the ladder's optional budget escalation). Unlimited dimensions
+    /// stay unlimited; `factor` must be positive.
+    pub fn escalated(&self, factor: f64) -> Budget {
+        let mut b = self.renewed();
+        if let Some(n) = b.max_tuples {
+            b.max_tuples = Some((n as f64 * factor).min(u64::MAX as f64) as u64);
+        }
+        if let Some((_, limit)) = self.deadline {
+            b = b.with_timeout(limit.mul_f64(factor));
+        }
+        b
     }
 
     /// Total tuples charged so far (across all forked handles, plus this
@@ -199,12 +319,15 @@ impl Budget {
                 return Err(EvalError::TupleBudgetExceeded { limit });
             }
         }
-        if let Some((deadline, limit)) = self.deadline {
+        if self.deadline.is_some() || self.cancel.is_some() {
             self.since_time_check += n;
             if self.since_time_check >= TIME_CHECK_INTERVAL {
                 self.since_time_check = 0;
-                if Instant::now() > deadline {
-                    return Err(EvalError::Timeout { limit });
+                self.check_cancelled()?;
+                if let Some((deadline, limit)) = self.deadline {
+                    if Instant::now() > deadline {
+                        return Err(EvalError::Timeout { limit });
+                    }
                 }
             }
         }
@@ -214,13 +337,15 @@ impl Budget {
     /// Deterministic exhaustion check for merge points after parallel
     /// sections: errors iff the *combined* charges of all handles exceed
     /// the tuple limit, regardless of which worker crossed it first.
+    /// Cancellation is polled here too (merge points are natural abort
+    /// points), after the — deterministic — tuple check.
     pub fn check_exceeded(&self) -> Result<(), EvalError> {
         if let Some(limit) = self.max_tuples {
             if self.charged() > limit {
                 return Err(EvalError::TupleBudgetExceeded { limit });
             }
         }
-        Ok(())
+        self.check_cancelled()
     }
 
     /// Flushes this handle's unflushed batch to the shared pool (no-op
@@ -234,14 +359,26 @@ impl Budget {
         }
     }
 
-    /// Forces a deadline check (called between operators).
+    /// Forces a deadline + cancellation check (called between operators).
+    /// Also flushes this handle's pending batch first, so an error
+    /// observed here leaves [`Budget::charged`] exact for the DNF report.
     pub fn check_time(&mut self) -> Result<(), EvalError> {
+        self.flush();
+        self.check_cancelled()?;
         if let Some((deadline, limit)) = self.deadline {
             if Instant::now() > deadline {
                 return Err(EvalError::Timeout { limit });
             }
         }
         Ok(())
+    }
+
+    /// Errors iff the attached token (if any) has been cancelled.
+    pub fn check_cancelled(&self) -> Result<(), EvalError> {
+        match &self.cancel {
+            Some(token) if token.is_cancelled() => Err(EvalError::Cancelled),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -289,6 +426,90 @@ mod tests {
             .to_string()
             .contains("`t`"));
         assert!(!EvalError::UnknownVariable("v".into()).is_resource_limit());
+        assert!(EvalError::Cancelled.to_string().contains("cancelled"));
+        assert!(EvalError::WorkerPanicked {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+    }
+
+    #[test]
+    fn error_classification() {
+        assert!(!EvalError::Cancelled.is_resource_limit());
+        assert!(EvalError::Cancelled.is_cancelled());
+        assert!(!EvalError::Cancelled.is_retryable());
+        let wp = EvalError::WorkerPanicked {
+            message: "x".into(),
+        };
+        assert!(!wp.is_resource_limit());
+        assert!(wp.is_retryable());
+        assert!(EvalError::TupleBudgetExceeded { limit: 1 }.is_retryable());
+        assert!(EvalError::Timeout {
+            limit: Duration::from_secs(1)
+        }
+        .is_retryable());
+        assert!(EvalError::Internal("plan".into()).is_retryable());
+        assert!(!EvalError::UnknownTable("t".into()).is_retryable());
+        assert!(!EvalError::UnknownVariable("v".into()).is_retryable());
+    }
+
+    #[test]
+    fn cancellation_is_observed_at_all_polling_points() {
+        let token = CancelToken::new();
+        let mut b = Budget::unlimited().with_cancel_token(token.clone());
+        b.charge(10).unwrap();
+        assert!(b.check_time().is_ok());
+        assert!(b.check_exceeded().is_ok());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(b.check_time().unwrap_err(), EvalError::Cancelled);
+        assert_eq!(b.check_exceeded().unwrap_err(), EvalError::Cancelled);
+        assert_eq!(b.check_cancelled().unwrap_err(), EvalError::Cancelled);
+        // charge() observes it at the polling interval.
+        let err = (0..TIME_CHECK_INTERVAL + 1)
+            .find_map(|_| b.charge(1).err())
+            .expect("cancellation observed within one polling interval");
+        assert_eq!(err, EvalError::Cancelled);
+    }
+
+    #[test]
+    fn cancellation_crosses_forked_handles() {
+        let token = CancelToken::new();
+        let mut b = Budget::unlimited().with_cancel_token(token.clone());
+        let mut h = b.fork();
+        token.cancel();
+        assert_eq!(h.check_time().unwrap_err(), EvalError::Cancelled);
+        assert_eq!(b.check_exceeded().unwrap_err(), EvalError::Cancelled);
+    }
+
+    #[test]
+    fn renewed_keeps_limits_but_resets_charges() {
+        let token = CancelToken::new();
+        let mut b = Budget::unlimited()
+            .with_max_tuples(100)
+            .with_cancel_token(token.clone());
+        b.charge(60).unwrap();
+        let mut r = b.renewed();
+        assert_eq!(r.charged(), 0);
+        assert_eq!(r.max_tuples(), Some(100));
+        r.charge(100).unwrap();
+        assert!(r.charge(1).is_err());
+        // The token spans renewals.
+        token.cancel();
+        assert!(b.renewed().check_cancelled().is_err());
+    }
+
+    #[test]
+    fn escalated_scales_limits() {
+        let b = Budget::unlimited()
+            .with_max_tuples(100)
+            .with_timeout(Duration::from_secs(2));
+        let e = b.escalated(10.0);
+        assert_eq!(e.max_tuples(), Some(1000));
+        assert_eq!(e.timeout(), Some(Duration::from_secs(20)));
+        // Unlimited stays unlimited.
+        assert_eq!(Budget::unlimited().escalated(10.0).max_tuples(), None);
     }
 
     #[test]
@@ -311,6 +532,19 @@ mod tests {
         drop(h3);
         let err = b.check_exceeded().unwrap_err();
         assert_eq!(err, EvalError::TupleBudgetExceeded { limit: 100 });
+    }
+
+    #[test]
+    fn check_time_flushes_pending_charges() {
+        // A timeout (or cancellation) observed between operators must
+        // leave `charged()` exact for the DNF report: check_time flushes
+        // the handle's pending batch before checking.
+        let mut b = Budget::unlimited();
+        let mut h = b.fork();
+        h.charge(10).unwrap(); // < FLUSH_INTERVAL: still pending
+        assert_eq!(b.charged(), 0);
+        h.check_time().unwrap();
+        assert_eq!(b.charged(), 10, "check_time must flush pending charges");
     }
 
     #[test]

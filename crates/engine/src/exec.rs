@@ -7,9 +7,25 @@
 //! worker threads across *nested* parallel sections, so recursive
 //! tree-parallel evaluation cannot oversubscribe the machine.
 //!
+//! # Panic containment
+//!
+//! A panic inside a mapped closure must not abort the process or leak
+//! worker permits: both primitives run user closures under
+//! `catch_unwind`, guarantee permit return via a drop guard, and surface
+//! the first panic as [`EvalError::WorkerPanicked`]. Remaining items are
+//! abandoned (the map is all-or-nothing), and since shared [`Budget`]
+//! handles flush on drop, budget accounting stays exact across a
+//! contained panic. The hybrid optimizer's fallback ladder relies on
+//! this: a panicking plan degrades to the next rung instead of taking the
+//! process down.
+//!
+//! [`Budget`]: crate::error::Budget
+//!
 //! Thread count resolution order: explicit `workers` argument >
 //! [`set_threads`] > `HTQO_THREADS` env var > `available_parallelism()`.
 
+use crate::error::EvalError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicIsize, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -51,6 +67,17 @@ pub fn set_threads(n: usize) {
     CONFIGURED.store(n.max(1), Ordering::Relaxed);
     // Re-arm the permit pool for the new width.
     PERMITS.store(n.max(1) as isize - 1, Ordering::Relaxed);
+}
+
+/// Worker permits currently available beyond the calling thread. Equals
+/// `num_threads() - 1` whenever no parallel section is in flight — the
+/// invariant the chaos suite asserts after every injected fault to prove
+/// the pool never leaks.
+pub fn permits_available() -> isize {
+    match PERMITS.load(Ordering::Relaxed) {
+        -1 => num_threads() as isize - 1, // pool not yet armed
+        n => n,
+    }
 }
 
 /// Whether evaluators default to the columnar carrier ([`crate::crel::CRel`])
@@ -142,14 +169,42 @@ fn release_permits(n: usize) {
     }
 }
 
+/// Returns permits on drop, so a panic unwinding through a parallel
+/// section can never leak them.
+struct PermitGuard(usize);
+
+impl Drop for PermitGuard {
+    fn drop(&mut self) {
+        release_permits(self.0);
+    }
+}
+
+/// Renders a `catch_unwind` payload for [`EvalError::WorkerPanicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Applies `f` to every item, in parallel when worker permits are
 /// available, and returns the results **in input order**. Falls back to a
 /// plain sequential map when `workers <= 1`, for a single item, or when
 /// the permit pool is exhausted (deep nesting).
 ///
+/// A panic in `f` on any thread of the parallel schedule is contained:
+/// remaining items are abandoned, permits are returned, and the call
+/// yields `Err(EvalError::WorkerPanicked)` carrying the first panic's
+/// payload. On the sequential fast path there is no worker thread to
+/// contain, so a panic propagates to the caller as usual (the hybrid
+/// optimizer adds its own `catch_unwind` around whole-plan execution).
+///
 /// `workers` is an upper bound on concurrency for this call;
 /// [`num_threads`] is the usual argument.
-pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Result<Vec<R>, EvalError>
 where
     T: Send,
     R: Send,
@@ -157,22 +212,39 @@ where
 {
     let n = items.len();
     if n <= 1 || workers <= 1 {
-        return items.into_iter().map(f).collect();
+        return Ok(items.into_iter().map(f).collect());
     }
     let extra = acquire_permits(workers.min(n) - 1);
     if extra == 0 {
-        return items.into_iter().map(f).collect();
+        return Ok(items.into_iter().map(f).collect());
     }
+    let _guard = PermitGuard(extra);
 
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
+    let panicked: Mutex<Option<String>> = Mutex::new(None);
     let worker = |out: &mut Vec<(usize, R)>| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             break;
         }
         let item = slots[i].lock().unwrap().take().expect("claimed once");
-        out.push((i, f(item)));
+        // The fail point runs inside the same catch_unwind as `f`, so an
+        // injected `exec::worker` panic exercises the containment path.
+        match catch_unwind(AssertUnwindSafe(|| {
+            crate::fail_point_unit!("exec::worker");
+            f(item)
+        })) {
+            Ok(r) => out.push((i, r)),
+            Err(payload) => {
+                let msg = panic_message(payload);
+                let mut first = panicked.lock().unwrap_or_else(|p| p.into_inner());
+                first.get_or_insert(msg);
+                // Stop every worker from claiming further items.
+                next.store(n, Ordering::Relaxed);
+                break;
+            }
+        }
     };
 
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
@@ -189,19 +261,25 @@ where
         // The calling thread works too.
         worker(&mut tagged);
         for h in handles {
-            tagged.extend(h.join().expect("worker panicked"));
+            // Workers catch panics internally, so join always succeeds.
+            tagged.extend(h.join().expect("worker loop contains panics"));
         }
     });
-    release_permits(extra);
 
+    if let Some(message) = panicked.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(EvalError::WorkerPanicked { message });
+    }
     tagged.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(tagged.len(), n);
-    tagged.into_iter().map(|(_, r)| r).collect()
+    Ok(tagged.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Runs two closures, concurrently when a worker permit is available, and
-/// returns both results.
-pub fn join2<A, B, FA, FB>(workers: usize, fa: FA, fb: FB) -> (A, B)
+/// returns both results. Panic containment mirrors [`parallel_map`]: on
+/// the concurrent schedule a panic in either closure becomes
+/// `Err(EvalError::WorkerPanicked)` (first panic wins) with the permit
+/// returned; on the sequential fallback panics propagate.
+pub fn join2<A, B, FA, FB>(workers: usize, fa: FA, fb: FB) -> Result<(A, B), EvalError>
 where
     A: Send,
     B: Send,
@@ -209,15 +287,20 @@ where
     FB: FnOnce() -> B + Send,
 {
     if workers <= 1 || acquire_permits(1) == 0 {
-        return (fa(), fb());
+        return Ok((fa(), fb()));
     }
-    let out = std::thread::scope(|s| {
-        let hb = s.spawn(fb);
-        let a = fa();
-        (a, hb.join().expect("worker panicked"))
+    let _guard = PermitGuard(1);
+    let (ra, rb) = std::thread::scope(|s| {
+        let hb = s.spawn(|| catch_unwind(AssertUnwindSafe(fb)));
+        let ra = catch_unwind(AssertUnwindSafe(fa));
+        (ra, hb.join().expect("worker catches panics"))
     });
-    release_permits(1);
-    out
+    match (ra, rb) {
+        (Ok(a), Ok(b)) => Ok((a, b)),
+        (Err(p), _) | (_, Err(p)) => Err(EvalError::WorkerPanicked {
+            message: panic_message(p),
+        }),
+    }
 }
 
 /// Splits `0..len` into at most `chunks` contiguous `(start, end)` ranges
@@ -246,10 +329,10 @@ mod tests {
     #[test]
     fn parallel_map_preserves_order() {
         let input: Vec<usize> = (0..1000).collect();
-        let out = parallel_map(input.clone(), 8, |x| x * 2);
+        let out = parallel_map(input.clone(), 8, |x| x * 2).unwrap();
         assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
         // Sequential fallback agrees.
-        let out1 = parallel_map(input.clone(), 1, |x| x * 2);
+        let out1 = parallel_map(input.clone(), 1, |x| x * 2).unwrap();
         assert_eq!(out, out1);
     }
 
@@ -257,17 +340,59 @@ mod tests {
     fn nested_parallel_maps_terminate() {
         let out = parallel_map((0..16).collect::<Vec<u64>>(), 4, |i| {
             parallel_map((0..16).collect::<Vec<u64>>(), 4, move |j| i * j)
+                .unwrap()
                 .into_iter()
                 .sum::<u64>()
-        });
+        })
+        .unwrap();
         let expect: Vec<u64> = (0..16).map(|i| (0..16).map(|j| i * j).sum()).collect();
         assert_eq!(out, expect);
     }
 
     #[test]
     fn join2_returns_both() {
-        assert_eq!(join2(4, || 1, || "x"), (1, "x"));
-        assert_eq!(join2(1, || 2, || 3), (2, 3));
+        assert_eq!(join2(4, || 1, || "x").unwrap(), (1, "x"));
+        assert_eq!(join2(1, || 2, || 3).unwrap(), (2, 3));
+    }
+
+    /// Serializes tests that swap the global panic hook.
+    fn hook_lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn parallel_map_contains_worker_panics() {
+        let _g = hook_lock();
+        let before = permits_available();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let out = parallel_map((0..64).collect::<Vec<u64>>(), 4, |i| {
+            if i == 13 {
+                panic!("boom at {i}");
+            }
+            i * 2
+        });
+        std::panic::set_hook(hook);
+        match out {
+            Err(EvalError::WorkerPanicked { message }) => assert!(message.contains("boom")),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert_eq!(permits_available(), before, "permit pool leaked");
+    }
+
+    #[test]
+    fn join2_contains_worker_panics() {
+        let _g = hook_lock();
+        let before = permits_available();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = join2(4, || 1u64, || -> u64 { panic!("join2 side b") });
+        std::panic::set_hook(hook);
+        assert!(
+            matches!(out, Err(EvalError::WorkerPanicked { ref message }) if message.contains("side b"))
+        );
+        assert_eq!(permits_available(), before, "permit pool leaked");
     }
 
     #[test]

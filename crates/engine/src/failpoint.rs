@@ -1,0 +1,289 @@
+//! Fault injection for robustness testing.
+//!
+//! Named *fail points* are compiled into the hot kernels (join, semijoin,
+//! projection, scan, aggregation, the exec worker loop) behind the
+//! `failpoints` cargo feature. Each site can be armed to inject a
+//! structured [`EvalError`], a delay, or a deliberate panic — which is how
+//! the chaos suite proves that every operator either returns the
+//! oracle-correct answer or a clean error, with no escaped panics and no
+//! leaked permits/budget.
+//!
+//! Cost model:
+//! - feature off (the default for `--no-default-features` builds): the
+//!   [`fail_point!`] macro folds to a constant-false branch — zero cost;
+//! - feature on but no site armed: one relaxed atomic load per site hit;
+//! - armed: a mutex-guarded registry lookup per hit (testing only).
+//!
+//! Sites are armed programmatically with [`configure`] or from the
+//! environment via `HTQO_FAILPOINTS`, a `;`-separated list of
+//! `site=action[@skip]` clauses where `action` is `error`, `panic`, or
+//! `delay(<ms>)` and the optional `@skip` lets the first *skip* hits pass
+//! (e.g. `HTQO_FAILPOINTS="ops::join=error;scan::atom=delay(5)@2"`).
+//! [`clear`] resets everything (tests must call it between cases).
+
+use crate::error::EvalError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What an armed fail point does when hit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailAction {
+    /// Return `EvalError::Internal("injected failure at `<site>`")`.
+    Error,
+    /// Panic with a payload containing [`PANIC_MARKER`] and the site name.
+    Panic,
+    /// Sleep for the given duration, then continue normally. Used to
+    /// widen race windows (e.g. for cancellation tests).
+    Delay(Duration),
+}
+
+/// Substring present in every injected panic payload, so test panic hooks
+/// can distinguish deliberate chaos panics from real bugs.
+pub const PANIC_MARKER: &str = "htqo-failpoint";
+
+struct SiteState {
+    action: FailAction,
+    /// Hits to let pass before firing.
+    skip: u64,
+    /// Remaining fires (`None` = unlimited).
+    times: Option<u64>,
+    hits: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, SiteState>> {
+    static REGISTRY: std::sync::OnceLock<Mutex<HashMap<String, SiteState>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Whether any site is currently armed. `false` also covers the
+/// feature-off build, where this folds to a constant.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Fast dormancy check used by the [`fail_point!`] macros. With the
+/// `failpoints` feature off this is a constant `false` (the whole site
+/// folds away); with it on, the first call reads `HTQO_FAILPOINTS` once,
+/// then it is a single relaxed load.
+#[inline]
+pub fn armed() -> bool {
+    #[cfg(not(feature = "failpoints"))]
+    {
+        false
+    }
+    #[cfg(feature = "failpoints")]
+    {
+        use std::sync::Once;
+        static ENV_INIT: Once = Once::new();
+        ENV_INIT.call_once(|| {
+            if let Ok(spec) = std::env::var("HTQO_FAILPOINTS") {
+                if let Err(e) = configure_from_spec(&spec) {
+                    eprintln!("HTQO_FAILPOINTS ignored: {e}");
+                }
+            }
+        });
+        ARMED.load(Ordering::Relaxed)
+    }
+}
+
+/// Arms `site` with `action`, letting the first `skip` hits pass and
+/// firing at most `times` times (`None` = unlimited).
+pub fn configure(site: &str, action: FailAction, skip: u64, times: Option<u64>) {
+    let mut reg = registry().lock().unwrap();
+    reg.insert(
+        site.to_string(),
+        SiteState {
+            action,
+            skip,
+            times,
+            hits: 0,
+        },
+    );
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms every site and resets hit counters. Chaos tests call this
+/// between cases; it is also safe to call when nothing is armed.
+pub fn clear() {
+    registry().lock().unwrap().clear();
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Parses and applies an `HTQO_FAILPOINTS`-style spec (see module docs).
+pub fn configure_from_spec(spec: &str) -> Result<(), String> {
+    for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
+        let (site, rest) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("missing `=` in clause `{clause}`"))?;
+        let (action_str, skip) = match rest.split_once('@') {
+            Some((a, s)) => (
+                a,
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad skip count in `{clause}`"))?,
+            ),
+            None => (rest, 0),
+        };
+        let action_str = action_str.trim();
+        let action = if action_str == "error" {
+            FailAction::Error
+        } else if action_str == "panic" {
+            FailAction::Panic
+        } else if let Some(ms) = action_str
+            .strip_prefix("delay(")
+            .and_then(|s| s.strip_suffix(')'))
+        {
+            let ms: u64 = ms
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad delay in `{clause}`"))?;
+            FailAction::Delay(Duration::from_millis(ms))
+        } else {
+            return Err(format!("unknown action `{action_str}` in `{clause}`"));
+        };
+        configure(site.trim(), action, skip, None);
+    }
+    Ok(())
+}
+
+/// Looks up `site` and decides whether it fires this hit.
+fn fire(site: &str) -> Option<FailAction> {
+    let mut reg = registry().lock().unwrap();
+    let state = reg.get_mut(site)?;
+    state.hits += 1;
+    if state.hits <= state.skip {
+        return None;
+    }
+    if let Some(times) = state.times.as_mut() {
+        if *times == 0 {
+            return None;
+        }
+        *times -= 1;
+    }
+    Some(state.action.clone())
+}
+
+/// Evaluates an armed site in a `Result` context: may return an injected
+/// error, panic, or sleep. Called by [`fail_point!`]; only reached when
+/// [`armed`] returned true.
+pub fn eval(site: &str) -> Result<(), EvalError> {
+    match fire(site) {
+        None => Ok(()),
+        Some(FailAction::Error) => {
+            Err(EvalError::Internal(format!("injected failure at `{site}`")))
+        }
+        Some(FailAction::Panic) => panic!("{PANIC_MARKER}: injected panic at `{site}`"),
+        Some(FailAction::Delay(d)) => {
+            std::thread::sleep(d);
+            Ok(())
+        }
+    }
+}
+
+/// Evaluates an armed site where no `Result` can be returned (e.g. the
+/// exec worker loop): `Error` is treated as `Panic` so the site still
+/// exercises the containment path; `Delay` sleeps.
+pub fn eval_unit(site: &str) {
+    match fire(site) {
+        None => {}
+        Some(FailAction::Error) | Some(FailAction::Panic) => {
+            panic!("{PANIC_MARKER}: injected panic at `{site}`")
+        }
+        Some(FailAction::Delay(d)) => std::thread::sleep(d),
+    }
+}
+
+/// Fault-injection site in a `Result<_, EvalError>` context. Expands to a
+/// dormant branch; see the module docs for the cost model.
+///
+/// The macro routes through [`armed`]/[`eval`] — always-present functions
+/// in *this* crate — so the `failpoints` cfg is resolved against the
+/// engine's features even when the macro is invoked from another crate.
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        if $crate::failpoint::armed() {
+            $crate::failpoint::eval($site)?;
+        }
+    };
+}
+
+/// Fault-injection site in a context that cannot return an error (panics
+/// and delays only). Same dormancy properties as [`fail_point!`].
+#[macro_export]
+macro_rules! fail_point_unit {
+    ($site:expr) => {
+        if $crate::failpoint::armed() {
+            $crate::failpoint::eval_unit($site);
+        }
+    };
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // The registry is global; serialize the tests touching it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn dormant_sites_are_free() {
+        let _g = lock();
+        clear();
+        assert!(!armed());
+        // A fail_point! in a function body compiles and is a no-op.
+        fn site() -> Result<(), EvalError> {
+            fail_point!("test::dormant");
+            Ok(())
+        }
+        assert!(site().is_ok());
+    }
+
+    #[test]
+    fn error_injection_with_skip_and_times() {
+        let _g = lock();
+        clear();
+        configure("test::err", FailAction::Error, 1, Some(1));
+        assert!(armed());
+        assert!(eval("test::err").is_ok(), "first hit skipped");
+        let err = eval("test::err").unwrap_err();
+        assert!(matches!(err, EvalError::Internal(ref m) if m.contains("test::err")));
+        assert!(eval("test::err").is_ok(), "times=1 exhausted");
+        clear();
+        assert!(!armed());
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let _g = lock();
+        clear();
+        configure_from_spec("a=error; b=delay(5)@2 ;c=panic").unwrap();
+        assert!(eval("a").is_err());
+        assert!(eval("b").is_ok()); // skipped (1/2)
+        assert!(eval("b").is_ok()); // skipped (2/2)
+        let t = std::time::Instant::now();
+        assert!(eval("b").is_ok()); // delay fires
+        assert!(t.elapsed() >= Duration::from_millis(5));
+        assert!(configure_from_spec("bad").is_err());
+        assert!(configure_from_spec("x=frobnicate").is_err());
+        assert!(configure_from_spec("x=delay(abc)").is_err());
+        clear();
+    }
+
+    #[test]
+    fn panic_injection_carries_marker() {
+        let _g = lock();
+        clear();
+        configure("test::panic", FailAction::Panic, 0, None);
+        let res = std::panic::catch_unwind(|| eval("test::panic"));
+        clear();
+        let payload = res.unwrap_err();
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains(PANIC_MARKER));
+        assert!(msg.contains("test::panic"));
+    }
+}

@@ -34,6 +34,7 @@ pub mod dict;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod failpoint;
 pub mod hash;
 pub mod ops;
 pub mod relation;
@@ -46,7 +47,7 @@ pub use aggregate::{finalize, finalize_c};
 pub use carrier::Carrier;
 pub use crel::CRel;
 pub use csv::{read_csv, write_csv, CsvError};
-pub use error::{Budget, EvalError};
+pub use error::{Budget, CancelToken, EvalError};
 pub use exec::ExecOptions;
 pub use relation::{Relation, RelationError};
 pub use schema::{Column, ColumnType, Database, Schema};

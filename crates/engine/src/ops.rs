@@ -67,6 +67,7 @@ pub fn natural_join(
     b: &VRelation,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
+    crate::fail_point!("ops::join");
     // Build on the smaller side: swap so `build` is smallest.
     let (build, probe, swapped) = if a.len() <= b.len() {
         (a, b, false)
@@ -170,8 +171,8 @@ fn join_rows_partitioned(
     let bits = partition_bits(threads);
     let nparts = 1usize << bits;
 
-    let build_hashes = hashes_of(build.rows(), build_shared, threads);
-    let probe_hashes = hashes_of(probe.rows(), probe_shared, threads);
+    let build_hashes = hashes_of(build.rows(), build_shared, threads)?;
+    let probe_hashes = hashes_of(probe.rows(), probe_shared, threads)?;
 
     let bucket = |hashes: &[u64]| -> Vec<Vec<u32>> {
         let mut parts: Vec<Vec<u32>> = vec![Vec::new(); nparts];
@@ -185,7 +186,8 @@ fn join_rows_partitioned(
 
     let shared = budget.fork();
     let tasks: Vec<usize> = (0..nparts).collect();
-    let results: Vec<Result<Vec<Row>, EvalError>> = exec::parallel_map(tasks, threads, |p| {
+    let results = exec::parallel_map(tasks, threads, |p| {
+        crate::fail_point!("ops::join::partition");
         let mut bud = shared.clone();
         let bp = &build_parts[p];
         let table = ChainTable::build(bp.len(), |k| build_hashes[bp[k] as usize]);
@@ -213,32 +215,36 @@ fn partition_bits(_threads: usize) -> u32 {
     6
 }
 
-/// Hashes the key columns of every row, in parallel chunks.
-fn hashes_of(rows: &[Row], idx: &[usize], threads: usize) -> Vec<u64> {
+/// Hashes the key columns of every row, in parallel chunks. Errors only
+/// when a worker of the parallel schedule panicked (contained by
+/// [`exec::parallel_map`]).
+fn hashes_of(rows: &[Row], idx: &[usize], threads: usize) -> Result<Vec<u64>, EvalError> {
     if rows.len() < PARALLEL_ROW_THRESHOLD || threads <= 1 {
-        return rows.iter().map(|r| hash_key(r, idx)).collect();
+        return Ok(rows.iter().map(|r| hash_key(r, idx)).collect());
     }
     let chunks = exec::chunk_ranges(rows.len(), threads * 4);
-    exec::parallel_map(chunks, threads, |(lo, hi)| {
+    Ok(exec::parallel_map(chunks, threads, |(lo, hi)| {
         rows[lo..hi]
             .iter()
             .map(|r| hash_key(r, idx))
             .collect::<Vec<u64>>()
-    })
+    })?
     .into_iter()
     .flatten()
-    .collect()
+    .collect())
 }
 
 /// Folds per-partition results: budget exhaustion is surfaced first (its
 /// occurrence depends only on the combined charge total, so it is
-/// deterministic for any thread count), then the first per-partition
-/// error in partition order, then the concatenated rows.
+/// deterministic for any thread count), then a contained worker panic,
+/// then the first per-partition error in partition order, then the
+/// concatenated rows.
 fn merge_partition_results(
-    results: Vec<Result<Vec<Row>, EvalError>>,
+    results: Result<Vec<Result<Vec<Row>, EvalError>>, EvalError>,
     budget: &mut Budget,
 ) -> Result<Vec<Row>, EvalError> {
     budget.check_exceeded()?;
+    let results = results?;
     let mut parts = Vec::with_capacity(results.len());
     for r in results {
         parts.push(r?);
@@ -357,6 +363,7 @@ pub fn nested_loop_join(
 /// Uses the same hash-in-place scheme as [`natural_join`]; the probe side
 /// goes parallel above [`PARALLEL_ROW_THRESHOLD`].
 pub fn semijoin(a: &VRelation, b: &VRelation, budget: &mut Budget) -> Result<VRelation, EvalError> {
+    crate::fail_point!("ops::semijoin");
     let (a_shared, b_shared, _) = join_layout(a, b);
     if a_shared.is_empty() {
         return if b.is_empty() {
@@ -379,18 +386,17 @@ pub fn semijoin(a: &VRelation, b: &VRelation, budget: &mut Budget) -> Result<VRe
     let rows: Vec<Row> = if threads > 1 && a.len() + b.len() >= PARALLEL_ROW_THRESHOLD {
         let shared = budget.fork();
         let chunks = exec::chunk_ranges(a.len(), threads * 4);
-        let results: Vec<Result<Vec<Row>, EvalError>> =
-            exec::parallel_map(chunks, threads, |(lo, hi)| {
-                let mut bud = shared.clone();
-                let mut out = Vec::new();
-                for row in &a.rows()[lo..hi] {
-                    if matches(row) {
-                        bud.charge(1)?;
-                        out.push(row.clone());
-                    }
+        let results = exec::parallel_map(chunks, threads, |(lo, hi)| {
+            let mut bud = shared.clone();
+            let mut out = Vec::new();
+            for row in &a.rows()[lo..hi] {
+                if matches(row) {
+                    bud.charge(1)?;
+                    out.push(row.clone());
                 }
-                Ok(out)
-            });
+            }
+            Ok(out)
+        });
         merge_partition_results(results, budget)?
     } else {
         let mut out = Vec::new();
@@ -413,6 +419,7 @@ pub fn project(
     distinct: bool,
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
+    crate::fail_point!("ops::project");
     let idx: Vec<usize> = vars
         .iter()
         .map(|v| {

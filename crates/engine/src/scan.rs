@@ -37,6 +37,7 @@ pub fn scan_atom_c(
     filters: &[&Filter],
     budget: &mut Budget,
 ) -> Result<CRel, EvalError> {
+    crate::fail_point!("scan::atom");
     let rel = db
         .table(&atom.relation)
         .ok_or_else(|| EvalError::UnknownTable(atom.relation.clone()))?;

@@ -112,9 +112,10 @@ fn evaluate_qhd_generic<C: Carrier>(
             vertex_join::<C>(db, q, tree, p, &chi_names[p.index()], &mut b)
         });
         // Merge point: surface budget exhaustion deterministically first,
-        // then any other error in preorder (= deterministic) order.
+        // then a contained worker panic, then any other error in preorder
+        // (= deterministic) order.
         budget.check_exceeded()?;
-        for (p, r) in vertices.iter().zip(results) {
+        for (p, r) in vertices.iter().zip(results?) {
             *vertex_rel[p.index()].lock().unwrap() = Some(r?);
         }
     } else {
@@ -148,6 +149,7 @@ fn vertex_join<C: Carrier>(
     budget: &mut Budget,
 ) -> Result<C, EvalError> {
     budget.check_time()?;
+    htqo_engine::fail_point!("qeval::vertex");
     let n = tree.node(p);
     let atoms = n.assigned.union(&n.lambda);
     let mut scanned: Vec<C> = Vec::with_capacity(atoms.len());
@@ -221,6 +223,7 @@ fn eval_bottom_up<C: Carrier>(
     // concurrently, then fold the joins sequentially in support-first
     // order below (the ordering constraint binds the joins, not the
     // subtree evaluations).
+    htqo_engine::fail_point!("qeval::bottom_up");
     let children: Vec<Result<C, EvalError>> = if threads > 1 && order.len() > 1 {
         let shared = budget.fork();
         let results = exec::parallel_map(order.clone(), threads, |c| {
@@ -228,7 +231,7 @@ fn eval_bottom_up<C: Carrier>(
             eval_bottom_up(tree, c, chi_names, vertex_rel, &mut b, threads)
         });
         budget.check_exceeded()?;
-        results
+        results?
     } else {
         let mut results = Vec::with_capacity(order.len());
         for &c in &order {

@@ -71,7 +71,7 @@ fn yannakakis_generic<C: Carrier>(
             C::scan_query_atom(db, q, a, &mut b)
         });
         budget.check_exceeded()?;
-        for r in scans {
+        for r in scans? {
             rels.push(r?);
         }
     } else {

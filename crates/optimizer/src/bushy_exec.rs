@@ -66,18 +66,22 @@ fn eval_node<C: Carrier>(
     threads: usize,
 ) -> Result<C, EvalError> {
     budget.check_time()?;
+    htqo_engine::fail_point!("bushy::node");
     match tree {
         JoinTree::Leaf(a) => C::scan_query_atom(db, q, *a, budget),
         JoinTree::Join(l, r) => {
             let (lv, rv) = if threads > 1 {
                 let mut bl = budget.fork();
                 let mut br = budget.fork();
-                let (lv, rv) = exec::join2(
+                let sides = exec::join2(
                     threads,
                     move || eval_node::<C>(db, q, l, &mut bl, threads),
                     move || eval_node::<C>(db, q, r, &mut br, threads),
                 );
+                // Deterministic budget exhaustion first, then a contained
+                // worker panic, then per-side errors.
                 budget.check_exceeded()?;
+                let (lv, rv) = sides?;
                 (lv?, rv?)
             } else {
                 (

@@ -48,6 +48,44 @@ pub struct DbmsSim {
     stats: Option<DbStats>,
 }
 
+/// Which execution strategy produced (or last attempted) a query's
+/// answer. The hybrid optimizer's graceful-degradation ladder descends
+/// q-HD → bushy → naive; the DBMS simulators always execute left-deep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rung {
+    /// q-hypertree decomposition evaluation (the paper's method).
+    QHd,
+    /// Cost-based bushy join tree (the quantitative fallback).
+    Bushy,
+    /// Naive join of all atoms in syntactic order (always applicable).
+    Naive,
+    /// Left-deep pipeline of the DBMS simulators.
+    LeftDeep,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rung::QHd => write!(f, "q-HD"),
+            Rung::Bushy => write!(f, "bushy"),
+            Rung::Naive => write!(f, "naive"),
+            Rung::LeftDeep => write!(f, "left-deep"),
+        }
+    }
+}
+
+/// One failed rung of the hybrid optimizer's fallback ladder.
+#[derive(Clone, Debug)]
+pub struct FallbackAttempt {
+    /// The strategy that failed.
+    pub rung: Rung,
+    /// Why it failed.
+    pub error: EvalError,
+    /// Tuples it had materialized before failing (already included in
+    /// [`QueryOutcome::tuples`]).
+    pub tuples: u64,
+}
+
 /// The result of running one query, with the measurements the paper's
 /// figures report.
 #[derive(Debug)]
@@ -59,10 +97,17 @@ pub struct QueryOutcome {
     pub planning: Duration,
     /// Time spent executing.
     pub execution: Duration,
-    /// Intermediate tuples materialized (deterministic work measure).
+    /// Intermediate tuples materialized (deterministic work measure),
+    /// summed across every rung that ran.
     pub tuples: u64,
     /// Human-readable plan description.
     pub plan: String,
+    /// The strategy that answered — or, when `result` is an error, the
+    /// last one attempted.
+    pub rung: Rung,
+    /// Rungs that failed before `rung` ran (empty when the first strategy
+    /// answered, always empty for the DBMS simulators).
+    pub attempts: Vec<FallbackAttempt>,
 }
 
 impl QueryOutcome {
@@ -72,9 +117,16 @@ impl QueryOutcome {
     }
 
     /// True if the run hit a time/tuple budget (a "did not terminate"
-    /// data point in the paper's figures).
+    /// data point in the paper's figures). With the fallback ladder
+    /// enabled this means *every* applicable rung hit its budget.
     pub fn is_dnf(&self) -> bool {
         matches!(&self.result, Err(e) if e.is_resource_limit())
+    }
+
+    /// True if the answer came from a fallback rung rather than the
+    /// first-choice strategy.
+    pub fn degraded(&self) -> bool {
+        self.result.is_ok() && !self.attempts.is_empty()
     }
 }
 
@@ -205,6 +257,8 @@ impl DbmsSim {
             execution,
             tuples: budget.charged(),
             plan: plan_desc,
+            rung: Rung::LeftDeep,
+            attempts: Vec::new(),
         }
     }
 

@@ -4,15 +4,117 @@
 //! Pipeline (Figure 5): *Sql Analyzer* → *Statistics Picker* →
 //! `cost-k-decomp` → q-hypertree evaluation (tight coupling) or SQL-view
 //! rewriting (stand-alone, see [`crate::views`]).
+//!
+//! On top of the paper's pipeline sits a graceful-degradation ladder (see
+//! [`RetryPolicy`]): when q-HD planning or evaluation fails for a
+//! *retryable* reason (budget exhaustion, a contained worker panic, an
+//! internal error), execution falls back to a cost-based bushy join tree
+//! and finally to the naive join order, each rung running under a renewed
+//! (optionally escalated) budget. [`QueryOutcome::rung`] records which
+//! strategy answered and [`QueryOutcome::attempts`] what failed before it.
 
-use crate::dbms::{QueryOutcome, SqlError};
+use crate::bushy::dp_bushy;
+use crate::bushy_exec::evaluate_join_tree;
+use crate::dbms::{FallbackAttempt, QueryOutcome, Rung, SqlError};
 use htqo_core::{q_hypertree_decomp, QhdFailure, QhdOptions, QhdPlan, StructuralCost};
 use htqo_cq::{isolate, parse_select, ConjunctiveQuery, IsolatorOptions};
 use htqo_engine::error::{Budget, EvalError};
 use htqo_engine::schema::Database;
-use htqo_eval::evaluate_qhd;
+use htqo_engine::vrel::VRelation;
+use htqo_eval::{evaluate_naive, evaluate_qhd};
 use htqo_stats::{DbStats, StatsDecompCost};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// How [`HybridOptimizer::execute_cq`] degrades when a strategy fails.
+///
+/// The ladder descends q-HD → bushy tree → naive join. A rung is only
+/// retried on *retryable* failures ([`EvalError::is_retryable`]):
+/// cancellation and semantic errors (unknown tables/columns) abort the
+/// ladder immediately, since no amount of re-planning fixes them.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Fall back to a cost-based bushy join tree when q-HD fails.
+    pub fallback_bushy: bool,
+    /// Fall back to the naive join order when the bushy rung also fails
+    /// (or is inapplicable).
+    pub fallback_naive: bool,
+    /// Multiply the tuple/time limits by this factor on each fallback
+    /// rung (compounding), e.g. `Some(2.0)` doubles then quadruples.
+    /// `None` renews the original limits unchanged.
+    pub escalate: Option<f64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            fallback_bushy: true,
+            fallback_naive: true,
+            escalate: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No fallbacks: the first failure is the final answer. Used by the
+    /// figure harnesses, where a DNF data point must stay a DNF data
+    /// point rather than being rescued by another strategy.
+    pub fn none() -> Self {
+        RetryPolicy {
+            fallback_bushy: false,
+            fallback_naive: false,
+            escalate: None,
+        }
+    }
+}
+
+/// Default capacity of the prepared-statement plan cache.
+const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// Bounded plan cache with least-recently-used eviction (exact LRU via a
+/// monotonic access stamp; eviction is O(capacity), fine at this size).
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    map: std::collections::HashMap<String, (u64, QhdPlan)>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: std::collections::HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<QhdPlan> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.0 = tick;
+            e.1.clone()
+        })
+    }
+
+    fn insert(&mut self, key: String, plan: QhdPlan) {
+        self.tick += 1;
+        self.map.insert(key, (self.tick, plan));
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over capacity");
+            self.map.remove(&oldest);
+        }
+    }
+
+    fn remove(&mut self, key: &str) {
+        self.map.remove(key);
+    }
+}
 
 /// The hybrid structural+quantitative optimizer.
 pub struct HybridOptimizer {
@@ -23,11 +125,13 @@ pub struct HybridOptimizer {
     pub stats: Option<DbStats>,
     /// SQL-to-CQ translation options.
     pub isolator: IsolatorOptions,
+    /// Graceful-degradation policy for [`HybridOptimizer::execute_cq`].
+    pub retry: RetryPolicy,
     /// Prepared-statement-style plan cache: decompositions depend only on
     /// the query structure (and the statistics snapshot this optimizer
-    /// holds), so re-planning an identical query is pure waste. Keyed by
-    /// the query's canonical text form.
-    cache: std::cell::RefCell<std::collections::HashMap<String, QhdPlan>>,
+    /// holds), so re-planning an identical query is pure waste. Bounded
+    /// with LRU eviction; plans whose execution failed are evicted.
+    cache: std::cell::RefCell<PlanCache>,
 }
 
 impl HybridOptimizer {
@@ -37,18 +141,37 @@ impl HybridOptimizer {
             options,
             stats: None,
             isolator: IsolatorOptions::default(),
-            cache: Default::default(),
+            retry: RetryPolicy::default(),
+            cache: std::cell::RefCell::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         }
     }
 
     /// Hybrid optimizer with statistics.
     pub fn with_stats(options: QhdOptions, stats: DbStats) -> Self {
         HybridOptimizer {
-            options,
             stats: Some(stats),
-            isolator: IsolatorOptions::default(),
-            cache: Default::default(),
+            ..HybridOptimizer::structural(options)
         }
+    }
+
+    /// Sets the retry/fallback policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Resizes the plan cache (builder style). Existing entries are
+    /// dropped. A capacity of 0 is clamped to 1.
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        *self.cache.borrow_mut() = PlanCache::new(capacity);
+        self
+    }
+
+    fn cache_key(&self, q: &ConjunctiveQuery) -> String {
+        format!(
+            "{q}|k={}|opt={}",
+            self.options.max_width, self.options.run_optimize
+        )
     }
 
     /// Like [`HybridOptimizer::plan_cq`], but memoizes plans by the
@@ -57,12 +180,9 @@ impl HybridOptimizer {
     /// optimizer instance, so a stats refresh means a new optimizer (and
     /// an empty cache).
     pub fn plan_cq_cached(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
-        let key = format!(
-            "{q}|k={}|opt={}",
-            self.options.max_width, self.options.run_optimize
-        );
-        if let Some(plan) = self.cache.borrow().get(&key) {
-            return Ok(plan.clone());
+        let key = self.cache_key(q);
+        if let Some(plan) = self.cache.borrow_mut().get(&key) {
+            return Ok(plan);
         }
         let plan = self.plan_cq(q)?;
         self.cache.borrow_mut().insert(key, plan.clone());
@@ -71,7 +191,7 @@ impl HybridOptimizer {
 
     /// Number of cached plans.
     pub fn cached_plans(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.borrow().map.len()
     }
 
     /// Computes the q-hypertree decomposition plan for a conjunctive query.
@@ -86,24 +206,33 @@ impl HybridOptimizer {
         }
     }
 
-    /// Plans and executes a conjunctive query on `db`.
-    pub fn execute_cq(
-        &self,
-        db: &Database,
-        q: &ConjunctiveQuery,
-        mut budget: Budget,
-    ) -> QueryOutcome {
+    /// Budget for the rung at `index` (0 = first choice): same limits and
+    /// cancellation token as the caller's budget with the clock and
+    /// counter restarted, limits compounded by [`RetryPolicy::escalate`]
+    /// on fallback rungs.
+    fn rung_budget(&self, base: &Budget, index: usize) -> Budget {
+        match self.retry.escalate {
+            Some(f) if index > 0 => base.escalated(f.powi(index as i32)),
+            _ => base.renewed(),
+        }
+    }
+
+    /// Plans and executes a conjunctive query on `db`, descending the
+    /// fallback ladder configured by [`HybridOptimizer::retry`]. Panics
+    /// inside the engine are contained and surface as
+    /// [`EvalError::WorkerPanicked`] (possibly rescued by a lower rung).
+    pub fn execute_cq(&self, db: &Database, q: &ConjunctiveQuery, budget: Budget) -> QueryOutcome {
         let t0 = Instant::now();
-        let plan = self.plan_cq(q);
+        let plan = self.plan_cq_cached(q);
         let planning = t0.elapsed();
+        let t1 = Instant::now();
+
+        let mut attempts: Vec<FallbackAttempt> = Vec::new();
+        let mut tuples: u64 = 0;
+        let mut answer: Option<(VRelation, Rung, String)> = None;
+
+        // Rung 0: q-hypertree evaluation.
         match plan {
-            Err(fail) => QueryOutcome {
-                result: Err(EvalError::Internal(fail.to_string())),
-                planning,
-                execution: std::time::Duration::ZERO,
-                tuples: 0,
-                plan: format!("q-HD failure: {fail}"),
-            },
             Ok(plan) => {
                 let desc = format!(
                     "q-HD width={} vertices={} joins={} (optimize removed {})",
@@ -112,15 +241,109 @@ impl HybridOptimizer {
                     plan.tree.join_work(),
                     plan.optimize_stats.removed_atoms
                 );
-                let t1 = Instant::now();
-                let result = evaluate_qhd(db, q, &plan, &mut budget)
-                    .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, &mut budget));
+                let mut b = self.rung_budget(&budget, 0);
+                let (result, spent) = run_contained(&mut b, |bud| {
+                    evaluate_qhd(db, q, &plan, bud)
+                        .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, bud))
+                });
+                tuples += spent;
+                match result {
+                    Ok(rel) => answer = Some((rel, Rung::QHd, desc)),
+                    Err(error) => {
+                        // Don't serve a plan that just failed to the next
+                        // caller; a fresh decomposition may fare better.
+                        self.cache.borrow_mut().remove(&self.cache_key(q));
+                        attempts.push(FallbackAttempt {
+                            rung: Rung::QHd,
+                            error,
+                            tuples: spent,
+                        });
+                    }
+                }
+            }
+            Err(fail) => attempts.push(FallbackAttempt {
+                rung: Rung::QHd,
+                error: EvalError::Internal(fail.to_string()),
+                tuples: 0,
+            }),
+        }
+
+        let retryable =
+            |attempts: &[FallbackAttempt]| attempts.last().is_some_and(|a| a.error.is_retryable());
+
+        // Rung 1: cost-based bushy join tree.
+        if answer.is_none() && self.retry.fallback_bushy && retryable(&attempts) {
+            let stats = match &self.stats {
+                Some(s) => s.clone(),
+                None => DbStats::defaults_for(db),
+            };
+            // `dp_bushy` is None above the exhaustive-DP size limit; the
+            // ladder then skips straight to the naive rung.
+            if let Some((_, tree)) = dp_bushy(q, &stats) {
+                let mut b = self.rung_budget(&budget, attempts.len());
+                let (result, spent) = run_contained(&mut b, |bud| {
+                    evaluate_join_tree(db, q, &tree, bud)
+                        .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, bud))
+                });
+                tuples += spent;
+                match result {
+                    Ok(rel) => answer = Some((rel, Rung::Bushy, "bushy join tree".to_string())),
+                    Err(error) => attempts.push(FallbackAttempt {
+                        rung: Rung::Bushy,
+                        error,
+                        tuples: spent,
+                    }),
+                }
+            }
+        }
+
+        // Rung 2: naive join order (always applicable).
+        if answer.is_none() && self.retry.fallback_naive && retryable(&attempts) {
+            let mut b = self.rung_budget(&budget, attempts.len());
+            let (result, spent) = run_contained(&mut b, |bud| {
+                evaluate_naive(db, q, bud)
+                    .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, bud))
+            });
+            tuples += spent;
+            match result {
+                Ok(rel) => answer = Some((rel, Rung::Naive, "naive join order".to_string())),
+                Err(error) => attempts.push(FallbackAttempt {
+                    rung: Rung::Naive,
+                    error,
+                    tuples: spent,
+                }),
+            }
+        }
+
+        let execution = t1.elapsed();
+        let failed: Vec<String> = attempts
+            .iter()
+            .map(|a| format!("{} failure: {}", a.rung, a.error))
+            .collect();
+        match answer {
+            Some((rel, rung, desc)) => QueryOutcome {
+                result: Ok(rel),
+                planning,
+                execution,
+                tuples,
+                plan: if failed.is_empty() {
+                    desc
+                } else {
+                    format!("{desc} [fallback after {}]", failed.join("; "))
+                },
+                rung,
+                attempts,
+            },
+            None => {
+                let last = attempts.last().expect("the q-HD rung always runs");
                 QueryOutcome {
-                    result,
+                    result: Err(last.error.clone()),
                     planning,
-                    execution: t1.elapsed(),
-                    tuples: budget.charged(),
-                    plan: desc,
+                    execution,
+                    tuples,
+                    plan: failed.join("; "),
+                    rung: last.rung,
+                    attempts,
                 }
             }
         }
@@ -139,6 +362,34 @@ impl HybridOptimizer {
             crate::nested::flatten_subqueries(db, &stmt, &mut budget).map_err(SqlError::Nested)?;
         let q = isolate(&stmt, &db, self.isolator).map_err(SqlError::Isolate)?;
         Ok(self.execute_cq(&db, &q, budget))
+    }
+}
+
+/// Runs one ladder rung with panic containment: a panic anywhere inside
+/// the rung is converted to [`EvalError::WorkerPanicked`]. Returns the
+/// result together with the tuples the rung charged (forked budget
+/// handles flush on unwind, so the count is recoverable after a panic).
+fn run_contained<F>(budget: &mut Budget, f: F) -> (Result<VRelation, EvalError>, u64)
+where
+    F: FnOnce(&mut Budget) -> Result<VRelation, EvalError>,
+{
+    let result = match catch_unwind(AssertUnwindSafe(|| f(budget))) {
+        Ok(r) => r,
+        Err(payload) => Err(EvalError::WorkerPanicked {
+            message: panic_message(payload.as_ref()),
+        }),
+    };
+    let spent = budget.charged();
+    (result, spent)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -181,6 +432,19 @@ mod tests {
         b.out_var("X0").build()
     }
 
+    /// A cyclic triangle query that has no width-1 decomposition, over
+    /// tables named r/s/t mapped onto the p0/p1/p2 chain relations.
+    fn triangle_query() -> ConjunctiveQuery {
+        CqBuilder::new()
+            .atom("p0", "r", &[("l", "X"), ("r", "Y")])
+            .atom("p1", "s", &[("l", "Y"), ("r", "Z")])
+            .atom("p2", "t", &[("l", "Z"), ("r", "X")])
+            .out_var("X")
+            .out_var("Y")
+            .out_var("Z")
+            .build()
+    }
+
     #[test]
     fn hybrid_agrees_with_quantitative_baseline() {
         let db = chain_db(5, 40, 6);
@@ -190,6 +454,10 @@ mod tests {
         let commdb = DbmsSim::commdb(Some(stats));
         let a = hybrid.execute_cq(&db, &q, Budget::unlimited());
         let b = commdb.execute_cq(&db, &q, Budget::unlimited());
+        assert_eq!(a.rung, Rung::QHd);
+        assert!(a.attempts.is_empty());
+        assert!(!a.degraded());
+        assert_eq!(b.rung, Rung::LeftDeep);
         let ra = a.result.unwrap();
         let rb = b.result.unwrap();
         assert!(ra.set_eq(&rb));
@@ -205,25 +473,94 @@ mod tests {
         assert!(out.plan.contains("q-HD width=2"));
     }
 
+    /// With fallbacks disabled, a planning failure surfaces exactly like
+    /// it did before the ladder existed: an error outcome whose plan
+    /// string names the failure.
     #[test]
     fn failure_surfaces_as_plan_error() {
-        let q = CqBuilder::new()
-            .atom_vars("r", &["X", "Y"])
-            .atom_vars("s", &["Y", "Z"])
-            .atom_vars("t", &["Z", "X"])
-            .out_var("X")
-            .out_var("Y")
-            .out_var("Z")
-            .build();
         let db = chain_db(0, 0, 1);
+        let opt = HybridOptimizer::structural(QhdOptions {
+            max_width: 1,
+            run_optimize: true,
+            threads: 0,
+        })
+        .with_retry(RetryPolicy::none());
+        let out = opt.execute_cq(&db, &triangle_query(), Budget::unlimited());
+        assert!(out.result.is_err());
+        assert!(out.plan.contains("failure"));
+        assert_eq!(out.rung, Rung::QHd);
+        assert_eq!(out.attempts.len(), 1);
+    }
+
+    /// With the default policy, the same planning failure is rescued by
+    /// the bushy rung and the outcome records the degradation.
+    #[test]
+    fn ladder_rescues_planning_failure() {
+        let db = chain_db(3, 30, 5);
+        let q = triangle_query();
         let opt = HybridOptimizer::structural(QhdOptions {
             max_width: 1,
             run_optimize: true,
             threads: 0,
         });
         let out = opt.execute_cq(&db, &q, Budget::unlimited());
-        assert!(out.result.is_err());
-        assert!(out.plan.contains("failure"));
+        assert_eq!(out.rung, Rung::Bushy, "{}", out.plan);
+        assert_eq!(out.attempts.len(), 1);
+        assert_eq!(out.attempts[0].rung, Rung::QHd);
+        assert!(out.degraded());
+        assert!(out.plan.contains("fallback"));
+        let mut b = Budget::unlimited();
+        let oracle = htqo_eval::evaluate_naive(&db, &q, &mut b).unwrap();
+        assert!(out.result.unwrap().set_eq(&oracle));
+    }
+
+    /// Semantic errors (unknown table) must NOT descend the ladder: the
+    /// first rung's error is final.
+    #[test]
+    fn semantic_errors_stop_the_ladder() {
+        let db = chain_db(1, 10, 3); // only p0 exists; q references p1
+        let q = chain_query(2);
+        let opt = HybridOptimizer::structural(QhdOptions::default());
+        let out = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert!(matches!(out.result, Err(EvalError::UnknownTable(_))));
+        assert_eq!(out.attempts.len(), 1, "{}", out.plan);
+    }
+
+    /// Budget escalation: a tuple budget too small for any rung at 1x
+    /// succeeds once the escalated fallback rungs get enough room.
+    #[test]
+    fn escalation_widens_fallback_budgets() {
+        let db = chain_db(3, 30, 5);
+        let q = triangle_query();
+        let mut opt = HybridOptimizer::structural(QhdOptions::default());
+        opt.retry.escalate = Some(100.0);
+        // First find a budget that q-HD alone exhausts.
+        let tight = 5;
+        let strict =
+            HybridOptimizer::structural(QhdOptions::default()).with_retry(RetryPolicy::none());
+        let out = strict.execute_cq(&db, &q, Budget::unlimited().with_max_tuples(tight));
+        assert!(out.is_dnf(), "{}", out.plan);
+        // With escalation the ladder rescues it.
+        let out = opt.execute_cq(&db, &q, Budget::unlimited().with_max_tuples(tight));
+        assert!(out.result.is_ok(), "{:?}", out.result);
+        assert!(out.degraded());
+        let mut b = Budget::unlimited();
+        let oracle = htqo_eval::evaluate_naive(&db, &q, &mut b).unwrap();
+        assert!(out.result.unwrap().set_eq(&oracle));
+    }
+
+    /// A DNF stays a DNF when every rung exhausts its (un-escalated)
+    /// budget, and the per-rung charges in `attempts` sum to `tuples`.
+    #[test]
+    fn exhausted_ladder_reports_dnf_and_exact_charges() {
+        let db = chain_db(3, 200, 4);
+        let q = triangle_query();
+        let opt = HybridOptimizer::structural(QhdOptions::default());
+        let out = opt.execute_cq(&db, &q, Budget::unlimited().with_max_tuples(3));
+        assert!(out.is_dnf(), "{}", out.plan);
+        assert!(!out.attempts.is_empty());
+        let sum: u64 = out.attempts.iter().map(|a| a.tuples).sum();
+        assert_eq!(sum, out.tuples);
     }
 
     #[test]
@@ -247,6 +584,32 @@ mod tests {
         let mut b2 = Budget::unlimited();
         let naive = htqo_eval::evaluate_naive(&db, &q, &mut b2).unwrap();
         assert!(ans.set_eq(&naive));
+    }
+
+    /// The cache is bounded: inserting past capacity evicts the least
+    /// recently used entry, and a failed execution evicts its plan.
+    #[test]
+    fn plan_cache_is_bounded_and_evicts_failures() {
+        let opt = HybridOptimizer::structural(QhdOptions::default()).with_cache_capacity(2);
+        let q3 = chain_query(3);
+        let q4 = chain_query(4);
+        let q5 = chain_query(5);
+        opt.plan_cq_cached(&q3).unwrap();
+        opt.plan_cq_cached(&q4).unwrap();
+        assert_eq!(opt.cached_plans(), 2);
+        // Touch q3 so q4 is the LRU victim.
+        opt.plan_cq_cached(&q3).unwrap();
+        opt.plan_cq_cached(&q5).unwrap();
+        assert_eq!(opt.cached_plans(), 2);
+        assert!(opt.cache.borrow_mut().get(&opt.cache_key(&q3)).is_some());
+        assert!(opt.cache.borrow_mut().get(&opt.cache_key(&q4)).is_none());
+        // A failed execution evicts the plan it used: run q3 against a db
+        // missing its tables — scan fails, entry is removed.
+        let db = Database::new();
+        let opt = opt.with_retry(RetryPolicy::none());
+        let out = opt.execute_cq(&db, &q3, Budget::unlimited());
+        assert!(out.result.is_err());
+        assert!(opt.cache.borrow_mut().get(&opt.cache_key(&q3)).is_none());
     }
 
     #[test]

@@ -66,11 +66,13 @@ pub mod prelude {
         hypertree_width, q_hypertree_decomp, QhdFailure, QhdOptions, QhdPlan, StructuralCost,
     };
     pub use htqo_cq::{isolate, parse_select, ConjunctiveQuery, CqBuilder, IsolatorOptions};
-    pub use htqo_engine::{Budget, Database, EvalError, Relation, Schema, VRelation, Value};
+    pub use htqo_engine::{
+        Budget, CancelToken, Database, EvalError, Relation, Schema, VRelation, Value,
+    };
     pub use htqo_eval::{evaluate_naive, evaluate_qhd, evaluate_yannakakis};
     pub use htqo_hypergraph::{acyclic, Hypergraph};
     pub use htqo_optimizer::{
-        execute_views, rewrite_to_views, DbmsSim, HybridOptimizer, QueryOutcome,
+        execute_views, rewrite_to_views, DbmsSim, HybridOptimizer, QueryOutcome, RetryPolicy, Rung,
     };
     pub use htqo_stats::{analyze, DbStats, StatsDecompCost};
 }

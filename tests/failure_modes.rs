@@ -22,10 +22,148 @@ fn tuple_budget_produces_dnf_outcome() {
         Err(EvalError::TupleBudgetExceeded { limit: 50 })
     ));
 
-    // The q-HD pipeline reports DNF through the same interface.
+    // The q-HD pipeline reports DNF through the same interface; with the
+    // fallback ladder on, DNF means *every* rung exhausted its budget.
     let hybrid = HybridOptimizer::structural(QhdOptions::default());
     let out = hybrid.execute_cq(&db, &q, Budget::unlimited().with_max_tuples(10));
     assert!(out.is_dnf());
+    assert!(!out.attempts.is_empty());
+    assert!(out.attempts.iter().all(|a| a.error.is_resource_limit()));
+}
+
+#[test]
+fn every_error_variant_classifies_for_dnf_and_retry() {
+    // One case per `EvalError` variant: `is_resource_limit` decides DNF
+    // reporting, `is_retryable` decides whether the fallback ladder may
+    // descend to the next rung.
+    let cases: Vec<(EvalError, bool, bool)> = vec![
+        (EvalError::TupleBudgetExceeded { limit: 1 }, true, true),
+        (
+            EvalError::Timeout {
+                limit: Duration::from_millis(1),
+            },
+            true,
+            true,
+        ),
+        (EvalError::Cancelled, false, false),
+        (
+            EvalError::WorkerPanicked {
+                message: "boom".into(),
+            },
+            false,
+            true,
+        ),
+        (EvalError::UnknownTable("t".into()), false, false),
+        (
+            EvalError::UnknownColumn {
+                relation: "t".into(),
+                column: "c".into(),
+            },
+            false,
+            false,
+        ),
+        (EvalError::UnknownVariable("X".into()), false, false),
+        (EvalError::Internal("oops".into()), false, true),
+    ];
+    for (e, resource, retryable) in cases {
+        assert_eq!(e.is_resource_limit(), resource, "{e:?}");
+        assert_eq!(e.is_retryable(), retryable, "{e:?}");
+    }
+}
+
+#[test]
+fn cancelled_run_is_typed_and_never_retried() {
+    let db = db();
+    let q = chain_query(4);
+    let token = CancelToken::new();
+    token.cancel();
+    let hybrid = HybridOptimizer::structural(QhdOptions::default());
+    let out = hybrid.execute_cq(&db, &q, Budget::unlimited().with_cancel_token(token));
+    assert!(matches!(out.result, Err(EvalError::Cancelled)));
+    // Cancellation is not a DNF data point and must not descend the
+    // ladder: the user asked the query to stop, not to try harder.
+    assert!(!out.is_dnf());
+    assert_eq!(out.attempts.len(), 1);
+}
+
+#[test]
+fn worker_panic_surfaces_as_typed_error() {
+    // A panic in a parallel-map worker is contained as `WorkerPanicked`.
+    // On the sequential fast path (no permits available) the documented
+    // contract is that the panic propagates instead — both outcomes are
+    // legal here, but a wrong answer is not.
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    const MARKER: &str = "failure-modes-deliberate-panic";
+    install_quiet_hook();
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        htqo_engine::exec::parallel_map((0..64u64).collect::<Vec<_>>(), 4, |i| {
+            if i == 13 {
+                panic!("{MARKER}");
+            }
+            i
+        })
+    }));
+    match res {
+        Ok(Err(EvalError::WorkerPanicked { ref message })) => assert!(message.contains(MARKER)),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains(MARKER), "unexpected panic: {msg}");
+        }
+        Ok(other) => panic!("expected containment or propagation, got {other:?}"),
+    }
+}
+
+/// Installs (once) a chained panic hook that silences this file's
+/// deliberate test panics and delegates everything else.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let deliberate = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.contains("failure-modes-deliberate-panic"));
+            if !deliberate {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn fallback_rung_selection_is_recorded() {
+    // A width-1 bound makes q-HD planning fail on the cyclic triangle;
+    // the default policy answers via the bushy rung and says so.
+    let db = db();
+    let q = CqBuilder::new()
+        .atom("p0", "a0", &[("l", "X"), ("r", "Y")])
+        .atom("p1", "a1", &[("l", "Y"), ("r", "Z")])
+        .atom("p2", "a2", &[("l", "Z"), ("r", "X")])
+        .out_var("X")
+        .out_var("Y")
+        .out_var("Z")
+        .build();
+    let narrow = QhdOptions {
+        max_width: 1,
+        run_optimize: true,
+        threads: 0,
+    };
+    let out = HybridOptimizer::structural(narrow.clone()).execute_cq(&db, &q, Budget::unlimited());
+    assert_eq!(out.rung, Rung::Bushy, "{}", out.plan);
+    assert!(out.degraded());
+    let mut b = Budget::unlimited();
+    let oracle = evaluate_naive(&db, &q, &mut b).unwrap();
+    assert!(out.result.unwrap().set_eq(&oracle));
+
+    // With fallbacks disabled the same failure is final.
+    let strict = HybridOptimizer::structural(narrow).with_retry(RetryPolicy::none());
+    let out = strict.execute_cq(&db, &q, Budget::unlimited());
+    assert!(out.result.is_err());
+    assert_eq!(out.rung, Rung::QHd);
 }
 
 #[test]
