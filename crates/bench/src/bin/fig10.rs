@@ -10,7 +10,9 @@
 //! cargo run -p htqo-bench --release --bin fig10 [-- --threads N]
 //! ```
 
-use htqo_bench::harness::{env_f64, print_table, run_measured, threads_from_args, Series};
+use htqo_bench::harness::{
+    env_f64, mem_limit_from_args, print_table, run_measured, threads_from_args, Series,
+};
 use htqo_core::QhdOptions;
 use htqo_optimizer::{HybridOptimizer, RetryPolicy};
 use htqo_stats::analyze;
@@ -18,9 +20,14 @@ use htqo_workloads::{chain_query, workload_db, WorkloadSpec};
 
 fn main() {
     let threads = threads_from_args();
+    let mem_limit = mem_limit_from_args();
     let max_atoms = env_f64("HTQO_MAX_ATOMS", 10.0) as usize;
     println!(
-        "# Figure 10 — impact of Procedure Optimize (chain, sel 60, card 450, {threads} thread(s))"
+        "# Figure 10 — impact of Procedure Optimize (chain, sel 60, card 450, {threads} thread(s), {})",
+        match mem_limit {
+            Some(n) => format!("{n}-byte memory limit"),
+            None => "unlimited memory".to_string(),
+        }
     );
 
     let mut with_opt = Series::new("q-HD with Optimize");

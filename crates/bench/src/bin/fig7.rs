@@ -24,12 +24,17 @@ use htqo_workloads::{acyclic_query, chain_query, workload_db, WorkloadSpec};
 fn main() {
     let threads = htqo_bench::harness::threads_from_args();
     let columnar = htqo_bench::harness::carrier_from_args();
+    let mem_limit = htqo_bench::harness::mem_limit_from_args();
     let max_atoms = htqo_bench::harness::env_f64("HTQO_MAX_ATOMS", 10.0) as usize;
     println!("# Figure 7 — CommDB vs q-HD on synthetic queries");
     println!("(x = number of body atoms; cells = total time, DNF = budget hit)");
     println!(
-        "(execution layer: {threads} thread(s), {} carrier)",
-        if columnar { "columnar" } else { "row" }
+        "(execution layer: {threads} thread(s), {} carrier, {})",
+        if columnar { "columnar" } else { "row" },
+        match mem_limit {
+            Some(n) => format!("{n}-byte memory limit"),
+            None => "unlimited memory".to_string(),
+        }
     );
 
     // Panels (a) and (b): cardinality 500, selectivity ∈ {30, 60, 90}.

@@ -22,12 +22,17 @@ use htqo_tpch::{generate, nominal_megabytes, q5, q8, DbgenOptions};
 fn main() {
     let threads = htqo_bench::harness::threads_from_args();
     let columnar = htqo_bench::harness::carrier_from_args();
+    let mem_limit = htqo_bench::harness::mem_limit_from_args();
     let scales = env_f64_list("HTQO_FIG8_SCALES", &[0.02, 0.04, 0.06, 0.08, 0.10]);
     println!("# Figure 8 — TPC-H Q5 / Q8: CommDB vs q-HD vs database size");
     println!("(x = nominal database size in MB, SF×1000; cells = total time)");
     println!(
-        "(execution layer: {threads} thread(s), {} carrier)",
-        if columnar { "columnar" } else { "row" }
+        "(execution layer: {threads} thread(s), {} carrier, {})",
+        if columnar { "columnar" } else { "row" },
+        match mem_limit {
+            Some(n) => format!("{n}-byte memory limit"),
+            None => "unlimited memory".to_string(),
+        }
     );
 
     for (panel, sql) in [

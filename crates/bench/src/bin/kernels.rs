@@ -3,7 +3,10 @@
 //! 1. the row hash-join kernels (seed `key_of`-boxing and the in-place
 //!    partitioned overhaul) against the **columnar** kernel on a
 //!    100k × 100k skewed join, and
-//! 2. multi-threaded vs single-threaded `evaluate_qhd` on a bushy query
+//! 2. the same join kernels under a byte cap of a quarter of their
+//!    working set, so the build side must take the Grace-style
+//!    spill-to-disk path (`HTQO_MEM_LIMIT` machinery), and
+//! 3. multi-threaded vs single-threaded `evaluate_qhd` on a bushy query
 //!    whose decomposition has three independent subtrees, on both the
 //!    row and the columnar carrier,
 //!
@@ -24,7 +27,7 @@ use htqo_core::{q_hypertree_decomp, QhdOptions, StructuralCost};
 use htqo_cq::{AtomId, CqBuilder};
 use htqo_engine::cops;
 use htqo_engine::crel::CRel;
-use htqo_engine::error::Budget;
+use htqo_engine::error::{Budget, SpillMode};
 use htqo_engine::exec;
 use htqo_engine::ops::{natural_join, natural_join_seed};
 use htqo_engine::relation::Relation;
@@ -195,7 +198,121 @@ fn main() {
     let _ = writeln!(json, "  }},");
     exec::set_threads(max_threads);
 
-    // ---- 2. Parallel q-hypertree evaluation, row vs columnar carrier. ----
+    // ---- 2. Constrained memory: in-memory vs Grace spill at a quarter
+    // of the working set, both carriers. Sequential so the comparison
+    // isolates the spill I/O cost, selective keys so the hash table (not
+    // the output) is what blows the cap.
+    exec::set_threads(1);
+    {
+        // Mostly disjoint keys: ~1% of the build side joins, so the hash
+        // table — the spillable state — dwarfs the output (whose charges
+        // are owed in both modes and cannot spill).
+        let mut db = Database::new();
+        for (name, off) in [("r", 0i64), ("s", 1i64)] {
+            let mut t = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
+            t.reserve(scale);
+            for i in 0..scale as i64 {
+                let key = i + off * (scale as i64 - (scale as i64 / 100).max(1));
+                t.push_row(vec![Value::Int(key), Value::Int(key)]).unwrap();
+            }
+            db.insert_table(name, t);
+        }
+        let q = CqBuilder::new()
+            .atom("r", "r", &[("l", "X"), ("r", "Y")])
+            .atom("s", "s", &[("l", "Y"), ("r", "Z")])
+            .build();
+        let mut scan_budget = Budget::unlimited();
+        let left: VRelation = scan_query_atom(&db, &q, AtomId(0), &mut scan_budget).unwrap();
+        let right: VRelation = scan_query_atom(&db, &q, AtomId(1), &mut scan_budget).unwrap();
+        let cleft = CRel::from_vrel(&left);
+        let cright = CRel::from_vrel(&right);
+
+        let _ = writeln!(
+            report,
+            "## Hash join under a memory cap (~1% matching keys, 1 thread)\n"
+        );
+        let _ = writeln!(
+            report,
+            "Working set = the smallest byte cap the in-memory path (spill \
+             disabled) completes under, probed per kernel; the measured cap is \
+             a quarter of it, forcing Grace-style partitioned spilling.\n"
+        );
+        let _ = writeln!(
+            report,
+            "| kernel | working set | in-memory | spilling at 1/4 cap | slowdown | \
+             spilled bytes | partitions |"
+        );
+        let _ = writeln!(report, "|---|---|---|---|---|---|---|");
+        let _ = writeln!(json, "  \"join_mem\": {{");
+        for (ci, name) in ["row", "columnar"].into_iter().enumerate() {
+            let run = |b: &mut Budget| -> Result<usize, htqo_engine::error::EvalError> {
+                if ci == 0 {
+                    natural_join(&left, &right, b).map(|r| r.len())
+                } else {
+                    cops::natural_join(&cleft, &cright, b).map(|r| r.len())
+                }
+            };
+            // Peak in-memory charge, by geometric probe + binary search
+            // (the budget's residual after a run is only the output; the
+            // build table's transient charges are returned on completion).
+            let fits = |limit: u64| {
+                run(&mut Budget::unlimited()
+                    .with_mem_limit(limit)
+                    .with_spill_mode(SpillMode::Off))
+                .is_ok()
+            };
+            let mut hi = 1u64 << 16;
+            while !fits(hi) {
+                hi <<= 1;
+            }
+            let mut lo = 0u64;
+            while hi - lo > 1024 {
+                let mid = lo + (hi - lo) / 2;
+                if fits(mid) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            let working_set = hi;
+            let limit = (working_set / 4).max(1);
+
+            let (mem_s, rows) = best_of(|| run(&mut Budget::unlimited()).unwrap());
+            let mut spilled = 0u64;
+            let mut parts = 0u64;
+            let (spill_s, srows) = best_of(|| {
+                let mut b = Budget::unlimited().with_mem_limit(limit);
+                let n = run(&mut b).unwrap();
+                spilled = b.spill_stats().bytes_written();
+                parts = b.spill_stats().partitions();
+                n
+            });
+            assert_eq!(rows, srows, "spilling changed the answer ({name})");
+            assert!(spilled > 0, "cap of {limit} bytes did not trigger a spill");
+            let _ = writeln!(
+                report,
+                "| {name} | {working_set} B | {mem_s:.3}s | {spill_s:.3}s | {:.2}x | \
+                 {spilled} | {parts} |",
+                spill_s / mem_s
+            );
+            let _ = writeln!(
+                json,
+                "    \"{name}\": {{ \"working_set_bytes\": {working_set}, \
+                 \"limit_bytes\": {limit}, \"in_memory_s\": {mem_s:.6}, \
+                 \"spill_s\": {spill_s:.6}, \"spill_bytes\": {spilled}, \
+                 \"spill_partitions\": {parts} }}{}",
+                if ci == 0 { "," } else { "" }
+            );
+        }
+        let _ = writeln!(report);
+        let _ = writeln!(json, "  }},");
+    }
+    exec::set_threads(max_threads);
+
+    // ---- 3. Parallel q-hypertree evaluation, row vs columnar carrier. ----
     // hub(A,B,C) with three independent 3-atom chains hanging off A, B, C:
     // the decomposition's root has three independent subtrees.
     let (bdb, bq) = bushy_workload(scale * 3, (scale * 3 / 5) as u64, scale / 50);
@@ -212,6 +329,7 @@ fn main() {
             &ExecOptions {
                 threads: 1,
                 columnar: true,
+                ..ExecOptions::default()
             },
         )
         .unwrap()
@@ -241,6 +359,7 @@ fn main() {
                     &ExecOptions {
                         threads: t,
                         columnar,
+                        ..ExecOptions::default()
                     },
                 )
                 .unwrap()

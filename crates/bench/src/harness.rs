@@ -152,6 +152,33 @@ pub fn threads_from_args() -> usize {
     htqo_engine::exec::num_threads()
 }
 
+/// Applies the `--mem-limit N` (or `--mem-limit=N`) command-line knob
+/// shared by the figure harnesses: parses a byte count with optional
+/// `K`/`M`/`G` suffix and pins the process-wide memory limit via
+/// [`htqo_engine::exec::set_mem_limit_default`], returning the limit now
+/// in effect. Without the flag, the `HTQO_MEM_LIMIT` env var / unlimited
+/// default stands.
+pub fn mem_limit_from_args() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut parsed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--mem-limit=") {
+            parsed = htqo_engine::exec::parse_bytes(v);
+        } else if args[i] == "--mem-limit" {
+            parsed = args
+                .get(i + 1)
+                .and_then(|v| htqo_engine::exec::parse_bytes(v));
+            i += 1;
+        }
+        i += 1;
+    }
+    if let Some(n) = parsed {
+        htqo_engine::exec::set_mem_limit_default(Some(n));
+    }
+    htqo_engine::exec::mem_limit_default()
+}
+
 /// Applies the `--columnar` / `--rows` command-line knob shared by the
 /// figure harnesses: pins the evaluators' carrier default process-wide
 /// via [`htqo_engine::exec::set_columnar_default`] and returns the

@@ -6,11 +6,12 @@
 use crate::cops;
 use crate::crel::CRel;
 use crate::dict;
-use crate::error::{Budget, EvalError};
+use crate::error::{Budget, EvalError, SpillMode};
 use crate::expr::eval_scalar;
-use crate::hash::FxHashMap;
-use crate::ops::sort_by;
-use crate::value::{Row, Value};
+use crate::hash::{hash_key, FxHashMap};
+use crate::ops::{self, sort_by};
+use crate::spill::{SpillDir, SpillFile, SpillReader, MAX_SPILL_LEVEL};
+use crate::value::{row_heap_bytes, Row, Value};
 use crate::vrel::VRelation;
 use htqo_cq::isolator::is_hidden_label;
 use htqo_cq::{AggFunc, ConjunctiveQuery, OutputItem, SortDir};
@@ -199,25 +200,22 @@ impl DedupPreserving for Vec<String> {
     }
 }
 
-fn aggregate(
-    answer: &VRelation,
+/// Resolves the GROUP BY column positions and validates that every
+/// non-aggregate visible item is a grouping variable.
+fn group_layout(
+    cols: &[String],
     q: &ConjunctiveQuery,
     visible: &[&OutputItem],
-    labels: &[String],
-    budget: &mut Budget,
-) -> Result<VRelation, EvalError> {
-    // Group keys.
+) -> Result<Vec<usize>, EvalError> {
     let group_idx: Vec<usize> = q
         .group_by
         .iter()
         .map(|v| {
-            answer
-                .col_index(v)
+            cols.iter()
+                .position(|c| c == v)
                 .ok_or_else(|| EvalError::UnknownVariable(v.clone()))
         })
         .collect::<Result<_, _>>()?;
-
-    // Validate: non-aggregate visible items must be grouping variables.
     for item in visible {
         if let OutputItem::Var { var, .. } = item {
             if !q.group_by.contains(var) {
@@ -227,7 +225,97 @@ fn aggregate(
             }
         }
     }
+    Ok(group_idx)
+}
 
+/// Resident bytes one group costs the governor: its key row, its
+/// accumulators, and a map-entry allowance.
+fn group_state_bytes(key_width: usize, n_items: usize) -> u64 {
+    row_heap_bytes(key_width) + (n_items * std::mem::size_of::<Accumulator>()) as u64 + 48
+}
+
+/// A denied group-state reservation as a typed error.
+fn group_state_exceeded(budget: &Budget, requested: u64) -> EvalError {
+    EvalError::MemoryExceeded {
+        requested,
+        reserved: budget.mem_used(),
+        pool: budget.mem_limit().unwrap_or(0),
+    }
+}
+
+fn aggregate(
+    answer: &VRelation,
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let group_idx = group_layout(answer.cols(), q, visible)?;
+    // Spill requires a group key to partition on; a global aggregate's
+    // state is one row of accumulators and never spills.
+    let spillable =
+        !group_idx.is_empty() && answer.len() > 1 && budget.spill_mode() != SpillMode::Off;
+    if spillable && budget.spill_mode() == SpillMode::Force {
+        return aggregate_spilled(
+            answer.len(),
+            |i| answer.rows()[i].clone(),
+            |i| hash_key(&answer.rows()[i], &group_idx),
+            answer.cols(),
+            &group_idx,
+            q,
+            visible,
+            labels,
+            budget,
+        );
+    }
+    match aggregate_rows(answer, &group_idx, q, visible, labels, budget) {
+        Err(EvalError::MemoryExceeded { .. }) if spillable => aggregate_spilled(
+            answer.len(),
+            |i| answer.rows()[i].clone(),
+            |i| hash_key(&answer.rows()[i], &group_idx),
+            answer.cols(),
+            &group_idx,
+            q,
+            visible,
+            labels,
+            budget,
+        ),
+        r => r,
+    }
+}
+
+/// In-memory row-carrier aggregation. Group state is charged to the byte
+/// pool as groups appear and released when the function returns; the
+/// (usually much smaller) output rows are charged on success. A denied
+/// group reservation surfaces as [`EvalError::MemoryExceeded`] — the
+/// callers' cue to re-run through the spill driver.
+fn aggregate_rows(
+    answer: &VRelation,
+    group_idx: &[usize],
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let mut accrued = 0u64;
+    let result = aggregate_rows_inner(answer, group_idx, q, visible, labels, budget, &mut accrued);
+    budget.uncharge_bytes(accrued);
+    let out = result?;
+    budget.charge_bytes(out.len() as u64 * row_heap_bytes(out.cols().len()))?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn aggregate_rows_inner(
+    answer: &VRelation,
+    group_idx: &[usize],
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+    accrued: &mut u64,
+) -> Result<VRelation, EvalError> {
+    let group_bytes = group_state_bytes(group_idx.len(), visible.len());
     let mut groups: HashMap<Row, Vec<Accumulator>> = HashMap::new();
     // Deterministic group ordering: remember first-seen order.
     let mut order: Vec<Row> = Vec::new();
@@ -238,6 +326,10 @@ fn aggregate(
         let accs = match groups.get_mut(&key) {
             Some(a) => a,
             None => {
+                if !budget.try_reserve_bytes(group_bytes) {
+                    return Err(group_state_exceeded(budget, group_bytes));
+                }
+                *accrued += group_bytes;
                 budget.charge(1)?;
                 order.push(key.clone());
                 groups
@@ -278,6 +370,126 @@ fn aggregate(
     Ok(out)
 }
 
+/// Spilled aggregation driver, shared by both carriers: the input is
+/// hash-partitioned by its group key to checksummed temp files (so a
+/// group lives in exactly one partition and no cross-partition merge is
+/// ever needed), then each partition is aggregated in memory — recursing
+/// with a re-salted partition function when a partition still does not
+/// fit. Rows within a group keep their input order through every level,
+/// so order-sensitive float accumulation matches the in-memory path
+/// bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_spilled(
+    n: usize,
+    row: impl FnMut(usize) -> Row,
+    hash: impl Fn(usize) -> u64,
+    cols: &[String],
+    group_idx: &[usize],
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let stats = budget.spill_stats();
+    let mut dir = SpillDir::create(budget.spill_dir())?;
+    let parts = ops::partition_side(&dir, "g", n, row, hash, 0, &stats)?;
+    let mut out = VRelation::empty(labels.to_vec());
+    for p in &parts {
+        aggregate_spilled_partition(
+            &dir, p, 0, cols, group_idx, q, visible, labels, budget, &mut out,
+        )?;
+    }
+    dir.cleanup()?;
+    Ok(out)
+}
+
+/// Aggregates one spilled partition: loads its rows (reserving their
+/// bytes) and aggregates in memory, re-partitioning one level deeper when
+/// either the load reservation or the in-memory group state is denied. At
+/// [`MAX_SPILL_LEVEL`] the denial surfaces as a clean `MemoryExceeded`
+/// (one pathological group key can defeat any amount of partitioning).
+#[allow(clippy::too_many_arguments)]
+fn aggregate_spilled_partition(
+    dir: &SpillDir,
+    file: &SpillFile,
+    level: u32,
+    cols: &[String],
+    group_idx: &[usize],
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+    out: &mut VRelation,
+) -> Result<(), EvalError> {
+    if file.rows == 0 {
+        return Ok(());
+    }
+    if budget.try_reserve_bytes(file.bytes) {
+        let mut rows: Vec<Row> = Vec::with_capacity(file.rows as usize);
+        let mut reader = SpillReader::open(&file.path)?;
+        while let Some(frame) = reader.read_row()? {
+            rows.push(ops::split_frame(frame)?.1);
+        }
+        drop(reader);
+        let rel = VRelation::from_rows(cols.to_vec(), rows);
+        let r = aggregate_rows(&rel, group_idx, q, visible, labels, budget);
+        budget.uncharge_bytes(file.bytes);
+        match r {
+            Ok(part) => {
+                for row in part.rows() {
+                    out.push(row.clone());
+                }
+                Ok(())
+            }
+            Err(EvalError::MemoryExceeded { .. }) if level < MAX_SPILL_LEVEL => {
+                aggregate_repartition(
+                    dir, file, level, cols, group_idx, q, visible, labels, budget, out,
+                )
+            }
+            Err(e) => Err(e),
+        }
+    } else if level < MAX_SPILL_LEVEL {
+        aggregate_repartition(
+            dir, file, level, cols, group_idx, q, visible, labels, budget, out,
+        )
+    } else {
+        Err(group_state_exceeded(budget, file.bytes))
+    }
+}
+
+/// Splits a spilled partition one level deeper and aggregates the pieces.
+#[allow(clippy::too_many_arguments)]
+fn aggregate_repartition(
+    dir: &SpillDir,
+    file: &SpillFile,
+    level: u32,
+    cols: &[String],
+    group_idx: &[usize],
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+    out: &mut VRelation,
+) -> Result<(), EvalError> {
+    let stats = budget.spill_stats();
+    let subs = ops::repartition_file(dir, "g", file, level + 1, &stats)?;
+    for s in &subs {
+        aggregate_spilled_partition(
+            dir,
+            s,
+            level + 1,
+            cols,
+            group_idx,
+            q,
+            visible,
+            labels,
+            budget,
+            out,
+        )?;
+    }
+    Ok(())
+}
+
 /// Columnar grouping: group identity is decided by one vectorized
 /// key-hash pass over the GROUP BY columns plus typed cell verification —
 /// no boxed `Row` keys are built for the hash map. Accumulator feeding
@@ -291,34 +503,83 @@ fn aggregate_c(
     labels: &[String],
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
-    let group_idx: Vec<usize> = q
-        .group_by
-        .iter()
-        .map(|v| {
-            answer
-                .col_index(v)
-                .ok_or_else(|| EvalError::UnknownVariable(v.clone()))
-        })
-        .collect::<Result<_, _>>()?;
-
-    // Validate: non-aggregate visible items must be grouping variables.
-    for item in visible {
-        if let OutputItem::Var { var, .. } = item {
-            if !q.group_by.contains(var) {
-                return Err(EvalError::Internal(format!(
-                    "output variable `{var}` is neither aggregated nor grouped"
-                )));
-            }
-        }
+    let group_idx = group_layout(answer.cols(), q, visible)?;
+    let spillable =
+        !group_idx.is_empty() && answer.len() > 1 && budget.spill_mode() != SpillMode::Off;
+    let spill = |budget: &mut Budget| {
+        // Rows stream straight out of the columns into the partition
+        // files; decoded partitions aggregate through the row core (its
+        // `Value`s round-trip the dictionary content-identically).
+        let reader = dict::reader();
+        let hashes = cops::key_hashes(answer, &group_idx, &reader);
+        aggregate_spilled(
+            answer.len(),
+            |i| {
+                answer
+                    .columns()
+                    .iter()
+                    .map(|c| c.value_with(i, &reader))
+                    .collect()
+            },
+            |i| hashes[i],
+            answer.cols(),
+            &group_idx,
+            q,
+            visible,
+            labels,
+            budget,
+        )
+    };
+    if spillable && budget.spill_mode() == SpillMode::Force {
+        return spill(budget);
     }
+    match aggregate_c_mem(answer, &group_idx, q, visible, labels, budget) {
+        Err(EvalError::MemoryExceeded { .. }) if spillable => spill(budget),
+        r => r,
+    }
+}
 
+/// In-memory columnar aggregation core; byte accounting mirrors
+/// [`aggregate_rows`] (group state accrues against the pool, the hash
+/// array is reserved up front, output rows are charged on success).
+fn aggregate_c_mem(
+    answer: &CRel,
+    group_idx: &[usize],
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+) -> Result<VRelation, EvalError> {
+    let hash_bytes = 8 * answer.len() as u64;
+    if !budget.try_reserve_bytes(hash_bytes) {
+        return Err(group_state_exceeded(budget, hash_bytes));
+    }
+    let mut accrued = 0u64;
+    let result = aggregate_c_inner(answer, group_idx, q, visible, labels, budget, &mut accrued);
+    budget.uncharge_bytes(hash_bytes + accrued);
+    let out = result?;
+    budget.charge_bytes(out.len() as u64 * row_heap_bytes(out.cols().len()))?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn aggregate_c_inner(
+    answer: &CRel,
+    group_idx: &[usize],
+    q: &ConjunctiveQuery,
+    visible: &[&OutputItem],
+    labels: &[String],
+    budget: &mut Budget,
+    accrued: &mut u64,
+) -> Result<VRelation, EvalError> {
+    let group_bytes = group_state_bytes(group_idx.len(), visible.len());
     let needs_row = visible
         .iter()
         .any(|o| matches!(o, OutputItem::Aggregate { expr: Some(_), .. }));
     let cols = answer.cols().to_vec();
 
     let reader = dict::reader();
-    let hashes = cops::key_hashes(answer, &group_idx, &reader);
+    let hashes = cops::key_hashes(answer, group_idx, &reader);
     // hash → candidate group ids; groups remember their first-seen row.
     let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
     let mut first_row: Vec<u32> = Vec::new();
@@ -335,6 +596,10 @@ fn aggregate_c(
         let gid = match gid {
             Some(g) => g as usize,
             None => {
+                if !budget.try_reserve_bytes(group_bytes) {
+                    return Err(group_state_exceeded(budget, group_bytes));
+                }
+                *accrued += group_bytes;
                 budget.charge(1)?;
                 let g = first_row.len();
                 bucket.push(g as u32);

@@ -21,6 +21,13 @@ pub(crate) struct ChainTable {
 }
 
 impl ChainTable {
+    /// Bytes a table over `n` rows will allocate (slot array + chain
+    /// links), for memory-governor reservations *before* the build.
+    pub(crate) fn byte_estimate(n: usize) -> u64 {
+        let cap = (n.max(4) * 2).next_power_of_two();
+        (cap * std::mem::size_of::<(u64, u32)>() + n * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Builds chains over `n` rows whose key hash is `hash(i)`. Iterates
     /// in reverse so each chain lists rows in ascending order. Slot count
     /// is `2n` rounded up to a power of two (≤50% load factor).

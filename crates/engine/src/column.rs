@@ -676,11 +676,14 @@ mod tests {
     #[test]
     fn cmp_value_is_sql_cmp() {
         let c = col_of(ColumnType::Int, &[Value::Int(2), Value::Null]);
+        // Intern before taking the reader: building a string column under a
+        // held `DictReader` would upgrade read → write on the same thread
+        // and deadlock.
+        let s = col_of(ColumnType::Str, &[Value::str("mm")]);
         let r = dict::reader();
         assert_eq!(c.cmp_value(0, &Value::Float(2.5), &r), Some(Ordering::Less));
         assert_eq!(c.cmp_value(0, &Value::str("x"), &r), None);
         assert_eq!(c.cmp_value(1, &Value::Int(0), &r), None);
-        let s = col_of(ColumnType::Str, &[Value::str("mm")]);
         assert_eq!(s.cmp_value(0, &Value::str("zz"), &r), Some(Ordering::Less));
     }
 }

@@ -30,10 +30,31 @@ use crate::dict::{self, DictReader};
 use crate::error::{Budget, EvalError};
 use crate::exec;
 use crate::hash::{partition_of, FxHashMap};
-use crate::ops::PARALLEL_ROW_THRESHOLD;
+use crate::ops::{self, PARALLEL_ROW_THRESHOLD};
+use crate::value::Row;
+use crate::vrel::VRelation;
 
 /// Matching `(build, probe)` row index lists produced by a join kernel.
 type PairLists = (Vec<u32>, Vec<u32>);
+
+/// Bytes one matching `(build, probe)` index pair occupies in the
+/// kernels' pair lists (two `u32`s) — the columnar counterpart of the row
+/// kernels' per-output-row charge.
+const PAIR_BYTES: u64 = 8;
+
+/// Row `i` of `rel` as a boxed row, streamed straight out of the columns.
+fn materialize_row(rel: &CRel, i: usize, reader: &DictReader) -> Row {
+    rel.columns()
+        .iter()
+        .map(|c| c.value_with(i, reader))
+        .collect()
+}
+
+/// Resident payload bytes of a columnar relation (sum of its columns'
+/// typed vectors), charged when a kernel materializes its output.
+pub(crate) fn crel_payload_bytes(r: &CRel) -> u64 {
+    r.columns().iter().map(|c| c.payload_bytes() as u64).sum()
+}
 
 /// Column positions of the shared variables in `a` and `b`, plus the
 /// positions in `b` of its non-shared columns.
@@ -115,25 +136,57 @@ pub fn natural_join(a: &CRel, b: &CRel, budget: &mut Budget) -> Result<CRel, Eva
     let mut out_cols: Vec<String> = build.cols().to_vec();
     out_cols.extend(probe_rest.iter().map(|&j| probe.cols()[j].clone()));
 
-    let threads = exec::num_threads();
-    let (build_idx, probe_idx) = if !build_shared.is_empty()
-        && threads > 1
-        && build.len() + probe.len() >= PARALLEL_ROW_THRESHOLD
-    {
-        join_pairs_partitioned(build, probe, &build_shared, &probe_shared, threads, budget)?
+    let out = if ops::join_build_reservation(budget, &build_shared, build.len(), probe.len())? {
+        // Grace spill path: the shared row-carrier machinery, fed rows
+        // streamed straight out of the columns (no row-carrier copy of
+        // either input is ever materialized).
+        let reader = dict::reader();
+        let build_hashes = key_hashes(build, &build_shared, &reader);
+        let probe_hashes = key_hashes(probe, &probe_shared, &reader);
+        let rows = ops::grace_join_spill(
+            build.len(),
+            |i| materialize_row(build, i, &reader),
+            |i| build_hashes[i],
+            probe.len(),
+            |i| materialize_row(probe, i, &reader),
+            |i| probe_hashes[i],
+            &build_shared,
+            &probe_shared,
+            &probe_rest,
+            build.cols().len(),
+            budget,
+        )?;
+        drop(reader);
+        // Re-encoding interns into the dictionary, so the reader must be
+        // released first.
+        CRel::from_vrel(&VRelation::from_rows(out_cols, rows))
     } else {
-        join_pairs_sequential(build, probe, &build_shared, &probe_shared, budget)?
-    };
+        let threads = exec::num_threads();
+        let result = if !build_shared.is_empty()
+            && threads > 1
+            && build.len() + probe.len() >= PARALLEL_ROW_THRESHOLD
+        {
+            join_pairs_partitioned(build, probe, &build_shared, &probe_shared, threads, budget)
+        } else {
+            join_pairs_sequential(build, probe, &build_shared, &probe_shared, budget)
+        };
+        // The build table (and hash scratch) is gone either way.
+        budget.uncharge_bytes(ops::join_build_bytes(build.len(), probe.len()));
+        let (build_idx, probe_idx) = result?;
 
-    // Output construction: one gather pass per column.
-    let mut columns: Vec<Column> = Vec::with_capacity(out_cols.len());
-    for c in build.columns() {
-        columns.push(c.gather(&build_idx));
-    }
-    for &j in &probe_rest {
-        columns.push(probe.column(j).gather(&probe_idx));
-    }
-    let out = CRel::new(out_cols, columns, build_idx.len());
+        // Output construction: one gather pass per column.
+        let mut columns: Vec<Column> = Vec::with_capacity(out_cols.len());
+        for c in build.columns() {
+            columns.push(c.gather(&build_idx));
+        }
+        for &j in &probe_rest {
+            columns.push(probe.column(j).gather(&probe_idx));
+        }
+        let n = build_idx.len();
+        let out = CRel::new(out_cols, columns, n);
+        budget.charge_bytes(crel_payload_bytes(&out))?;
+        out
+    };
 
     if swapped {
         let desired: Vec<String> = {
@@ -165,6 +218,7 @@ fn join_pairs_sequential(
         table.for_each(ph, |bi| {
             if rows_key_eq(build, bi, probe, pi, build_shared, probe_shared, &reader) {
                 budget.charge(1)?;
+                budget.charge_bytes(PAIR_BYTES)?;
                 build_idx.push(bi as u32);
                 probe_idx.push(pi as u32);
             }
@@ -227,6 +281,7 @@ fn join_pairs_partitioned(
                     &reader,
                 ) {
                     bud.charge(1)?;
+                    bud.charge_bytes(PAIR_BYTES)?;
                     build_idx.push(bi as u32);
                     probe_idx.push(pi);
                 }
@@ -265,10 +320,15 @@ pub fn semijoin(a: &CRel, b: &CRel, budget: &mut Budget) -> Result<CRel, EvalErr
             Ok(CRel::empty(a.cols().to_vec()))
         } else {
             budget.charge(a.len() as u64)?;
+            budget.charge_bytes(crel_payload_bytes(a))?;
             Ok(a.clone())
         };
     }
 
+    // Build table + both hash arrays, released when the kernel returns
+    // (mirrors the row semijoin: the reducer side is expected to fit).
+    let table_bytes = ops::join_build_bytes(b.len(), a.len());
+    budget.reserve_bytes(table_bytes)?;
     let reader = dict::reader();
     let b_hashes = key_hashes(b, &b_shared, &reader);
     let a_hashes = key_hashes(a, &a_shared, &reader);
@@ -280,40 +340,55 @@ pub fn semijoin(a: &CRel, b: &CRel, budget: &mut Budget) -> Result<CRel, EvalErr
     };
 
     let threads = exec::num_threads();
-    let keep: Vec<u32> = if threads > 1 && a.len() + b.len() >= PARALLEL_ROW_THRESHOLD {
-        drop(reader);
-        let shared = budget.fork();
-        let chunks = exec::chunk_ranges(a.len(), threads * 4);
-        let results = exec::parallel_map(chunks, threads, |(lo, hi)| {
-            let reader = dict::reader();
-            let mut bud = shared.clone();
-            let mut out = Vec::new();
-            for i in lo..hi {
-                if matches(i, &reader) {
-                    bud.charge(1)?;
-                    out.push(i as u32);
+    let keep_result: Result<Vec<u32>, EvalError> =
+        if threads > 1 && a.len() + b.len() >= PARALLEL_ROW_THRESHOLD {
+            drop(reader);
+            let shared = budget.fork();
+            let chunks = exec::chunk_ranges(a.len(), threads * 4);
+            let results = exec::parallel_map(chunks, threads, |(lo, hi)| {
+                let reader = dict::reader();
+                let mut bud = shared.clone();
+                let mut out = Vec::new();
+                for i in lo..hi {
+                    if matches(i, &reader) {
+                        bud.charge(1)?;
+                        bud.charge_bytes(4)?;
+                        out.push(i as u32);
+                    }
                 }
-            }
-            Ok(out)
-        });
-        budget.check_exceeded()?;
-        let mut parts = Vec::with_capacity(results.as_ref().map_or(0, Vec::len));
-        for r in results? {
-            parts.push(r?);
-        }
-        parts.into_iter().flatten().collect()
-    } else {
-        let mut out = Vec::new();
-        for i in 0..a.len() {
-            if matches(i, &reader) {
-                budget.charge(1)?;
-                out.push(i as u32);
-            }
-        }
-        out
-    };
+                Ok(out)
+            });
+            let merge = |results: Result<Vec<Result<Vec<u32>, EvalError>>, EvalError>,
+                         budget: &mut Budget|
+             -> Result<Vec<u32>, EvalError> {
+                budget.check_exceeded()?;
+                let mut parts = Vec::new();
+                for r in results? {
+                    parts.push(r?);
+                }
+                Ok(parts.into_iter().flatten().collect())
+            };
+            merge(results, budget)
+        } else {
+            let mut run = || {
+                let mut out = Vec::new();
+                for i in 0..a.len() {
+                    if matches(i, &reader) {
+                        budget.charge(1)?;
+                        budget.charge_bytes(4)?;
+                        out.push(i as u32);
+                    }
+                }
+                Ok(out)
+            };
+            run()
+        };
+    budget.uncharge_bytes(table_bytes);
+    let keep = keep_result?;
     let columns: Vec<Column> = a.columns().iter().map(|c| c.gather(&keep)).collect();
-    Ok(CRel::new(a.cols().to_vec(), columns, keep.len()))
+    let out = CRel::new(a.cols().to_vec(), columns, keep.len());
+    budget.charge_bytes(crel_payload_bytes(&out))?;
+    Ok(out)
 }
 
 /// Projects `a` onto `vars` — the columnar [`crate::ops::project`].
@@ -334,28 +409,44 @@ pub fn project(
         })
         .collect::<Result<_, _>>()?;
     if distinct {
+        // Dedup state: the hash array plus the bucket map, reserved as one
+        // block and released once the kept indices are gathered.
+        let map_bytes =
+            8 * a.len() as u64 + (a.len() * std::mem::size_of::<(u64, Vec<u32>)>()) as u64;
+        budget.reserve_bytes(map_bytes)?;
         let reader = dict::reader();
         let hashes = key_hashes(a, &idx, &reader);
         let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         seen.reserve(a.len());
         let mut keep: Vec<u32> = Vec::new();
-        for (i, &h) in hashes.iter().enumerate() {
-            let bucket = seen.entry(h).or_default();
-            let dup = bucket
-                .iter()
-                .any(|&oi| rows_key_eq(a, i, a, oi as usize, &idx, &idx, &reader));
-            if !dup {
-                budget.charge(1)?;
-                bucket.push(i as u32);
-                keep.push(i as u32);
+        let mut run = || {
+            for (i, &h) in hashes.iter().enumerate() {
+                let bucket = seen.entry(h).or_default();
+                let dup = bucket
+                    .iter()
+                    .any(|&oi| rows_key_eq(a, i, a, oi as usize, &idx, &idx, &reader));
+                if !dup {
+                    budget.charge(1)?;
+                    budget.charge_bytes(4)?;
+                    bucket.push(i as u32);
+                    keep.push(i as u32);
+                }
             }
-        }
+            Ok(())
+        };
+        let result: Result<(), EvalError> = run();
+        budget.uncharge_bytes(map_bytes);
+        result?;
         let columns: Vec<Column> = idx.iter().map(|&c| a.column(c).gather(&keep)).collect();
-        Ok(CRel::new(vars.to_vec(), columns, keep.len()))
+        let out = CRel::new(vars.to_vec(), columns, keep.len());
+        budget.charge_bytes(crel_payload_bytes(&out))?;
+        Ok(out)
     } else {
         budget.charge(a.len() as u64)?;
         let columns: Vec<Column> = idx.iter().map(|&c| a.column(c).clone()).collect();
-        Ok(CRel::new(vars.to_vec(), columns, a.len()))
+        let out = CRel::new(vars.to_vec(), columns, a.len());
+        budget.charge_bytes(crel_payload_bytes(&out))?;
+        Ok(out)
     }
 }
 

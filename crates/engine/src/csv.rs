@@ -6,9 +6,11 @@
 //! `name:type` pairs with `type ∈ {int, float, str, date}`; dates are
 //! `YYYY-MM-DD`; empty unquoted fields are NULL.
 
+use crate::dict;
+use crate::error::{Budget, EvalError};
 use crate::relation::Relation;
 use crate::schema::{ColumnType, Schema};
-use crate::value::Value;
+use crate::value::{row_heap_bytes, Value};
 use htqo_cq::date::{format_date, parse_date};
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -31,6 +33,10 @@ pub enum CsvError {
         /// Explanation.
         message: String,
     },
+    /// The import exceeded its memory budget (see
+    /// [`read_csv_budgeted`]); carries the underlying
+    /// [`EvalError::MemoryExceeded`].
+    Budget(EvalError),
 }
 
 impl fmt::Display for CsvError {
@@ -47,6 +53,7 @@ impl fmt::Display for CsvError {
                 column: None,
                 message,
             } => write!(f, "line {line}: {message}"),
+            CsvError::Budget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -76,8 +83,18 @@ pub fn write_csv(rel: &Relation, w: &mut impl Write) -> Result<(), CsvError> {
 }
 
 /// Reads a relation from CSV produced by [`write_csv`] (or hand-authored
-/// with the same header convention).
+/// with the same header convention). Unbudgeted: loads of any size
+/// succeed (subject to the machine's actual memory).
 pub fn read_csv(r: impl Read) -> Result<Relation, CsvError> {
+    read_csv_budgeted(r, &mut Budget::unlimited())
+}
+
+/// Reads a relation from CSV, charging `budget` for each materialized
+/// row and for string-dictionary growth caused by the import. A denied
+/// charge surfaces as [`CsvError::Budget`] wrapping
+/// [`EvalError::MemoryExceeded`].
+pub fn read_csv_budgeted(r: impl Read, budget: &mut Budget) -> Result<Relation, CsvError> {
+    let dict_before = dict::resident_bytes();
     let mut reader = BufReader::new(r);
     let mut header = String::new();
     if reader.read_line(&mut header)? == 0 {
@@ -116,13 +133,25 @@ pub fn read_csv(r: impl Read) -> Result<Relation, CsvError> {
     let types: Vec<ColumnType> = schema.columns().iter().map(|c| c.ty).collect();
     let mut rel = Relation::new(schema);
 
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = i + 2;
+    let row_bytes = row_heap_bytes(arity);
+    // One reused line buffer for the whole file (`lines()` would allocate
+    // a fresh `String` per row).
+    let mut buf = String::new();
+    let mut lineno = 1;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        // Strip the terminator exactly as `lines()` does: one `\n`, plus
+        // one `\r` before it if present.
+        let line = buf.strip_suffix('\n').unwrap_or(&buf);
+        let line = line.strip_suffix('\r').unwrap_or(line);
         if line.is_empty() {
             continue;
         }
-        let fields = split_line(&line, lineno)?;
+        let fields = split_line(line, lineno)?;
         if fields.len() != arity {
             return Err(CsvError::Format {
                 line: lineno,
@@ -138,12 +167,18 @@ pub fn read_csv(r: impl Read) -> Result<Relation, CsvError> {
                 message,
             })?);
         }
+        budget.charge_bytes(row_bytes).map_err(CsvError::Budget)?;
         rel.push_row(row).map_err(|e| CsvError::Format {
             line: lineno,
             column: None,
             message: e.to_string(),
         })?;
     }
+    // Strings interned during this load are resident for the process
+    // lifetime; charge the dictionary's growth to the importing query.
+    budget
+        .charge_bytes(dict::resident_bytes().saturating_sub(dict_before))
+        .map_err(CsvError::Budget)?;
     Ok(rel)
 }
 
@@ -390,5 +425,25 @@ mod tests {
     fn blank_lines_are_skipped() {
         let rel = read_csv("a:int\n1\n\n2\n".as_bytes()).unwrap();
         assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_import_charges_rows_and_dictionary_growth() {
+        // A tiny limit trips on the dictionary growth of a fresh string.
+        let mut tight = Budget::unlimited().with_mem_limit(64);
+        let err = read_csv_budgeted(
+            "a:str\ncsv-budget-test-unique-string\n".as_bytes(),
+            &mut tight,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CsvError::Budget(EvalError::MemoryExceeded { .. })),
+            "{err}"
+        );
+        // A roomy limit succeeds and records the bytes.
+        let mut roomy = Budget::unlimited().with_mem_limit(1 << 20);
+        let rel = read_csv_budgeted("a:int\n1\n2\n".as_bytes(), &mut roomy).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(roomy.mem_used() > 0);
     }
 }

@@ -21,6 +21,7 @@
 
 use crate::hash::FxHashMap;
 use htqo_hypergraph::fxhash::fx_hash_one;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard};
 
 /// Code reserved for NULL slots in string columns; never interned.
@@ -36,6 +37,20 @@ struct DictInner {
 fn dict() -> &'static RwLock<DictInner> {
     static DICT: OnceLock<RwLock<DictInner>> = OnceLock::new();
     DICT.get_or_init(|| RwLock::new(DictInner::default()))
+}
+
+/// Resident heap bytes of the dictionary, maintained at intern time.
+/// Strings are never evicted, so this only grows; ingest paths snapshot
+/// it before and after a load and charge the delta to their budget.
+static RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Per-string bookkeeping overhead beyond the text itself: the `Arc`
+/// header, the map entry, and the `strs`/`hashes` slots.
+const ENTRY_OVERHEAD: u64 = 64;
+
+/// Total heap bytes resident in the dictionary (text plus bookkeeping).
+pub fn resident_bytes() -> u64 {
+    RESIDENT_BYTES.load(Ordering::Relaxed)
 }
 
 /// Content hash used for dictionary codes and `Mixed`-column string cells
@@ -61,6 +76,7 @@ pub fn intern(s: &str) -> u32 {
     d.strs.push(arc.clone());
     d.hashes.push(str_hash(s));
     d.map.insert(arc, code);
+    RESIDENT_BYTES.fetch_add(s.len() as u64 + ENTRY_OVERHEAD, Ordering::Relaxed);
     code
 }
 
@@ -78,6 +94,7 @@ pub fn intern_arc(s: &Arc<str>) -> u32 {
     d.strs.push(s.clone());
     d.hashes.push(str_hash(s));
     d.map.insert(s.clone(), code);
+    RESIDENT_BYTES.fetch_add(s.len() as u64 + ENTRY_OVERHEAD, Ordering::Relaxed);
     code
 }
 

@@ -9,6 +9,7 @@
 //! the same polling points as the deadline.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -49,6 +50,25 @@ pub enum EvalError {
     },
     /// A referenced variable is missing from an intermediate relation.
     UnknownVariable(String),
+    /// A byte reservation was denied by the memory governor and the
+    /// operator could not (or was not allowed to) spill. A resource
+    /// limit like [`EvalError::TupleBudgetExceeded`]; the hybrid
+    /// optimizer's ladder retries the same rung with spill forced on
+    /// before degrading the plan.
+    MemoryExceeded {
+        /// Bytes the denied reservation asked for (0 when the limit was
+        /// observed at a merge point rather than a reservation site).
+        requested: u64,
+        /// Bytes already reserved by this query when the denial happened.
+        reserved: u64,
+        /// The configured per-query byte pool ([`Budget::with_mem_limit`]).
+        pool: u64,
+    },
+    /// An I/O failure on a spill temp file (write, read, checksum
+    /// mismatch, or cleanup). Retryable — a re-run may succeed, and the
+    /// in-memory rungs below do not touch the disk — but not a resource
+    /// limit.
+    SpillIo(String),
     /// Anything else (plan inconsistencies, type errors in expressions).
     Internal(String),
 }
@@ -69,6 +89,16 @@ impl fmt::Display for EvalError {
                 write!(f, "unknown column `{column}` in relation `{relation}`")
             }
             EvalError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            EvalError::MemoryExceeded {
+                requested,
+                reserved,
+                pool,
+            } => write!(
+                f,
+                "memory budget exceeded (requested {requested} B with {reserved} B \
+                 reserved of a {pool} B pool)"
+            ),
+            EvalError::SpillIo(m) => write!(f, "spill i/o error: {m}"),
             EvalError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -81,7 +111,9 @@ impl EvalError {
     pub fn is_resource_limit(&self) -> bool {
         matches!(
             self,
-            EvalError::TupleBudgetExceeded { .. } | EvalError::Timeout { .. }
+            EvalError::TupleBudgetExceeded { .. }
+                | EvalError::Timeout { .. }
+                | EvalError::MemoryExceeded { .. }
         )
     }
 
@@ -102,6 +134,8 @@ impl EvalError {
             EvalError::TupleBudgetExceeded { .. }
                 | EvalError::Timeout { .. }
                 | EvalError::WorkerPanicked { .. }
+                | EvalError::MemoryExceeded { .. }
+                | EvalError::SpillIo(_)
                 | EvalError::Internal(_)
         )
     }
@@ -136,6 +170,54 @@ impl CancelToken {
     }
 }
 
+/// When the join/aggregation kernels are allowed to spill partitions to
+/// disk instead of failing a denied byte reservation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpillMode {
+    /// Never spill: a denied reservation is [`EvalError::MemoryExceeded`].
+    Off,
+    /// Spill when (and only when) a reservation is denied mid-build.
+    #[default]
+    Auto,
+    /// Spill unconditionally at every spill-capable site — the hybrid
+    /// ladder's "retry the same rung with spill forced on", and the mode
+    /// the benches use to measure the external-memory path.
+    Force,
+}
+
+/// Spill-volume counters shared (via `Arc`) by every handle cloned from
+/// one root budget, including the renewed/escalated budgets of the
+/// fallback ladder — so `QueryOutcome` can report the whole query's spill
+/// traffic no matter which rung produced it.
+#[derive(Debug, Default)]
+pub struct SpillStats {
+    bytes_written: AtomicU64,
+    partitions: AtomicU64,
+}
+
+impl SpillStats {
+    /// Records `bytes` written to a spill file.
+    pub fn add_bytes(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `n` spill partitions created.
+    pub fn add_partitions(&self, n: u64) {
+        self.partitions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total bytes written to spill files so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total spill partitions created so far (the partition fan-out,
+    /// summed over every spilling operator and recursion level).
+    pub fn partitions(&self) -> u64 {
+        self.partitions.load(Ordering::Relaxed)
+    }
+}
+
 /// A work budget threaded through every operator.
 ///
 /// `charge(n)` accounts for `n` freshly materialized tuples; the deadline
@@ -159,6 +241,15 @@ pub struct Budget {
     cancel: Option<CancelToken>,
     counter: Counter,
     since_time_check: u64,
+    /// Per-query byte pool (the memory governor); `None` = ungoverned.
+    mem_limit: Option<u64>,
+    /// Bytes counter, batched/forked exactly like the tuple counter.
+    bytes: Counter,
+    spill_mode: SpillMode,
+    /// Override for the spill temp directory (default: `HTQO_SPILL_DIR`
+    /// or the system temp dir, resolved by `crate::spill`).
+    spill_dir: Option<Arc<PathBuf>>,
+    spill_stats: Arc<SpillStats>,
 }
 
 /// Local or shared tuple counter. A shared handle batches its charges in
@@ -197,6 +288,11 @@ const TIME_CHECK_INTERVAL: u64 = 4096;
 /// flushing to the shared pool.
 const FLUSH_INTERVAL: u64 = 1024;
 
+/// How many charged bytes a shared handle batches before flushing. Same
+/// role as [`FLUSH_INTERVAL`], scaled to bytes: a worker can overshoot
+/// the byte pool by at most this much before noticing.
+const BYTE_FLUSH_INTERVAL: u64 = 256 * 1024;
+
 impl Default for Budget {
     fn default() -> Self {
         Budget::unlimited()
@@ -212,6 +308,11 @@ impl Budget {
             cancel: None,
             counter: Counter::Local(0),
             since_time_check: 0,
+            mem_limit: None,
+            bytes: Counter::Local(0),
+            spill_mode: SpillMode::default(),
+            spill_dir: None,
+            spill_stats: Arc::new(SpillStats::default()),
         }
     }
 
@@ -235,9 +336,59 @@ impl Budget {
         self
     }
 
+    /// Caps the bytes this query may hold reserved at once (the memory
+    /// governor's per-query pool, usually sized from `HTQO_MEM_LIMIT` /
+    /// `ExecOptions::mem_limit`).
+    pub fn with_mem_limit(mut self, bytes: u64) -> Self {
+        self.mem_limit = Some(bytes);
+        self
+    }
+
+    /// Sets the byte limit only if none is configured yet — how
+    /// evaluator entry points apply `ExecOptions::mem_limit` without
+    /// overriding an explicitly budgeted caller.
+    pub fn apply_mem_limit(&mut self, limit: Option<u64>) {
+        if self.mem_limit.is_none() {
+            self.mem_limit = limit;
+        }
+    }
+
+    /// Sets the spill policy (see [`SpillMode`]).
+    pub fn with_spill_mode(mut self, mode: SpillMode) -> Self {
+        self.spill_mode = mode;
+        self
+    }
+
+    /// Overrides the directory spill temp files are created under.
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = Some(Arc::new(dir));
+        self
+    }
+
     /// The configured tuple limit, if any.
     pub fn max_tuples(&self) -> Option<u64> {
         self.max_tuples
+    }
+
+    /// The configured byte pool, if any.
+    pub fn mem_limit(&self) -> Option<u64> {
+        self.mem_limit
+    }
+
+    /// The spill policy.
+    pub fn spill_mode(&self) -> SpillMode {
+        self.spill_mode
+    }
+
+    /// The configured spill-directory override, if any.
+    pub fn spill_dir(&self) -> Option<&Path> {
+        self.spill_dir.as_deref().map(|p| p.as_path())
+    }
+
+    /// Spill-volume counters for this query (shared across forks,
+    /// renewals and escalations of this budget).
+    pub fn spill_stats(&self) -> Arc<SpillStats> {
+        Arc::clone(&self.spill_stats)
     }
 
     /// The configured wall-clock limit, if any (the original duration,
@@ -258,6 +409,11 @@ impl Budget {
             b = b.with_timeout(limit);
         }
         b.cancel = self.cancel.clone();
+        b.mem_limit = self.mem_limit;
+        b.spill_mode = self.spill_mode;
+        b.spill_dir = self.spill_dir.clone();
+        // Spill volume accumulates across rungs of one query.
+        b.spill_stats = Arc::clone(&self.spill_stats);
         b
     }
 
@@ -272,6 +428,9 @@ impl Budget {
         if let Some((_, limit)) = self.deadline {
             b = b.with_timeout(limit.mul_f64(factor));
         }
+        if let Some(n) = b.mem_limit {
+            b.mem_limit = Some((n as f64 * factor).min(u64::MAX as f64) as u64);
+        }
         b
     }
 
@@ -284,12 +443,31 @@ impl Budget {
         }
     }
 
+    /// Total bytes currently reserved (across all forked handles, plus
+    /// this handle's unflushed batch) — the byte analog of
+    /// [`Budget::charged`], minus whatever was released with
+    /// [`Budget::uncharge_bytes`].
+    pub fn mem_used(&self) -> u64 {
+        match &self.bytes {
+            Counter::Local(n) => *n,
+            Counter::Shared { pool, pending } => pool.load(Ordering::Relaxed) + pending,
+        }
+    }
+
     /// Promotes the counter to a shared atomic (if not already) and
     /// returns a sibling handle charging the same pool. The handle is
-    /// `Send`; give one to each parallel task.
+    /// `Send`; give one to each parallel task. The byte pool is promoted
+    /// and shared the same way, so memory accounting stays exact across
+    /// worker threads.
     pub fn fork(&mut self) -> Budget {
         if let Counter::Local(n) = self.counter {
             self.counter = Counter::Shared {
+                pool: Arc::new(AtomicU64::new(n)),
+                pending: 0,
+            };
+        }
+        if let Counter::Local(n) = self.bytes {
+            self.bytes = Counter::Shared {
                 pool: Arc::new(AtomicU64::new(n)),
                 pending: 0,
             };
@@ -334,6 +512,110 @@ impl Budget {
         Ok(())
     }
 
+    /// Accounts for `n` freshly materialized bytes. Mirrors
+    /// [`Budget::charge`]: local counters trip inline, shared handles
+    /// batch up to [`BYTE_FLUSH_INTERVAL`] bytes and observe the pool at
+    /// flush points — whether the limit trips depends only on the
+    /// order-free combined total. With no limit this is a plain add.
+    pub fn charge_bytes(&mut self, n: u64) -> Result<(), EvalError> {
+        let total = match &mut self.bytes {
+            Counter::Local(c) => {
+                *c += n;
+                Some(*c)
+            }
+            Counter::Shared { pool, pending } => {
+                *pending += n;
+                if *pending >= BYTE_FLUSH_INTERVAL {
+                    let flushed = std::mem::take(pending);
+                    Some(pool.fetch_add(flushed, Ordering::Relaxed) + flushed)
+                } else {
+                    None // exhaustion observed at the next flush or merge
+                }
+            }
+        };
+        if let (Some(total), Some(limit)) = (total, self.mem_limit) {
+            if total > limit {
+                return Err(EvalError::MemoryExceeded {
+                    requested: n,
+                    reserved: total,
+                    pool: limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Tries to reserve `n` bytes from the pool: on success the bytes are
+    /// charged and `true` is returned; on denial *nothing* is charged and
+    /// the caller decides between spilling and failing. This is the
+    /// spill-decision point of the join/aggregation kernels. Without a
+    /// configured limit the reservation always succeeds.
+    pub fn try_reserve_bytes(&mut self, n: u64) -> bool {
+        let Some(limit) = self.mem_limit else {
+            // Ungoverned: keep accounting (cheap add), never deny.
+            let _ = self.charge_bytes(n);
+            return true;
+        };
+        match &mut self.bytes {
+            Counter::Local(c) => {
+                if *c + n <= limit {
+                    *c += n;
+                    true
+                } else {
+                    false
+                }
+            }
+            Counter::Shared { pool, pending } => {
+                // Flush first so the CAS below sees this handle's own
+                // pending charges; then atomically claim the bytes.
+                if *pending > 0 {
+                    pool.fetch_add(std::mem::take(pending), Ordering::Relaxed);
+                }
+                pool.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                    (cur + n <= limit).then_some(cur + n)
+                })
+                .is_ok()
+            }
+        }
+    }
+
+    /// Like [`Budget::try_reserve_bytes`], but a denial is a hard
+    /// [`EvalError::MemoryExceeded`]. Used where no spill alternative
+    /// exists (or recursion bottomed out).
+    pub fn reserve_bytes(&mut self, n: u64) -> Result<(), EvalError> {
+        if self.try_reserve_bytes(n) {
+            Ok(())
+        } else {
+            Err(EvalError::MemoryExceeded {
+                requested: n,
+                reserved: self.mem_used(),
+                pool: self.mem_limit.unwrap_or(0),
+            })
+        }
+    }
+
+    /// Returns `n` previously charged/reserved bytes to the pool (e.g.
+    /// when a hash table or a spilled build side is dropped). Saturating:
+    /// releasing more than is visibly reserved clamps at zero rather than
+    /// underflowing siblings' unflushed batches.
+    pub fn uncharge_bytes(&mut self, n: u64) {
+        match &mut self.bytes {
+            Counter::Local(c) => *c = c.saturating_sub(n),
+            Counter::Shared { pool, pending } => {
+                // Drain this handle's own pending batch first; only the
+                // remainder touches the shared pool.
+                let from_pending = (*pending).min(n);
+                *pending -= from_pending;
+                let rest = n - from_pending;
+                if rest > 0 {
+                    let _ = pool.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                        Some(cur.saturating_sub(rest))
+                    });
+                }
+            }
+        }
+    }
+
     /// Deterministic exhaustion check for merge points after parallel
     /// sections: errors iff the *combined* charges of all handles exceed
     /// the tuple limit, regardless of which worker crossed it first.
@@ -345,14 +627,29 @@ impl Budget {
                 return Err(EvalError::TupleBudgetExceeded { limit });
             }
         }
+        if let Some(limit) = self.mem_limit {
+            let used = self.mem_used();
+            if used > limit {
+                return Err(EvalError::MemoryExceeded {
+                    requested: 0,
+                    reserved: used,
+                    pool: limit,
+                });
+            }
+        }
         self.check_cancelled()
     }
 
-    /// Flushes this handle's unflushed batch to the shared pool (no-op
-    /// for local counters). Called on drop, so totals are exact by the
-    /// time any merge point runs `check_exceeded`.
+    /// Flushes this handle's unflushed batches (tuples and bytes) to the
+    /// shared pools (no-op for local counters). Called on drop, so totals
+    /// are exact by the time any merge point runs `check_exceeded`.
     fn flush(&mut self) {
         if let Counter::Shared { pool, pending } = &mut self.counter {
+            if *pending > 0 {
+                pool.fetch_add(std::mem::take(pending), Ordering::Relaxed);
+            }
+        }
+        if let Counter::Shared { pool, pending } = &mut self.bytes {
             if *pending > 0 {
                 pool.fetch_add(std::mem::take(pending), Ordering::Relaxed);
             }
@@ -579,5 +876,195 @@ mod tests {
         let mut b = Budget::unlimited();
         b.charge(u64::MAX / 2).unwrap();
         assert!(b.check_exceeded().is_ok());
+    }
+
+    #[test]
+    fn memory_error_classification() {
+        let me = EvalError::MemoryExceeded {
+            requested: 100,
+            reserved: 900,
+            pool: 1000,
+        };
+        assert!(me.is_resource_limit());
+        assert!(me.is_retryable());
+        assert!(me.to_string().contains("100 B"));
+        let io = EvalError::SpillIo("disk full".into());
+        assert!(!io.is_resource_limit());
+        assert!(io.is_retryable());
+        assert!(io.to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn byte_budget_trips() {
+        let mut b = Budget::unlimited().with_mem_limit(100);
+        assert_eq!(b.mem_limit(), Some(100));
+        b.charge_bytes(100).unwrap();
+        let err = b.charge_bytes(1).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::MemoryExceeded {
+                requested: 1,
+                reserved: 101,
+                pool: 100,
+            }
+        );
+    }
+
+    #[test]
+    fn reservation_denial_charges_nothing() {
+        let mut b = Budget::unlimited().with_mem_limit(100);
+        assert!(b.try_reserve_bytes(60));
+        assert_eq!(b.mem_used(), 60);
+        assert!(!b.try_reserve_bytes(60), "would exceed the pool");
+        assert_eq!(b.mem_used(), 60, "denied reservation charged nothing");
+        assert!(b.try_reserve_bytes(40), "exact fit still succeeds");
+        let err = b.reserve_bytes(1).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::MemoryExceeded {
+                requested: 1,
+                reserved: 100,
+                pool: 100,
+            }
+        );
+    }
+
+    #[test]
+    fn uncharge_returns_bytes_to_the_pool() {
+        let mut b = Budget::unlimited().with_mem_limit(100);
+        b.reserve_bytes(80).unwrap();
+        assert!(!b.try_reserve_bytes(80));
+        b.uncharge_bytes(80);
+        assert_eq!(b.mem_used(), 0);
+        assert!(b.try_reserve_bytes(80));
+        // Saturating: over-release clamps at zero.
+        b.uncharge_bytes(u64::MAX);
+        assert_eq!(b.mem_used(), 0);
+    }
+
+    #[test]
+    fn unlimited_byte_pool_never_denies() {
+        let mut b = Budget::unlimited();
+        assert!(b.try_reserve_bytes(u64::MAX / 2));
+        b.charge_bytes(1000).unwrap();
+        assert!(b.check_exceeded().is_ok());
+        // Accounting still tracks usage for diagnostics.
+        assert_eq!(b.mem_used(), u64::MAX / 2 + 1000);
+    }
+
+    #[test]
+    fn forked_byte_handles_share_the_pool() {
+        let mut b = Budget::unlimited().with_mem_limit(100_000);
+        b.charge_bytes(30_000).unwrap();
+        let mut h1 = b.fork();
+        let mut h2 = b.fork();
+        h1.charge_bytes(30_000).unwrap();
+        h2.charge_bytes(30_000).unwrap();
+        drop(h1);
+        drop(h2);
+        assert_eq!(b.mem_used(), 90_000);
+        // A shared-handle reservation sees the combined total.
+        let mut h3 = b.fork();
+        assert!(!h3.try_reserve_bytes(20_000));
+        assert!(h3.try_reserve_bytes(10_000));
+        drop(h3);
+        assert_eq!(b.mem_used(), 100_000);
+    }
+
+    #[test]
+    fn shared_byte_handle_trips_inline_on_flush() {
+        let mut b = Budget::unlimited().with_mem_limit(100);
+        let mut h = b.fork();
+        let err = h.charge_bytes(BYTE_FLUSH_INTERVAL).unwrap_err();
+        assert!(matches!(err, EvalError::MemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn check_exceeded_observes_byte_pool() {
+        let mut b = Budget::unlimited().with_mem_limit(100);
+        let mut h = b.fork();
+        h.charge_bytes(200).ok(); // batched: may not trip inline
+        drop(h); // flush
+        let err = b.check_exceeded().unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::MemoryExceeded {
+                requested: 0,
+                reserved: 200,
+                pool: 100,
+            }
+        ));
+    }
+
+    #[test]
+    fn renewed_and_escalated_carry_memory_config() {
+        let b = Budget::unlimited()
+            .with_mem_limit(1000)
+            .with_spill_mode(SpillMode::Force)
+            .with_spill_dir(PathBuf::from("/tmp/htqo-test-spill"));
+        let stats = b.spill_stats();
+        stats.add_bytes(7);
+        let r = b.renewed();
+        assert_eq!(r.mem_limit(), Some(1000));
+        assert_eq!(r.spill_mode(), SpillMode::Force);
+        assert_eq!(r.spill_dir(), Some(Path::new("/tmp/htqo-test-spill")));
+        assert_eq!(r.spill_stats().bytes_written(), 7, "stats span renewals");
+        let e = b.escalated(2.0);
+        assert_eq!(e.mem_limit(), Some(2000));
+        assert_eq!(Budget::unlimited().escalated(2.0).mem_limit(), None);
+    }
+
+    #[test]
+    fn apply_mem_limit_only_fills_unset() {
+        let mut b = Budget::unlimited();
+        b.apply_mem_limit(Some(500));
+        assert_eq!(b.mem_limit(), Some(500));
+        b.apply_mem_limit(Some(900));
+        assert_eq!(b.mem_limit(), Some(500), "explicit limit wins");
+        b.apply_mem_limit(None);
+        assert_eq!(b.mem_limit(), Some(500));
+    }
+
+    /// Byte analog of `forked_charges_from_threads_are_exact`: the pool
+    /// total is exact and thread-count-invariant.
+    #[test]
+    fn forked_byte_charges_from_threads_are_exact() {
+        let mut b = Budget::unlimited();
+        let handles: Vec<Budget> = (0..8).map(|_| b.fork()).collect();
+        std::thread::scope(|s| {
+            for mut h in handles {
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.charge_bytes(3).unwrap();
+                    }
+                    h.uncharge_bytes(1000);
+                });
+            }
+        });
+        assert_eq!(b.mem_used(), 8 * (3000 - 1000));
+        assert!(b.check_exceeded().is_ok());
+    }
+
+    /// Bytes stay exact when workers panic mid-charge: the handle's Drop
+    /// flushes its pending batch during unwind.
+    #[test]
+    fn byte_pool_exact_after_worker_panic() {
+        let mut b = Budget::unlimited();
+        let handles: Vec<Budget> = (0..4).map(|_| b.fork()).collect();
+        std::thread::scope(|s| {
+            for (i, mut h) in handles.into_iter().enumerate() {
+                s.spawn(move || {
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        h.charge_bytes(100).unwrap();
+                        if i % 2 == 0 {
+                            panic!("deliberate");
+                        }
+                        h.charge_bytes(100).unwrap();
+                    }));
+                });
+            }
+        });
+        // 2 workers charged 100, 2 charged 200 — all flushed on drop.
+        assert_eq!(b.mem_used(), 2 * 100 + 2 * 200);
     }
 }

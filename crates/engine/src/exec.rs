@@ -26,7 +26,7 @@
 
 use crate::error::EvalError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicIsize, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
@@ -106,6 +106,50 @@ pub fn set_columnar_default(columnar: bool) {
     CARRIER.store(if columnar { 2 } else { 1 }, Ordering::Relaxed);
 }
 
+/// Process-wide memory-pool override: `0` = unset (env var), `u64::MAX`
+/// = explicitly unlimited, anything else = the byte limit.
+static MEM_LIMIT: AtomicU64 = AtomicU64::new(0);
+
+/// Parses a byte count with an optional `K`/`M`/`G` suffix (case
+/// insensitive, powers of 1024): `"512M"` → 536870912. Shared by the
+/// `HTQO_MEM_LIMIT` env knob and the harnesses' `--mem-limit` flag.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_shl(shift)
+}
+
+/// The process-wide memory limit in effect, if any. Resolution order:
+/// [`set_mem_limit_default`] > `HTQO_MEM_LIMIT` env var (bytes, with
+/// optional `K`/`M`/`G` suffix) > unlimited.
+pub fn mem_limit_default() -> Option<u64> {
+    match MEM_LIMIT.load(Ordering::Relaxed) {
+        0 => {
+            static DEFAULT: OnceLock<Option<u64>> = OnceLock::new();
+            *DEFAULT.get_or_init(|| {
+                std::env::var("HTQO_MEM_LIMIT")
+                    .ok()
+                    .and_then(|v| parse_bytes(&v))
+                    .filter(|&n| n > 0)
+            })
+        }
+        u64::MAX => None,
+        n => Some(n),
+    }
+}
+
+/// Overrides the memory limit process-wide (the `--mem-limit` knob of
+/// the figure harnesses). `None` means explicitly unlimited.
+pub fn set_mem_limit_default(limit: Option<u64>) {
+    MEM_LIMIT.store(limit.unwrap_or(u64::MAX).max(1), Ordering::Relaxed);
+}
+
 /// Execution-schedule knobs for the evaluators
 /// (`evaluate_qhd_with` and friends in the downstream crates).
 #[derive(Clone, Copy, Debug)]
@@ -119,6 +163,13 @@ pub struct ExecOptions {
     /// [`columnar_default`]. Both carriers produce identical answers and
     /// budget charges; rows survive as the oracle path.
     pub columnar: bool,
+    /// Byte budget for this query's materialized state (hash tables,
+    /// intermediate rows, aggregation state, dictionary growth). `None`
+    /// = unlimited. When set, kernels that would exceed it spill to disk
+    /// (see [`crate::spill`]) or fail with
+    /// [`crate::EvalError::MemoryExceeded`]. The default is the
+    /// process-wide [`mem_limit_default`] (`HTQO_MEM_LIMIT`).
+    pub mem_limit: Option<u64>,
 }
 
 impl Default for ExecOptions {
@@ -126,6 +177,7 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: num_threads(),
             columnar: columnar_default(),
+            mem_limit: mem_limit_default(),
         }
     }
 }
@@ -364,6 +416,10 @@ mod tests {
     #[test]
     fn parallel_map_contains_worker_panics() {
         let _g = hook_lock();
+        // Containment only exists on the parallel schedule; force a pool
+        // wide enough to take it even on a single-core host.
+        let threads_before = num_threads();
+        set_threads(4);
         let before = permits_available();
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
@@ -379,11 +435,14 @@ mod tests {
             other => panic!("expected WorkerPanicked, got {other:?}"),
         }
         assert_eq!(permits_available(), before, "permit pool leaked");
+        set_threads(threads_before);
     }
 
     #[test]
     fn join2_contains_worker_panics() {
         let _g = hook_lock();
+        let threads_before = num_threads();
+        set_threads(4);
         let before = permits_available();
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
@@ -393,6 +452,7 @@ mod tests {
             matches!(out, Err(EvalError::WorkerPanicked { ref message }) if message.contains("side b"))
         );
         assert_eq!(permits_available(), before, "permit pool leaked");
+        set_threads(threads_before);
     }
 
     #[test]

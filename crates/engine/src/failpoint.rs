@@ -43,6 +43,61 @@ pub enum FailAction {
 /// can distinguish deliberate chaos panics from real bugs.
 pub const PANIC_MARKER: &str = "htqo-failpoint";
 
+/// Every fail-point site compiled into the engine and the downstream
+/// evaluator/optimizer crates, sorted by name. [`configure_from_spec`]
+/// (and therefore `HTQO_FAILPOINTS`) validates site names against this
+/// list, so a typo'd site is a hard error instead of a silently dormant
+/// clause. Keep in sync with the `fail_point!` invocations; the
+/// `sites_are_sorted_and_documented` test cross-checks DESIGN.md.
+pub const SITES: &[&str] = &[
+    "aggregate::finalize",
+    "bushy::node",
+    "cops::join",
+    "cops::join::partition",
+    "cops::project",
+    "cops::semijoin",
+    "exec::worker",
+    "ops::join",
+    "ops::join::partition",
+    "ops::project",
+    "ops::semijoin",
+    "qeval::bottom_up",
+    "qeval::vertex",
+    "scan::atom",
+    "spill::cleanup",
+    "spill::read",
+    "spill::write",
+];
+
+/// The enumerable registry of fail-point site names (see [`SITES`]).
+pub fn sites() -> &'static [&'static str] {
+    SITES
+}
+
+/// Why an `HTQO_FAILPOINTS`-style spec was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// A clause failed to parse (missing `=`, bad action, bad number).
+    Parse(String),
+    /// A clause named a site that is not in [`sites`].
+    UnknownSite(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(m) => write!(f, "{m}"),
+            SpecError::UnknownSite(site) => write!(
+                f,
+                "unknown fail-point site `{site}` (known sites: {})",
+                SITES.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 struct SiteState {
     action: FailAction,
     /// Hits to let pass before firing.
@@ -111,17 +166,26 @@ pub fn clear() {
 }
 
 /// Parses and applies an `HTQO_FAILPOINTS`-style spec (see module docs).
-pub fn configure_from_spec(spec: &str) -> Result<(), String> {
+/// Site names are validated against [`sites`]; an unknown name is a
+/// [`SpecError::UnknownSite`] and nothing from the spec is armed.
+pub fn configure_from_spec(spec: &str) -> Result<(), SpecError> {
+    // Two passes: validate the whole spec first so a bad trailing clause
+    // doesn't leave a half-armed registry.
+    let mut parsed: Vec<(String, FailAction, u64)> = Vec::new();
     for clause in spec.split(';').filter(|c| !c.trim().is_empty()) {
         let (site, rest) = clause
             .split_once('=')
-            .ok_or_else(|| format!("missing `=` in clause `{clause}`"))?;
+            .ok_or_else(|| SpecError::Parse(format!("missing `=` in clause `{clause}`")))?;
+        let site = site.trim();
+        if !SITES.contains(&site) {
+            return Err(SpecError::UnknownSite(site.to_string()));
+        }
         let (action_str, skip) = match rest.split_once('@') {
             Some((a, s)) => (
                 a,
                 s.trim()
                     .parse::<u64>()
-                    .map_err(|_| format!("bad skip count in `{clause}`"))?,
+                    .map_err(|_| SpecError::Parse(format!("bad skip count in `{clause}`")))?,
             ),
             None => (rest, 0),
         };
@@ -137,12 +201,17 @@ pub fn configure_from_spec(spec: &str) -> Result<(), String> {
             let ms: u64 = ms
                 .trim()
                 .parse()
-                .map_err(|_| format!("bad delay in `{clause}`"))?;
+                .map_err(|_| SpecError::Parse(format!("bad delay in `{clause}`")))?;
             FailAction::Delay(Duration::from_millis(ms))
         } else {
-            return Err(format!("unknown action `{action_str}` in `{clause}`"));
+            return Err(SpecError::Parse(format!(
+                "unknown action `{action_str}` in `{clause}`"
+            )));
         };
-        configure(site.trim(), action, skip, None);
+        parsed.push((site.to_string(), action, skip));
+    }
+    for (site, action, skip) in parsed {
+        configure(&site, action, skip, None);
     }
     Ok(())
 }
@@ -261,17 +330,57 @@ mod tests {
     fn spec_parsing() {
         let _g = lock();
         clear();
-        configure_from_spec("a=error; b=delay(5)@2 ;c=panic").unwrap();
-        assert!(eval("a").is_err());
-        assert!(eval("b").is_ok()); // skipped (1/2)
-        assert!(eval("b").is_ok()); // skipped (2/2)
+        configure_from_spec("ops::join=error; scan::atom=delay(5)@2 ;exec::worker=panic").unwrap();
+        assert!(eval("ops::join").is_err());
+        assert!(eval("scan::atom").is_ok()); // skipped (1/2)
+        assert!(eval("scan::atom").is_ok()); // skipped (2/2)
         let t = std::time::Instant::now();
-        assert!(eval("b").is_ok()); // delay fires
+        assert!(eval("scan::atom").is_ok()); // delay fires
         assert!(t.elapsed() >= Duration::from_millis(5));
-        assert!(configure_from_spec("bad").is_err());
-        assert!(configure_from_spec("x=frobnicate").is_err());
-        assert!(configure_from_spec("x=delay(abc)").is_err());
+        assert!(matches!(
+            configure_from_spec("bad"),
+            Err(SpecError::Parse(_))
+        ));
+        assert!(matches!(
+            configure_from_spec("ops::join=frobnicate"),
+            Err(SpecError::Parse(_))
+        ));
+        assert!(matches!(
+            configure_from_spec("ops::join=delay(abc)"),
+            Err(SpecError::Parse(_))
+        ));
         clear();
+    }
+
+    /// A typo'd site name is a typed error, and a rejected spec arms
+    /// nothing — not even its valid clauses.
+    #[test]
+    fn unknown_site_is_a_typed_error_and_arms_nothing() {
+        let _g = lock();
+        clear();
+        let err = configure_from_spec("ops::join=error;no::such::site=panic").unwrap_err();
+        assert_eq!(err, SpecError::UnknownSite("no::such::site".into()));
+        assert!(err.to_string().contains("no::such::site"));
+        assert!(!armed(), "a rejected spec must arm nothing");
+        clear();
+    }
+
+    /// The registry is sorted (stable output for docs/tools), duplicate
+    /// free, and every site is documented in DESIGN.md.
+    #[test]
+    fn sites_are_sorted_and_documented() {
+        let mut sorted = SITES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, SITES, "SITES must be sorted and unique");
+        let design = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
+        let text = std::fs::read_to_string(design).expect("DESIGN.md readable");
+        for site in sites() {
+            assert!(
+                text.contains(site),
+                "fail-point site `{site}` is not documented in DESIGN.md"
+            );
+        }
     }
 
     #[test]

@@ -40,14 +40,15 @@ pub mod ops;
 pub mod relation;
 pub mod scan;
 pub mod schema;
+pub mod spill;
 pub mod value;
 pub mod vrel;
 
 pub use aggregate::{finalize, finalize_c};
 pub use carrier::Carrier;
 pub use crel::CRel;
-pub use csv::{read_csv, write_csv, CsvError};
-pub use error::{Budget, CancelToken, EvalError};
+pub use csv::{read_csv, read_csv_budgeted, write_csv, CsvError};
+pub use error::{Budget, CancelToken, EvalError, SpillMode, SpillStats};
 pub use exec::ExecOptions;
 pub use relation::{Relation, RelationError};
 pub use schema::{Column, ColumnType, Database, Schema};

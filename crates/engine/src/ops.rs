@@ -20,12 +20,16 @@
 //! partitioned paths are interchangeable; their bags are identical.)
 
 use crate::chain::ChainTable;
-use crate::error::{Budget, EvalError};
+use crate::error::{Budget, EvalError, SpillMode, SpillStats};
 use crate::exec;
 use crate::hash::{hash_key, keys_eq, partition_of, FxHashMap};
-use crate::value::{Row, Value};
+use crate::spill::{
+    spill_partition, SpillDir, SpillFile, SpillReader, SpillWriter, MAX_SPILL_LEVEL, SPILL_FANOUT,
+};
+use crate::value::{row_heap_bytes, Row, Value};
 use crate::vrel::VRelation;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Combined row count (both join sides) above which the hash join
 /// partitions the inputs and uses the worker pool. Below it the
@@ -79,29 +83,48 @@ pub fn natural_join(
     let mut out_cols: Vec<String> = build.cols().to_vec();
     out_cols.extend(probe_rest.iter().map(|&j| probe.cols()[j].clone()));
 
-    let threads = exec::num_threads();
-    let rows = if !build_shared.is_empty()
-        && threads > 1
-        && build.len() + probe.len() >= PARALLEL_ROW_THRESHOLD
-    {
-        join_rows_partitioned(
-            build,
-            probe,
+    let rows = if join_build_reservation(budget, &build_shared, build.len(), probe.len())? {
+        grace_join_spill(
+            build.len(),
+            |i| build.rows()[i].clone(),
+            |i| hash_key(&build.rows()[i], &build_shared),
+            probe.len(),
+            |i| probe.rows()[i].clone(),
+            |i| hash_key(&probe.rows()[i], &probe_shared),
             &build_shared,
             &probe_shared,
             &probe_rest,
-            threads,
+            build.cols().len(),
             budget,
         )?
     } else {
-        join_rows_sequential(
-            build,
-            probe,
-            &build_shared,
-            &probe_shared,
-            &probe_rest,
-            budget,
-        )?
+        let threads = exec::num_threads();
+        let result = if !build_shared.is_empty()
+            && threads > 1
+            && build.len() + probe.len() >= PARALLEL_ROW_THRESHOLD
+        {
+            join_rows_partitioned(
+                build,
+                probe,
+                &build_shared,
+                &probe_shared,
+                &probe_rest,
+                threads,
+                budget,
+            )
+        } else {
+            join_rows_sequential(
+                build,
+                probe,
+                &build_shared,
+                &probe_shared,
+                &probe_rest,
+                budget,
+            )
+        };
+        // The build table (and hash scratch) is gone either way.
+        budget.uncharge_bytes(join_build_bytes(build.len(), probe.len()));
+        result?
     };
     let out = VRelation::from_rows(out_cols, rows);
 
@@ -129,6 +152,47 @@ fn emit_joined(brow: &Row, prow: &Row, probe_rest: &[usize], width: usize) -> Ro
     row.into_boxed_slice()
 }
 
+/// Bytes the in-memory join path will hold transiently: the chained hash
+/// table over the build side plus the per-side hash arrays the
+/// partitioned kernel materializes. Reserved up front, released when the
+/// kernel returns.
+pub(crate) fn join_build_bytes(build_n: usize, probe_n: usize) -> u64 {
+    ChainTable::byte_estimate(build_n) + 8 * (build_n + probe_n) as u64
+}
+
+/// The memory governor's spill decision for a hash-join build: reserves
+/// the in-memory build structures and returns `false` (stay in memory),
+/// or returns `true` when the kernel must take the grace-spill path —
+/// either because the reservation was denied under [`SpillMode::Auto`]
+/// or because spill is forced. A denial with no spill alternative (no
+/// shared key to partition on, spill off) is a clean
+/// [`EvalError::MemoryExceeded`]; nothing is charged in that case.
+pub(crate) fn join_build_reservation(
+    budget: &mut Budget,
+    shared_key: &[usize],
+    build_n: usize,
+    probe_n: usize,
+) -> Result<bool, EvalError> {
+    // A cross product (no shared key) or an empty side cannot be
+    // partitioned by key; those always take the in-memory path.
+    let spill_capable = !shared_key.is_empty() && build_n > 0 && probe_n > 0;
+    let want = join_build_bytes(build_n, probe_n);
+    if budget.spill_mode() == SpillMode::Force && spill_capable {
+        return Ok(true);
+    }
+    if budget.try_reserve_bytes(want) {
+        return Ok(false);
+    }
+    if budget.spill_mode() == SpillMode::Auto && spill_capable {
+        return Ok(true);
+    }
+    Err(EvalError::MemoryExceeded {
+        requested: want,
+        reserved: budget.mem_used(),
+        pool: budget.mem_limit().unwrap_or(0),
+    })
+}
+
 /// Single-threaded hash join kernel: hashes keys in place, one table for
 /// the whole build side.
 fn join_rows_sequential(
@@ -140,6 +204,7 @@ fn join_rows_sequential(
     budget: &mut Budget,
 ) -> Result<Vec<Row>, EvalError> {
     let width = build.cols().len() + probe_rest.len();
+    let row_bytes = row_heap_bytes(width);
     let table = ChainTable::build(build.len(), |i| hash_key(&build.rows()[i], build_shared));
     let mut out: Vec<Row> = Vec::new();
     for prow in probe.rows() {
@@ -147,6 +212,7 @@ fn join_rows_sequential(
             let brow = &build.rows()[bi];
             if keys_eq(brow, build_shared, prow, probe_shared) {
                 budget.charge(1)?;
+                budget.charge_bytes(row_bytes)?;
                 out.push(emit_joined(brow, prow, probe_rest, width));
             }
             Ok(())
@@ -186,6 +252,7 @@ fn join_rows_partitioned(
 
     let shared = budget.fork();
     let tasks: Vec<usize> = (0..nparts).collect();
+    let row_bytes = row_heap_bytes(width);
     let results = exec::parallel_map(tasks, threads, |p| {
         crate::fail_point!("ops::join::partition");
         let mut bud = shared.clone();
@@ -198,6 +265,7 @@ fn join_rows_partitioned(
                 let brow = &build.rows()[bp[k] as usize];
                 if keys_eq(brow, build_shared, prow, probe_shared) {
                     bud.charge(1)?;
+                    bud.charge_bytes(row_bytes)?;
                     out.push(emit_joined(brow, prow, probe_rest, width));
                 }
                 Ok(())
@@ -255,6 +323,227 @@ fn merge_partition_results(
         out.extend(p);
     }
     Ok(out)
+}
+
+/// Grace-style spill join, taken when the in-memory build reservation is
+/// denied (or spill is forced). Both sides are hash-partitioned to
+/// checksummed temp files by their shared-key hash, then each partition
+/// pair is joined in memory — recursing with a re-salted partition
+/// function when a partition's build side still does not fit. Rows reach
+/// this function through closures so the columnar kernel can stream rows
+/// straight out of its columns without materializing a row-carrier copy
+/// of the whole relation.
+///
+/// Output order: partitions in index order, probe order preserved within
+/// a partition — deterministic, but different from the in-memory kernels
+/// (all consumers are set-semantic). `Err` paths reclaim the temp
+/// directory via the [`SpillDir`] drop guard.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grace_join_spill(
+    build_n: usize,
+    build_row: impl FnMut(usize) -> Row,
+    build_hash: impl Fn(usize) -> u64,
+    probe_n: usize,
+    probe_row: impl FnMut(usize) -> Row,
+    probe_hash: impl Fn(usize) -> u64,
+    build_key: &[usize],
+    probe_key: &[usize],
+    probe_rest: &[usize],
+    build_width: usize,
+    budget: &mut Budget,
+) -> Result<Vec<Row>, EvalError> {
+    let stats = budget.spill_stats();
+    let mut dir = SpillDir::create(budget.spill_dir())?;
+    let bparts = partition_side(&dir, "b", build_n, build_row, build_hash, 0, &stats)?;
+    let pparts = partition_side(&dir, "p", probe_n, probe_row, probe_hash, 0, &stats)?;
+    let width = build_width + probe_rest.len();
+    let mut out: Vec<Row> = Vec::new();
+    for p in 0..SPILL_FANOUT {
+        join_spilled_partition(
+            &dir, &bparts[p], &pparts[p], 0, build_key, probe_key, probe_rest, width, budget,
+            &mut out,
+        )?;
+    }
+    dir.cleanup()?;
+    Ok(out)
+}
+
+/// Writes every row of one join side into [`SPILL_FANOUT`] partition
+/// files at `level`, each frame prefixed with the row's key hash (as an
+/// `Int` value) so downstream passes never rehash.
+pub(crate) fn partition_side(
+    dir: &SpillDir,
+    tag: &str,
+    n: usize,
+    mut row: impl FnMut(usize) -> Row,
+    hash: impl Fn(usize) -> u64,
+    level: u32,
+    stats: &Arc<SpillStats>,
+) -> Result<Vec<SpillFile>, EvalError> {
+    let mut writers: Vec<SpillWriter> = (0..SPILL_FANOUT)
+        .map(|_| SpillWriter::create(dir.next_file(tag)))
+        .collect::<Result<_, _>>()?;
+    let mut frame: Vec<Value> = Vec::new();
+    for i in 0..n {
+        let h = hash(i);
+        frame.clear();
+        frame.push(Value::Int(h as i64));
+        frame.extend(row(i).into_vec());
+        writers[spill_partition(h, level)].write_row(&frame)?;
+    }
+    let files: Vec<SpillFile> = writers
+        .into_iter()
+        .map(|w| w.finish())
+        .collect::<Result<_, _>>()?;
+    stats.add_partitions(SPILL_FANOUT as u64);
+    stats.add_bytes(files.iter().map(|f| f.bytes).sum());
+    Ok(files)
+}
+
+/// Re-partitions an existing spill file at a deeper (re-salted) level;
+/// the consumed file is removed to keep peak disk usage at roughly one
+/// copy per side per level.
+pub(crate) fn repartition_file(
+    dir: &SpillDir,
+    tag: &str,
+    file: &SpillFile,
+    level: u32,
+    stats: &Arc<SpillStats>,
+) -> Result<Vec<SpillFile>, EvalError> {
+    let mut writers: Vec<SpillWriter> = (0..SPILL_FANOUT)
+        .map(|_| SpillWriter::create(dir.next_file(tag)))
+        .collect::<Result<_, _>>()?;
+    let mut reader = SpillReader::open(&file.path)?;
+    while let Some(frame) = reader.read_row()? {
+        let h = frame_hash(&frame)?;
+        writers[spill_partition(h, level)].write_row(&frame)?;
+    }
+    drop(reader);
+    let _ = std::fs::remove_file(&file.path);
+    let files: Vec<SpillFile> = writers
+        .into_iter()
+        .map(|w| w.finish())
+        .collect::<Result<_, _>>()?;
+    stats.add_partitions(SPILL_FANOUT as u64);
+    stats.add_bytes(files.iter().map(|f| f.bytes).sum());
+    Ok(files)
+}
+
+/// Key hash stored as the first value of every spilled join frame.
+fn frame_hash(frame: &Row) -> Result<u64, EvalError> {
+    match frame.first() {
+        Some(Value::Int(h)) => Ok(*h as u64),
+        _ => Err(EvalError::SpillIo(
+            "spill frame missing its hash prefix".into(),
+        )),
+    }
+}
+
+/// Splits a spilled frame into `(key hash, original row)`.
+pub(crate) fn split_frame(frame: Row) -> Result<(u64, Row), EvalError> {
+    let mut v = frame.into_vec();
+    if v.is_empty() {
+        return Err(EvalError::SpillIo("empty spill frame".into()));
+    }
+    let h = match v.remove(0) {
+        Value::Int(h) => h as u64,
+        _ => {
+            return Err(EvalError::SpillIo(
+                "spill frame missing its hash prefix".into(),
+            ))
+        }
+    };
+    Ok((h, v.into_boxed_slice()))
+}
+
+/// Joins one spilled partition pair: loads the build side (reserving its
+/// bytes), streams the probe side, recursing one level deeper when the
+/// reservation is denied. At [`MAX_SPILL_LEVEL`] the reservation becomes
+/// mandatory and a denial surfaces as a clean `MemoryExceeded` (one
+/// pathological key can defeat any amount of partitioning).
+#[allow(clippy::too_many_arguments)]
+fn join_spilled_partition(
+    dir: &SpillDir,
+    build: &SpillFile,
+    probe: &SpillFile,
+    level: u32,
+    build_key: &[usize],
+    probe_key: &[usize],
+    probe_rest: &[usize],
+    width: usize,
+    budget: &mut Budget,
+    out: &mut Vec<Row>,
+) -> Result<(), EvalError> {
+    if build.rows == 0 || probe.rows == 0 {
+        return Ok(());
+    }
+    // In-memory footprint of this partition's build side: its hash table
+    // plus the decoded rows (the on-disk frame size is a fair proxy).
+    let est = ChainTable::byte_estimate(build.rows as usize) + build.bytes;
+    if !budget.try_reserve_bytes(est) {
+        if level < MAX_SPILL_LEVEL {
+            let stats = budget.spill_stats();
+            let bsub = repartition_file(dir, "b", build, level + 1, &stats)?;
+            let psub = repartition_file(dir, "p", probe, level + 1, &stats)?;
+            for q in 0..SPILL_FANOUT {
+                join_spilled_partition(
+                    dir,
+                    &bsub[q],
+                    &psub[q],
+                    level + 1,
+                    build_key,
+                    probe_key,
+                    probe_rest,
+                    width,
+                    budget,
+                    out,
+                )?;
+            }
+            return Ok(());
+        }
+        budget.reserve_bytes(est)?;
+    }
+    let result = join_loaded_partition(
+        build, probe, build_key, probe_key, probe_rest, width, budget, out,
+    );
+    budget.uncharge_bytes(est);
+    result
+}
+
+/// The in-memory tail of [`join_spilled_partition`], separated so its
+/// caller can release the build reservation on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn join_loaded_partition(
+    build: &SpillFile,
+    probe: &SpillFile,
+    build_key: &[usize],
+    probe_key: &[usize],
+    probe_rest: &[usize],
+    width: usize,
+    budget: &mut Budget,
+    out: &mut Vec<Row>,
+) -> Result<(), EvalError> {
+    let mut brows: Vec<(u64, Row)> = Vec::with_capacity(build.rows as usize);
+    let mut reader = SpillReader::open(&build.path)?;
+    while let Some(frame) = reader.read_row()? {
+        brows.push(split_frame(frame)?);
+    }
+    let table = ChainTable::build(brows.len(), |i| brows[i].0);
+    let row_bytes = row_heap_bytes(width);
+    let mut preader = SpillReader::open(&probe.path)?;
+    while let Some(frame) = preader.read_row()? {
+        let (h, prow) = split_frame(frame)?;
+        table.for_each(h, |bi| {
+            let brow = &brows[bi].1;
+            if keys_eq(brow, build_key, &prow, probe_key) {
+                budget.charge(1)?;
+                budget.charge_bytes(row_bytes)?;
+                out.push(emit_joined(brow, &prow, probe_rest, width));
+            }
+            Ok(())
+        })?;
+    }
+    Ok(())
 }
 
 /// Reorders columns of `r` to `desired` (must be a permutation).
@@ -370,11 +659,16 @@ pub fn semijoin(a: &VRelation, b: &VRelation, budget: &mut Budget) -> Result<VRe
             Ok(VRelation::empty(a.cols().to_vec()))
         } else {
             budget.charge(a.len() as u64)?;
+            budget.charge_bytes(a.len() as u64 * row_heap_bytes(a.cols().len()))?;
             Ok(a.clone())
         };
     }
 
     // Build: hash → chain of b-row indices (kept to verify collisions).
+    // The semijoin build side is the reducer — typically the small side —
+    // so a denied reservation is a hard error rather than a spill.
+    let table_bytes = ChainTable::byte_estimate(b.len());
+    budget.reserve_bytes(table_bytes)?;
     let table = ChainTable::build(b.len(), |i| hash_key(&b.rows()[i], &b_shared));
     let matches = |row: &Row| {
         table.any(hash_key(row, &a_shared), |bi| {
@@ -382,33 +676,41 @@ pub fn semijoin(a: &VRelation, b: &VRelation, budget: &mut Budget) -> Result<VRe
         })
     };
 
+    let row_bytes = row_heap_bytes(a.cols().len());
     let threads = exec::num_threads();
-    let rows: Vec<Row> = if threads > 1 && a.len() + b.len() >= PARALLEL_ROW_THRESHOLD {
-        let shared = budget.fork();
-        let chunks = exec::chunk_ranges(a.len(), threads * 4);
-        let results = exec::parallel_map(chunks, threads, |(lo, hi)| {
-            let mut bud = shared.clone();
-            let mut out = Vec::new();
-            for row in &a.rows()[lo..hi] {
-                if matches(row) {
-                    bud.charge(1)?;
-                    out.push(row.clone());
+    let rows_result: Result<Vec<Row>, EvalError> =
+        if threads > 1 && a.len() + b.len() >= PARALLEL_ROW_THRESHOLD {
+            let shared = budget.fork();
+            let chunks = exec::chunk_ranges(a.len(), threads * 4);
+            let results = exec::parallel_map(chunks, threads, |(lo, hi)| {
+                let mut bud = shared.clone();
+                let mut out = Vec::new();
+                for row in &a.rows()[lo..hi] {
+                    if matches(row) {
+                        bud.charge(1)?;
+                        bud.charge_bytes(row_bytes)?;
+                        out.push(row.clone());
+                    }
                 }
-            }
-            Ok(out)
-        });
-        merge_partition_results(results, budget)?
-    } else {
-        let mut out = Vec::new();
-        for row in a.rows() {
-            if matches(row) {
-                budget.charge(1)?;
-                out.push(row.clone());
-            }
-        }
-        out
-    };
-    Ok(VRelation::from_rows(a.cols().to_vec(), rows))
+                Ok(out)
+            });
+            merge_partition_results(results, budget)
+        } else {
+            let mut run = || {
+                let mut out = Vec::new();
+                for row in a.rows() {
+                    if matches(row) {
+                        budget.charge(1)?;
+                        budget.charge_bytes(row_bytes)?;
+                        out.push(row.clone());
+                    }
+                }
+                Ok(out)
+            };
+            run()
+        };
+    budget.uncharge_bytes(table_bytes);
+    Ok(VRelation::from_rows(a.cols().to_vec(), rows_result?))
 }
 
 /// Projects `a` onto `vars` (which must all exist). `distinct` switches on
@@ -428,27 +730,40 @@ pub fn project(
         })
         .collect::<Result<_, _>>()?;
     let mut out = VRelation::empty(vars.to_vec());
+    let row_bytes = row_heap_bytes(idx.len());
     if distinct {
         // Dedup via an in-place hash of the projected columns: candidate
         // duplicates are verified against rows already emitted, so no
-        // second copy of each row is ever allocated.
+        // second copy of each row is ever allocated. The dedup map itself
+        // is reserved up front and charged as one block.
         let all: Vec<usize> = (0..idx.len()).collect();
+        let map_bytes =
+            (a.len() * std::mem::size_of::<(u64, Vec<u32>)>()) as u64 + 4 * a.len() as u64;
+        budget.reserve_bytes(map_bytes)?;
         let mut seen: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         seen.reserve(a.len());
-        for row in a.rows() {
-            let h = hash_key(row, &idx);
-            let bucket = seen.entry(h).or_default();
-            let dup = bucket
-                .iter()
-                .any(|&oi| keys_eq(row, &idx, &out.rows()[oi as usize], &all));
-            if !dup {
-                budget.charge(1)?;
-                bucket.push(out.len() as u32);
-                out.push(idx.iter().map(|&i| row[i].clone()).collect());
+        let mut run = || {
+            for row in a.rows() {
+                let h = hash_key(row, &idx);
+                let bucket = seen.entry(h).or_default();
+                let dup = bucket
+                    .iter()
+                    .any(|&oi| keys_eq(row, &idx, &out.rows()[oi as usize], &all));
+                if !dup {
+                    budget.charge(1)?;
+                    budget.charge_bytes(row_bytes)?;
+                    bucket.push(out.len() as u32);
+                    out.push(idx.iter().map(|&i| row[i].clone()).collect());
+                }
             }
-        }
+            Ok(())
+        };
+        let result: Result<(), EvalError> = run();
+        budget.uncharge_bytes(map_bytes);
+        result?;
     } else {
         budget.charge(a.len() as u64)?;
+        budget.charge_bytes(a.len() as u64 * row_bytes)?;
         out.reserve(a.len());
         for row in a.rows() {
             out.push(idx.iter().map(|&i| row[i].clone()).collect());
@@ -487,9 +802,11 @@ pub fn select_rows(
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
     let mut out = VRelation::empty(a.cols().to_vec());
+    let row_bytes = row_heap_bytes(a.cols().len());
     for row in a.rows() {
         if pred(row)? {
             budget.charge(1)?;
+            budget.charge_bytes(row_bytes)?;
             out.push(row.clone());
         }
     }

@@ -122,7 +122,9 @@ pub fn scan_atom_c(
             }
         })
         .collect();
-    Ok(CRel::new(out_vars, columns, sel.len()))
+    let out = CRel::new(out_vars, columns, sel.len());
+    budget.charge_bytes(crate::cops::crel_payload_bytes(&out))?;
+    Ok(out)
 }
 
 /// Scans `atom` into a row relation: the columnar scan plus a row

@@ -200,6 +200,14 @@ impl From<&htqo_cq::Literal> for Value {
 /// A tuple of values. Boxed slice keeps rows at two words.
 pub type Row = Box<[Value]>;
 
+/// Approximate heap bytes of one materialized [`Row`] of `width` values:
+/// the boxed slice itself plus a small allocator-header allowance. String
+/// payloads are shared `Arc<str>` interned at ingest, so per-row charges
+/// deliberately exclude them — ingest charges them once.
+pub(crate) fn row_heap_bytes(width: usize) -> u64 {
+    (width * std::mem::size_of::<Value>() + 16) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -72,6 +72,7 @@ pub fn evaluate_qhd_with(
     budget: &mut Budget,
     opts: &ExecOptions,
 ) -> Result<VRelation, EvalError> {
+    budget.apply_mem_limit(opts.mem_limit);
     if opts.columnar {
         evaluate_qhd_generic::<CRel>(db, q, plan, budget, opts).map(Carrier::into_vrel)
     } else {
@@ -485,6 +486,7 @@ mod tests {
                     &ExecOptions {
                         threads,
                         columnar: false,
+                        ..ExecOptions::default()
                     },
                 )
                 .unwrap();
@@ -496,6 +498,7 @@ mod tests {
                     &ExecOptions {
                         threads,
                         columnar: true,
+                        ..ExecOptions::default()
                     },
                 )
                 .unwrap();
@@ -521,7 +524,11 @@ mod tests {
                     &q,
                     &plan,
                     &mut budget,
-                    &ExecOptions { threads, columnar },
+                    &ExecOptions {
+                        threads,
+                        columnar,
+                        ..ExecOptions::default()
+                    },
                 )
                 .unwrap_err();
                 assert_eq!(

@@ -36,6 +36,7 @@ pub fn evaluate_yannakakis_with(
     budget: &mut Budget,
     opts: &ExecOptions,
 ) -> Result<VRelation, EvalError> {
+    budget.apply_mem_limit(opts.mem_limit);
     if opts.columnar {
         yannakakis_generic::<CRel>(db, q, budget, opts).map(Carrier::into_vrel)
     } else {
@@ -234,6 +235,7 @@ mod tests {
                 &ExecOptions {
                     threads: 1,
                     columnar: false,
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();
@@ -244,6 +246,7 @@ mod tests {
                 &ExecOptions {
                     threads: 1,
                     columnar: true,
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();

@@ -36,6 +36,7 @@ pub fn evaluate_join_tree_with(
     budget: &mut Budget,
     opts: &ExecOptions,
 ) -> Result<VRelation, EvalError> {
+    budget.apply_mem_limit(opts.mem_limit);
     if opts.columnar {
         eval_tree_generic::<CRel>(db, q, tree, budget, opts).map(Carrier::into_vrel)
     } else {
@@ -134,6 +135,7 @@ mod tests {
             &ExecOptions {
                 threads: 1,
                 columnar: false,
+                ..ExecOptions::default()
             },
         )
         .unwrap();
@@ -145,6 +147,7 @@ mod tests {
             &ExecOptions {
                 threads: 1,
                 columnar: true,
+                ..ExecOptions::default()
             },
         )
         .unwrap();

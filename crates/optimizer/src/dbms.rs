@@ -108,6 +108,12 @@ pub struct QueryOutcome {
     /// Rungs that failed before `rung` ran (empty when the first strategy
     /// answered, always empty for the DBMS simulators).
     pub attempts: Vec<FallbackAttempt>,
+    /// Bytes written to spill files across every rung that ran (0 when
+    /// the whole query stayed in memory).
+    pub spill_bytes: u64,
+    /// Spill partitions created across every rung (the partition
+    /// fan-out, summed over every spilling operator and recursion level).
+    pub spill_partitions: u64,
 }
 
 impl QueryOutcome {
@@ -224,6 +230,7 @@ impl DbmsSim {
         q: &ConjunctiveQuery,
         mut budget: Budget,
     ) -> QueryOutcome {
+        budget.apply_mem_limit(htqo_engine::exec::mem_limit_default());
         let t0 = Instant::now();
         let order = self.plan(db, q);
         let planning = t0.elapsed();
@@ -259,6 +266,8 @@ impl DbmsSim {
             plan: plan_desc,
             rung: Rung::LeftDeep,
             attempts: Vec::new(),
+            spill_bytes: budget.spill_stats().bytes_written(),
+            spill_partitions: budget.spill_stats().partitions(),
         }
     }
 

@@ -18,7 +18,7 @@ use crate::bushy_exec::evaluate_join_tree;
 use crate::dbms::{FallbackAttempt, QueryOutcome, Rung, SqlError};
 use htqo_core::{q_hypertree_decomp, QhdFailure, QhdOptions, QhdPlan, StructuralCost};
 use htqo_cq::{isolate, parse_select, ConjunctiveQuery, IsolatorOptions};
-use htqo_engine::error::{Budget, EvalError};
+use htqo_engine::error::{Budget, EvalError, SpillMode};
 use htqo_engine::schema::Database;
 use htqo_engine::vrel::VRelation;
 use htqo_eval::{evaluate_naive, evaluate_qhd};
@@ -43,6 +43,11 @@ pub struct RetryPolicy {
     /// rung (compounding), e.g. `Some(2.0)` doubles then quadruples.
     /// `None` renews the original limits unchanged.
     pub escalate: Option<f64>,
+    /// On [`EvalError::MemoryExceeded`], re-run the *same* rung once with
+    /// spill-to-disk forced on before descending the ladder: a memory
+    /// hit is better served by external memory with the same plan than
+    /// by a structurally worse plan.
+    pub spill_retry: bool,
 }
 
 impl Default for RetryPolicy {
@@ -51,6 +56,7 @@ impl Default for RetryPolicy {
             fallback_bushy: true,
             fallback_naive: true,
             escalate: None,
+            spill_retry: true,
         }
     }
 }
@@ -64,6 +70,7 @@ impl RetryPolicy {
             fallback_bushy: false,
             fallback_naive: false,
             escalate: None,
+            spill_retry: false,
         }
     }
 }
@@ -217,11 +224,62 @@ impl HybridOptimizer {
         }
     }
 
+    /// Runs one ladder rung with panic containment, retrying the *same*
+    /// rung once with spill forced on when it fails with
+    /// [`EvalError::MemoryExceeded`] and [`RetryPolicy::spill_retry`] is
+    /// on (and spill wasn't already forced). Failed attempts are recorded
+    /// in `attempts`; returns the answer if either pass produced one.
+    fn run_rung(
+        &self,
+        base: &Budget,
+        index: usize,
+        rung: Rung,
+        attempts: &mut Vec<FallbackAttempt>,
+        tuples: &mut u64,
+        eval: &dyn Fn(&mut Budget) -> Result<VRelation, EvalError>,
+    ) -> Option<VRelation> {
+        let mut b = self.rung_budget(base, index);
+        let (result, spent) = run_contained(&mut b, eval);
+        *tuples += spent;
+        let error = match result {
+            Ok(rel) => return Some(rel),
+            Err(error) => error,
+        };
+        let memory_hit = matches!(error, EvalError::MemoryExceeded { .. });
+        let spill_was_forced = b.spill_mode() == SpillMode::Force;
+        attempts.push(FallbackAttempt {
+            rung,
+            error,
+            tuples: spent,
+        });
+        if self.retry.spill_retry && memory_hit && !spill_was_forced {
+            let mut b = self
+                .rung_budget(base, index)
+                .with_spill_mode(SpillMode::Force);
+            let (result, spent) = run_contained(&mut b, eval);
+            *tuples += spent;
+            match result {
+                Ok(rel) => return Some(rel),
+                Err(error) => attempts.push(FallbackAttempt {
+                    rung,
+                    error,
+                    tuples: spent,
+                }),
+            }
+        }
+        None
+    }
+
     /// Plans and executes a conjunctive query on `db`, descending the
     /// fallback ladder configured by [`HybridOptimizer::retry`]. Panics
     /// inside the engine are contained and surface as
     /// [`EvalError::WorkerPanicked`] (possibly rescued by a lower rung).
     pub fn execute_cq(&self, db: &Database, q: &ConjunctiveQuery, budget: Budget) -> QueryOutcome {
+        // Govern every rung — including the naive fallback, whose
+        // evaluator takes no ExecOptions — by the process-wide default;
+        // an explicitly budgeted caller wins (apply fills only if unset).
+        let mut budget = budget;
+        budget.apply_mem_limit(htqo_engine::exec::mem_limit_default());
         let t0 = Instant::now();
         let plan = self.plan_cq_cached(q);
         let planning = t0.elapsed();
@@ -241,23 +299,16 @@ impl HybridOptimizer {
                     plan.tree.join_work(),
                     plan.optimize_stats.removed_atoms
                 );
-                let mut b = self.rung_budget(&budget, 0);
-                let (result, spent) = run_contained(&mut b, |bud| {
+                let eval = |bud: &mut Budget| {
                     evaluate_qhd(db, q, &plan, bud)
                         .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, bud))
-                });
-                tuples += spent;
-                match result {
-                    Ok(rel) => answer = Some((rel, Rung::QHd, desc)),
-                    Err(error) => {
+                };
+                match self.run_rung(&budget, 0, Rung::QHd, &mut attempts, &mut tuples, &eval) {
+                    Some(rel) => answer = Some((rel, Rung::QHd, desc)),
+                    None => {
                         // Don't serve a plan that just failed to the next
                         // caller; a fresh decomposition may fare better.
                         self.cache.borrow_mut().remove(&self.cache_key(q));
-                        attempts.push(FallbackAttempt {
-                            rung: Rung::QHd,
-                            error,
-                            tuples: spent,
-                        });
                     }
                 }
             }
@@ -280,42 +331,48 @@ impl HybridOptimizer {
             // `dp_bushy` is None above the exhaustive-DP size limit; the
             // ladder then skips straight to the naive rung.
             if let Some((_, tree)) = dp_bushy(q, &stats) {
-                let mut b = self.rung_budget(&budget, attempts.len());
-                let (result, spent) = run_contained(&mut b, |bud| {
+                let index = attempts.len();
+                let eval = |bud: &mut Budget| {
                     evaluate_join_tree(db, q, &tree, bud)
                         .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, bud))
-                });
-                tuples += spent;
-                match result {
-                    Ok(rel) => answer = Some((rel, Rung::Bushy, "bushy join tree".to_string())),
-                    Err(error) => attempts.push(FallbackAttempt {
-                        rung: Rung::Bushy,
-                        error,
-                        tuples: spent,
-                    }),
+                };
+                if let Some(rel) = self.run_rung(
+                    &budget,
+                    index,
+                    Rung::Bushy,
+                    &mut attempts,
+                    &mut tuples,
+                    &eval,
+                ) {
+                    answer = Some((rel, Rung::Bushy, "bushy join tree".to_string()));
                 }
             }
         }
 
         // Rung 2: naive join order (always applicable).
         if answer.is_none() && self.retry.fallback_naive && retryable(&attempts) {
-            let mut b = self.rung_budget(&budget, attempts.len());
-            let (result, spent) = run_contained(&mut b, |bud| {
+            let index = attempts.len();
+            let eval = |bud: &mut Budget| {
                 evaluate_naive(db, q, bud)
                     .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, bud))
-            });
-            tuples += spent;
-            match result {
-                Ok(rel) => answer = Some((rel, Rung::Naive, "naive join order".to_string())),
-                Err(error) => attempts.push(FallbackAttempt {
-                    rung: Rung::Naive,
-                    error,
-                    tuples: spent,
-                }),
+            };
+            if let Some(rel) = self.run_rung(
+                &budget,
+                index,
+                Rung::Naive,
+                &mut attempts,
+                &mut tuples,
+                &eval,
+            ) {
+                answer = Some((rel, Rung::Naive, "naive join order".to_string()));
             }
         }
 
         let execution = t1.elapsed();
+        // Rung budgets are renewed from `budget` and share its spill
+        // statistics, so this is the whole query's spill volume.
+        let spill_bytes = budget.spill_stats().bytes_written();
+        let spill_partitions = budget.spill_stats().partitions();
         let failed: Vec<String> = attempts
             .iter()
             .map(|a| format!("{} failure: {}", a.rung, a.error))
@@ -333,6 +390,8 @@ impl HybridOptimizer {
                 },
                 rung,
                 attempts,
+                spill_bytes,
+                spill_partitions,
             },
             None => {
                 let last = attempts.last().expect("the q-HD rung always runs");
@@ -344,6 +403,8 @@ impl HybridOptimizer {
                     plan: failed.join("; "),
                     rung: last.rung,
                     attempts,
+                    spill_bytes,
+                    spill_partitions,
                 }
             }
         }
@@ -561,6 +622,56 @@ mod tests {
         assert!(!out.attempts.is_empty());
         let sum: u64 = out.attempts.iter().map(|a| a.tuples).sum();
         assert_eq!(sum, out.tuples);
+    }
+
+    /// A memory hit retries the *same* rung with spill forced before the
+    /// ladder descends: the outcome stays on q-HD, records the failed
+    /// in-memory attempt, and reports the spill volume.
+    #[test]
+    fn memory_hit_retries_same_rung_with_spill() {
+        use htqo_engine::error::SpillMode;
+        let mut db = Database::new();
+        // Keys mostly disjoint between r and s: a big build side with a
+        // tiny join output, so the hash table (not the answer) is what
+        // exceeds the limit.
+        for (name, off) in [("r", 0i64), ("s", 1i64)] {
+            let mut t = Relation::new(Schema::new(&[
+                ("l", ColumnType::Int),
+                ("r", ColumnType::Int),
+            ]));
+            for i in 0..20000i64 {
+                let key = i + off * 19950;
+                t.push_row(vec![Value::Int(key), Value::Int(key)]).unwrap();
+            }
+            db.insert_table(name, t);
+        }
+        let q = CqBuilder::new()
+            .atom("r", "r", &[("l", "X"), ("r", "Y")])
+            .atom("s", "s", &[("l", "Y"), ("r", "Z")])
+            .out_var("X")
+            .out_var("Z")
+            .build();
+        // 1.2 MB sits between the forced-spill peak (~0.7 MB) and the
+        // in-memory peak (~2.1 MB), so the first pass must fail and the
+        // spill retry must succeed. Spill mode Off on the base budget
+        // keeps the first pass from spilling on its own.
+        let budget = Budget::unlimited()
+            .with_mem_limit(1_200_000)
+            .with_spill_mode(SpillMode::Off);
+        let opt = HybridOptimizer::structural(QhdOptions::default());
+        let out = opt.execute_cq(&db, &q, budget);
+        assert!(out.result.is_ok(), "{}", out.plan);
+        assert_eq!(out.rung, Rung::QHd, "{}", out.plan);
+        assert_eq!(out.attempts.len(), 1);
+        assert!(matches!(
+            out.attempts[0].error,
+            EvalError::MemoryExceeded { .. }
+        ));
+        assert!(out.spill_bytes > 0);
+        assert!(out.spill_partitions > 0);
+        let mut b = Budget::unlimited();
+        let oracle = htqo_eval::evaluate_naive(&db, &q, &mut b).unwrap();
+        assert!(out.result.unwrap().set_eq(&oracle));
     }
 
     #[test]

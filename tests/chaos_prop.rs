@@ -22,6 +22,7 @@
 #![cfg(feature = "failpoints")]
 
 use htqo::prelude::*;
+use htqo_engine::error::SpillMode;
 use htqo_engine::exec;
 use htqo_engine::failpoint::{self, FailAction, PANIC_MARKER};
 use htqo_engine::schema::{ColumnType, Schema};
@@ -29,26 +30,15 @@ use proptest::prelude::*;
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// Every named injection site compiled into the engine and evaluators.
-/// Sites that a given schedule never reaches (e.g. columnar kernels under
-/// the row carrier) simply stay dormant — the case then asserts the
-/// fault-free equality invariant.
-const SITES: &[&str] = &[
-    "ops::join",
-    "ops::join::partition",
-    "ops::semijoin",
-    "ops::project",
-    "cops::join",
-    "cops::join::partition",
-    "cops::semijoin",
-    "cops::project",
-    "scan::atom",
-    "aggregate::finalize",
-    "exec::worker",
-    "qeval::vertex",
-    "qeval::bottom_up",
-    "bushy::node",
-];
+/// Every named injection site compiled into the engine and evaluators —
+/// the enumerable registry, so new sites (e.g. the spill paths) are
+/// picked up automatically. Sites that a given schedule never reaches
+/// (e.g. columnar kernels under the row carrier, spill sites when the
+/// case doesn't force spilling) simply stay dormant — the case then
+/// asserts the fault-free equality invariant.
+fn sites() -> &'static [&'static str] {
+    failpoint::sites()
+}
 
 fn cases() -> u32 {
     std::env::var("HTQO_CHAOS_CASES")
@@ -118,7 +108,9 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
 }
 
 /// One chaos case: a workload plus a fault (site × action × skip) and an
-/// execution schedule (threads × carrier).
+/// execution schedule (threads × carrier × spill). `force_spill` runs
+/// the case with `SpillMode::Force`, routing joins and aggregation
+/// through the spill machinery so the `spill::*` sites actually fire.
 #[derive(Debug, Clone)]
 struct ChaosCase {
     shape: Shape,
@@ -127,15 +119,16 @@ struct ChaosCase {
     skip: u64,
     threads: usize,
     columnar: bool,
+    force_spill: bool,
 }
 
 fn arb_case() -> impl Strategy<Value = ChaosCase> {
     (
         arb_shape(),
-        0..SITES.len(),
+        0..sites().len(),
         0usize..3,
         0u64..3,
-        prop::collection::vec(any::<bool>(), 2),
+        prop::collection::vec(any::<bool>(), 3),
     )
         .prop_map(|(shape, site, action, skip, coins)| ChaosCase {
             shape,
@@ -144,7 +137,31 @@ fn arb_case() -> impl Strategy<Value = ChaosCase> {
             skip,
             threads: if coins[0] { 4 } else { 1 },
             columnar: coins[1],
+            force_spill: coins[2],
         })
+}
+
+/// The case's budget: spill forced when the case says so (both the
+/// fault-free oracle run and the faulted run use the same mode, so the
+/// budget-parity invariant stays meaningful).
+fn case_budget(case: &ChaosCase) -> Budget {
+    if case.force_spill {
+        Budget::unlimited().with_spill_mode(SpillMode::Force)
+    } else {
+        Budget::unlimited()
+    }
+}
+
+/// True if any spill directory created by this process is still on disk.
+fn spill_dirs_leaked() -> bool {
+    let prefix = format!("htqo-spill-{}-", std::process::id());
+    std::fs::read_dir(std::env::temp_dir())
+        .map(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+        })
+        .unwrap_or(false)
 }
 
 fn action_of(case: &ChaosCase) -> FailAction {
@@ -231,21 +248,22 @@ proptest! {
         let opt = HybridOptimizer::structural(QhdOptions::default())
             .with_retry(RetryPolicy::none());
 
-        let clean = opt.execute_cq(&db, &q, Budget::unlimited());
+        let clean = opt.execute_cq(&db, &q, case_budget(&case));
         let oracle = clean.result.as_ref().expect("fault-free run succeeds");
 
-        failpoint::configure(SITES[case.site], action_of(&case), case.skip, None);
-        let out = opt.execute_cq(&db, &q, Budget::unlimited());
+        failpoint::configure(sites()[case.site], action_of(&case), case.skip, None);
+        let out = opt.execute_cq(&db, &q, case_budget(&case));
         failpoint::clear();
 
+        prop_assert!(!spill_dirs_leaked(), "spill temp files leaked");
         prop_assert!(permits_drained(), "permit pool leaked: {} of {}",
             exec::permits_available(), exec::num_threads() - 1);
         let attempt_sum: u64 = out.attempts.iter().map(|a| a.tuples).sum();
         match out.result {
             Ok(rel) => {
-                prop_assert!(rel.set_eq(oracle), "fault at {} corrupted the answer", SITES[case.site]);
+                prop_assert!(rel.set_eq(oracle), "fault at {} corrupted the answer", sites()[case.site]);
                 prop_assert_eq!(out.tuples, clean.tuples,
-                    "budget charges drifted under fault at {}", SITES[case.site]);
+                    "budget charges drifted under fault at {}", sites()[case.site]);
             }
             Err(e) => {
                 prop_assert!(
@@ -269,18 +287,19 @@ proptest! {
         let (db, q) = build(&case.shape);
         let opt = HybridOptimizer::structural(QhdOptions::default());
 
-        let clean = opt.execute_cq(&db, &q, Budget::unlimited());
+        let clean = opt.execute_cq(&db, &q, case_budget(&case));
         let oracle = clean.result.as_ref().expect("fault-free run succeeds");
 
         // One-shot fault: whichever rung absorbs it, the next one is clean.
-        failpoint::configure(SITES[case.site], action_of(&case), case.skip, Some(1));
-        let out = opt.execute_cq(&db, &q, Budget::unlimited());
+        failpoint::configure(sites()[case.site], action_of(&case), case.skip, Some(1));
+        let out = opt.execute_cq(&db, &q, case_budget(&case));
         failpoint::clear();
 
+        prop_assert!(!spill_dirs_leaked(), "spill temp files leaked");
         prop_assert!(permits_drained(), "permit pool leaked");
         match &out.result {
             Ok(rel) => {
-                prop_assert!(rel.set_eq(oracle), "fault at {} corrupted the answer", SITES[case.site]);
+                prop_assert!(rel.set_eq(oracle), "fault at {} corrupted the answer", sites()[case.site]);
                 // A rescued run must say so.
                 if !out.attempts.is_empty() {
                     prop_assert!(out.degraded());
