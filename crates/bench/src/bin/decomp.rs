@@ -11,7 +11,7 @@
 //! PR's acceptance criteria.
 //!
 //! ```text
-//! cargo run -p htqo-bench --release --bin decomp [-- --threads N]
+//! cargo run -p htqo-bench --release --bin decomp [-- --threads N] [-- --mem-limit BYTES]
 //! ```
 
 use std::fmt::Write as _;
@@ -125,6 +125,9 @@ fn main() {
     // The harness pins its own per-search thread counts (1 vs 4); the
     // --threads flag only raises the worker-pool cap.
     let _ = htqo_bench::harness::threads_from_args();
+    // Decomposition search carries no relation data, but the TPC-H Q5
+    // workload generation below does; honor the shared memory knob.
+    let _ = htqo_bench::harness::mem_limit_from_args();
 
     let mut rows: Vec<Row> = Vec::new();
     for k in 2..=4usize {

@@ -8,7 +8,11 @@
 //!    spill-to-disk path (`HTQO_MEM_LIMIT` machinery), and
 //! 3. multi-threaded vs single-threaded `evaluate_qhd` on a bushy query
 //!    whose decomposition has three independent subtrees, on both the
-//!    row and the columnar carrier,
+//!    row and the columnar carrier, and
+//! 4. factorized vs materialized `COUNT(*) GROUP BY` on a bag-semantics
+//!    variant of the bushy query whose full join dwarfs its inputs: the
+//!    factorized path multiplies per-vertex partial counts along the
+//!    cover instead of enumerating every derivation,
 //!
 //! and writes the numbers to `results/kernels.md` plus a
 //! machine-readable `BENCH_kernels.json` at the repo root.
@@ -35,7 +39,9 @@ use htqo_engine::scan::scan_query_atom;
 use htqo_engine::schema::{ColumnType, Database, Schema};
 use htqo_engine::value::Value;
 use htqo_engine::vrel::VRelation;
-use htqo_eval::{evaluate_qhd_with, ExecOptions};
+use htqo_eval::{
+    evaluate_qhd_with, evaluate_yannakakis_query_traced, ExecOptions, FactorizedTrace,
+};
 use htqo_workloads::{acyclic_query, workload_db, WorkloadSpec};
 
 const REPS: usize = 5;
@@ -385,19 +391,91 @@ fn main() {
     }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(
+        report,
+        "\nBest schedule: row {:.3}s, columnar {:.3}s ({:.2}x).\n",
+        carrier_best[0],
+        carrier_best[1],
+        carrier_best[0] / carrier_best[1]
+    );
+
+    // ---- 4. Factorized aggregation vs materialized COUNT/GROUP-BY. ----
+    // The same bushy shape, but every chain atom exports its hidden rowid
+    // (bag semantics) and the chains are dense, so the full join has one
+    // row per derivation. `COUNT(*) GROUP BY A` needs only the per-vertex
+    // counts; the materialized pipeline must enumerate every derivation.
+    // Evaluated on the Yannakakis join forest: the q-HD planner roots its
+    // tree at an output-covering vertex, which with rowid guards on every
+    // chain atom would put the whole join in the root's λ — the forest
+    // has no such constraint, so the cover stays per-atom.
+    // Fanout ~3 per chain step → ~27³ derivations per hub row: heavy
+    // output from modest inputs.
+    let (adb, aq) = bushy_count_workload(scale, (scale as u64 / 3).max(2), (scale / 1000).max(1));
+    let run_agg = |factorized: bool| {
+        let mut trace = FactorizedTrace::default();
+        let mut b = Budget::unlimited();
+        let r = evaluate_yannakakis_query_traced(
+            &adb,
+            &aq,
+            &mut b,
+            &ExecOptions {
+                factorized,
+                ..ExecOptions::default()
+            },
+            &mut trace,
+        )
+        .unwrap();
+        (r, trace)
+    };
+    // Warm-up + sanity: the factorized attempt must actually take the
+    // cover, and both paths must agree on every group count.
+    let (magg, mtrace) = run_agg(false);
+    let (fagg, ftrace) = run_agg(true);
+    assert!(
+        ftrace.factorized,
+        "count query fell back to materialization: {:?}",
+        ftrace.fallback
+    );
+    assert!(fagg.set_eq(&magg), "factorized aggregate disagrees");
+    let derivations = mtrace.answer_rows.unwrap_or(0);
+    let (mat_s, _) = best_of(|| run_agg(false));
+    let (fac_s, _) = best_of(|| run_agg(true));
+
+    let _ = writeln!(
+        report,
+        "## Factorized `COUNT(*) GROUP BY`, bushy query with rowid guards\n"
+    );
+    let _ = writeln!(
+        report,
+        "{derivations} derivations collapse into {} groups. Best of {REPS} runs.\n",
+        magg.len()
+    );
+    let _ = writeln!(report, "| pipeline | time | speedup |");
+    let _ = writeln!(report, "|---|---|---|");
+    let _ = writeln!(
+        report,
+        "| materialized join + aggregate | {mat_s:.3}s | 1.00x |"
+    );
+    let _ = writeln!(
+        report,
+        "| factorized cover + pushed-down count | {fac_s:.3}s | {:.2}x |",
+        mat_s / fac_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"factorized\": {{ \"derivations\": {derivations}, \"groups\": {}, \
+         \"materialized_s\": {mat_s:.6}, \"factorized_s\": {fac_s:.6}, \
+         \"speedup\": {:.2} }},",
+        magg.len(),
+        mat_s / fac_s
+    );
+
+    let _ = writeln!(
         json,
         "  \"qhd_bushy_output_rows\": {},\n  \"qhd_best_row_s\": {:.6},\n  \
          \"qhd_best_columnar_s\": {:.6}\n}}",
         r1.len(),
         carrier_best[0],
         carrier_best[1]
-    );
-    let _ = writeln!(
-        report,
-        "\nBest schedule: row {:.3}s, columnar {:.3}s ({:.2}x).",
-        carrier_best[0],
-        carrier_best[1],
-        carrier_best[0] / carrier_best[1]
     );
 
     print!("{report}");
@@ -407,16 +485,12 @@ fn main() {
     eprintln!("\nwrote results/kernels.md and BENCH_kernels.json");
 }
 
-/// `q(A,B,C) ← hub(A,B,C) ∧ chains`, one 3-atom chain per hub variable.
-/// Chains: `ci0(V, Vi1) ∧ ci1(Vi1, Vi2) ∧ ci2(Vi2, Vi3)`.
-fn bushy_workload(
-    chain_rows: usize,
-    domain: u64,
-    hub_rows: usize,
-) -> (Database, htqo_cq::ConjunctiveQuery) {
-    let domain = domain.max(2);
-    let hub_rows = hub_rows.max(1);
-    // Deterministic LCG so the harness needs no RNG dependency.
+const HUB_VARS: [&str; 3] = ["A", "B", "C"];
+
+/// `hub(A,B,C)` plus one 3-atom chain per hub variable, with random keys
+/// over `domain`. Deterministic LCG so the harness needs no RNG
+/// dependency.
+fn bushy_db(chain_rows: usize, domain: u64, hub_rows: usize) -> Database {
     let mut state = 0x9E37_79B9_97F4_A7C5u64;
     let mut next = move |m: u64| {
         state = state
@@ -426,9 +500,6 @@ fn bushy_workload(
     };
 
     let mut db = Database::new();
-    let mut b = CqBuilder::new();
-    let hub_vars = ["A", "B", "C"];
-
     let mut hub = Relation::new(Schema::new(&[
         ("a", ColumnType::Int),
         ("b", ColumnType::Int),
@@ -444,9 +515,8 @@ fn bushy_workload(
         .unwrap();
     }
     db.insert_table("hub", hub);
-    b = b.atom("hub", "hub", &[("a", "A"), ("b", "B"), ("c", "C")]);
 
-    for (i, &v) in hub_vars.iter().enumerate() {
+    for i in 0..HUB_VARS.len() {
         for k in 0..3usize {
             let name = format!("c{i}{k}");
             let mut rel = Relation::new(Schema::new(&[
@@ -459,17 +529,96 @@ fn bushy_workload(
                     .unwrap();
             }
             db.insert_table(&name, rel);
+        }
+    }
+    db
+}
+
+/// The bushy query atoms: `hub(A,B,C)` and chains
+/// `ci0(V, V1) ∧ ci1(V1, V2) ∧ ci2(V2, V3)` per hub variable `V`. With
+/// `rowids`, every atom also exports its hidden rowid as an output
+/// variable (exactly what the SQL isolator does for `COUNT(*)`), turning
+/// the (set-semantics) answer into one row per derivation of the join —
+/// SQL bag semantics.
+fn bushy_atoms(rowids: bool) -> (CqBuilder, Vec<String>) {
+    let mut rid_vars = Vec::new();
+    let mut b = CqBuilder::new();
+    if rowids {
+        let rid = format!("{}hub", htqo_cq::isolator::ROWID_VAR_PREFIX);
+        b = b.atom(
+            "hub",
+            "hub",
+            &[
+                ("a", "A"),
+                ("b", "B"),
+                ("c", "C"),
+                (htqo_cq::isolator::ROWID_COLUMN, rid.as_str()),
+            ],
+        );
+        rid_vars.push(rid);
+    } else {
+        b = b.atom("hub", "hub", &[("a", "A"), ("b", "B"), ("c", "C")]);
+    }
+    for (i, &v) in HUB_VARS.iter().enumerate() {
+        for k in 0..3usize {
+            let name = format!("c{i}{k}");
             let l = if k == 0 {
                 v.to_string()
             } else {
                 format!("{v}{k}")
             };
             let r = format!("{v}{}", k + 1);
-            b = b.atom(&name, &name, &[("l", &l), ("r", &r)]);
+            if rowids {
+                let rid = format!("{}{name}", htqo_cq::isolator::ROWID_VAR_PREFIX);
+                b = b.atom(
+                    &name,
+                    &name,
+                    &[
+                        ("l", l.as_str()),
+                        ("r", r.as_str()),
+                        (htqo_cq::isolator::ROWID_COLUMN, rid.as_str()),
+                    ],
+                );
+                rid_vars.push(rid);
+            } else {
+                b = b.atom(&name, &name, &[("l", &l), ("r", &r)]);
+            }
         }
     }
-    for v in hub_vars {
+    (b, rid_vars)
+}
+
+/// `q(A,B,C) ← hub(A,B,C) ∧ chains` (set semantics).
+fn bushy_workload(
+    chain_rows: usize,
+    domain: u64,
+    hub_rows: usize,
+) -> (Database, htqo_cq::ConjunctiveQuery) {
+    let domain = domain.max(2);
+    let db = bushy_db(chain_rows, domain, hub_rows.max(1));
+    let (mut b, _) = bushy_atoms(false);
+    for v in HUB_VARS {
         b = b.out_var(v);
     }
+    (db, b.build())
+}
+
+/// `q(A, COUNT(*)) ← hub ∧ chains GROUP BY A` under bag semantics: the
+/// hidden rowid guards make every derivation a distinct answer row for
+/// the materialized pipeline, while the factorized path only multiplies
+/// per-vertex counts.
+fn bushy_count_workload(
+    chain_rows: usize,
+    domain: u64,
+    hub_rows: usize,
+) -> (Database, htqo_cq::ConjunctiveQuery) {
+    let domain = domain.max(2);
+    let db = bushy_db(chain_rows, domain, hub_rows.max(1));
+    let (mut b, rid_vars) = bushy_atoms(true);
+    b = b.out_var("A");
+    for rid in &rid_vars {
+        b = b.out_var(rid);
+    }
+    b = b.out_agg(htqo_cq::AggFunc::Count, None, "n").group("A");
     (db, b.build())
 }

@@ -18,7 +18,7 @@ use htqo_cq::{AggFunc, ConjunctiveQuery, OutputItem, SortDir};
 use std::collections::HashMap;
 
 /// Visible output items of `q` and their (uniquified) labels.
-fn visible_output(q: &ConjunctiveQuery) -> (Vec<&OutputItem>, Vec<String>) {
+pub(crate) fn visible_output(q: &ConjunctiveQuery) -> (Vec<&OutputItem>, Vec<String>) {
     let visible: Vec<&OutputItem> = q
         .output
         .iter()
@@ -115,7 +115,7 @@ pub fn finalize_c(
 }
 
 /// The shared post-aggregation tail: HAVING, ORDER BY, LIMIT.
-fn finalize_tail(
+pub(crate) fn finalize_tail(
     result: VRelation,
     q: &ConjunctiveQuery,
     budget: &mut Budget,
@@ -202,7 +202,7 @@ impl DedupPreserving for Vec<String> {
 
 /// Resolves the GROUP BY column positions and validates that every
 /// non-aggregate visible item is a grouping variable.
-fn group_layout(
+pub(crate) fn group_layout(
     cols: &[String],
     q: &ConjunctiveQuery,
     visible: &[&OutputItem],
@@ -230,12 +230,12 @@ fn group_layout(
 
 /// Resident bytes one group costs the governor: its key row, its
 /// accumulators, and a map-entry allowance.
-fn group_state_bytes(key_width: usize, n_items: usize) -> u64 {
+pub(crate) fn group_state_bytes(key_width: usize, n_items: usize) -> u64 {
     row_heap_bytes(key_width) + (n_items * std::mem::size_of::<Accumulator>()) as u64 + 48
 }
 
 /// A denied group-state reservation as a typed error.
-fn group_state_exceeded(budget: &Budget, requested: u64) -> EvalError {
+pub(crate) fn group_state_exceeded(budget: &Budget, requested: u64) -> EvalError {
     EvalError::MemoryExceeded {
         requested,
         reserved: budget.mem_used(),
@@ -646,8 +646,22 @@ fn aggregate_c_inner(
     Ok(out)
 }
 
+/// Why [`Accumulator::feed_weighted`] cannot reproduce the plain
+/// row-at-a-time feed bit for bit — the factorized front's cue to fall
+/// back to full materialization.
+pub(crate) enum WeightedFeedError {
+    /// The iterated feed would accumulate floats, whose rounding depends
+    /// on input order; a weighted shortcut cannot be bit-identical.
+    OrderSensitive,
+    /// A count would overflow `u64` under weighting.
+    Overflow,
+    /// A genuine evaluation error (bad scalar expression, non-numeric
+    /// SUM input) that the materialized path would also surface.
+    Eval(EvalError),
+}
+
 /// Streaming accumulator for one output item.
-enum Accumulator {
+pub(crate) enum Accumulator {
     /// Placeholder for plain grouping variables.
     Group,
     Sum {
@@ -670,7 +684,7 @@ enum Accumulator {
 }
 
 impl Accumulator {
-    fn for_item(item: &OutputItem) -> Accumulator {
+    pub(crate) fn for_item(item: &OutputItem) -> Accumulator {
         match item {
             OutputItem::Var { .. } => Accumulator::Group,
             OutputItem::Aggregate { func, .. } => match func {
@@ -763,7 +777,88 @@ impl Accumulator {
         Ok(())
     }
 
-    fn finish(&self) -> Value {
+    /// Feeds one answer-row multiplicity class of `weight` rows at once —
+    /// the factorized aggregate front's replacement for calling
+    /// [`Accumulator::feed`] `weight` times. Exact (bit-identical to the
+    /// iterated feed) for grouping placeholders, COUNT, integer SUM and
+    /// MIN/MAX; declines with [`WeightedFeedError::OrderSensitive`] when
+    /// the iterated feed would accumulate floats (whose rounding depends
+    /// on input order) and with [`WeightedFeedError::Overflow`] when a
+    /// count would wrap where the iterated path could not.
+    pub(crate) fn feed_weighted(
+        &mut self,
+        item: &OutputItem,
+        cols: &[String],
+        row: &Row,
+        weight: u64,
+    ) -> Result<(), WeightedFeedError> {
+        let OutputItem::Aggregate { expr, .. } = item else {
+            return Ok(());
+        };
+        let value = match expr {
+            Some(e) => eval_scalar(e, cols, row).map_err(WeightedFeedError::Eval)?,
+            None => Value::Int(1), // COUNT(*): any non-null marker
+        };
+        match self {
+            Accumulator::Group => {}
+            Accumulator::Count { n } => {
+                if !value.is_null() {
+                    // COUNT's counter *is* the result: overflow must not
+                    // silently wrap.
+                    *n = n.checked_add(weight).ok_or(WeightedFeedError::Overflow)?;
+                }
+            }
+            Accumulator::Sum {
+                int,
+                float: _,
+                any_float: _,
+                n,
+            } => match value {
+                Value::Null => {}
+                Value::Int(i) => {
+                    // `weight` wrapping adds of `i` ≡ one wrapping add of
+                    // `i * weight` mod 2^64, so this is exact.
+                    *int = int.wrapping_add(i.wrapping_mul(weight as i64));
+                    // `n` only decides SUM-of-nothing-is-NULL; saturation
+                    // preserves its zero/non-zero meaning.
+                    *n = n.saturating_add(weight);
+                }
+                Value::Float(_) => return Err(WeightedFeedError::OrderSensitive),
+                other => {
+                    return Err(WeightedFeedError::Eval(EvalError::Internal(format!(
+                        "SUM over non-numeric value ({})",
+                        other.type_name()
+                    ))))
+                }
+            },
+            Accumulator::MinMax { best, min } => {
+                // Order- and multiplicity-free: feed the value once.
+                if value.is_null() {
+                    return Ok(());
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let ord = value.cmp(b);
+                        if *min {
+                            ord.is_lt()
+                        } else {
+                            ord.is_gt()
+                        }
+                    }
+                };
+                if better {
+                    *best = Some(value);
+                }
+            }
+            // AVG divides an order-sensitively accumulated float sum;
+            // callers exclude it statically, but stay safe here too.
+            Accumulator::Avg { .. } => return Err(WeightedFeedError::OrderSensitive),
+        }
+        Ok(())
+    }
+
+    pub(crate) fn finish(&self) -> Value {
         match self {
             Accumulator::Group => Value::Null,
             Accumulator::Count { n } => Value::Int(*n as i64),

@@ -69,6 +69,14 @@ impl ChainTable {
         }
     }
 
+    /// The row after `i` in its chain, or [`CHAIN_END`]. Cursor primitive
+    /// for the factorized-result enumerator ([`crate::factorized`]),
+    /// which holds its position in a chain across `next()` calls.
+    #[inline]
+    pub(crate) fn next_row(&self, i: u32) -> u32 {
+        self.next[i as usize]
+    }
+
     /// Iterates the chain for `hash`, calling `f` with each row index.
     #[inline]
     pub(crate) fn for_each(

@@ -106,6 +106,37 @@ pub fn set_columnar_default(columnar: bool) {
     CARRIER.store(if columnar { 2 } else { 1 }, Ordering::Relaxed);
 }
 
+/// Factorized-result default: `0` = unset (env var / on), `1` = off,
+/// `2` = on.
+static FACTORIZED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether eligible aggregate queries default to the factorized
+/// (cover-based) evaluation path ([`crate::factorized`]) instead of
+/// materializing the full join. Resolution order:
+/// [`set_factorized_default`] > `HTQO_FACTORIZED` env var (`0`/`false`/
+/// `off` turns it off) > on.
+pub fn factorized_default() -> bool {
+    match FACTORIZED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static DEFAULT: OnceLock<bool> = OnceLock::new();
+            *DEFAULT.get_or_init(|| {
+                !matches!(
+                    std::env::var("HTQO_FACTORIZED").as_deref(),
+                    Ok("0") | Ok("false") | Ok("off")
+                )
+            })
+        }
+    }
+}
+
+/// Overrides the factorized-result default process-wide (the
+/// `--factorized` / `--materialized` knob of the figure harnesses).
+pub fn set_factorized_default(factorized: bool) {
+    FACTORIZED.store(if factorized { 2 } else { 1 }, Ordering::Relaxed);
+}
+
 /// Process-wide memory-pool override: `0` = unset (env var), `u64::MAX`
 /// = explicitly unlimited, anything else = the byte limit.
 static MEM_LIMIT: AtomicU64 = AtomicU64::new(0);
@@ -170,6 +201,12 @@ pub struct ExecOptions {
     /// [`crate::EvalError::MemoryExceeded`]. The default is the
     /// process-wide [`mem_limit_default`] (`HTQO_MEM_LIMIT`).
     pub mem_limit: Option<u64>,
+    /// Let eligible aggregate queries run on the factorized (cover-based)
+    /// result representation ([`crate::factorized`]) instead of
+    /// materializing the full join; ineligible queries fall back to full
+    /// materialization either way. The default is the process-wide
+    /// [`factorized_default`] (`HTQO_FACTORIZED`).
+    pub factorized: bool,
 }
 
 impl Default for ExecOptions {
@@ -178,6 +215,7 @@ impl Default for ExecOptions {
             threads: num_threads(),
             columnar: columnar_default(),
             mem_limit: mem_limit_default(),
+            factorized: factorized_default(),
         }
     }
 }

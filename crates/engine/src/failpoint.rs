@@ -57,6 +57,8 @@ pub const SITES: &[&str] = &[
     "cops::project",
     "cops::semijoin",
     "exec::worker",
+    "factorized::build",
+    "factorized::enumerate",
     "ops::join",
     "ops::join::partition",
     "ops::project",
@@ -366,7 +368,9 @@ mod tests {
     }
 
     /// The registry is sorted (stable output for docs/tools), duplicate
-    /// free, and every site is documented in DESIGN.md.
+    /// free, and in sync with the DESIGN.md §3.9 site table in **both**
+    /// directions: every registered site has a table row, and every
+    /// table row names a registered site.
     #[test]
     fn sites_are_sorted_and_documented() {
         let mut sorted = SITES.to_vec();
@@ -375,12 +379,28 @@ mod tests {
         assert_eq!(sorted, SITES, "SITES must be sorted and unique");
         let design = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
         let text = std::fs::read_to_string(design).expect("DESIGN.md readable");
+        // The §3.9 table rows have the shape: | `site::name` | where... |
+        let documented: Vec<&str> = text
+            .lines()
+            .filter_map(|l| {
+                let rest = l.trim().strip_prefix("| `")?;
+                let (site, _) = rest.split_once('`')?;
+                site.contains("::").then_some(site)
+            })
+            .collect();
         for site in sites() {
             assert!(
-                text.contains(site),
-                "fail-point site `{site}` is not documented in DESIGN.md"
+                documented.contains(site),
+                "fail-point site `{site}` has no row in the DESIGN.md §3.9 table"
             );
         }
+        for site in &documented {
+            assert!(
+                SITES.contains(site),
+                "DESIGN.md documents `{site}` but the registry does not define it"
+            );
+        }
+        assert_eq!(documented.len(), SITES.len(), "duplicate table rows");
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   `__rowid` multiplicity guard;
 //! - [`aggregate`]: GROUP BY / aggregate finalization (step (4) of the
 //!   paper's evaluation pipeline);
+//! - [`factorized`]: cover-based factorized results over a decomposition
+//!   tree — aggregate pushdown and constant-delay answer enumeration
+//!   without materializing the join;
 //! - [`exec`] / [`hash`]: the parallel execution substrate — a scoped
 //!   worker pool with a global thread budget, and the in-place Fx join-key
 //!   hashing the kernels are built on.
@@ -34,6 +37,7 @@ pub mod dict;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod factorized;
 pub mod failpoint;
 pub mod hash;
 pub mod ops;
@@ -50,6 +54,9 @@ pub use crel::CRel;
 pub use csv::{read_csv, read_csv_budgeted, write_csv, CsvError};
 pub use error::{Budget, CancelToken, EvalError, SpillMode, SpillStats};
 pub use exec::ExecOptions;
+pub use factorized::{
+    build_cover, finalize_cover, Cover, CoverError, CoverInput, CoverRows, FactorizedCarrier,
+};
 pub use relation::{Relation, RelationError};
 pub use schema::{Column, ColumnType, Database, Schema};
 pub use value::{Row, Value};

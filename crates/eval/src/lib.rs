@@ -6,14 +6,23 @@
 //!   (Section 3.2 of the paper);
 //! - [`qeval`]: the q-hypertree evaluator — per-vertex joins, one
 //!   bottom-up pass with support-child ordering, final projection
-//!   (Section 4).
+//!   (Section 4);
+//! - [`factorized`]: cover-based factorized result fronts for both
+//!   structural evaluators — aggregate pushdown and constant-delay answer
+//!   enumeration without materializing the join.
 
 #![warn(missing_docs)]
 
+pub mod factorized;
 pub mod naive;
 pub mod qeval;
 pub mod yannakakis;
 
+pub use factorized::{
+    evaluate_qhd_query_traced, evaluate_yannakakis_query, evaluate_yannakakis_query_traced,
+    evaluate_yannakakis_query_with, qhd_answer_rows, yannakakis_answer_rows, AnswerRows,
+    FactorizedTrace,
+};
 pub use naive::{evaluate_join_order, evaluate_naive};
 pub use qeval::{
     evaluate_qhd, evaluate_qhd_query, evaluate_qhd_query_with, evaluate_qhd_with, ExecOptions,

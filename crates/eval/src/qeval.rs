@@ -80,14 +80,17 @@ pub fn evaluate_qhd_with(
     }
 }
 
-/// The carrier-generic pipeline behind [`evaluate_qhd_with`].
-fn evaluate_qhd_generic<C: Carrier>(
+/// The `P′` phase as a reusable front: χ(p) per vertex (as names) and the
+/// per-vertex joined relations, both indexed by [`NodeId::index`]. Shared
+/// by the materialized pipeline below and the factorized cover build
+/// ([`crate::factorized`]), so both see byte-identical vertex relations.
+pub(crate) fn vertex_relations<C: Carrier>(
     db: &Database,
     q: &ConjunctiveQuery,
     plan: &QhdPlan,
     budget: &mut Budget,
     opts: &ExecOptions,
-) -> Result<C, EvalError> {
+) -> Result<(Vec<Vec<String>>, Vec<C>), EvalError> {
     let tree = &plan.tree;
     let h = &plan.cq_hypergraph.hypergraph;
     let threads = opts.threads.max(1);
@@ -105,7 +108,7 @@ fn evaluate_qhd_generic<C: Carrier>(
 
     // P′: per-vertex joins — independent, so fan out across workers.
     let vertices: Vec<NodeId> = tree.preorder();
-    let vertex_rel: Vec<Mutex<Option<C>>> = (0..tree.len()).map(|_| Mutex::new(None)).collect();
+    let mut rels: Vec<Option<C>> = (0..tree.len()).map(|_| None).collect();
     if threads > 1 && vertices.len() > 1 {
         let shared = budget.fork();
         let results = exec::parallel_map(vertices.clone(), threads, |p| {
@@ -117,14 +120,39 @@ fn evaluate_qhd_generic<C: Carrier>(
         // (= deterministic) order.
         budget.check_exceeded()?;
         for (p, r) in vertices.iter().zip(results?) {
-            *vertex_rel[p.index()].lock().unwrap() = Some(r?);
+            rels[p.index()] = Some(r?);
         }
     } else {
         for &p in &vertices {
-            let r = vertex_join::<C>(db, q, tree, p, &chi_names[p.index()], budget)?;
-            *vertex_rel[p.index()].lock().unwrap() = Some(r);
+            rels[p.index()] = Some(vertex_join::<C>(
+                db,
+                q,
+                tree,
+                p,
+                &chi_names[p.index()],
+                budget,
+            )?);
         }
     }
+    let rels = rels
+        .into_iter()
+        .map(|r| r.expect("preorder visits every vertex"))
+        .collect();
+    Ok((chi_names, rels))
+}
+
+/// The carrier-generic pipeline behind [`evaluate_qhd_with`].
+pub(crate) fn evaluate_qhd_generic<C: Carrier>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    plan: &QhdPlan,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<C, EvalError> {
+    let tree = &plan.tree;
+    let threads = opts.threads.max(1);
+    let (chi_names, rels) = vertex_relations::<C>(db, q, plan, budget, opts)?;
+    let vertex_rel: Vec<Mutex<Option<C>>> = rels.into_iter().map(|r| Mutex::new(Some(r))).collect();
 
     // P″: single bottom-up pass, support children joined first.
     let result_root = eval_bottom_up(tree, tree.root(), &chi_names, &vertex_rel, budget, threads)?;
@@ -282,7 +310,10 @@ pub fn evaluate_qhd_query(
 /// [`evaluate_qhd_query`] with an explicit execution schedule. On the
 /// columnar carrier the answer stays columnar end to end — the final
 /// aggregation front runs column-at-a-time too
-/// ([`htqo_engine::aggregate::finalize_c`]).
+/// ([`htqo_engine::aggregate::finalize_c`]). When
+/// [`ExecOptions::factorized`] is set and the query/plan qualify, the
+/// aggregate is computed from a factorized cover without materializing
+/// the join ([`crate::factorized`]).
 pub fn evaluate_qhd_query_with(
     db: &Database,
     q: &ConjunctiveQuery,
@@ -290,13 +321,8 @@ pub fn evaluate_qhd_query_with(
     budget: &mut Budget,
     opts: &ExecOptions,
 ) -> Result<VRelation, EvalError> {
-    if opts.columnar {
-        let answer = evaluate_qhd_generic::<CRel>(db, q, plan, budget, opts)?;
-        htqo_engine::aggregate::finalize_c(&answer, q, budget)
-    } else {
-        let answer = evaluate_qhd_generic::<VRelation>(db, q, plan, budget, opts)?;
-        htqo_engine::aggregate::finalize(&answer, q, budget)
-    }
+    let mut trace = crate::factorized::FactorizedTrace::default();
+    crate::factorized::evaluate_qhd_query_traced(db, q, plan, budget, opts, &mut trace)
 }
 
 #[cfg(test)]

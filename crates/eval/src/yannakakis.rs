@@ -44,24 +44,16 @@ pub fn evaluate_yannakakis_with(
     }
 }
 
-/// The carrier-generic three-pass pipeline behind
-/// [`evaluate_yannakakis_with`].
-fn yannakakis_generic<C: Carrier>(
+/// Scans every atom of `q` (edge `i` ↔ atom `i`) — independent work, so it
+/// fans out across the execution-layer worker pool. Shared by the
+/// three-pass pipeline below and the factorized cover build
+/// ([`crate::factorized`]).
+pub(crate) fn scan_atoms<C: Carrier>(
     db: &Database,
     q: &ConjunctiveQuery,
     budget: &mut Budget,
     opts: &ExecOptions,
-) -> Result<C, EvalError> {
-    let ch = q.hypergraph();
-    let Some(reduction) = gyo(&ch.hypergraph) else {
-        return Err(EvalError::Internal(
-            "Yannakakis requires an acyclic query".into(),
-        ));
-    };
-    let forest: JoinForest = reduction.forest;
-
-    // Scan every atom (edge i ↔ atom i) — independent work, so fan out
-    // across the execution-layer worker pool.
+) -> Result<Vec<C>, EvalError> {
     let atom_ids: Vec<_> = q.atom_ids().collect();
     let threads = opts.threads.max(1);
     let mut rels: Vec<C> = Vec::with_capacity(q.atoms.len());
@@ -80,6 +72,25 @@ fn yannakakis_generic<C: Carrier>(
             rels.push(C::scan_query_atom(db, q, a, budget)?);
         }
     }
+    Ok(rels)
+}
+
+/// The carrier-generic three-pass pipeline behind
+/// [`evaluate_yannakakis_with`].
+fn yannakakis_generic<C: Carrier>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    budget: &mut Budget,
+    opts: &ExecOptions,
+) -> Result<C, EvalError> {
+    let ch = q.hypergraph();
+    let Some(reduction) = gyo(&ch.hypergraph) else {
+        return Err(EvalError::Internal(
+            "Yannakakis requires an acyclic query".into(),
+        ));
+    };
+    let forest: JoinForest = reduction.forest;
+    let mut rels = scan_atoms::<C>(db, q, budget, opts)?;
 
     // Bottom-up then top-down semijoin passes per tree.
     let roots = forest.roots();

@@ -114,6 +114,17 @@ pub struct QueryOutcome {
     /// Spill partitions created across every rung (the partition
     /// fan-out, summed over every spilling operator and recursion level).
     pub spill_partitions: u64,
+    /// True when the answer came from the factorized (cover-based)
+    /// aggregate front instead of a materialized join.
+    pub factorized: bool,
+    /// Why the factorized front declined the query, when it was tried
+    /// and found ineligible (`None` when it answered or was never tried).
+    pub factorized_fallback: Option<String>,
+    /// Planner-side cardinality estimate for the answer relation, when
+    /// statistics were available to produce one.
+    pub estimated_answer_rows: Option<f64>,
+    /// Actual answer cardinality (rows of `result` when it is `Ok`).
+    pub answer_rows: Option<u64>,
 }
 
 impl QueryOutcome {
@@ -258,6 +269,7 @@ impl DbmsSim {
         let result = evaluate_join_order(db, q, Some(&order), &mut budget)
             .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, &mut budget));
         let execution = t1.elapsed();
+        let answer_rows = result.as_ref().ok().map(|r| r.len() as u64);
         QueryOutcome {
             result,
             planning,
@@ -268,6 +280,10 @@ impl DbmsSim {
             attempts: Vec::new(),
             spill_bytes: budget.spill_stats().bytes_written(),
             spill_partitions: budget.spill_stats().partitions(),
+            factorized: false,
+            factorized_fallback: None,
+            estimated_answer_rows: crate::estimate_answer_rows(q, self.stats.as_ref()),
+            answer_rows,
         }
     }
 

@@ -21,7 +21,7 @@ use htqo_cq::{isolate, parse_select, ConjunctiveQuery, IsolatorOptions};
 use htqo_engine::error::{Budget, EvalError, SpillMode};
 use htqo_engine::schema::Database;
 use htqo_engine::vrel::VRelation;
-use htqo_eval::{evaluate_naive, evaluate_qhd};
+use htqo_eval::{evaluate_naive, evaluate_qhd_query_traced, ExecOptions, FactorizedTrace};
 use htqo_stats::{DbStats, StatsDecompCost};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -288,8 +288,14 @@ impl HybridOptimizer {
         let mut attempts: Vec<FallbackAttempt> = Vec::new();
         let mut tuples: u64 = 0;
         let mut answer: Option<(VRelation, Rung, String)> = None;
+        // Shared with the rung-0 closure (which `run_rung` may invoke
+        // twice under spill retry — the traced evaluator resets it on
+        // entry, so it always reflects the pass that produced the answer).
+        let trace: std::cell::RefCell<FactorizedTrace> = std::cell::RefCell::default();
 
-        // Rung 0: q-hypertree evaluation.
+        // Rung 0: q-hypertree evaluation, through the factorized front
+        // (aggregate pushdown over the cover when eligible, materialized
+        // join otherwise — see `htqo_eval::factorized`).
         match plan {
             Ok(plan) => {
                 let desc = format!(
@@ -299,9 +305,9 @@ impl HybridOptimizer {
                     plan.tree.join_work(),
                     plan.optimize_stats.removed_atoms
                 );
+                let opts = ExecOptions::default();
                 let eval = |bud: &mut Budget| {
-                    evaluate_qhd(db, q, &plan, bud)
-                        .and_then(|ans| htqo_engine::aggregate::finalize(&ans, q, bud))
+                    evaluate_qhd_query_traced(db, q, &plan, bud, &opts, &mut trace.borrow_mut())
                 };
                 match self.run_rung(&budget, 0, Rung::QHd, &mut attempts, &mut tuples, &eval) {
                     Some(rel) => answer = Some((rel, Rung::QHd, desc)),
@@ -377,22 +383,45 @@ impl HybridOptimizer {
             .iter()
             .map(|a| format!("{} failure: {}", a.rung, a.error))
             .collect();
+        let estimated_answer_rows = crate::estimate_answer_rows(q, self.stats.as_ref());
         match answer {
-            Some((rel, rung, desc)) => QueryOutcome {
-                result: Ok(rel),
-                planning,
-                execution,
-                tuples,
-                plan: if failed.is_empty() {
-                    desc
+            Some((rel, rung, desc)) => {
+                // The trace only describes the q-HD rung; a fallback rung's
+                // answer always came from a materialized join.
+                let trace = trace.into_inner();
+                let (factorized, factorized_fallback) = if rung == Rung::QHd {
+                    (trace.factorized, trace.fallback)
                 } else {
-                    format!("{desc} [fallback after {}]", failed.join("; "))
-                },
-                rung,
-                attempts,
-                spill_bytes,
-                spill_partitions,
-            },
+                    (false, None)
+                };
+                let answer_rows = Some(rel.len() as u64);
+                QueryOutcome {
+                    result: Ok(rel),
+                    planning,
+                    execution,
+                    tuples,
+                    plan: {
+                        let desc = if factorized {
+                            format!("{desc} [factorized]")
+                        } else {
+                            desc
+                        };
+                        if failed.is_empty() {
+                            desc
+                        } else {
+                            format!("{desc} [fallback after {}]", failed.join("; "))
+                        }
+                    },
+                    rung,
+                    attempts,
+                    spill_bytes,
+                    spill_partitions,
+                    factorized,
+                    factorized_fallback,
+                    estimated_answer_rows,
+                    answer_rows,
+                }
+            }
             None => {
                 let last = attempts.last().expect("the q-HD rung always runs");
                 QueryOutcome {
@@ -405,6 +434,10 @@ impl HybridOptimizer {
                     attempts,
                     spill_bytes,
                     spill_partitions,
+                    factorized: false,
+                    factorized_fallback: None,
+                    estimated_answer_rows,
+                    answer_rows: None,
                 }
             }
         }
@@ -735,5 +768,47 @@ mod tests {
             )
             .unwrap();
         assert!(out.result.is_ok());
+    }
+
+    /// A grouped count runs on the factorized cover, the outcome records
+    /// it, and the answer matches the left-deep simulator's (which always
+    /// materializes).
+    #[test]
+    fn factorized_aggregate_is_recorded_and_agrees() {
+        let db = chain_db(3, 60, 5);
+        let stats = analyze(&db);
+        let sql = "SELECT p0.l, COUNT(*) AS n FROM p0, p1, p2 \
+                   WHERE p0.r = p1.l AND p1.r = p2.l GROUP BY p0.l";
+        let hybrid = HybridOptimizer::with_stats(QhdOptions::default(), stats.clone());
+        let out = hybrid.execute_sql(&db, sql, Budget::unlimited()).unwrap();
+        assert_eq!(out.rung, Rung::QHd, "{}", out.plan);
+        assert!(out.factorized, "{:?}", out.factorized_fallback);
+        assert!(out.plan.contains("[factorized]"), "{}", out.plan);
+        assert!(out.factorized_fallback.is_none());
+        let rel = out.result.unwrap();
+        assert_eq!(out.answer_rows, Some(rel.len() as u64));
+        assert!(out.estimated_answer_rows.is_some());
+        let oracle = DbmsSim::commdb(Some(stats))
+            .execute_sql(&db, sql, Budget::unlimited())
+            .unwrap();
+        assert!(!oracle.factorized);
+        assert!(rel.set_eq(&oracle.result.unwrap()));
+    }
+
+    /// An order-sensitive aggregate is ineligible for the cover: the
+    /// outcome still answers on q-HD but records the fallback reason.
+    #[test]
+    fn ineligible_aggregate_records_fallback_reason() {
+        let db = chain_db(2, 40, 5);
+        let sql = "SELECT p0.l, COUNT(*) AS n FROM p0, p1 \
+                   WHERE p0.r = p1.l GROUP BY p0.l ORDER BY n";
+        let opt = HybridOptimizer::structural(QhdOptions::default());
+        let out = opt.execute_sql(&db, sql, Budget::unlimited()).unwrap();
+        assert_eq!(out.rung, Rung::QHd, "{}", out.plan);
+        assert!(!out.factorized);
+        assert!(out.factorized_fallback.is_some());
+        assert!(out.result.is_ok());
+        // Structural mode has no statistics, so no estimate.
+        assert!(out.estimated_answer_rows.is_none());
     }
 }

@@ -32,3 +32,51 @@ pub use geqo::{geqo_join_order, GeqoConfig};
 pub use hybrid::{HybridOptimizer, RetryPolicy};
 pub use nested::{flatten_subqueries, NestedError};
 pub use views::{execute_views, rewrite_to_views, SqlViews, ViewDef};
+
+/// Estimates the answer cardinality of `q` from gathered statistics:
+/// the textbook join estimate over all atoms, tightened by the distinct
+/// projection the query performs — aggregate queries return one row per
+/// group (`∏ V(g)` over `GROUP BY` variables, 1 when grouping is empty),
+/// plain queries one row per distinct binding of the visible output
+/// variables, and Boolean queries at most one row.
+///
+/// Returns `None` when no statistics are available.
+pub fn estimate_answer_rows(
+    q: &htqo_cq::ConjunctiveQuery,
+    stats: Option<&htqo_stats::DbStats>,
+) -> Option<f64> {
+    let stats = stats?;
+    let mut profiles = q.atom_ids().map(|a| htqo_stats::atom_profile(stats, q, a));
+    let mut joined = profiles.next()?;
+    for p in profiles {
+        joined = htqo_stats::join_profiles(&joined, &p);
+    }
+    let distinct_bound = |vars: &[String]| -> f64 {
+        vars.iter()
+            .map(|v| joined.distinct_of(v))
+            .product::<f64>()
+            .min(joined.card)
+            .max(1.0)
+    };
+    let est = if q.has_aggregates() {
+        if q.group_by.is_empty() {
+            1.0
+        } else {
+            distinct_bound(&q.group_by)
+        }
+    } else {
+        // Answers are distinct over out(Q); hidden rowid guards carry bag
+        // multiplicity and are projected away before the result surfaces.
+        let visible: Vec<String> = q
+            .out_vars()
+            .into_iter()
+            .filter(|v| !htqo_cq::isolator::is_hidden_label(v))
+            .collect();
+        if visible.is_empty() {
+            joined.card.min(1.0)
+        } else {
+            distinct_bound(&visible)
+        }
+    };
+    Some(est)
+}
