@@ -12,7 +12,13 @@
 //! 4. factorized vs materialized `COUNT(*) GROUP BY` on a bag-semantics
 //!    variant of the bushy query whose full join dwarfs its inputs: the
 //!    factorized path multiplies per-vertex partial counts along the
-//!    cover instead of enumerating every derivation,
+//!    cover instead of enumerating every derivation, and
+//! 5. the shape-canonical plan cache: cold planning (full cost-k-decomp)
+//!    vs a shape hit (renamed-isomorphic template: canonicalize,
+//!    transport, re-price) vs an exact hit, asserting the ≥10x hit
+//!    speedup and bit-identical served plans under unchanged stats, and
+//! 6. service throughput: one shared [`QueryService`] driven by 1/4/16
+//!    concurrent sessions over a warm plan cache,
 //!
 //! and writes the numbers to `results/kernels.md` plus a
 //! machine-readable `BENCH_kernels.json` at the repo root.
@@ -42,6 +48,8 @@ use htqo_engine::vrel::VRelation;
 use htqo_eval::{
     evaluate_qhd_with, evaluate_yannakakis_query_traced, ExecOptions, FactorizedTrace,
 };
+use htqo_optimizer::HybridOptimizer;
+use htqo_service::{QueryService, ServiceConfig};
 use htqo_workloads::{acyclic_query, workload_db, WorkloadSpec};
 
 const REPS: usize = 5;
@@ -467,6 +475,194 @@ fn main() {
          \"speedup\": {:.2} }},",
         magg.len(),
         mat_s / fac_s
+    );
+
+    // ---- 5. Plan cache: cold vs shape-hit vs exact-hit planning. ----
+    // A 10-atom cyclic chain at k = 4: cost-k-decomp examines thousands
+    // of separators cold, while a cache hit only canonicalizes ten
+    // variables, transports the stored tree and re-prices its covers.
+    // Variants rename every variable and alias (atom order unchanged, so
+    // per-relation statistics line up edge-for-edge and the served plan
+    // must be bit-identical to the cold one); no variant shares a
+    // rendered query string, so alternating them defeats the exact-match
+    // fast path and times the true revalidation hit.
+    let n_atoms = 10usize;
+    let pdb = workload_db(&WorkloadSpec::new(n_atoms, 64, 8, 13));
+    let pstats = htqo_stats::analyze(&pdb);
+    let cycle_variant = |tag: &str| {
+        let mut b = CqBuilder::new();
+        for i in 0..n_atoms {
+            let l = format!("{tag}{i}");
+            let r = format!("{tag}{}", (i + 1) % n_atoms);
+            b = b.atom(
+                &format!("q{tag}{i}"),
+                &format!("p{i}"),
+                &[("l", &l), ("r", &r)],
+            );
+        }
+        b.out_var(&format!("{tag}0")).build()
+    };
+    let base = cycle_variant("v");
+    let cold_s = {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let opt = HybridOptimizer::with_stats(QhdOptions::default(), pstats.clone());
+            let t = Instant::now();
+            let p = opt
+                .plan_cq_cached(&base)
+                .expect("cycle decomposes at k = 4");
+            best = best.min(t.elapsed().as_secs_f64());
+            std::hint::black_box(&p);
+        }
+        best
+    };
+    let warm = HybridOptimizer::with_stats(QhdOptions::default(), pstats.clone());
+    let cold_plan = warm.plan_cq_cached(&base).expect("fills the cache");
+    let exact_s = {
+        let mut best = f64::INFINITY;
+        for _ in 0..200 {
+            let t = Instant::now();
+            let p = warm.plan_cq_cached(&base).expect("exact hit");
+            best = best.min(t.elapsed().as_secs_f64());
+            std::hint::black_box(&p);
+        }
+        best
+    };
+    let (qa, qb) = (cycle_variant("w"), cycle_variant("x"));
+    let shape_s = {
+        let mut best = f64::INFINITY;
+        for i in 0..200 {
+            let q = if i % 2 == 0 { &qa } else { &qb };
+            let t = Instant::now();
+            let p = warm.plan_cq_cached(q).expect("shape hit");
+            best = best.min(t.elapsed().as_secs_f64());
+            std::hint::black_box(&p);
+        }
+        best
+    };
+    let pc = warm.plan_cache_stats();
+    assert_eq!(pc.misses, 1, "every variant must land on one entry");
+    assert_eq!(warm.cached_plans(), 1);
+    // Bit-identity under unchanged statistics: the shape hit transports
+    // the stored tree and prices it to exactly the stored cost, so the
+    // served plan is the cold plan, bit for bit.
+    let hit_plan = warm.plan_cq_cached(&qa).expect("shape hit");
+    let bit_identical = format!("{:?}", hit_plan.tree) == format!("{:?}", cold_plan.tree)
+        && hit_plan.estimated_cost == cold_plan.estimated_cost;
+    assert!(
+        bit_identical,
+        "shape hit must serve the cold plan bit-identically"
+    );
+    assert!(
+        cold_s / shape_s >= 10.0,
+        "shape-hit planning must be >=10x faster than cold: cold {cold_s:.6}s, hit {shape_s:.6}s"
+    );
+    let _ = writeln!(report, "\n## Plan cache: cold vs shape-hit vs exact-hit\n");
+    let _ = writeln!(
+        report,
+        "{n_atoms}-atom cyclic chain, k = 4, statistics cost model. Shape hits \
+         serve renamed-isomorphic templates (bit-identical plan: {bit_identical}). \
+         Best of {REPS} cold / 200 hit calls.\n"
+    );
+    let _ = writeln!(report, "| path | time | speedup vs cold |");
+    let _ = writeln!(report, "|---|---|---|");
+    let _ = writeln!(
+        report,
+        "| cold (cost-k-decomp) | {:.3}ms | 1.00x |",
+        cold_s * 1e3
+    );
+    let _ = writeln!(
+        report,
+        "| shape hit (canonicalize + transport + re-price) | {:.3}ms | {:.1}x |",
+        shape_s * 1e3,
+        cold_s / shape_s
+    );
+    let _ = writeln!(
+        report,
+        "| exact hit (rendered-string match) | {:.3}ms | {:.1}x |",
+        exact_s * 1e3,
+        cold_s / exact_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"plan_cache\": {{ \"atoms\": {n_atoms}, \"cold_s\": {cold_s:.6}, \
+         \"shape_hit_s\": {shape_s:.6}, \"exact_hit_s\": {exact_s:.6}, \
+         \"cold_over_shape\": {:.1}, \"cold_over_exact\": {:.1}, \
+         \"bit_identical\": {bit_identical} }},",
+        cold_s / shape_s,
+        cold_s / exact_s
+    );
+
+    // ---- 6. Service throughput at 1/4/16 concurrent sessions. ----
+    // Inter-query concurrency is the axis under test, so the engine's
+    // intra-query pool is pinned to one thread; every session hammers the
+    // same cyclic template through a shared (warm) plan cache.
+    exec::set_threads(1);
+    let service_rows = (scale / 1000).max(60);
+    let per_session = 30usize;
+    let mut service_qps: Vec<(usize, f64)> = Vec::new();
+    for &sessions in &[1usize, 4, 16] {
+        let sdb = workload_db(&WorkloadSpec::new(3, service_rows, 6, 9));
+        let sstats = htqo_stats::analyze(&sdb);
+        let svc = QueryService::new(
+            sdb,
+            HybridOptimizer::with_stats(QhdOptions::default(), sstats),
+            ServiceConfig {
+                max_in_flight: sessions + 1,
+                ..ServiceConfig::default()
+            },
+        );
+        const TEMPLATE: &str = "SELECT p0.l FROM p0, p1, p2 \
+                                WHERE p0.r = p1.l AND p1.r = p2.l AND p2.r = p0.l";
+        // Warm the plan cache so the sweep measures steady state.
+        svc.session()
+            .execute_sql(TEMPLATE)
+            .expect("admitted")
+            .result
+            .expect("template runs clean");
+        let t = Instant::now();
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                let session = svc.session();
+                std::thread::spawn(move || {
+                    for _ in 0..per_session {
+                        session
+                            .execute_sql(TEMPLATE)
+                            .expect("admitted")
+                            .result
+                            .expect("template runs clean");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("session thread panicked");
+        }
+        let secs = t.elapsed().as_secs_f64();
+        service_qps.push((sessions, (sessions * per_session) as f64 / secs));
+    }
+    let _ = writeln!(
+        report,
+        "\n## Service throughput (shared plan cache, 1 engine thread)\n"
+    );
+    let _ = writeln!(
+        report,
+        "{per_session} queries per session on the cyclic 3-atom template, \
+         {service_rows} rows per relation.\n"
+    );
+    let _ = writeln!(report, "| concurrent sessions | queries/s |");
+    let _ = writeln!(report, "|---|---|");
+    for &(sessions, qps) in &service_qps {
+        let _ = writeln!(report, "| {sessions} | {qps:.0} |");
+    }
+    let _ = writeln!(
+        json,
+        "  \"service\": {{ \"queries_per_session\": {per_session}, {} }},",
+        service_qps
+            .iter()
+            .map(|(s, q)| format!("\"qps_{s}\": {q:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     let _ = writeln!(

@@ -39,6 +39,7 @@ pub mod dot;
 pub mod hypertree;
 pub mod optimize;
 pub mod qhd;
+pub mod reuse;
 pub mod search;
 pub mod treedecomp;
 pub mod validate;
@@ -47,7 +48,10 @@ pub use cost::{DecompCost, StructuralCost};
 pub use dot::hypertree_to_dot;
 pub use hypertree::{Hypertree, HypertreeBuilder, Node, NodeId};
 pub use optimize::{optimize, OptimizeStats};
-pub use qhd::{q_hypertree_decomp, QhdFailure, QhdOptions, QhdPlan};
+pub use qhd::{
+    q_hypertree_decomp, q_hypertree_decomp_raw, QhdFailure, QhdOptions, QhdPlan, RawQhd,
+};
+pub use reuse::{recost_lambda, remap_tree, tree_cost, RecostOutcome};
 pub use search::{
     cost_k_decomp, cost_k_decomp_instrumented, cost_k_decomp_with_cost, det_k_decomp,
     exists_decomposition, hypertree_width, SearchOptions, SearchStats,

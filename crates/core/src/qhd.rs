@@ -80,6 +80,87 @@ impl Default for QhdOptions {
     }
 }
 
+/// A decomposition fresh out of the `cost-k-decomp` search, *before*
+/// Procedure `Optimize` runs.
+///
+/// The pre-`Optimize` tree is the form worth caching across isomorphic
+/// queries: it still satisfies `χ(p) ⊆ var(λ(p))` at every vertex, so its
+/// λ (cover) choices can be re-costed against a different statistics
+/// snapshot (see [`crate::reuse`]) before [`RawQhd::finish`] specializes
+/// it for evaluation. `Optimize` prunes λ atoms bounded by children,
+/// which destroys exactly the invariant re-costing needs.
+#[derive(Clone, Debug)]
+pub struct RawQhd {
+    /// The decomposition tree before `Optimize`.
+    pub tree: Hypertree,
+    /// The query hypergraph and variable interning used to build it.
+    pub cq_hypergraph: CqHypergraph,
+    /// `out(Q)` as a variable set of the hypergraph.
+    pub out_vars: VarSet,
+    /// Estimated cost of the chosen decomposition.
+    pub estimated_cost: f64,
+    /// Instrumentation of the cost-k-decomp search.
+    pub search_stats: SearchStats,
+}
+
+impl RawQhd {
+    /// Runs Procedure `Optimize` (when enabled) and produces the
+    /// evaluation-ready plan. The second stage of the paper's Algorithm
+    /// q-HypertreeDecomp.
+    pub fn finish(self, options: &QhdOptions) -> QhdPlan {
+        let RawQhd {
+            mut tree,
+            cq_hypergraph,
+            out_vars,
+            estimated_cost,
+            search_stats,
+        } = self;
+        let optimize_stats = if options.run_optimize {
+            optimize(&cq_hypergraph.hypergraph, &mut tree)
+        } else {
+            OptimizeStats::default()
+        };
+        debug_assert!(validate::check_qhd(&cq_hypergraph.hypergraph, &tree, &out_vars).is_ok());
+        QhdPlan {
+            tree,
+            cq_hypergraph,
+            out_vars,
+            estimated_cost,
+            optimize_stats,
+            search_stats,
+        }
+    }
+}
+
+/// The search stage of [`q_hypertree_decomp`]: a minimal cost-based
+/// normal-form decomposition whose root covers `out(Q)`, before
+/// `Optimize`. Exposed separately so the optimizer's plan cache can store
+/// the reusable pre-`Optimize` form.
+pub fn q_hypertree_decomp_raw(
+    q: &ConjunctiveQuery,
+    options: &QhdOptions,
+    cost: &dyn DecompCost,
+) -> Result<RawQhd, QhdFailure> {
+    let ch = q.hypergraph();
+    let out_vars = ch.out_var_set(q);
+    let opts = SearchOptions::width_with_root_cover(options.max_width, out_vars.clone())
+        .with_threads(options.threads);
+    let Some((estimated_cost, tree, search_stats)) =
+        cost_k_decomp_instrumented(&ch.hypergraph, &opts, cost)
+    else {
+        return Err(QhdFailure {
+            max_width: options.max_width,
+        });
+    };
+    Ok(RawQhd {
+        tree,
+        cq_hypergraph: ch,
+        out_vars,
+        estimated_cost,
+        search_stats,
+    })
+}
+
 /// Computes a good q-hypertree decomposition of `q`, or Failure.
 ///
 /// `cost` supplies the vertex cost model: [`crate::cost::StructuralCost`]
@@ -90,31 +171,7 @@ pub fn q_hypertree_decomp(
     options: &QhdOptions,
     cost: &dyn DecompCost,
 ) -> Result<QhdPlan, QhdFailure> {
-    let ch = q.hypergraph();
-    let out_vars = ch.out_var_set(q);
-    let opts = SearchOptions::width_with_root_cover(options.max_width, out_vars.clone())
-        .with_threads(options.threads);
-    let Some((estimated_cost, mut tree, search_stats)) =
-        cost_k_decomp_instrumented(&ch.hypergraph, &opts, cost)
-    else {
-        return Err(QhdFailure {
-            max_width: options.max_width,
-        });
-    };
-    let optimize_stats = if options.run_optimize {
-        optimize(&ch.hypergraph, &mut tree)
-    } else {
-        OptimizeStats::default()
-    };
-    debug_assert!(validate::check_qhd(&ch.hypergraph, &tree, &out_vars).is_ok());
-    Ok(QhdPlan {
-        tree,
-        cq_hypergraph: ch,
-        out_vars,
-        estimated_cost,
-        optimize_stats,
-        search_stats,
-    })
+    q_hypertree_decomp_raw(q, options, cost).map(|raw| raw.finish(options))
 }
 
 #[cfg(test)]

@@ -1,0 +1,311 @@
+//! Decomposition reuse across isomorphic queries.
+//!
+//! A hypertree decomposition depends only on the query's hypergraph
+//! *shape* and output marking — not on relation names, variable names, or
+//! the contents of the catalog. The optimizer exploits this by caching
+//! pre-`Optimize` decompositions keyed by canonical hypergraph form
+//! (see `htqo_hypergraph::canon`) and *transporting* a cached tree onto
+//! any isomorphic query via the canonical index permutations:
+//!
+//! 1. [`remap_tree`] relabels every `χ`/`λ`/`assigned` set through the
+//!    variable and edge permutations (tree structure is untouched);
+//! 2. [`tree_cost`] re-prices the transported tree under the new query's
+//!    cost model — if the price matches the cached one, statistics are
+//!    unchanged and the tree is served bit-identically;
+//! 3. otherwise [`recost_lambda`] re-optimizes each vertex's λ (cover)
+//!    choice against current statistics, keeping the cached cover unless
+//!    a *strictly* cheaper valid alternative exists. Only λ moves: χ,
+//!    the enforcement assignment and the tree shape are fixed, so every
+//!    q-HD validity condition that mentions them is preserved by
+//!    construction, and the per-edge filters below preserve the two that
+//!    mention λ (`χ(p) ⊆ var(λ(p))` and the Special Descendant
+//!    Condition).
+//!
+//! This is the "skip cost-k-decomp, re-cost λ against current stats" hit
+//! path: linear-ish work instead of the exponential search.
+
+use crate::cost::DecompCost;
+use crate::hypertree::{Hypertree, Node, NodeId};
+use htqo_hypergraph::{EdgeId, EdgeSet, Hypergraph, Var, VarSet};
+
+/// Relabels a hypertree through index permutations: `var_map[v]` is the
+/// image of variable `v`, `edge_map[e]` the image of edge `e`. Node
+/// indices, children and support order are preserved.
+///
+/// # Panics
+/// Panics if a set member is out of range of its permutation.
+pub fn remap_tree(t: &Hypertree, var_map: &[u32], edge_map: &[u32]) -> Hypertree {
+    let nodes: Vec<Node> = (0..t.len())
+        .map(|i| {
+            let n = t.node(NodeId(i as u32));
+            Node {
+                chi: remap_vars(&n.chi, var_map),
+                lambda: remap_edges(&n.lambda, edge_map),
+                assigned: remap_edges(&n.assigned, edge_map),
+                children: n.children.clone(),
+                support_children: n.support_children.clone(),
+            }
+        })
+        .collect();
+    Hypertree::new(nodes, t.root())
+}
+
+fn remap_vars(vs: &VarSet, map: &[u32]) -> VarSet {
+    let mut out = VarSet::new();
+    for v in vs.iter() {
+        out.insert(Var(map[v.index()]));
+    }
+    out
+}
+
+fn remap_edges(es: &EdgeSet, map: &[u32]) -> EdgeSet {
+    let mut out = EdgeSet::new();
+    for e in es.iter() {
+        out.insert(EdgeId(map[e.index()]));
+    }
+    out
+}
+
+/// Total decomposition cost as the sum of per-vertex costs, accumulated
+/// in preorder. Deterministic: identical trees and cost models produce a
+/// bit-identical sum, which is how the cache detects "statistics
+/// unchanged" without keeping the old statistics around.
+pub fn tree_cost(h: &Hypergraph, t: &Hypertree, cost: &dyn DecompCost) -> f64 {
+    t.preorder()
+        .into_iter()
+        .map(|p| {
+            let n = t.node(p);
+            cost.vertex_cost(h, &n.lambda, &n.assigned, &n.chi)
+        })
+        .sum()
+}
+
+/// What [`recost_lambda`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecostOutcome {
+    /// Total tree cost after re-costing (sum of per-vertex costs).
+    pub total_cost: f64,
+    /// Vertices whose λ was replaced by a strictly cheaper cover.
+    pub swapped: usize,
+}
+
+/// Cover-enumeration work cap per vertex (DFS nodes). Query-sized
+/// hypergraphs stay far below this; on blowout the vertex keeps its
+/// cached cover, which is always valid.
+const COVER_BUDGET: u32 = 20_000;
+
+/// Re-optimizes the λ (cover) choice of every vertex of a transported
+/// pre-`Optimize` decomposition against `cost`, in place.
+///
+/// For each vertex `p` the candidate covers are the irredundant sets of
+/// at most `max_width` edges that (a) cover `χ(p)`, and (b) edge-wise
+/// satisfy the Special Descendant Condition
+/// `var(e) ∩ χ(T_p) ⊆ χ(p)` — so any swap leaves the decomposition a
+/// valid width-≤k hypertree decomposition with the same χ labeling. The
+/// cached cover is kept unless an alternative is *strictly* cheaper,
+/// which makes re-costing the identity when statistics are unchanged.
+pub fn recost_lambda(
+    h: &Hypergraph,
+    t: &mut Hypertree,
+    max_width: usize,
+    cost: &dyn DecompCost,
+) -> RecostOutcome {
+    let mut outcome = RecostOutcome::default();
+    for p in t.preorder() {
+        let (chi, assigned, current) = {
+            let n = t.node(p);
+            (n.chi.clone(), n.assigned.clone(), n.lambda.clone())
+        };
+        let subtree_chi = t.chi_of_subtree(p);
+        // Candidates: edges touching χ whose vars seen below p stay
+        // inside χ(p) (the per-edge Special Descendant filter).
+        let mut candidates: Vec<EdgeId> = h
+            .edge_ids()
+            .filter(|&e| {
+                let ev = h.edge_vars(e);
+                ev.intersects(&chi) && ev.intersection(&subtree_chi).is_subset(&chi)
+            })
+            .collect();
+        // Deterministic order: best χ coverage first, edge id breaks ties.
+        candidates.sort_by_key(|&e| (usize::MAX - h.edge_vars(e).intersection(&chi).len(), e.0));
+        let current_cost = cost.vertex_cost(h, &current, &assigned, &chi);
+        let mut best = (current_cost, None);
+        let mut work = 0u32;
+        let mut chosen: Vec<EdgeId> = Vec::with_capacity(max_width);
+        search_covers(
+            h,
+            &chi,
+            &assigned,
+            &candidates,
+            max_width,
+            cost,
+            &mut chosen,
+            &VarSet::new(),
+            &mut best,
+            &mut work,
+        );
+        if let (c, Some(lambda)) = best {
+            debug_assert!(c < current_cost);
+            t.node_mut(p).lambda = lambda;
+            outcome.swapped += 1;
+            outcome.total_cost += c;
+        } else {
+            outcome.total_cost += current_cost;
+        }
+    }
+    outcome
+}
+
+/// DFS over irredundant covers of `chi`, branching on edges that contain
+/// the first uncovered variable. Updates `best` on strict improvement.
+#[allow(clippy::too_many_arguments)]
+fn search_covers(
+    h: &Hypergraph,
+    chi: &VarSet,
+    assigned: &EdgeSet,
+    candidates: &[EdgeId],
+    max_width: usize,
+    cost: &dyn DecompCost,
+    chosen: &mut Vec<EdgeId>,
+    covered: &VarSet,
+    best: &mut (f64, Option<EdgeSet>),
+    work: &mut u32,
+) {
+    *work += 1;
+    if *work > COVER_BUDGET {
+        return;
+    }
+    let uncovered = chi.difference(covered);
+    let Some(target) = uncovered.iter().next() else {
+        // A complete cover: price it.
+        let mut lambda = EdgeSet::new();
+        for &e in chosen.iter() {
+            lambda.insert(e);
+        }
+        let c = cost.vertex_cost(h, &lambda, assigned, chi);
+        if c < best.0 {
+            *best = (c, Some(lambda));
+        }
+        return;
+    };
+    if chosen.len() == max_width {
+        return;
+    }
+    for &e in candidates {
+        if chosen.contains(&e) || !h.edge_vars(e).contains(target) {
+            continue;
+        }
+        chosen.push(e);
+        let next = covered.union(h.edge_vars(e));
+        search_covers(
+            h, chi, assigned, candidates, max_width, cost, chosen, &next, best, work,
+        );
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StructuralCost;
+    use crate::qhd::{q_hypertree_decomp_raw, QhdOptions};
+    use crate::validate;
+    use htqo_cq::CqBuilder;
+    use htqo_hypergraph::canonical_form;
+
+    fn cyclic_chain(n: usize, var: impl Fn(usize) -> String) -> htqo_cq::ConjunctiveQuery {
+        let mut b = CqBuilder::new();
+        for i in 0..n {
+            let l = var(i);
+            let r = var((i + 1) % n);
+            b = b.atom(&format!("p{i}"), &format!("p{i}"), &[("l", &l), ("r", &r)]);
+        }
+        b.out_var(&var(0)).build()
+    }
+
+    /// A cached raw tree transported onto a renamed isomorphic query is a
+    /// valid decomposition of the new query, and re-costing under the
+    /// same cost model changes nothing.
+    #[test]
+    fn transported_tree_is_valid_and_recost_is_identity() {
+        let opts = QhdOptions::default();
+        let q1 = cyclic_chain(5, |i| format!("X{i}"));
+        let q2 = cyclic_chain(5, |i| format!("Banana{}", (i * 7) % 26));
+        let raw1 = q_hypertree_decomp_raw(&q1, &opts, &StructuralCost).unwrap();
+        let ch2 = q2.hypergraph();
+        let out2 = ch2.out_var_set(&q2);
+        let c1 = canonical_form(&raw1.cq_hypergraph.hypergraph, &raw1.out_vars).unwrap();
+        let c2 = canonical_form(&ch2.hypergraph, &out2).unwrap();
+        assert_eq!(c1.encoding, c2.encoding, "isomorphic shapes");
+        // Transport q1's tree into canonical space, then into q2's space.
+        let canon_tree = remap_tree(&raw1.tree, &c1.var_to_canon, &c1.edge_to_canon);
+        let mut tree2 = remap_tree(&canon_tree, &c2.canon_to_var(), &c2.canon_to_edge());
+        assert!(validate::check_hd(&ch2.hypergraph, &tree2).is_ok());
+        assert!(validate::check_qhd(&ch2.hypergraph, &tree2, &out2).is_ok());
+        let before = format!("{tree2:?}");
+        let cost_before = tree_cost(&ch2.hypergraph, &tree2, &StructuralCost);
+        assert_eq!(
+            cost_before,
+            tree_cost(&raw1.cq_hypergraph.hypergraph, &raw1.tree, &StructuralCost),
+            "structural cost is shape-invariant"
+        );
+        let out = recost_lambda(&ch2.hypergraph, &mut tree2, opts.max_width, &StructuralCost);
+        assert_eq!(out.swapped, 0, "same cost model: cached covers stay");
+        assert_eq!(before, format!("{tree2:?}"), "bit-identical tree");
+    }
+
+    /// A cost model that hates a specific edge forces a swap, and the
+    /// swapped tree is still a valid decomposition.
+    #[test]
+    fn recost_swaps_to_strictly_cheaper_cover() {
+        struct Biased;
+        impl crate::cost::DecompCost for Biased {
+            fn vertex_cost(
+                &self,
+                _h: &Hypergraph,
+                lambda: &EdgeSet,
+                _assigned: &EdgeSet,
+                _chi: &VarSet,
+            ) -> f64 {
+                // Edge 0 is radioactive; otherwise prefer wide covers less.
+                let penalty = if lambda.contains(EdgeId(0)) {
+                    1000.0
+                } else {
+                    0.0
+                };
+                penalty + lambda.len() as f64
+            }
+            fn min_vertex_cost(&self, _h: &Hypergraph) -> f64 {
+                1.0
+            }
+        }
+        // Duplicate coverage: e0 and e3 cover the same pair, so any vertex
+        // whose λ uses e0 has a cheaper alternative under `Biased`.
+        let q = CqBuilder::new()
+            .atom_vars("r", &["A", "B"])
+            .atom_vars("s", &["B", "C"])
+            .atom_vars("t", &["C", "A"])
+            .atom_vars("r2", &["A", "B"])
+            .out_var("A")
+            .build();
+        let opts = QhdOptions::default();
+        let raw = q_hypertree_decomp_raw(&q, &opts, &StructuralCost).unwrap();
+        let h = &raw.cq_hypergraph.hypergraph;
+        let mut tree = raw.tree.clone();
+        let uses_e0 = tree
+            .preorder()
+            .iter()
+            .any(|&p| tree.node(p).lambda.contains(EdgeId(0)));
+        let out = recost_lambda(h, &mut tree, opts.max_width, &Biased);
+        if uses_e0 {
+            assert!(out.swapped > 0, "radioactive edge must be swapped out");
+        }
+        assert!(validate::check_hd(h, &tree).is_ok());
+        assert!(validate::check_qhd(h, &tree, &raw.out_vars).is_ok());
+        let still_e0 = tree
+            .preorder()
+            .iter()
+            .any(|&p| tree.node(p).lambda.contains(EdgeId(0)));
+        assert!(!still_e0, "no vertex should keep the radioactive edge");
+    }
+}

@@ -181,6 +181,38 @@ pub fn set_mem_limit_default(limit: Option<u64>) {
     MEM_LIMIT.store(limit.unwrap_or(u64::MAX).max(1), Ordering::Relaxed);
 }
 
+/// Sentinel-packed plan-cache capacity: 0 = unset (fall through to the
+/// env var / compiled default), otherwise `capacity + 1` so an explicit
+/// capacity of 0 (caching disabled) is representable.
+static PLAN_CACHE: AtomicU64 = AtomicU64::new(0);
+
+/// Compiled-in default capacity of the optimizer's plan cache.
+pub const PLAN_CACHE_DEFAULT: usize = 128;
+
+/// The process-wide plan-cache capacity (entries). Resolution order:
+/// [`set_plan_cache_default`] > `HTQO_PLAN_CACHE` env var >
+/// [`PLAN_CACHE_DEFAULT`] (128). A capacity of 0 disables plan caching.
+pub fn plan_cache_default() -> usize {
+    match PLAN_CACHE.load(Ordering::Relaxed) {
+        0 => {
+            static DEFAULT: OnceLock<usize> = OnceLock::new();
+            *DEFAULT.get_or_init(|| {
+                std::env::var("HTQO_PLAN_CACHE")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+                    .unwrap_or(PLAN_CACHE_DEFAULT)
+            })
+        }
+        n => (n - 1) as usize,
+    }
+}
+
+/// Overrides the plan-cache capacity process-wide. `0` disables caching.
+/// Only optimizers constructed after the call observe the new value.
+pub fn set_plan_cache_default(capacity: usize) {
+    PLAN_CACHE.store(capacity as u64 + 1, Ordering::Relaxed);
+}
+
 /// Execution-schedule knobs for the evaluators
 /// (`evaluate_qhd_with` and friends in the downstream crates).
 #[derive(Clone, Copy, Debug)]

@@ -1,0 +1,389 @@
+//! Canonical forms for hypergraphs: a complete isomorphism invariant.
+//!
+//! Two conjunctive queries that differ only by renaming of variables,
+//! aliases, or relations have isomorphic hypergraphs, and a hypertree
+//! decomposition depends only on the hypergraph shape (plus which
+//! variables are output-marked). [`canonical_form`] computes a canonical
+//! labeling of `(H, marked)` so that the resulting *encoding* is equal
+//! **iff** two marked hypergraphs are isomorphic — the key property the
+//! optimizer's shape-keyed decomposition cache needs (equal keys must
+//! never conflate non-isomorphic shapes, or a cached tree would be
+//! remapped onto a query it does not decompose).
+//!
+//! The algorithm is the classic individualization–refinement scheme:
+//!
+//! 1. **Color refinement** (1-WL on the bipartite incidence structure):
+//!    variables start colored by their output mark, edges by arity; each
+//!    round recolors edges by the multiset of member variable colors and
+//!    variables by the multiset of incident edge colors, until the
+//!    partition stops refining. Refinement is isomorphism-invariant.
+//! 2. **Individualization**: if the variable partition is not discrete,
+//!    pick the first smallest non-singleton color class (an invariant
+//!    choice), individualize *each* of its members in turn, re-refine,
+//!    and recurse. Every leaf of this tree yields a discrete labeling and
+//!    hence an encoding; the lexicographically smallest encoding over all
+//!    leaves is the canonical one. Trying every member of the target cell
+//!    is what makes the minimum invariant under isomorphism.
+//!
+//! Worst-case the search tree is exponential (highly symmetric shapes),
+//! so the search carries a work budget and returns `None` when exceeded —
+//! callers fall back to exact (non-shape) keying, which is always sound.
+
+use crate::hypergraph::Hypergraph;
+use crate::ids::{EdgeId, Var, VarSet};
+
+/// A canonical labeling of a marked hypergraph.
+///
+/// `encoding` is a complete invariant: two `(H, marked)` pairs produce the
+/// same encoding iff there is a bijection of variables mapping edges to
+/// edges and marked variables to marked variables. The permutations tie
+/// the original labels to the canonical ones, so a structure computed on
+/// one member of the isomorphism class (e.g. a decomposition tree) can be
+/// transported to any other member via canonical space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// The canonical encoding: `[n, m, marked(canonical var 0..n), then
+    /// for each canonical edge: arity, canonical var indices…]`.
+    pub encoding: Vec<u32>,
+    /// `var_to_canon[v]` = canonical index of original variable `v`.
+    pub var_to_canon: Vec<u32>,
+    /// `edge_to_canon[e]` = canonical index of original edge `e`.
+    pub edge_to_canon: Vec<u32>,
+}
+
+impl CanonicalForm {
+    /// Inverse variable permutation: canonical index → original index.
+    pub fn canon_to_var(&self) -> Vec<u32> {
+        invert(&self.var_to_canon)
+    }
+
+    /// Inverse edge permutation: canonical index → original index.
+    pub fn canon_to_edge(&self) -> Vec<u32> {
+        invert(&self.edge_to_canon)
+    }
+}
+
+fn invert(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p as usize] = i as u32;
+    }
+    inv
+}
+
+/// Leaves of the individualization tree explored before giving up. Query
+/// hypergraphs are tiny and rarely symmetric enough to branch at all;
+/// this bound only exists to keep pathological shapes (many mutually
+/// interchangeable vertices) from stalling planning.
+const LEAF_BUDGET: u32 = 4096;
+/// Total refinement passes across the whole search.
+const PASS_BUDGET: u32 = 100_000;
+
+/// Computes the canonical form of `(h, marked)`, or `None` if the
+/// symmetry search exceeds its work budget.
+pub fn canonical_form(h: &Hypergraph, marked: &VarSet) -> Option<CanonicalForm> {
+    let n = h.num_vars();
+    let m = h.num_edges();
+    let edge_vars: Vec<Vec<u32>> = (0..m)
+        .map(|e| h.edge_vars(EdgeId(e as u32)).iter().map(|v| v.0).collect())
+        .collect();
+    let var_edges: Vec<Vec<u32>> = (0..n)
+        .map(|v| {
+            h.edges_with_var(Var(v as u32))
+                .iter()
+                .map(|e| e.0)
+                .collect()
+        })
+        .collect();
+    let marked: Vec<bool> = (0..n).map(|v| marked.contains(Var(v as u32))).collect();
+    let mut search = Search {
+        edge_vars,
+        var_edges,
+        marked,
+        leaves: 0,
+        passes: 0,
+        best: None,
+    };
+    let vcol: Vec<u32> = search.marked.iter().map(|&b| b as u32).collect();
+    let ecol: Vec<u32> = vec![0; m];
+    search.explore(vcol, ecol)?;
+    search.best
+}
+
+struct Search {
+    edge_vars: Vec<Vec<u32>>,
+    var_edges: Vec<Vec<u32>>,
+    marked: Vec<bool>,
+    leaves: u32,
+    passes: u32,
+    best: Option<CanonicalForm>,
+}
+
+impl Search {
+    /// Refines, branches on the target cell, and records leaves into
+    /// `best`. Returns `None` only on budget blowout.
+    fn explore(&mut self, mut vcol: Vec<u32>, mut ecol: Vec<u32>) -> Option<()> {
+        self.refine(&mut vcol, &mut ecol)?;
+        let n = vcol.len();
+        let classes = vcol.iter().copied().max().map_or(0, |c| c as usize + 1);
+        if classes == n {
+            self.leaves += 1;
+            if self.leaves > LEAF_BUDGET {
+                return None;
+            }
+            self.leaf(&vcol);
+            return Some(());
+        }
+        // Target cell: the smallest non-singleton class, ties broken by
+        // color value — both isomorphism-invariant, since colors are
+        // canonical ranks of invariant signatures.
+        let mut size = vec![0u32; classes];
+        for &c in &vcol {
+            size[c as usize] += 1;
+        }
+        let target = (0..classes)
+            .filter(|&c| size[c] > 1)
+            .min_by_key(|&c| (size[c], c))
+            .expect("non-discrete partition has a non-singleton class");
+        for v in 0..n {
+            if vcol[v] as usize == target {
+                let mut branched = vcol.clone();
+                // A fresh color, distinct from every dense rank in use;
+                // the next refinement pass re-normalizes the ranks.
+                branched[v] = classes as u32;
+                self.explore(branched, ecol.clone())?;
+            }
+        }
+        Some(())
+    }
+
+    /// Color refinement to a fixpoint. The partition only ever refines,
+    /// and dense re-ranking sorts by (previous color, neighborhood
+    /// multiset), so class order is stable across rounds.
+    fn refine(&mut self, vcol: &mut Vec<u32>, ecol: &mut Vec<u32>) -> Option<()> {
+        loop {
+            self.passes += 1;
+            if self.passes > PASS_BUDGET {
+                return None;
+            }
+            let esigs: Vec<(u32, Vec<u32>)> = self
+                .edge_vars
+                .iter()
+                .enumerate()
+                .map(|(e, vars)| {
+                    let mut member = vars.iter().map(|&v| vcol[v as usize]).collect::<Vec<_>>();
+                    member.sort_unstable();
+                    (ecol[e], member)
+                })
+                .collect();
+            let (necol, ne) = dense_rank(&esigs);
+            let vsigs: Vec<(u32, Vec<u32>)> = self
+                .var_edges
+                .iter()
+                .enumerate()
+                .map(|(v, edges)| {
+                    let mut inc = edges.iter().map(|&e| necol[e as usize]).collect::<Vec<_>>();
+                    inc.sort_unstable();
+                    (vcol[v], inc)
+                })
+                .collect();
+            let (nvcol, nv) = dense_rank(&vsigs);
+            let stable = ne == distinct(ecol) && nv == distinct(vcol);
+            *ecol = necol;
+            *vcol = nvcol;
+            if stable {
+                return Some(());
+            }
+        }
+    }
+
+    /// A discrete variable coloring: build the encoding and keep the
+    /// lexicographic minimum.
+    fn leaf(&mut self, vcol: &[u32]) {
+        let n = vcol.len();
+        let m = self.edge_vars.len();
+        // Discrete + dense ⇒ vcol is itself the var permutation.
+        let var_to_canon = vcol;
+        // Edges sorted by canonical content; the original-index tie-break
+        // only disambiguates duplicate edges, which are interchangeable.
+        let mut keyed: Vec<(Vec<u32>, u32)> = self
+            .edge_vars
+            .iter()
+            .enumerate()
+            .map(|(e, vars)| {
+                let mut mapped: Vec<u32> = vars.iter().map(|&v| var_to_canon[v as usize]).collect();
+                mapped.sort_unstable();
+                (mapped, e as u32)
+            })
+            .collect();
+        keyed.sort();
+        let mut edge_to_canon = vec![0u32; m];
+        for (rank, (_, e)) in keyed.iter().enumerate() {
+            edge_to_canon[*e as usize] = rank as u32;
+        }
+        let mut encoding = Vec::with_capacity(2 + n + m * 3);
+        encoding.push(n as u32);
+        encoding.push(m as u32);
+        let mut marked_canon = vec![0u32; n];
+        for (v, &c) in var_to_canon.iter().enumerate() {
+            marked_canon[c as usize] = self.marked[v] as u32;
+        }
+        encoding.extend_from_slice(&marked_canon);
+        for (content, _) in &keyed {
+            encoding.push(content.len() as u32);
+            encoding.extend_from_slice(content);
+        }
+        let better = match &self.best {
+            None => true,
+            Some(b) => encoding < b.encoding,
+        };
+        if better {
+            self.best = Some(CanonicalForm {
+                encoding,
+                var_to_canon: var_to_canon.to_vec(),
+                edge_to_canon,
+            });
+        }
+    }
+}
+
+/// Ranks signatures densely: equal signatures share a rank, ranks follow
+/// signature order. Returns the ranks and the number of distinct classes.
+fn dense_rank(sigs: &[(u32, Vec<u32>)]) -> (Vec<u32>, usize) {
+    let mut order: Vec<usize> = (0..sigs.len()).collect();
+    order.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]));
+    let mut ranks = vec![0u32; sigs.len()];
+    let mut rank = 0u32;
+    for w in 0..order.len() {
+        if w > 0 && sigs[order[w]] != sigs[order[w - 1]] {
+            rank += 1;
+        }
+        ranks[order[w]] = rank;
+    }
+    let classes = if sigs.is_empty() {
+        0
+    } else {
+        rank as usize + 1
+    };
+    (ranks, classes)
+}
+
+fn distinct(cols: &[u32]) -> usize {
+    cols.iter().copied().max().map_or(0, |c| c as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::Hypergraph;
+
+    fn build(edges: &[&[&str]], marked: &[&str]) -> (Hypergraph, VarSet) {
+        let mut b = Hypergraph::builder();
+        for (i, vars) in edges.iter().enumerate() {
+            b.edge(&format!("e{i}"), vars);
+        }
+        let h = b.build();
+        let mut set = VarSet::new();
+        for name in marked {
+            set.insert(h.var_by_name(name).expect("marked var exists"));
+        }
+        (h, set)
+    }
+
+    fn key(edges: &[&[&str]], marked: &[&str]) -> Vec<u32> {
+        let (h, m) = build(edges, marked);
+        canonical_form(&h, &m).expect("within budget").encoding
+    }
+
+    #[test]
+    fn renaming_is_invariant() {
+        // The same triangle under three namings (including a different
+        // atom order).
+        let a = key(&[&["X", "Y"], &["Y", "Z"], &["Z", "X"]], &["X"]);
+        let b = key(&[&["Q", "P"], &["P", "R"], &["R", "Q"]], &["R"]);
+        let c = key(&[&["B", "C"], &["A", "B"], &["C", "A"]], &["A"]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn marks_distinguish() {
+        let one = key(&[&["X", "Y"], &["Y", "Z"]], &["X"]);
+        let mid = key(&[&["X", "Y"], &["Y", "Z"]], &["Y"]);
+        let none = key(&[&["X", "Y"], &["Y", "Z"]], &[]);
+        assert_ne!(one, mid, "endpoint vs midpoint marks");
+        assert_ne!(one, none);
+        // Marking either endpoint of the path is symmetric.
+        let other = key(&[&["X", "Y"], &["Y", "Z"]], &["Z"]);
+        assert_eq!(one, other);
+    }
+
+    #[test]
+    fn non_isomorphic_shapes_differ() {
+        let path = key(&[&["A", "B"], &["B", "C"], &["C", "D"]], &[]);
+        let star = key(&[&["A", "B"], &["A", "C"], &["A", "D"]], &[]);
+        assert_ne!(path, star);
+        let tri = key(&[&["A", "B"], &["B", "C"], &["C", "A"]], &[]);
+        assert_ne!(path, tri);
+    }
+
+    #[test]
+    fn duplicate_edges_are_interchangeable() {
+        let a = key(&[&["X", "Y"], &["X", "Y"], &["Y", "Z"]], &[]);
+        let b = key(&[&["P", "Q"], &["Q", "R"], &["Q", "R"]], &[]);
+        assert_eq!(a, b);
+        let single = key(&[&["X", "Y"], &["Y", "Z"]], &[]);
+        assert_ne!(a, single);
+    }
+
+    #[test]
+    fn permutations_transport_edges() {
+        // The permutations must map edges onto identically-shaped edges.
+        let (h1, m1) = build(&[&["X", "Y"], &["Y", "Z"], &["Z", "W"]], &["X"]);
+        let (h2, m2) = build(&[&["C", "D"], &["B", "C"], &["A", "B"]], &["A"]);
+        let c1 = canonical_form(&h1, &m1).unwrap();
+        let c2 = canonical_form(&h2, &m2).unwrap();
+        assert_eq!(c1.encoding, c2.encoding);
+        let inv_v2 = c2.canon_to_var();
+        let inv_e2 = c2.canon_to_edge();
+        // Map each h1 edge through canonical space into h2 and check the
+        // variable correspondence is a hypergraph isomorphism.
+        for e1 in 0..3u32 {
+            let canon_e = c1.edge_to_canon[e1 as usize];
+            let e2 = inv_e2[canon_e as usize];
+            let mapped: Vec<u32> = h1
+                .edge_vars(EdgeId(e1))
+                .iter()
+                .map(|v| inv_v2[c1.var_to_canon[v.index()] as usize])
+                .collect();
+            let actual: Vec<u32> = h2.edge_vars(EdgeId(e2)).iter().map(|v| v.0).collect();
+            let mut mapped = mapped;
+            let mut actual = actual;
+            mapped.sort_unstable();
+            actual.sort_unstable();
+            assert_eq!(mapped, actual, "edge {e1} transported incorrectly");
+        }
+        // Marks transport too.
+        for v1 in 0..4u32 {
+            let v2 = inv_v2[c1.var_to_canon[v1 as usize] as usize];
+            assert_eq!(
+                m1.contains(Var(v1)),
+                m2.contains(Var(v2)),
+                "mark on var {v1} lost in transport"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_shapes_stay_within_budget() {
+        // A 12-cycle: vertex-transitive, forces individualization.
+        let names: Vec<String> = (0..12).map(|i| format!("V{i}")).collect();
+        let mut b = Hypergraph::builder();
+        for i in 0..12 {
+            b.edge(&format!("e{i}"), &[&names[i] as &str, &names[(i + 1) % 12]]);
+        }
+        let h = b.build();
+        let c = canonical_form(&h, &VarSet::new());
+        assert!(c.is_some(), "cycle canonicalization should fit the budget");
+    }
+}

@@ -31,6 +31,7 @@
 pub mod acyclic;
 pub mod biconnected;
 pub mod bitset;
+pub mod canon;
 pub mod components;
 pub mod dot;
 pub mod fxhash;
@@ -42,6 +43,7 @@ pub mod primal;
 
 pub use biconnected::{biconnected_components, Blocks};
 pub use bitset::BitSet;
+pub use canon::{canonical_form, CanonicalForm};
 pub use components::{components, connector};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hinge::{degree_of_cyclicity, hinge_decomposition, HingeForest};

@@ -86,6 +86,36 @@ pub struct FallbackAttempt {
     pub tuples: u64,
 }
 
+/// How the plan cache participated in answering a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlanCacheStatus {
+    /// No plan cache in play: capacity 0, or an executor (the DBMS
+    /// simulators) that never caches plans.
+    #[default]
+    Uncached,
+    /// No isomorphic entry existed; cost-k-decomp ran and its result was
+    /// cached.
+    Miss,
+    /// Exact hit: the identical query (same rendering) was served its
+    /// cached plan with no planning work at all.
+    Hit,
+    /// Shape hit: an isomorphic-but-renamed query reused the cached
+    /// decomposition after transport through canonical space and a λ
+    /// re-cost against current statistics — cost-k-decomp was skipped.
+    Revalidated,
+}
+
+impl std::fmt::Display for PlanCacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanCacheStatus::Uncached => write!(f, "uncached"),
+            PlanCacheStatus::Miss => write!(f, "plan_cache_miss"),
+            PlanCacheStatus::Hit => write!(f, "plan_cache_hit"),
+            PlanCacheStatus::Revalidated => write!(f, "plan_cache_revalidated"),
+        }
+    }
+}
+
 /// The result of running one query, with the measurements the paper's
 /// figures report.
 #[derive(Debug)]
@@ -125,6 +155,9 @@ pub struct QueryOutcome {
     pub estimated_answer_rows: Option<f64>,
     /// Actual answer cardinality (rows of `result` when it is `Ok`).
     pub answer_rows: Option<u64>,
+    /// Whether planning was served from the plan cache
+    /// (`plan_cache_{hit,miss,revalidated}`).
+    pub plan_cache: PlanCacheStatus,
 }
 
 impl QueryOutcome {
@@ -284,6 +317,7 @@ impl DbmsSim {
             factorized_fallback: None,
             estimated_answer_rows: crate::estimate_answer_rows(q, self.stats.as_ref()),
             answer_rows,
+            plan_cache: PlanCacheStatus::Uncached,
         }
     }
 

@@ -15,15 +15,23 @@
 
 use crate::bushy::dp_bushy;
 use crate::bushy_exec::evaluate_join_tree;
-use crate::dbms::{FallbackAttempt, QueryOutcome, Rung, SqlError};
-use htqo_core::{q_hypertree_decomp, QhdFailure, QhdOptions, QhdPlan, StructuralCost};
-use htqo_cq::{isolate, parse_select, ConjunctiveQuery, IsolatorOptions};
+use crate::dbms::{FallbackAttempt, PlanCacheStatus, QueryOutcome, Rung, SqlError};
+use htqo_core::cost::DecompCost;
+use htqo_core::{
+    q_hypertree_decomp, q_hypertree_decomp_raw, recost_lambda, remap_tree, tree_cost, validate,
+    Hypertree, QhdFailure, QhdOptions, QhdPlan, RawQhd, StructuralCost,
+};
+use htqo_cq::{isolate, parse_select, ConjunctiveQuery, CqHypergraph, IsolatorOptions};
 use htqo_engine::error::{Budget, EvalError, SpillMode};
 use htqo_engine::schema::Database;
 use htqo_engine::vrel::VRelation;
 use htqo_eval::{evaluate_naive, evaluate_qhd_query_traced, ExecOptions, FactorizedTrace};
+use htqo_hypergraph::{canonical_form, CanonicalForm, FxHasher, VarSet};
 use htqo_stats::{DbStats, StatsDecompCost};
+use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// How [`HybridOptimizer::execute_cq`] degrades when a strategy fails.
@@ -75,55 +83,170 @@ impl RetryPolicy {
     }
 }
 
-/// Default capacity of the prepared-statement plan cache.
-const PLAN_CACHE_CAPACITY: usize = 128;
+/// Key identifying a cacheable planning problem. `Shape` keys carry the
+/// complete canonical invariant, so two queries share a key **iff** their
+/// marked hypergraphs are isomorphic — renamed relations, variables,
+/// aliases and permuted atoms all collapse onto one entry. `Exact` keys
+/// are the fallback when canonicalization exceeds its symmetry budget:
+/// plain rendered-query memoization, always sound, never shape-shared.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum PlanKey {
+    /// Canonical shape encoding plus the planning options baked into the
+    /// cached tree (defensive: `options` is a public field).
+    Shape {
+        encoding: Vec<u32>,
+        max_width: usize,
+        run_optimize: bool,
+    },
+    /// Exact rendered query (already embeds the options — see
+    /// [`HybridOptimizer::cache_key`]).
+    Exact(String),
+}
 
-/// Bounded plan cache with least-recently-used eviction (exact LRU via a
-/// monotonic access stamp; eviction is O(capacity), fine at this size).
+/// A cached decomposition.
+enum CacheEntry {
+    /// Shape-shared entry: the pre-`Optimize` tree transported into
+    /// canonical index space, reusable by any isomorphic query.
+    Shape {
+        canon_tree: Hypertree,
+        /// Preorder per-vertex cost sum at store time. A hit whose
+        /// transported tree prices to exactly this value under current
+        /// statistics skips λ re-costing entirely (stats unchanged ⇒
+        /// bit-identical plan).
+        stored_cost: f64,
+        /// Fast path: rendering and finished plan of the most recent
+        /// query served from this entry.
+        exact: Option<(String, QhdPlan)>,
+    },
+    /// Exact-keyed entry (canonicalization over budget).
+    Plain(QhdPlan),
+}
+
+struct Shard {
+    tick: u64,
+    map: std::collections::HashMap<PlanKey, (u64, CacheEntry)>,
+}
+
+/// Sharded, lock-striped, shape-canonical plan cache. Each shard is an
+/// independently locked LRU (exact LRU via a monotonic access stamp;
+/// eviction is O(shard capacity), fine at this size), so concurrent
+/// sessions planning different shapes never contend on one lock.
 struct PlanCache {
     capacity: usize,
-    tick: u64,
-    map: std::collections::HashMap<String, (u64, QhdPlan)>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard capacities summing exactly to `capacity`.
+    shard_caps: Vec<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    revalidated: AtomicU64,
 }
+
+/// Lock stripes of the plan cache (when capacity allows that many).
+const PLAN_CACHE_SHARDS: usize = 8;
 
 impl PlanCache {
     fn new(capacity: usize) -> Self {
+        let n = PLAN_CACHE_SHARDS.min(capacity.max(1));
+        let shards = (0..n)
+            .map(|_| {
+                Mutex::new(Shard {
+                    tick: 0,
+                    map: std::collections::HashMap::new(),
+                })
+            })
+            .collect();
+        let shard_caps = (0..n)
+            .map(|i| capacity / n + usize::from(i < capacity % n))
+            .collect();
         PlanCache {
-            capacity: capacity.max(1),
-            tick: 0,
-            map: std::collections::HashMap::new(),
+            capacity,
+            shards,
+            shard_caps,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            revalidated: AtomicU64::new(0),
         }
     }
 
-    fn get(&mut self, key: &str) -> Option<QhdPlan> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(key).map(|e| {
-            e.0 = tick;
-            e.1.clone()
-        })
+    fn enabled(&self) -> bool {
+        self.capacity > 0
     }
 
-    fn insert(&mut self, key: String, plan: QhdPlan) {
-        self.tick += 1;
-        self.map.insert(key, (self.tick, plan));
-        while self.map.len() > self.capacity {
-            let oldest = self
+    fn shard_of(&self, key: &PlanKey) -> usize {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).map.len())
+            .sum()
+    }
+
+    fn remove(&self, key: &PlanKey) {
+        if !self.enabled() {
+            return;
+        }
+        let mut shard = self.lock(self.shard_of(key));
+        shard.map.remove(key);
+    }
+
+    fn lock(&self, i: usize) -> std::sync::MutexGuard<'_, Shard> {
+        // A panic while holding a shard lock can only have happened
+        // outside cache code (callers run arbitrary planning under no
+        // lock); the map itself is never left mid-update.
+        self.shards[i].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Inserts (or replaces) an entry and evicts the shard's LRU overflow.
+    fn insert(&self, key: PlanKey, entry: CacheEntry) {
+        let i = self.shard_of(&key);
+        let cap = self.shard_caps[i].max(1);
+        let mut shard = self.lock(i);
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(key, (tick, entry));
+        while shard.map.len() > cap {
+            let oldest = shard
                 .map
                 .iter()
                 .min_by_key(|(_, (t, _))| *t)
                 .map(|(k, _)| k.clone())
                 .expect("non-empty over capacity");
-            self.map.remove(&oldest);
+            shard.map.remove(&oldest);
         }
-    }
-
-    fn remove(&mut self, key: &str) {
-        self.map.remove(key);
     }
 }
 
+/// Counters of plan-cache traffic since the optimizer was built.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Exact hits: the identical query was served its cached plan.
+    pub hits: u64,
+    /// Misses: cost-k-decomp ran.
+    pub misses: u64,
+    /// Shape hits: an isomorphic query reused a cached decomposition
+    /// after transport and λ re-costing (no cost-k-decomp).
+    pub revalidated: u64,
+}
+
+/// Everything derived from keying one query: computed exactly once per
+/// attempt (the single keying site — lookup, store, and failed-plan
+/// eviction all reuse it).
+struct Keyed {
+    key: PlanKey,
+    exact: String,
+    canon: Option<CanonicalForm>,
+    ch: CqHypergraph,
+    out_vars: VarSet,
+}
+
 /// The hybrid structural+quantitative optimizer.
+///
+/// `Send + Sync`: one optimizer serves many concurrent sessions (see the
+/// service crate), with the plan cache internally lock-striped.
 pub struct HybridOptimizer {
     /// Decomposition options (width bound, whether to run `Optimize`).
     pub options: QhdOptions,
@@ -134,22 +257,33 @@ pub struct HybridOptimizer {
     pub isolator: IsolatorOptions,
     /// Graceful-degradation policy for [`HybridOptimizer::execute_cq`].
     pub retry: RetryPolicy,
-    /// Prepared-statement-style plan cache: decompositions depend only on
-    /// the query structure (and the statistics snapshot this optimizer
-    /// holds), so re-planning an identical query is pure waste. Bounded
-    /// with LRU eviction; plans whose execution failed are evicted.
-    cache: std::cell::RefCell<PlanCache>,
+    /// Shape-canonical plan cache: decompositions depend only on the
+    /// query's hypergraph shape and output marking, so every query
+    /// isomorphic to a cached one (renamed relations/variables, permuted
+    /// atoms) skips cost-k-decomp and only re-costs λ choices. Bounded
+    /// with per-shard LRU eviction; plans whose execution failed are
+    /// evicted.
+    cache: PlanCache,
+}
+
+/// Compile-time proof that the optimizer can be shared across threads.
+#[allow(dead_code)]
+fn assert_optimizer_is_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<HybridOptimizer>();
 }
 
 impl HybridOptimizer {
-    /// Structural-only optimizer (no statistics).
+    /// Structural-only optimizer (no statistics). Plan-cache capacity
+    /// comes from the process-wide default (`HTQO_PLAN_CACHE`, 128 when
+    /// unset).
     pub fn structural(options: QhdOptions) -> Self {
         HybridOptimizer {
             options,
             stats: None,
             isolator: IsolatorOptions::default(),
             retry: RetryPolicy::default(),
-            cache: std::cell::RefCell::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            cache: PlanCache::new(htqo_engine::exec::plan_cache_default()),
         }
     }
 
@@ -167,13 +301,15 @@ impl HybridOptimizer {
         self
     }
 
-    /// Resizes the plan cache (builder style). Existing entries are
-    /// dropped. A capacity of 0 is clamped to 1.
-    pub fn with_cache_capacity(self, capacity: usize) -> Self {
-        *self.cache.borrow_mut() = PlanCache::new(capacity);
+    /// Resizes the plan cache (builder style). Existing entries and
+    /// traffic counters are dropped. A capacity of 0 disables caching.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = PlanCache::new(capacity);
         self
     }
 
+    /// The exact rendered cache key: query rule text (variables, atoms,
+    /// filters) plus the planning options.
     fn cache_key(&self, q: &ConjunctiveQuery) -> String {
         format!(
             "{q}|k={}|opt={}",
@@ -181,36 +317,208 @@ impl HybridOptimizer {
         )
     }
 
-    /// Like [`HybridOptimizer::plan_cq`], but memoizes plans by the
-    /// query's canonical form (prepared-statement reuse). The cache key
-    /// includes `out(Q)` via the rule rendering; statistics are fixed per
-    /// optimizer instance, so a stats refresh means a new optimizer (and
-    /// an empty cache).
-    pub fn plan_cq_cached(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
-        let key = self.cache_key(q);
-        if let Some(plan) = self.cache.borrow_mut().get(&key) {
-            return Ok(plan);
+    /// Keys a query for this attempt — the **single keying site**:
+    /// lookup, store, and failed-plan eviction all reuse the returned
+    /// value, so the keying logic cannot drift between them.
+    fn key_query(&self, q: &ConjunctiveQuery) -> Keyed {
+        let exact = self.cache_key(q);
+        let ch = q.hypergraph();
+        let out_vars = ch.out_var_set(q);
+        let canon = canonical_form(&ch.hypergraph, &out_vars);
+        let key = match &canon {
+            Some(c) => PlanKey::Shape {
+                encoding: c.encoding.clone(),
+                max_width: self.options.max_width,
+                run_optimize: self.options.run_optimize,
+            },
+            None => PlanKey::Exact(exact.clone()),
+        };
+        Keyed {
+            key,
+            exact,
+            canon,
+            ch,
+            out_vars,
         }
-        let plan = self.plan_cq(q)?;
-        self.cache.borrow_mut().insert(key, plan.clone());
-        Ok(plan)
     }
 
-    /// Number of cached plans.
-    pub fn cached_plans(&self) -> usize {
-        self.cache.borrow().map.len()
-    }
-
-    /// Computes the q-hypertree decomposition plan for a conjunctive query.
-    pub fn plan_cq(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
+    /// Runs `f` with this optimizer's vertex cost model for `q`.
+    fn with_cost<R>(&self, q: &ConjunctiveQuery, f: impl FnOnce(&dyn DecompCost) -> R) -> R {
         match &self.stats {
             Some(stats) => {
                 let cost =
                     StatsDecompCost::new(stats, q).with_assume_optimize(self.options.run_optimize);
-                q_hypertree_decomp(q, &self.options, &cost)
+                f(&cost)
             }
-            None => q_hypertree_decomp(q, &self.options, &StructuralCost),
+            None => f(&StructuralCost),
         }
+    }
+
+    /// Like [`HybridOptimizer::plan_cq`], but memoizes plans by canonical
+    /// hypergraph shape (prepared-statement reuse): an exact repeat is
+    /// served as-is, an isomorphic-but-renamed query skips cost-k-decomp
+    /// and only re-costs λ (cover) choices against this optimizer's
+    /// statistics. The key includes `out(Q)` via the canonical marking.
+    pub fn plan_cq_cached(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
+        if !self.cache.enabled() {
+            return self.plan_cq(q);
+        }
+        let keyed = self.key_query(q);
+        self.plan_cq_keyed(q, &keyed).0
+    }
+
+    /// The keyed planning path. Returns the plan and how the cache
+    /// participated.
+    fn plan_cq_keyed(
+        &self,
+        q: &ConjunctiveQuery,
+        keyed: &Keyed,
+    ) -> (Result<QhdPlan, QhdFailure>, PlanCacheStatus) {
+        let shard_idx = self.cache.shard_of(&keyed.key);
+        // Fast path under the shard lock: exact hit, or snapshot the
+        // canonical tree for revalidation outside the lock.
+        let snapshot: Option<(Hypertree, f64)> = {
+            let mut shard = self.cache.lock(shard_idx);
+            shard.tick += 1;
+            let tick = shard.tick;
+            match shard.map.get_mut(&keyed.key) {
+                Some((t, CacheEntry::Plain(plan))) => {
+                    *t = tick;
+                    let plan = plan.clone();
+                    drop(shard);
+                    self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Ok(plan), PlanCacheStatus::Hit);
+                }
+                Some((
+                    t,
+                    CacheEntry::Shape {
+                        canon_tree,
+                        stored_cost,
+                        exact,
+                    },
+                )) => {
+                    *t = tick;
+                    if let Some((rendering, plan)) = exact {
+                        if *rendering == keyed.exact {
+                            let plan = plan.clone();
+                            drop(shard);
+                            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                            return (Ok(plan), PlanCacheStatus::Hit);
+                        }
+                    }
+                    Some((canon_tree.clone(), *stored_cost))
+                }
+                None => None,
+            }
+        };
+
+        if let Some((canon_tree, stored_cost)) = snapshot {
+            // Shape hit: transport + re-cost, no cost-k-decomp. Planning
+            // work runs outside the shard lock.
+            if let Some(plan) = self.revalidate(q, keyed, &canon_tree, stored_cost) {
+                self.cache.revalidated.fetch_add(1, Ordering::Relaxed);
+                let mut shard = self.cache.lock(shard_idx);
+                if let Some((_, CacheEntry::Shape { exact, .. })) = shard.map.get_mut(&keyed.key) {
+                    *exact = Some((keyed.exact.clone(), plan.clone()));
+                }
+                drop(shard);
+                return (Ok(plan), PlanCacheStatus::Revalidated);
+            }
+            // Defensive: a transported tree that fails validation (which
+            // soundness of the canonical key rules out) falls through to
+            // a full replan that overwrites the entry.
+        }
+
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let raw = match self.with_cost(q, |cost| q_hypertree_decomp_raw(q, &self.options, cost)) {
+            Ok(raw) => raw,
+            Err(fail) => return (Err(fail), PlanCacheStatus::Miss),
+        };
+        match &keyed.canon {
+            Some(canon) => {
+                let canon_tree = remap_tree(&raw.tree, &canon.var_to_canon, &canon.edge_to_canon);
+                let stored_cost = self.with_cost(q, |cost| {
+                    tree_cost(&raw.cq_hypergraph.hypergraph, &raw.tree, cost)
+                });
+                let plan = raw.finish(&self.options);
+                let entry = CacheEntry::Shape {
+                    canon_tree,
+                    stored_cost,
+                    exact: Some((keyed.exact.clone(), plan.clone())),
+                };
+                self.cache.insert(keyed.key.clone(), entry);
+                (Ok(plan), PlanCacheStatus::Miss)
+            }
+            None => {
+                let plan = raw.finish(&self.options);
+                self.cache
+                    .insert(keyed.key.clone(), CacheEntry::Plain(plan.clone()));
+                (Ok(plan), PlanCacheStatus::Miss)
+            }
+        }
+    }
+
+    /// The shape-hit path: transports a cached canonical tree onto `q`,
+    /// prices it under current statistics, re-costs λ choices only when
+    /// the price moved, and finishes with `Optimize`. Returns `None` if
+    /// the transported tree is not a valid decomposition of `q` (cannot
+    /// happen with a sound canonical key; checked anyway).
+    fn revalidate(
+        &self,
+        q: &ConjunctiveQuery,
+        keyed: &Keyed,
+        canon_tree: &Hypertree,
+        stored_cost: f64,
+    ) -> Option<QhdPlan> {
+        let canon = keyed.canon.as_ref()?;
+        let mut tree = remap_tree(canon_tree, &canon.canon_to_var(), &canon.canon_to_edge());
+        if validate::check_qhd(&keyed.ch.hypergraph, &tree, &keyed.out_vars).is_err() {
+            return None;
+        }
+        let estimated_cost = self.with_cost(q, |cost| {
+            let current = tree_cost(&keyed.ch.hypergraph, &tree, cost);
+            if current == stored_cost {
+                // Statistics unchanged for every atom this tree touches:
+                // the cached covers are already optimal-as-stored, and
+                // skipping the re-cost keeps the plan bit-identical.
+                current
+            } else {
+                recost_lambda(
+                    &keyed.ch.hypergraph,
+                    &mut tree,
+                    self.options.max_width,
+                    cost,
+                )
+                .total_cost
+            }
+        });
+        let raw = RawQhd {
+            tree,
+            cq_hypergraph: keyed.ch.clone(),
+            out_vars: keyed.out_vars.clone(),
+            estimated_cost,
+            search_stats: Default::default(),
+        };
+        Some(raw.finish(&self.options))
+    }
+
+    /// Number of cached plans across all shards.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Plan-cache traffic counters since this optimizer was built.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+            revalidated: self.cache.revalidated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Computes the q-hypertree decomposition plan for a conjunctive query.
+    pub fn plan_cq(&self, q: &ConjunctiveQuery) -> Result<QhdPlan, QhdFailure> {
+        self.with_cost(q, |cost| q_hypertree_decomp(q, &self.options, cost))
     }
 
     /// Budget for the rung at `index` (0 = first choice): same limits and
@@ -281,7 +589,13 @@ impl HybridOptimizer {
         let mut budget = budget;
         budget.apply_mem_limit(htqo_engine::exec::mem_limit_default());
         let t0 = Instant::now();
-        let plan = self.plan_cq_cached(q);
+        // Key once per attempt: lookup and (on failure) eviction share
+        // the same computed key.
+        let keyed = self.cache.enabled().then(|| self.key_query(q));
+        let (plan, plan_cache) = match &keyed {
+            Some(keyed) => self.plan_cq_keyed(q, keyed),
+            None => (self.plan_cq(q), PlanCacheStatus::Uncached),
+        };
         let planning = t0.elapsed();
         let t1 = Instant::now();
 
@@ -314,7 +628,10 @@ impl HybridOptimizer {
                     None => {
                         // Don't serve a plan that just failed to the next
                         // caller; a fresh decomposition may fare better.
-                        self.cache.borrow_mut().remove(&self.cache_key(q));
+                        // Evicts by the key this attempt already computed.
+                        if let Some(keyed) = &keyed {
+                            self.cache.remove(&keyed.key);
+                        }
                     }
                 }
             }
@@ -420,6 +737,7 @@ impl HybridOptimizer {
                     factorized_fallback,
                     estimated_answer_rows,
                     answer_rows,
+                    plan_cache,
                 }
             }
             None => {
@@ -438,6 +756,7 @@ impl HybridOptimizer {
                     factorized_fallback: None,
                     estimated_answer_rows,
                     answer_rows: None,
+                    plan_cache,
                 }
             }
         }
@@ -730,30 +1049,125 @@ mod tests {
         assert!(ans.set_eq(&naive));
     }
 
-    /// The cache is bounded: inserting past capacity evicts the least
-    /// recently used entry, and a failed execution evicts its plan.
+    /// The cache is bounded: inserting past capacity evicts, and a failed
+    /// execution evicts the plan it used (observable as a fresh miss).
     #[test]
     fn plan_cache_is_bounded_and_evicts_failures() {
         let opt = HybridOptimizer::structural(QhdOptions::default()).with_cache_capacity(2);
-        let q3 = chain_query(3);
-        let q4 = chain_query(4);
-        let q5 = chain_query(5);
-        opt.plan_cq_cached(&q3).unwrap();
-        opt.plan_cq_cached(&q4).unwrap();
-        assert_eq!(opt.cached_plans(), 2);
-        // Touch q3 so q4 is the LRU victim.
-        opt.plan_cq_cached(&q3).unwrap();
-        opt.plan_cq_cached(&q5).unwrap();
-        assert_eq!(opt.cached_plans(), 2);
-        assert!(opt.cache.borrow_mut().get(&opt.cache_key(&q3)).is_some());
-        assert!(opt.cache.borrow_mut().get(&opt.cache_key(&q4)).is_none());
+        for n in 3..=8 {
+            opt.plan_cq_cached(&chain_query(n)).unwrap();
+        }
+        assert!(
+            opt.cached_plans() <= 2,
+            "capacity 2 exceeded: {}",
+            opt.cached_plans()
+        );
         // A failed execution evicts the plan it used: run q3 against a db
-        // missing its tables — scan fails, entry is removed.
+        // missing its tables — scan fails, entry is removed, so the next
+        // planning of q3 is a miss rather than a hit.
+        let q3 = chain_query(3);
+        let opt = HybridOptimizer::structural(QhdOptions::default()).with_cache_capacity(8);
+        opt.plan_cq_cached(&q3).unwrap();
+        assert_eq!(opt.plan_cache_stats().misses, 1);
         let db = Database::new();
         let opt = opt.with_retry(RetryPolicy::none());
         let out = opt.execute_cq(&db, &q3, Budget::unlimited());
         assert!(out.result.is_err());
-        assert!(opt.cache.borrow_mut().get(&opt.cache_key(&q3)).is_none());
+        opt.plan_cq_cached(&q3).unwrap();
+        assert_eq!(
+            opt.plan_cache_stats().misses,
+            2,
+            "evicted plan must be re-planned, not served"
+        );
+    }
+
+    /// Capacity 0 disables caching entirely.
+    #[test]
+    fn plan_cache_capacity_zero_disables() {
+        let db = chain_db(3, 20, 5);
+        let q = chain_query(3);
+        let opt = HybridOptimizer::structural(QhdOptions::default()).with_cache_capacity(0);
+        opt.plan_cq_cached(&q).unwrap();
+        opt.plan_cq_cached(&q).unwrap();
+        assert_eq!(opt.cached_plans(), 0);
+        assert_eq!(opt.plan_cache_stats(), PlanCacheStats::default());
+        let out = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert!(out.result.is_ok());
+        assert_eq!(out.plan_cache, PlanCacheStatus::Uncached);
+    }
+
+    /// **Pinned**: a renamed-but-isomorphic query template is a cache
+    /// hit — it shares the cached entry, skips cost-k-decomp, and (with
+    /// unchanged statistics) is served a bit-identical decomposition
+    /// tree.
+    #[test]
+    fn renamed_isomorphic_template_is_cache_hit() {
+        let db = chain_db(4, 30, 5);
+        let stats = analyze(&db);
+        // Same shape over the same relations, different variable names
+        // and aliases.
+        let q1 = chain_query(4);
+        let mut b = CqBuilder::new();
+        for i in 0..4 {
+            let l = format!("Name{}", (i * 11) % 26);
+            let r = format!("Name{}", ((i + 1) % 4 * 11) % 26);
+            b = b.atom(
+                &format!("p{i}"),
+                &format!("alias{i}"),
+                &[("l", &l), ("r", &r)],
+            );
+        }
+        let q2 = b.out_var("Name0").build();
+        assert_ne!(format!("{q1}"), format!("{q2}"), "exact keys must differ");
+
+        let opt = HybridOptimizer::with_stats(QhdOptions::default(), stats);
+        let p1 = opt.plan_cq_cached(&q1).unwrap();
+        assert_eq!(opt.plan_cache_stats().misses, 1);
+        let p2 = opt.plan_cq_cached(&q2).unwrap();
+        let stats_now = opt.plan_cache_stats();
+        assert_eq!(stats_now.misses, 1, "no second cost-k-decomp");
+        assert_eq!(stats_now.revalidated, 1, "shape hit with λ re-cost");
+        assert_eq!(opt.cached_plans(), 1, "one shared entry");
+        // Identical hypergraph indices + identical statistics ⇒ the
+        // transported tree is bit-identical to the cold plan.
+        assert_eq!(format!("{:?}", p1.tree), format!("{:?}", p2.tree));
+        assert_eq!(p1.estimated_cost, p2.estimated_cost);
+        // Executing the renamed template records the shape hit, answers
+        // correctly, and a re-run of the exact same text is an exact hit.
+        let out = opt.execute_cq(&db, &q2, Budget::unlimited());
+        assert_eq!(out.plan_cache, PlanCacheStatus::Hit, "{}", out.plan);
+        let mut bud = Budget::unlimited();
+        let oracle = htqo_eval::evaluate_naive(&db, &q2, &mut bud).unwrap();
+        assert!(out.result.unwrap().set_eq(&oracle));
+    }
+
+    /// The plan-cache status lands in the outcome for every path:
+    /// miss, exact hit, shape hit.
+    #[test]
+    fn outcome_records_plan_cache_status() {
+        let db = chain_db(3, 20, 5);
+        let q = chain_query(3);
+        let opt = HybridOptimizer::structural(QhdOptions::default());
+        let miss = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert_eq!(miss.plan_cache, PlanCacheStatus::Miss);
+        let hit = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert_eq!(hit.plan_cache, PlanCacheStatus::Hit);
+        // A renamed triangle of the same shape: shape hit on execute.
+        let mut b = CqBuilder::new();
+        for i in 0..3 {
+            let l = format!("Z{i}");
+            let r = format!("Z{}", (i + 1) % 3);
+            b = b.atom(&format!("p{i}"), &format!("p{i}"), &[("l", &l), ("r", &r)]);
+        }
+        let q2 = b.out_var("Z0").build();
+        let reval = opt.execute_cq(&db, &q2, Budget::unlimited());
+        assert_eq!(reval.plan_cache, PlanCacheStatus::Revalidated);
+        // Same answer as evaluating the renamed query from scratch (the
+        // column is named Z0 rather than X0, so compare against q2's own
+        // oracle).
+        let mut bud = Budget::unlimited();
+        let oracle = htqo_eval::evaluate_naive(&db, &q2, &mut bud).unwrap();
+        assert!(reval.result.unwrap().set_eq(&oracle));
     }
 
     #[test]

@@ -25,11 +25,13 @@ pub mod views;
 
 pub use bushy::{dp_bushy, JoinTree};
 pub use bushy_exec::evaluate_join_tree;
-pub use dbms::{DbmsSim, FallbackAttempt, PlannerKind, QueryOutcome, Rung, SqlError};
+pub use dbms::{
+    DbmsSim, FallbackAttempt, PlanCacheStatus, PlannerKind, QueryOutcome, Rung, SqlError,
+};
 pub use dp::{dp_join_order, greedy_join_order, order_cost};
 pub use explain::{explain_join_order, explain_qhd};
 pub use geqo::{geqo_join_order, GeqoConfig};
-pub use hybrid::{HybridOptimizer, RetryPolicy};
+pub use hybrid::{HybridOptimizer, PlanCacheStats, RetryPolicy};
 pub use nested::{flatten_subqueries, NestedError};
 pub use views::{execute_views, rewrite_to_views, SqlViews, ViewDef};
 

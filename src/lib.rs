@@ -56,6 +56,7 @@ pub use htqo_engine as engine;
 pub use htqo_eval as eval;
 pub use htqo_hypergraph as hypergraph;
 pub use htqo_optimizer as optimizer;
+pub use htqo_service as service;
 pub use htqo_stats as stats;
 pub use htqo_tpch as tpch;
 pub use htqo_workloads as workloads;
@@ -74,5 +75,6 @@ pub mod prelude {
     pub use htqo_optimizer::{
         execute_views, rewrite_to_views, DbmsSim, HybridOptimizer, QueryOutcome, RetryPolicy, Rung,
     };
+    pub use htqo_service::{QueryService, ServiceConfig, ServiceError, Session};
     pub use htqo_stats::{analyze, DbStats, StatsDecompCost};
 }
