@@ -15,7 +15,7 @@ use crate::crel::CRel;
 use crate::error::{Budget, EvalError};
 use crate::schema::Database;
 use crate::vrel::VRelation;
-use crate::{cops, ops, scan};
+use crate::{cops, iseek, ops, scan};
 use htqo_cq::{AtomId, ConjunctiveQuery};
 
 /// Operations an evaluator needs from an intermediate relation.
@@ -32,6 +32,20 @@ pub trait Carrier: Sized + Send {
 
     /// Natural join on shared variable names.
     fn natural_join(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError>;
+
+    /// Joins atom `a` of `q` into `self` by index seeks over a registered
+    /// secondary index ([`crate::iseek`]), without scanning the atom.
+    /// Returns `Ok(None)` when no index covers a shared variable — the
+    /// caller falls back to [`Carrier::scan_query_atom`] +
+    /// [`Carrier::natural_join`]. When it applies, the output is
+    /// bag-identical to that fallback (same column order, same rows).
+    fn index_seek_join(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        a: AtomId,
+        acc: &Self,
+        budget: &mut Budget,
+    ) -> Result<Option<Self>, EvalError>;
 
     /// Semijoin `self ⋉ other`.
     fn semijoin(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError>;
@@ -85,6 +99,16 @@ impl Carrier for VRelation {
 
     fn natural_join(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError> {
         ops::natural_join(self, other, budget)
+    }
+
+    fn index_seek_join(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        a: AtomId,
+        acc: &Self,
+        budget: &mut Budget,
+    ) -> Result<Option<Self>, EvalError> {
+        iseek::index_seek_join(db, q, a, acc, budget)
     }
 
     fn semijoin(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError> {
@@ -141,6 +165,16 @@ impl Carrier for CRel {
 
     fn natural_join(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError> {
         cops::natural_join(self, other, budget)
+    }
+
+    fn index_seek_join(
+        db: &Database,
+        q: &ConjunctiveQuery,
+        a: AtomId,
+        acc: &Self,
+        budget: &mut Budget,
+    ) -> Result<Option<Self>, EvalError> {
+        iseek::index_seek_join_c(db, q, a, acc, budget)
     }
 
     fn semijoin(&self, other: &Self, budget: &mut Budget) -> Result<Self, EvalError> {

@@ -40,7 +40,7 @@ type PairLists = (Vec<u32>, Vec<u32>);
 /// Bytes one matching `(build, probe)` index pair occupies in the
 /// kernels' pair lists (two `u32`s) — the columnar counterpart of the row
 /// kernels' per-output-row charge.
-const PAIR_BYTES: u64 = 8;
+pub(crate) const PAIR_BYTES: u64 = 8;
 
 /// Row `i` of `rel` as a boxed row, streamed straight out of the columns.
 fn materialize_row(rel: &CRel, i: usize, reader: &DictReader) -> Row {
@@ -126,6 +126,7 @@ fn reorder(r: CRel, desired: &[String]) -> CRel {
 /// same deterministic ordering contract.
 pub fn natural_join(a: &CRel, b: &CRel, budget: &mut Budget) -> Result<CRel, EvalError> {
     crate::fail_point!("cops::join");
+    budget.join_stats().add_hash_build();
     let (build, probe, swapped) = if a.len() <= b.len() {
         (a, b, false)
     } else {
@@ -613,11 +614,11 @@ mod tests {
         let mut b1 = Budget::unlimited();
         let mut b2 = Budget::unlimited();
         let threads_before = exec::num_threads();
-        exec::set_threads(1);
+        exec::set_threads_exact(1);
         let seq = natural_join(&ca, &cb, &mut b1).unwrap();
-        exec::set_threads(4);
+        exec::set_threads_exact(4);
         let par = natural_join(&ca, &cb, &mut b2).unwrap();
-        exec::set_threads(threads_before);
+        exec::set_threads_exact(threads_before);
         assert_eq!(seq.len(), par.len());
         assert_eq!(b1.charged(), b2.charged());
         assert_eq!(seq.to_vrel().sorted_rows(), par.to_vrel().sorted_rows());

@@ -218,6 +218,39 @@ impl SpillStats {
     }
 }
 
+/// Per-query join-strategy counters, shared (via `Arc`) like
+/// [`SpillStats`]: every handle cloned, forked, renewed or escalated from
+/// one root budget accumulates into the same counters, so `QueryOutcome`
+/// can report how many vertex joins ran as hash builds vs index seeks no
+/// matter which rung or worker thread executed them.
+#[derive(Debug, Default)]
+pub struct JoinStats {
+    hash_builds: AtomicU64,
+    index_seeks: AtomicU64,
+}
+
+impl JoinStats {
+    /// Records one hash-build join (a ChainTable build on either carrier).
+    pub fn add_hash_build(&self) {
+        self.hash_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one index-nested-loop seek join.
+    pub fn add_index_seek(&self) {
+        self.index_seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hash-build joins executed so far.
+    pub fn hash_builds(&self) -> u64 {
+        self.hash_builds.load(Ordering::Relaxed)
+    }
+
+    /// Index-seek joins executed so far.
+    pub fn index_seeks(&self) -> u64 {
+        self.index_seeks.load(Ordering::Relaxed)
+    }
+}
+
 /// A work budget threaded through every operator.
 ///
 /// `charge(n)` accounts for `n` freshly materialized tuples; the deadline
@@ -250,6 +283,7 @@ pub struct Budget {
     /// or the system temp dir, resolved by `crate::spill`).
     spill_dir: Option<Arc<PathBuf>>,
     spill_stats: Arc<SpillStats>,
+    join_stats: Arc<JoinStats>,
 }
 
 /// Local or shared tuple counter. A shared handle batches its charges in
@@ -313,6 +347,7 @@ impl Budget {
             spill_mode: SpillMode::default(),
             spill_dir: None,
             spill_stats: Arc::new(SpillStats::default()),
+            join_stats: Arc::new(JoinStats::default()),
         }
     }
 
@@ -391,6 +426,12 @@ impl Budget {
         Arc::clone(&self.spill_stats)
     }
 
+    /// Join-strategy counters for this query (shared across forks,
+    /// renewals and escalations of this budget).
+    pub fn join_stats(&self) -> Arc<JoinStats> {
+        Arc::clone(&self.join_stats)
+    }
+
     /// The configured wall-clock limit, if any (the original duration,
     /// not the remaining time).
     pub fn timeout(&self) -> Option<Duration> {
@@ -412,8 +453,10 @@ impl Budget {
         b.mem_limit = self.mem_limit;
         b.spill_mode = self.spill_mode;
         b.spill_dir = self.spill_dir.clone();
-        // Spill volume accumulates across rungs of one query.
+        // Spill volume and join counters accumulate across rungs of one
+        // query.
         b.spill_stats = Arc::clone(&self.spill_stats);
+        b.join_stats = Arc::clone(&self.join_stats);
         b
     }
 
@@ -1004,7 +1047,11 @@ mod tests {
             .with_spill_dir(PathBuf::from("/tmp/htqo-test-spill"));
         let stats = b.spill_stats();
         stats.add_bytes(7);
+        b.join_stats().add_index_seek();
+        b.join_stats().add_hash_build();
         let r = b.renewed();
+        assert_eq!(r.join_stats().index_seeks(), 1, "join stats span renewals");
+        assert_eq!(r.join_stats().hash_builds(), 1);
         assert_eq!(r.mem_limit(), Some(1000));
         assert_eq!(r.spill_mode(), SpillMode::Force);
         assert_eq!(r.spill_dir(), Some(Path::new("/tmp/htqo-test-spill")));

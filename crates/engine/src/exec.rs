@@ -23,6 +23,11 @@
 //!
 //! Thread count resolution order: explicit `workers` argument >
 //! [`set_threads`] > `HTQO_THREADS` env var > `available_parallelism()`.
+//! Requests from [`set_threads`] and the env var are clamped to the
+//! machine's [`hardware_threads`] — oversubscribing a small host only adds
+//! scheduling overhead (a 4-thread pool on a 1-CPU box measurably slows
+//! the bushy workload). Tests that deliberately oversubscribe to exercise
+//! the parallel schedule use [`set_threads_exact`].
 
 use crate::error::EvalError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -31,6 +36,11 @@ use std::sync::{Mutex, OnceLock};
 
 static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
 
+/// The thread count most recently *asked for* (before clamping); `0` =
+/// no explicit request yet. Reported in `QueryOutcome` so a clamped
+/// `--threads` is visible rather than silent.
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+
 /// Carrier default: `0` = unset (env var / columnar), `1` = rows,
 /// `2` = columnar.
 static CARRIER: AtomicU8 = AtomicU8::new(0);
@@ -38,19 +48,31 @@ static CARRIER: AtomicU8 = AtomicU8::new(0);
 /// Worker permits beyond the calling thread. `-1` = uninitialized.
 static PERMITS: AtomicIsize = AtomicIsize::new(-1);
 
-fn default_threads() -> usize {
-    static DEFAULT: OnceLock<usize> = OnceLock::new();
+/// The machine's available parallelism (cached; at least 1).
+pub fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// `(requested, effective)` default thread counts from the environment.
+fn default_threads_pair() -> (usize, usize) {
+    static DEFAULT: OnceLock<(usize, usize)> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        std::env::var("HTQO_THREADS")
+        let requested = std::env::var("HTQO_THREADS")
             .ok()
             .and_then(|v| v.parse().ok())
             .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+            .unwrap_or_else(hardware_threads);
+        (requested, requested.min(hardware_threads()))
     })
+}
+
+fn default_threads() -> usize {
+    default_threads_pair().1
 }
 
 /// The execution-layer thread count currently in effect.
@@ -61,12 +83,38 @@ pub fn num_threads() -> usize {
     }
 }
 
+/// The thread count currently *requested* (via [`set_threads`],
+/// [`set_threads_exact`] or `HTQO_THREADS`), before the hardware clamp.
+/// Equals [`num_threads`] unless the request was clamped.
+pub fn requested_threads() -> usize {
+    match REQUESTED.load(Ordering::Relaxed) {
+        0 => default_threads_pair().0,
+        n => n,
+    }
+}
+
 /// Overrides the thread count process-wide (the `--threads` knob of the
-/// figure harnesses). `1` disables parallel execution entirely.
+/// figure harnesses). `1` disables parallel execution entirely. The
+/// request is clamped to [`hardware_threads`]: extra workers on an
+/// already-saturated host only add scheduling overhead. The pre-clamp
+/// request stays visible through [`requested_threads`].
 pub fn set_threads(n: usize) {
-    CONFIGURED.store(n.max(1), Ordering::Relaxed);
+    REQUESTED.store(n.max(1), Ordering::Relaxed);
+    set_effective_threads(n.max(1).min(hardware_threads()));
+}
+
+/// Like [`set_threads`], but without the hardware clamp — for tests that
+/// need a parallel schedule to exist even on a single-core host (panic
+/// containment, determinism-across-interleavings suites).
+pub fn set_threads_exact(n: usize) {
+    REQUESTED.store(n.max(1), Ordering::Relaxed);
+    set_effective_threads(n.max(1));
+}
+
+fn set_effective_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
     // Re-arm the permit pool for the new width.
-    PERMITS.store(n.max(1) as isize - 1, Ordering::Relaxed);
+    PERMITS.store(n as isize - 1, Ordering::Relaxed);
 }
 
 /// Worker permits currently available beyond the calling thread. Equals
@@ -213,6 +261,36 @@ pub fn set_plan_cache_default(capacity: usize) {
     PLAN_CACHE.store(capacity as u64 + 1, Ordering::Relaxed);
 }
 
+/// Index-seek-join default: `0` = unset (env var / on), `1` = off,
+/// `2` = on.
+static INDEX_JOIN: AtomicU8 = AtomicU8::new(0);
+
+/// Whether vertex joins may use index-nested-loop seeks
+/// ([`crate::iseek`]) over registered secondary indexes instead of
+/// ChainTable hash builds. Resolution order: [`set_index_join_default`] >
+/// `HTQO_INDEX_JOIN` env var (`0`/`false`/`off` turns it off) > on.
+/// Irrelevant (and free) when the catalog has no indexes.
+pub fn index_join_default() -> bool {
+    match INDEX_JOIN.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static DEFAULT: OnceLock<bool> = OnceLock::new();
+            *DEFAULT.get_or_init(|| {
+                !matches!(
+                    std::env::var("HTQO_INDEX_JOIN").as_deref(),
+                    Ok("0") | Ok("false") | Ok("off")
+                )
+            })
+        }
+    }
+}
+
+/// Overrides the index-seek-join default process-wide.
+pub fn set_index_join_default(on: bool) {
+    INDEX_JOIN.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
 /// Execution-schedule knobs for the evaluators
 /// (`evaluate_qhd_with` and friends in the downstream crates).
 #[derive(Clone, Copy, Debug)]
@@ -239,6 +317,12 @@ pub struct ExecOptions {
     /// materialization either way. The default is the process-wide
     /// [`factorized_default`] (`HTQO_FACTORIZED`).
     pub factorized: bool,
+    /// Let vertex joins pick index-nested-loop seeks over registered
+    /// secondary indexes instead of hash builds where the accumulator is
+    /// small relative to the indexed table. A no-op on catalogs without
+    /// indexes. The default is the process-wide [`index_join_default`]
+    /// (`HTQO_INDEX_JOIN`).
+    pub index_join: bool,
 }
 
 impl Default for ExecOptions {
@@ -248,6 +332,7 @@ impl Default for ExecOptions {
             columnar: columnar_default(),
             mem_limit: mem_limit_default(),
             factorized: factorized_default(),
+            index_join: index_join_default(),
         }
     }
 }
@@ -489,7 +574,7 @@ mod tests {
         // Containment only exists on the parallel schedule; force a pool
         // wide enough to take it even on a single-core host.
         let threads_before = num_threads();
-        set_threads(4);
+        set_threads_exact(4);
         let before = permits_available();
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
@@ -512,7 +597,7 @@ mod tests {
     fn join2_contains_worker_panics() {
         let _g = hook_lock();
         let threads_before = num_threads();
-        set_threads(4);
+        set_threads_exact(4);
         let before = permits_available();
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
@@ -543,5 +628,20 @@ mod tests {
     #[test]
     fn threads_knob() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn set_threads_clamps_to_hardware_but_records_the_request() {
+        let threads_before = num_threads();
+        let requested_before = requested_threads();
+        let huge = hardware_threads() * 64;
+        set_threads(huge);
+        assert_eq!(num_threads(), hardware_threads(), "request not clamped");
+        assert_eq!(requested_threads(), huge, "pre-clamp request lost");
+        // The exact variant bypasses the clamp (test-suite escape hatch).
+        set_threads_exact(huge);
+        assert_eq!(num_threads(), huge);
+        set_threads_exact(threads_before);
+        REQUESTED.store(requested_before, Ordering::Relaxed);
     }
 }

@@ -40,6 +40,8 @@ pub mod expr;
 pub mod factorized;
 pub mod failpoint;
 pub mod hash;
+pub mod index;
+pub mod iseek;
 pub mod ops;
 pub mod relation;
 pub mod scan;
@@ -52,11 +54,12 @@ pub use aggregate::{finalize, finalize_c};
 pub use carrier::Carrier;
 pub use crel::CRel;
 pub use csv::{read_csv, read_csv_budgeted, write_csv, CsvError};
-pub use error::{Budget, CancelToken, EvalError, SpillMode, SpillStats};
+pub use error::{Budget, CancelToken, EvalError, JoinStats, SpillMode, SpillStats};
 pub use exec::ExecOptions;
 pub use factorized::{
     build_cover, finalize_cover, Cover, CoverError, CoverInput, CoverRows, FactorizedCarrier,
 };
+pub use index::{JoinIndex, MemIndex};
 pub use relation::{Relation, RelationError};
 pub use schema::{Column, ColumnType, Database, Schema};
 pub use value::{Row, Value};

@@ -72,6 +72,7 @@ pub fn natural_join(
     budget: &mut Budget,
 ) -> Result<VRelation, EvalError> {
     crate::fail_point!("ops::join");
+    budget.join_stats().add_hash_build();
     // Build on the smaller side: swap so `build` is smallest.
     let (build, probe, swapped) = if a.len() <= b.len() {
         (a, b, false)

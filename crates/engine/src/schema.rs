@@ -1,5 +1,6 @@
 //! Table schemas and the database catalog.
 
+use crate::index::JoinIndex;
 use crate::relation::Relation;
 use htqo_cq::isolator::SchemaProvider;
 use std::collections::BTreeMap;
@@ -104,6 +105,10 @@ impl fmt::Display for Schema {
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, Arc<Relation>>,
+    /// Secondary join indexes: table → lowercased column → index. Kept
+    /// beside the tables (not inside `Relation`) so a catalog overlay can
+    /// share base relations while dropping or adding indexes freely.
+    indexes: BTreeMap<String, BTreeMap<String, Arc<dyn JoinIndex>>>,
 }
 
 impl Database {
@@ -112,9 +117,46 @@ impl Database {
         Self::default()
     }
 
-    /// Adds (or replaces) a table.
+    /// Adds (or replaces) a table. Replacing a table drops its indexes —
+    /// they describe rowids of the old data.
     pub fn insert_table(&mut self, name: &str, rel: Relation) {
+        self.indexes.remove(name);
         self.tables.insert(name.to_string(), Arc::new(rel));
+    }
+
+    /// Registers a secondary index over `table.column`.
+    ///
+    /// The index must map [`crate::index::encode_key`]-encoded cell values
+    /// of that column to ascending rowids of the *current* stored
+    /// relation; the seek-join kernels trust it for the equality check on
+    /// the indexed column (residual predicates are still re-applied).
+    pub fn register_index(&mut self, table: &str, column: &str, index: Arc<dyn JoinIndex>) {
+        self.indexes
+            .entry(table.to_string())
+            .or_default()
+            .insert(column.to_ascii_lowercase(), index);
+    }
+
+    /// The index on `table.column`, if one is registered (column lookup is
+    /// case-insensitive, like schema lookups).
+    pub fn index_on(&self, table: &str, column: &str) -> Option<&Arc<dyn JoinIndex>> {
+        self.indexes.get(table)?.get(&column.to_ascii_lowercase())
+    }
+
+    /// True if any secondary index is registered. The evaluator uses this
+    /// as a cheap gate: with no indexes, vertex joins take the classic
+    /// scan-and-hash path untouched.
+    pub fn has_indexes(&self) -> bool {
+        !self.indexes.is_empty()
+    }
+
+    /// All `(table, column)` pairs carrying an index, in deterministic
+    /// (name) order — the cost model's view of index availability.
+    pub fn indexed_columns(&self) -> Vec<(String, String)> {
+        self.indexes
+            .iter()
+            .flat_map(|(t, cols)| cols.keys().map(move |c| (t.clone(), c.clone())))
+            .collect()
     }
 
     /// Looks a table up by name.
@@ -180,6 +222,24 @@ mod tests {
         assert_eq!(db.total_tuples(), 1);
         assert!(db.table("r").is_some());
         assert!(db.table("s").is_none());
+    }
+
+    #[test]
+    fn index_registry_roundtrip() {
+        let mut db = Database::new();
+        let mut r = Relation::new(Schema::new(&[("k", ColumnType::Int)]));
+        r.push_row(vec![Value::Int(7)]).unwrap();
+        db.insert_table("r", r);
+        assert!(!db.has_indexes());
+        let idx = crate::index::MemIndex::build(db.table("r").unwrap(), 0);
+        db.register_index("r", "K", Arc::new(idx));
+        assert!(db.has_indexes());
+        assert!(db.index_on("r", "k").is_some());
+        assert!(db.index_on("r", "z").is_none());
+        assert_eq!(db.indexed_columns(), vec![("r".into(), "k".into())]);
+        // Replacing the table drops the now-stale index.
+        db.insert_table("r", Relation::new(Schema::new(&[("k", ColumnType::Int)])));
+        assert!(!db.has_indexes());
     }
 
     #[test]

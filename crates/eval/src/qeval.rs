@@ -109,11 +109,12 @@ pub(crate) fn vertex_relations<C: Carrier>(
     // P′: per-vertex joins — independent, so fan out across workers.
     let vertices: Vec<NodeId> = tree.preorder();
     let mut rels: Vec<Option<C>> = (0..tree.len()).map(|_| None).collect();
+    let index_join = opts.index_join;
     if threads > 1 && vertices.len() > 1 {
         let shared = budget.fork();
         let results = exec::parallel_map(vertices.clone(), threads, |p| {
             let mut b = shared.clone();
-            vertex_join::<C>(db, q, tree, p, &chi_names[p.index()], &mut b)
+            vertex_join::<C>(db, q, tree, p, &chi_names[p.index()], &mut b, index_join)
         });
         // Merge point: surface budget exhaustion deterministically first,
         // then a contained worker panic, then any other error in preorder
@@ -131,6 +132,7 @@ pub(crate) fn vertex_relations<C: Carrier>(
                 p,
                 &chi_names[p.index()],
                 budget,
+                index_join,
             )?);
         }
     }
@@ -168,7 +170,10 @@ pub(crate) fn evaluate_qhd_generic<C: Carrier>(
 }
 
 /// `P′` for one vertex: scan `assigned(p) ∪ λ(p)`, join them, project
-/// onto χ(p) (restricted to available variables).
+/// onto χ(p) (restricted to available variables). With `index_join` set
+/// and a catalog carrying secondary indexes, multi-atom vertices may run
+/// as index-nested-loop seeks instead ([`seek_vertex_join`]); the result
+/// bag is identical either way.
 fn vertex_join<C: Carrier>(
     db: &Database,
     q: &ConjunctiveQuery,
@@ -176,18 +181,111 @@ fn vertex_join<C: Carrier>(
     p: NodeId,
     chi: &[String],
     budget: &mut Budget,
+    index_join: bool,
 ) -> Result<C, EvalError> {
     budget.check_time()?;
     htqo_engine::fail_point!("qeval::vertex");
     let n = tree.node(p);
     let atoms = n.assigned.union(&n.lambda);
-    let mut scanned: Vec<C> = Vec::with_capacity(atoms.len());
-    for e in atoms.iter() {
-        let a = AtomId(e.0);
+    let atom_ids: Vec<AtomId> = atoms.iter().map(|e| AtomId(e.0)).collect();
+    if index_join && db.has_indexes() && atom_ids.len() > 1 {
+        if let Some(joined) = seek_vertex_join::<C>(db, q, &atom_ids, budget)? {
+            return joined.project_onto_available(chi, budget);
+        }
+    }
+    let mut scanned: Vec<C> = Vec::with_capacity(atom_ids.len());
+    for &a in &atom_ids {
         scanned.push(C::scan_query_atom(db, q, a, budget)?);
     }
     let joined = join_connected_greedy(scanned, budget)?;
     joined.project_onto_available(chi, budget)
+}
+
+/// Index-aware variant of the per-vertex join: starts from the atom with
+/// the smallest base table and folds the remaining atoms in, preferring
+/// connected atoms with small base tables ([`join_connected_greedy`]'s
+/// heuristic lifted to base cardinalities, which are known *before*
+/// scanning). An atom is joined by index seek when the accumulator is
+/// small relative to its base table and a registered index covers a
+/// shared variable; otherwise it is scanned and hash-joined as usual.
+///
+/// Returns `Ok(None)` when no atom of the vertex is seek-eligible — the
+/// caller then takes the classic scan-everything path, so catalogs
+/// without (relevant) indexes see bit-identical behavior and charges.
+/// All decisions depend only on base-table sizes and accumulator row
+/// counts, which are carrier- and thread-independent, preserving the
+/// carrier-equivalence and determinism invariants.
+fn seek_vertex_join<C: Carrier>(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    atom_ids: &[AtomId],
+    budget: &mut Budget,
+) -> Result<Option<C>, EvalError> {
+    let vars_of =
+        |a: AtomId| -> Vec<String> { q.atom(a).args.iter().map(|(_, v)| v.clone()).collect() };
+    // Cheap gate: some atom must be seekable from the other atoms' vars.
+    let eligible = atom_ids.iter().any(|&a| {
+        let others: Vec<String> = atom_ids
+            .iter()
+            .filter(|&&o| o != a)
+            .flat_map(|&o| vars_of(o))
+            .collect();
+        htqo_engine::iseek::seek_eligible(db, q, a, &others)
+    });
+    if !eligible {
+        return Ok(None);
+    }
+    let mut remaining: Vec<(AtomId, usize)> = Vec::with_capacity(atom_ids.len());
+    for &a in atom_ids {
+        match db.table(&q.atom(a).relation) {
+            Some(rel) => remaining.push((a, rel.len())),
+            // Let the scan path surface the unknown-table error.
+            None => return Ok(None),
+        }
+    }
+    let start_pos = remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &(a, len))| (len, a.0))
+        .map(|(i, _)| i)
+        .expect("vertex has atoms");
+    let (start, _) = remaining.remove(start_pos);
+    let mut acc = C::scan_query_atom(db, q, start, budget)?;
+    while !remaining.is_empty() {
+        let connected = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, &(a, _))| vars_of(a).iter().any(|v| acc.col_index(v).is_some()))
+            .min_by_key(|(_, &(a, len))| (len, a.0))
+            .map(|(i, _)| i);
+        let pos = connected.unwrap_or_else(|| {
+            // Forced cross product: smallest remaining base table.
+            remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(a, len))| (len, a.0))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        });
+        let (a, base_len) = remaining.remove(pos);
+        // A seek pays one probe per accumulator row; a hash join pays the
+        // full scan + build. Prefer the seek only when the accumulator is
+        // decisively smaller than the base table.
+        let seek_profitable = acc.len().saturating_mul(4) <= base_len;
+        let seeked = if seek_profitable {
+            C::index_seek_join(db, q, a, &acc, budget)?
+        } else {
+            None
+        };
+        acc = match seeked {
+            Some(r) => r,
+            None => {
+                let scanned = C::scan_query_atom(db, q, a, budget)?;
+                acc.natural_join(&scanned, budget)?
+            }
+        };
+    }
+    Ok(Some(acc))
 }
 
 /// Joins a set of relations preferring variable-connected pairs: start

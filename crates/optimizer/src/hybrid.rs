@@ -114,12 +114,18 @@ enum CacheEntry {
         /// statistics skips λ re-costing entirely (stats unchanged ⇒
         /// bit-identical plan).
         stored_cost: f64,
+        /// Statistics epoch at store time. A hit from a later epoch
+        /// (ANALYZE ran) skips both fast paths and re-costs λ against
+        /// the new statistics, then refreshes the entry in place.
+        epoch: u64,
         /// Fast path: rendering and finished plan of the most recent
         /// query served from this entry.
         exact: Option<(String, QhdPlan)>,
     },
-    /// Exact-keyed entry (canonicalization over budget).
-    Plain(QhdPlan),
+    /// Exact-keyed entry (canonicalization over budget). A stale epoch
+    /// is a miss: the plan was priced under old statistics and there is
+    /// no canonical tree to revalidate, so it is replanned outright.
+    Plain { plan: QhdPlan, epoch: u64 },
 }
 
 struct Shard {
@@ -264,6 +270,15 @@ pub struct HybridOptimizer {
     /// with per-shard LRU eviction; plans whose execution failed are
     /// evicted.
     cache: PlanCache,
+    /// Statistics epoch, bumped by [`HybridOptimizer::refresh_stats`]
+    /// (the ANALYZE hook). Cache entries remember the epoch they were
+    /// priced under; a hit from an older epoch deterministically
+    /// revalidates instead of being served verbatim.
+    stats_epoch: AtomicU64,
+    /// Secondary indexes available to the evaluator, fed to the cost
+    /// model (see [`HybridOptimizer::with_index_catalog`]). Empty keeps
+    /// costing bit-identical to an index-free catalog.
+    indexed: Vec<(String, String)>,
 }
 
 /// Compile-time proof that the optimizer can be shared across threads.
@@ -284,6 +299,8 @@ impl HybridOptimizer {
             isolator: IsolatorOptions::default(),
             retry: RetryPolicy::default(),
             cache: PlanCache::new(htqo_engine::exec::plan_cache_default()),
+            stats_epoch: AtomicU64::new(0),
+            indexed: Vec::new(),
         }
     }
 
@@ -306,6 +323,33 @@ impl HybridOptimizer {
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = PlanCache::new(capacity);
         self
+    }
+
+    /// Declares the catalog's secondary indexes as `(table, column)`
+    /// pairs (builder style; typically
+    /// `db.indexed_columns()`). The cost model then prices seekable
+    /// joins without their base-table scan, steering cost-k-decomp
+    /// toward decompositions the index-seek kernel executes cheaply.
+    /// An empty catalog — the default — leaves every cost bit-identical.
+    pub fn with_index_catalog(mut self, indexed: Vec<(String, String)>) -> Self {
+        self.indexed = indexed;
+        self
+    }
+
+    /// Installs freshly gathered statistics (the ANALYZE hook) and bumps
+    /// the statistics epoch. Cached plans priced under the old epoch are
+    /// not served verbatim again: shape entries deterministically re-cost
+    /// their λ choices against the new statistics on the next hit (and
+    /// re-stamp themselves), exact-keyed entries replan.
+    pub fn refresh_stats(&mut self, stats: Option<DbStats>) {
+        self.stats = stats;
+        self.stats_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current statistics epoch (bumped by
+    /// [`HybridOptimizer::refresh_stats`]).
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::Relaxed)
     }
 
     /// The exact rendered cache key: query rule text (variables, atoms,
@@ -346,8 +390,9 @@ impl HybridOptimizer {
     fn with_cost<R>(&self, q: &ConjunctiveQuery, f: impl FnOnce(&dyn DecompCost) -> R) -> R {
         match &self.stats {
             Some(stats) => {
-                let cost =
-                    StatsDecompCost::new(stats, q).with_assume_optimize(self.options.run_optimize);
+                let cost = StatsDecompCost::new(stats, q)
+                    .with_assume_optimize(self.options.run_optimize)
+                    .with_indexes(&self.indexed);
                 f(&cost)
             }
             None => f(&StructuralCost),
@@ -375,51 +420,85 @@ impl HybridOptimizer {
         keyed: &Keyed,
     ) -> (Result<QhdPlan, QhdFailure>, PlanCacheStatus) {
         let shard_idx = self.cache.shard_of(&keyed.key);
+        let epoch_now = self.stats_epoch.load(Ordering::Relaxed);
         // Fast path under the shard lock: exact hit, or snapshot the
-        // canonical tree for revalidation outside the lock.
-        let snapshot: Option<(Hypertree, f64)> = {
+        // canonical tree for revalidation outside the lock. Entries
+        // stamped by an older statistics epoch skip both fast paths:
+        // stale shape entries force a λ re-cost (`stale` below), stale
+        // exact entries replan as a miss.
+        let snapshot: Option<(Hypertree, f64, bool)> = {
             let mut shard = self.cache.lock(shard_idx);
             shard.tick += 1;
             let tick = shard.tick;
             match shard.map.get_mut(&keyed.key) {
-                Some((t, CacheEntry::Plain(plan))) => {
+                Some((t, CacheEntry::Plain { plan, epoch })) if *epoch == epoch_now => {
                     *t = tick;
                     let plan = plan.clone();
                     drop(shard);
                     self.cache.hits.fetch_add(1, Ordering::Relaxed);
                     return (Ok(plan), PlanCacheStatus::Hit);
                 }
+                Some((_, CacheEntry::Plain { .. })) => None,
                 Some((
                     t,
                     CacheEntry::Shape {
                         canon_tree,
                         stored_cost,
+                        epoch,
                         exact,
                     },
                 )) => {
                     *t = tick;
-                    if let Some((rendering, plan)) = exact {
-                        if *rendering == keyed.exact {
-                            let plan = plan.clone();
-                            drop(shard);
-                            self.cache.hits.fetch_add(1, Ordering::Relaxed);
-                            return (Ok(plan), PlanCacheStatus::Hit);
+                    let stale = *epoch != epoch_now;
+                    if !stale {
+                        if let Some((rendering, plan)) = exact {
+                            if *rendering == keyed.exact {
+                                let plan = plan.clone();
+                                drop(shard);
+                                self.cache.hits.fetch_add(1, Ordering::Relaxed);
+                                return (Ok(plan), PlanCacheStatus::Hit);
+                            }
                         }
                     }
-                    Some((canon_tree.clone(), *stored_cost))
+                    // NAN never equals the current price, so a stale hit
+                    // cannot take revalidate's cost-unchanged shortcut.
+                    let cost = if stale { f64::NAN } else { *stored_cost };
+                    Some((canon_tree.clone(), cost, stale))
                 }
                 None => None,
             }
         };
 
-        if let Some((canon_tree, stored_cost)) = snapshot {
+        if let Some((canon_tree, stored_cost, stale)) = snapshot {
             // Shape hit: transport + re-cost, no cost-k-decomp. Planning
             // work runs outside the shard lock.
-            if let Some(plan) = self.revalidate(q, keyed, &canon_tree, stored_cost) {
+            if let Some((plan, final_tree, final_cost)) =
+                self.revalidate(q, keyed, &canon_tree, stored_cost)
+            {
                 self.cache.revalidated.fetch_add(1, Ordering::Relaxed);
                 let mut shard = self.cache.lock(shard_idx);
-                if let Some((_, CacheEntry::Shape { exact, .. })) = shard.map.get_mut(&keyed.key) {
+                if let Some((
+                    _,
+                    CacheEntry::Shape {
+                        canon_tree,
+                        stored_cost,
+                        epoch,
+                        exact,
+                    },
+                )) = shard.map.get_mut(&keyed.key)
+                {
                     *exact = Some((keyed.exact.clone(), plan.clone()));
+                    if stale {
+                        // Re-stamp the entry under the new statistics so
+                        // the *next* hit takes the fast paths again — with
+                        // the λ choices this revalidation just settled.
+                        if let Some(c) = keyed.canon.as_ref() {
+                            *canon_tree =
+                                remap_tree(&final_tree, &c.var_to_canon, &c.edge_to_canon);
+                        }
+                        *stored_cost = final_cost;
+                        *epoch = epoch_now;
+                    }
                 }
                 drop(shard);
                 return (Ok(plan), PlanCacheStatus::Revalidated);
@@ -444,6 +523,7 @@ impl HybridOptimizer {
                 let entry = CacheEntry::Shape {
                     canon_tree,
                     stored_cost,
+                    epoch: epoch_now,
                     exact: Some((keyed.exact.clone(), plan.clone())),
                 };
                 self.cache.insert(keyed.key.clone(), entry);
@@ -451,8 +531,13 @@ impl HybridOptimizer {
             }
             None => {
                 let plan = raw.finish(&self.options);
-                self.cache
-                    .insert(keyed.key.clone(), CacheEntry::Plain(plan.clone()));
+                self.cache.insert(
+                    keyed.key.clone(),
+                    CacheEntry::Plain {
+                        plan: plan.clone(),
+                        epoch: epoch_now,
+                    },
+                );
                 (Ok(plan), PlanCacheStatus::Miss)
             }
         }
@@ -460,16 +545,18 @@ impl HybridOptimizer {
 
     /// The shape-hit path: transports a cached canonical tree onto `q`,
     /// prices it under current statistics, re-costs λ choices only when
-    /// the price moved, and finishes with `Optimize`. Returns `None` if
-    /// the transported tree is not a valid decomposition of `q` (cannot
-    /// happen with a sound canonical key; checked anyway).
+    /// the price moved, and finishes with `Optimize`. Returns the plan
+    /// plus the final query-space tree and its cost under current stats
+    /// (for re-stamping stale entries). Returns `None` if the transported
+    /// tree is not a valid decomposition of `q` (cannot happen with a
+    /// sound canonical key; checked anyway).
     fn revalidate(
         &self,
         q: &ConjunctiveQuery,
         keyed: &Keyed,
         canon_tree: &Hypertree,
         stored_cost: f64,
-    ) -> Option<QhdPlan> {
+    ) -> Option<(QhdPlan, Hypertree, f64)> {
         let canon = keyed.canon.as_ref()?;
         let mut tree = remap_tree(canon_tree, &canon.canon_to_var(), &canon.canon_to_edge());
         if validate::check_qhd(&keyed.ch.hypergraph, &tree, &keyed.out_vars).is_err() {
@@ -492,6 +579,7 @@ impl HybridOptimizer {
                 .total_cost
             }
         });
+        let final_tree = tree.clone();
         let raw = RawQhd {
             tree,
             cq_hypergraph: keyed.ch.clone(),
@@ -499,7 +587,7 @@ impl HybridOptimizer {
             estimated_cost,
             search_stats: Default::default(),
         };
-        Some(raw.finish(&self.options))
+        Some((raw.finish(&self.options), final_tree, estimated_cost))
     }
 
     /// Number of cached plans across all shards.
@@ -696,6 +784,8 @@ impl HybridOptimizer {
         // statistics, so this is the whole query's spill volume.
         let spill_bytes = budget.spill_stats().bytes_written();
         let spill_partitions = budget.spill_stats().partitions();
+        let index_seek_joins = budget.join_stats().index_seeks();
+        let hash_builds = budget.join_stats().hash_builds();
         let failed: Vec<String> = attempts
             .iter()
             .map(|a| format!("{} failure: {}", a.rung, a.error))
@@ -738,6 +828,10 @@ impl HybridOptimizer {
                     estimated_answer_rows,
                     answer_rows,
                     plan_cache,
+                    threads: htqo_engine::exec::num_threads(),
+                    threads_requested: htqo_engine::exec::requested_threads(),
+                    index_seek_joins,
+                    hash_builds,
                 }
             }
             None => {
@@ -757,6 +851,10 @@ impl HybridOptimizer {
                     estimated_answer_rows,
                     answer_rows: None,
                     plan_cache,
+                    threads: htqo_engine::exec::num_threads(),
+                    threads_requested: htqo_engine::exec::requested_threads(),
+                    index_seek_joins,
+                    hash_builds,
                 }
             }
         }
@@ -1168,6 +1266,39 @@ mod tests {
         let mut bud = Budget::unlimited();
         let oracle = htqo_eval::evaluate_naive(&db, &q2, &mut bud).unwrap();
         assert!(reval.result.unwrap().set_eq(&oracle));
+    }
+
+    /// ANALYZE (refresh_stats) bumps the stats epoch: the next lookup of
+    /// a cached plan revalidates against the new statistics instead of
+    /// serving the stale exact hit, then re-stamps the entry so the run
+    /// after that is a fast hit again. Deterministic — no clocks, no
+    /// TTLs, just the epoch counter.
+    #[test]
+    fn stats_refresh_forces_deterministic_revalidation() {
+        let db = chain_db(3, 20, 5);
+        let q = chain_query(3);
+        let mut opt = HybridOptimizer::with_stats(QhdOptions::default(), analyze(&db));
+        assert_eq!(opt.stats_epoch(), 0);
+        let miss = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert_eq!(miss.plan_cache, PlanCacheStatus::Miss);
+        let hit = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert_eq!(hit.plan_cache, PlanCacheStatus::Hit);
+
+        // ANALYZE: same data, refreshed statistics. The entry's epoch is
+        // now behind, so the exact fast path must not serve it.
+        opt.refresh_stats(Some(analyze(&db)));
+        assert_eq!(opt.stats_epoch(), 1);
+        let reval = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert_eq!(reval.plan_cache, PlanCacheStatus::Revalidated);
+        let mut bud = Budget::unlimited();
+        let oracle = htqo_eval::evaluate_naive(&db, &q, &mut bud).unwrap();
+        assert!(reval.result.unwrap().set_eq(&oracle));
+
+        // The revalidation re-stamped the entry under epoch 1: the next
+        // identical query is an exact hit again.
+        let hot = opt.execute_cq(&db, &q, Budget::unlimited());
+        assert_eq!(hot.plan_cache, PlanCacheStatus::Hit);
+        assert_eq!(opt.plan_cache_stats().misses, 1, "never replanned");
     }
 
     #[test]

@@ -177,8 +177,11 @@ pub struct ServiceMetrics {
     /// Admitted queries whose outcome carried an error (including
     /// cancellation and contained panics).
     pub completed_err: u64,
-    /// Bytes currently reserved in the shared pool (slices of in-flight
-    /// queries). Returns to 0 when the service is idle.
+    /// Bytes currently reserved in the shared pool: slices of in-flight
+    /// queries, plus resident buffer-pool pages on a
+    /// [`QueryService::open_paged`] service. On an in-memory service this
+    /// returns to 0 when idle; on a paged one the floor is the resident
+    /// page set.
     pub pool_bytes_reserved: u64,
     /// Tuples charged against the service-lifetime quota so far.
     pub pool_tuples_charged: u64,
@@ -235,6 +238,53 @@ fn assert_service_is_send_sync() {
 impl QueryService {
     /// Builds a service over `db` with the given optimizer and limits.
     pub fn new(db: Database, optimizer: HybridOptimizer, config: ServiceConfig) -> Self {
+        let master = Self::master_budget(&config);
+        Self::assemble(db, optimizer, config, master)
+    }
+
+    /// Opens a service over a paged [`htqo_storage::StorageDb`]: a warm
+    /// restart. Tables and their B-tree join indexes come back from disk
+    /// without re-parsing any source files; resident buffer-pool pages
+    /// are charged against the service's shared memory pool (when
+    /// [`ServiceConfig::mem_pool`] is set), so a large page cache
+    /// genuinely crowds out query admissions. `make_optimizer` builds the
+    /// optimizer once the database is loaded (e.g. to `analyze` it); the
+    /// service then hands it the index catalog so per-vertex costing can
+    /// price index-seek joins.
+    pub fn open_paged<F>(
+        storage: &htqo_storage::StorageDb,
+        cache_bytes: u64,
+        config: ServiceConfig,
+        make_optimizer: F,
+    ) -> Result<Self, htqo_engine::error::EvalError>
+    where
+        F: FnOnce(&Database) -> HybridOptimizer,
+    {
+        let mut master = Self::master_budget(&config);
+        let cache_ledger = master.fork();
+        let db = storage.load_database(cache_bytes, Some(cache_ledger))?;
+        let optimizer = make_optimizer(&db).with_index_catalog(db.indexed_columns());
+        Ok(Self::assemble(db, optimizer, config, master))
+    }
+
+    /// The service-wide master budget: memory-limited to the configured
+    /// pool, with counters promoted to shared atomics up front so every
+    /// session fork joins the same pools.
+    fn master_budget(config: &ServiceConfig) -> Budget {
+        let mut master = Budget::unlimited();
+        if let Some(pool) = config.mem_pool {
+            master = master.with_mem_limit(pool);
+        }
+        let _ = master.fork();
+        master
+    }
+
+    fn assemble(
+        db: Database,
+        optimizer: HybridOptimizer,
+        config: ServiceConfig,
+        master: Budget,
+    ) -> Self {
         let slice = config
             .query_mem
             .or_else(|| {
@@ -243,13 +293,6 @@ impl QueryService {
                     .map(|p| (p / config.max_in_flight.max(1) as u64).max(1))
             })
             .unwrap_or(0);
-        let mut master = Budget::unlimited();
-        if let Some(pool) = config.mem_pool {
-            master = master.with_mem_limit(pool);
-        }
-        // Promote the counters to shared atomics up front so every
-        // session fork joins the same pools.
-        let _ = master.fork();
         QueryService {
             inner: Arc::new(ServiceInner {
                 db,
@@ -605,6 +648,49 @@ mod tests {
             Err(ServiceError::UnknownStatement(_))
         ));
         assert_eq!(session.prepared_count(), 0);
+    }
+
+    /// Warm restart through the service: ingest the workload into a paged
+    /// [`htqo_storage::StorageDb`], reopen it with [`QueryService::open_paged`],
+    /// and check (a) answers match the in-memory service bit for bit,
+    /// (b) the loaded indexes are in the catalog, and (c) resident
+    /// buffer-pool pages are charged against the shared admission pool.
+    #[test]
+    fn open_paged_service_restores_tables_and_charges_the_pool() {
+        let dir = std::env::temp_dir().join(format!("htqo-svc-paged-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mem_db = workload_db(&WorkloadSpec::new(3, 60, 6, 7));
+        let storage = htqo_storage::StorageDb::open(&dir).unwrap();
+        for (name, rel) in mem_db.tables() {
+            storage.ingest(name, rel, &["l"]).unwrap();
+        }
+
+        let svc = QueryService::open_paged(
+            &storage,
+            4 * 1024 * 1024,
+            ServiceConfig {
+                mem_pool: Some(64 * 1024 * 1024),
+                ..ServiceConfig::default()
+            },
+            |db| HybridOptimizer::with_stats(QhdOptions::default(), htqo_stats::analyze(db)),
+        )
+        .unwrap();
+        assert!(svc.database().has_indexes(), "indexes survive the restart");
+        assert!(
+            svc.metrics().pool_bytes_reserved > 0,
+            "resident pages charge the shared pool"
+        );
+
+        let paged = svc.session().execute_sql(CHAIN).unwrap().result.unwrap();
+        let mem_svc = service(ServiceConfig::default());
+        let oracle = mem_svc
+            .session()
+            .execute_sql(CHAIN)
+            .unwrap()
+            .result
+            .unwrap();
+        assert!(paged.set_eq(&oracle));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub struct StatsDecompCost<'a> {
     /// disabled (the Figure 10 ablation), making the model price the full
     /// pre-pruning λ joins.
     assume_optimize: bool,
+    /// Secondary indexes available to the evaluator, as lowercase
+    /// `(relation, column)` pairs. Empty (the default) keeps the legacy
+    /// pricing bit-identical; non-empty switches [`Self::vertex_tuples`]
+    /// to index-aware pricing where a seekable join skips its base-table
+    /// scan (mirroring the index-nested-loop kernel, which never charges
+    /// the probed atom's scan).
+    indexed: Vec<(String, String)>,
 }
 
 impl<'a> StatsDecompCost<'a> {
@@ -33,6 +40,7 @@ impl<'a> StatsDecompCost<'a> {
             stats,
             query,
             assume_optimize: true,
+            indexed: Vec::new(),
         }
     }
 
@@ -43,20 +51,58 @@ impl<'a> StatsDecompCost<'a> {
         self
     }
 
+    /// Declares the catalog's secondary indexes as `(relation, column)`
+    /// pairs (case-insensitive). With any index declared, vertex pricing
+    /// accounts for base-table scans and lets seekable joins skip them;
+    /// with none (the default), pricing is exactly the legacy formula.
+    pub fn with_indexes(mut self, indexed: &[(String, String)]) -> Self {
+        self.indexed = indexed
+            .iter()
+            .map(|(t, c)| (t.to_lowercase(), c.to_lowercase()))
+            .collect();
+        self
+    }
+
+    /// True when joining atom `a` into an accumulator covering
+    /// `acc`'s variables can run as an index seek: some indexed column
+    /// of `a`'s relation binds a variable the accumulator already has.
+    fn seekable(&self, a: AtomId, acc: &Profile) -> bool {
+        let atom = self.query.atom(a);
+        let rel = atom.relation.to_lowercase();
+        atom.args.iter().any(|(col, var)| {
+            acc.distinct.contains_key(var)
+                && self
+                    .indexed
+                    .iter()
+                    .any(|(t, c)| *t == rel && *c == col.to_lowercase())
+        })
+    }
+
     /// Estimated number of tuples materialized at one decomposition
     /// vertex joining `atoms`.
     pub fn vertex_tuples(&self, atoms: &[AtomId]) -> f64 {
-        let mut profiles: Vec<Profile> = atoms
+        let mut profiles: Vec<(AtomId, Profile)> = atoms
             .iter()
-            .map(|&a| atom_profile(self.stats, self.query, a))
+            .map(|&a| (a, atom_profile(self.stats, self.query, a)))
             .collect();
-        profiles.sort_by(|a, b| a.card.total_cmp(&b.card));
-        let Some(first) = profiles.first().cloned() else {
+        profiles.sort_by(|a, b| a.1.card.total_cmp(&b.1.card));
+        let Some((_, first)) = profiles.first().cloned() else {
             return 0.0;
         };
         let mut acc = first;
         let mut cost = acc.card;
-        for p in &profiles[1..] {
+        for (a, p) in &profiles[1..] {
+            if !self.indexed.is_empty() {
+                // Index-aware pricing: a hash join first scans (and
+                // charges) the probed atom's base table; an index seek
+                // reads only the matching rows, so a seekable join with
+                // a decisively smaller accumulator (the evaluator's own
+                // profitability rule) skips the scan term.
+                let seek = self.seekable(*a, &acc) && acc.card * 4.0 <= p.card;
+                if !seek {
+                    cost += p.card;
+                }
+            }
             acc = join_profiles(&acc, p);
             cost += acc.card;
         }
@@ -140,6 +186,31 @@ mod tests {
         let big_only = model.vertex_tuples(&[AtomId(0)]);
         let small_pair = model.vertex_tuples(&[AtomId(1), AtomId(2)]);
         assert!(small_pair < big_only, "{small_pair} vs {big_only}");
+    }
+
+    #[test]
+    fn index_catalog_prices_seeks_cheaper_and_empty_is_identical() {
+        let (db, q) = setup();
+        let stats = analyze(&db);
+        let legacy = StatsDecompCost::new(&stats, &q);
+        // An empty catalog is bit-identical to the legacy model.
+        let empty = StatsDecompCost::new(&stats, &q).with_indexes(&[]);
+        let atoms = [AtomId(1), AtomId(0)]; // small s1, then big
+        assert_eq!(legacy.vertex_tuples(&atoms), empty.vertex_tuples(&atoms));
+
+        // With "big" indexed on the shared column (s1 joins big on Y,
+        // bound to big.r), the seek skips the big-table scan; indexing
+        // an unrelated table does not.
+        let seek =
+            StatsDecompCost::new(&stats, &q).with_indexes(&[("big".to_string(), "r".to_string())]);
+        let no_help =
+            StatsDecompCost::new(&stats, &q).with_indexes(&[("s2".to_string(), "l".to_string())]);
+        assert!(
+            seek.vertex_tuples(&atoms) < no_help.vertex_tuples(&atoms),
+            "{} vs {}",
+            seek.vertex_tuples(&atoms),
+            no_help.vertex_tuples(&atoms)
+        );
     }
 
     #[test]

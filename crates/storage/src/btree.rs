@@ -1,0 +1,375 @@
+//! Bulk-loaded B+tree secondary indexes over encoded join keys.
+//!
+//! Built once per `(table, column)` at ingest from the sorted
+//! `(encoded key, ascending rowids)` pairs of an in-memory
+//! [`htqo_engine::MemIndex`], written as pages appended to the table's
+//! [`PageFile`], and read back through the [`BufferPool`] — so index
+//! probes at query time are cache-governed page reads, not heap walks.
+//!
+//! Page layout (raw, not slotted — cells are scanned in order):
+//! `[kind: u8][ncells: u16 LE][next: u64 LE]` then packed cells.
+//! Leaf cells are `[klen: u16][key][npost: u32][rowid: u32 × npost]`;
+//! internal cells are `[klen: u16][key][child: u64]` keyed by the first
+//! key of the child subtree. A key whose posting list outgrows one page
+//! spills into consecutive cells (possibly crossing leaves via the
+//! `next` chain), so lookups descend to the *predecessor* leaf boundary
+//! and then walk forward while cells still match.
+
+use crate::buffer::BufferPool;
+use crate::page::{MAX_CELL, PAGE_SIZE};
+use crate::pager::PageFile;
+use htqo_engine::{EvalError, JoinIndex};
+use std::fmt;
+use std::sync::Arc;
+
+const KIND_LEAF: u8 = 0;
+const KIND_INTERNAL: u8 = 1;
+const HEADER: usize = 11;
+const NO_NEXT: u64 = u64::MAX;
+
+fn corrupt(what: &str) -> EvalError {
+    EvalError::SpillIo(format!("btree page corruption: {what}"))
+}
+
+/// Catalog-persisted description of one built index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Root page id (in the table's page file).
+    pub root: u64,
+    /// Number of distinct keys.
+    pub distinct: usize,
+    /// Total indexed rows.
+    pub entries: usize,
+}
+
+struct NodeBuilder {
+    kind: u8,
+    cells: Vec<u8>,
+    ncells: u16,
+    first_key: Vec<u8>,
+}
+
+impl NodeBuilder {
+    fn new(kind: u8) -> Self {
+        NodeBuilder {
+            kind,
+            cells: Vec::new(),
+            ncells: 0,
+            first_key: Vec::new(),
+        }
+    }
+
+    fn fits(&self, cell_len: usize) -> bool {
+        HEADER + self.cells.len() + cell_len <= PAGE_SIZE
+    }
+
+    fn push(&mut self, key: &[u8], cell: &[u8]) {
+        if self.ncells == 0 {
+            self.first_key = key.to_vec();
+        }
+        self.cells.extend_from_slice(cell);
+        self.ncells += 1;
+    }
+
+    fn finish(self, next: u64) -> (Vec<u8>, Vec<u8>) {
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[0] = self.kind;
+        page[1..3].copy_from_slice(&self.ncells.to_le_bytes());
+        page[3..11].copy_from_slice(&next.to_le_bytes());
+        page[HEADER..HEADER + self.cells.len()].copy_from_slice(&self.cells);
+        (page, self.first_key)
+    }
+}
+
+fn leaf_cell(key: &[u8], posts: &[u32]) -> Vec<u8> {
+    let mut c = Vec::with_capacity(2 + key.len() + 4 + 4 * posts.len());
+    c.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    c.extend_from_slice(key);
+    c.extend_from_slice(&(posts.len() as u32).to_le_bytes());
+    for r in posts {
+        c.extend_from_slice(&r.to_le_bytes());
+    }
+    c
+}
+
+fn internal_cell(key: &[u8], child: u64) -> Vec<u8> {
+    let mut c = Vec::with_capacity(2 + key.len() + 8);
+    c.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    c.extend_from_slice(key);
+    c.extend_from_slice(&child.to_le_bytes());
+    c
+}
+
+/// Largest posting chunk that fits a fresh leaf next to its key.
+fn chunk_rows(key_len: usize) -> usize {
+    (MAX_CELL - HEADER - 2 - key_len - 4) / 4
+}
+
+/// Bulk-loads an index from sorted `(key, ascending rowids)` pairs,
+/// appending its pages to `file`.
+pub fn build_index<'a>(
+    file: &mut PageFile,
+    pairs: impl Iterator<Item = (&'a [u8], &'a [u32])>,
+) -> Result<IndexMeta, EvalError> {
+    // Pack leaves in memory first: `next` pointers need the final pids,
+    // which are contiguous because all leaves are appended in one run.
+    let mut leaves: Vec<NodeBuilder> = vec![NodeBuilder::new(KIND_LEAF)];
+    let mut distinct = 0usize;
+    let mut entries = 0usize;
+    for (key, posts) in pairs {
+        if key.len() > u16::MAX as usize || 2 + key.len() + 8 > MAX_CELL - HEADER {
+            return Err(EvalError::SpillIo(format!(
+                "index key too large ({} bytes)",
+                key.len()
+            )));
+        }
+        distinct += 1;
+        entries += posts.len();
+        for chunk in posts.chunks(chunk_rows(key.len()).max(1)) {
+            let cell = leaf_cell(key, chunk);
+            if !leaves.last().unwrap().fits(cell.len()) {
+                leaves.push(NodeBuilder::new(KIND_LEAF));
+            }
+            leaves.last_mut().unwrap().push(key, &cell);
+        }
+    }
+    let base = file.pages();
+    let n_leaves = leaves.len() as u64;
+    let mut level: Vec<(Vec<u8>, u64)> = Vec::with_capacity(leaves.len());
+    for (i, leaf) in leaves.into_iter().enumerate() {
+        let next = if (i as u64) < n_leaves - 1 {
+            base + i as u64 + 1
+        } else {
+            NO_NEXT
+        };
+        let (page, first_key) = leaf.finish(next);
+        let pid = file.append(&page)?;
+        level.push((first_key, pid));
+    }
+    // Internal levels, bottom-up, until one page holds the whole level.
+    while level.len() > 1 {
+        let mut nodes: Vec<NodeBuilder> = vec![NodeBuilder::new(KIND_INTERNAL)];
+        for (key, child) in &level {
+            let cell = internal_cell(key, *child);
+            if !nodes.last().unwrap().fits(cell.len()) {
+                nodes.push(NodeBuilder::new(KIND_INTERNAL));
+            }
+            nodes.last_mut().unwrap().push(key, &cell);
+        }
+        let mut up = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            let (page, first_key) = node.finish(NO_NEXT);
+            let pid = file.append(&page)?;
+            up.push((first_key, pid));
+        }
+        level = up;
+    }
+    Ok(IndexMeta {
+        root: level[0].1,
+        distinct,
+        entries,
+    })
+}
+
+struct PageView<'a> {
+    kind: u8,
+    ncells: u16,
+    next: u64,
+    body: &'a [u8],
+}
+
+fn view(page: &[u8]) -> Result<PageView<'_>, EvalError> {
+    if page.len() != PAGE_SIZE {
+        return Err(corrupt("wrong page size"));
+    }
+    Ok(PageView {
+        kind: page[0],
+        ncells: u16::from_le_bytes([page[1], page[2]]),
+        next: u64::from_le_bytes(page[3..11].try_into().unwrap()),
+        body: &page[HEADER..],
+    })
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], EvalError> {
+    let end = pos.checked_add(n).ok_or_else(|| corrupt("cell overflow"))?;
+    if end > buf.len() {
+        return Err(corrupt("cell truncated"));
+    }
+    let s = &buf[*pos..end];
+    *pos = end;
+    Ok(s)
+}
+
+/// A paged B+tree exposed to the engine as a [`JoinIndex`]; probes read
+/// through the shared [`BufferPool`].
+pub struct PagedIndex {
+    pool: Arc<BufferPool>,
+    meta: IndexMeta,
+}
+
+impl PagedIndex {
+    /// Opens a built index rooted at `meta.root` in `pool`'s file.
+    pub fn new(pool: Arc<BufferPool>, meta: IndexMeta) -> Self {
+        PagedIndex { pool, meta }
+    }
+
+    /// The pool this index reads through (shared with the table heap).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+}
+
+impl fmt::Debug for PagedIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagedIndex")
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+impl JoinIndex for PagedIndex {
+    fn seek(&self, key: &[u8]) -> Result<Vec<u32>, EvalError> {
+        let mut pid = self.meta.root;
+        // Descend to the predecessor boundary: the last child whose
+        // first key is `< key` (first child if none), so duplicates that
+        // straddle a leaf boundary are reached via the forward chain.
+        loop {
+            let page = self.pool.pin(pid)?;
+            let v = view(&page)?;
+            if v.kind == KIND_LEAF {
+                break;
+            }
+            if v.kind != KIND_INTERNAL {
+                return Err(corrupt("unknown page kind"));
+            }
+            let mut pos = 0usize;
+            let mut child: Option<u64> = None;
+            for _ in 0..v.ncells {
+                let klen =
+                    u16::from_le_bytes(take(v.body, &mut pos, 2)?.try_into().unwrap()) as usize;
+                let k = take(v.body, &mut pos, klen)?;
+                let c = u64::from_le_bytes(take(v.body, &mut pos, 8)?.try_into().unwrap());
+                match child {
+                    None => child = Some(c),
+                    Some(_) if k < key => child = Some(c),
+                    Some(_) => break,
+                }
+            }
+            pid = child.ok_or_else(|| corrupt("internal page with no cells"))?;
+        }
+        // Walk the leaf chain collecting exact matches; keys are sorted,
+        // so the first greater key (or a greater leaf first-key) ends it.
+        let mut out = Vec::new();
+        let mut remaining = self.pool.file_pages();
+        loop {
+            let page = self.pool.pin(pid)?;
+            let v = view(&page)?;
+            if v.kind != KIND_LEAF {
+                return Err(corrupt("leaf chain reached a non-leaf"));
+            }
+            let mut pos = 0usize;
+            for _ in 0..v.ncells {
+                let klen =
+                    u16::from_le_bytes(take(v.body, &mut pos, 2)?.try_into().unwrap()) as usize;
+                let k = take(v.body, &mut pos, klen)?;
+                let npost =
+                    u32::from_le_bytes(take(v.body, &mut pos, 4)?.try_into().unwrap()) as usize;
+                let posts = take(v.body, &mut pos, 4 * npost)?;
+                if k > key {
+                    return Ok(out);
+                }
+                if k == key {
+                    for c in posts.chunks_exact(4) {
+                        out.push(u32::from_le_bytes(c.try_into().unwrap()));
+                    }
+                }
+            }
+            if v.next == NO_NEXT {
+                return Ok(out);
+            }
+            pid = v.next;
+            remaining = remaining
+                .checked_sub(1)
+                .ok_or_else(|| corrupt("leaf chain cycle"))?;
+        }
+    }
+
+    fn distinct_keys(&self) -> usize {
+        self.meta.distinct
+    }
+
+    fn entries(&self) -> usize {
+        self.meta.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(name: &str) -> PageFile {
+        let dir = std::env::temp_dir().join(format!("htqo-btree-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path: PathBuf = dir.join("t.pages");
+        PageFile::create(&path).unwrap()
+    }
+
+    fn built(name: &str, pairs: &[(Vec<u8>, Vec<u32>)]) -> PagedIndex {
+        let mut f = file(name);
+        let meta = build_index(&mut f, pairs.iter().map(|(k, p)| (&k[..], &p[..]))).unwrap();
+        let pool = Arc::new(BufferPool::new(f, 4 * PAGE_SIZE as u64, None));
+        PagedIndex::new(pool, meta)
+    }
+
+    #[test]
+    fn empty_and_miss_seeks() {
+        let idx = built("empty", &[]);
+        assert_eq!(idx.seek(b"anything").unwrap(), Vec::<u32>::new());
+        assert_eq!(idx.distinct_keys(), 0);
+        assert_eq!(idx.entries(), 0);
+    }
+
+    #[test]
+    fn multi_level_tree_finds_every_key() {
+        // Wide keys force many leaves and at least one internal level.
+        let pairs: Vec<(Vec<u8>, Vec<u32>)> = (0u32..2000)
+            .map(|i| {
+                let key = format!("key-{i:08}-{}", "x".repeat(40)).into_bytes();
+                (key, vec![i, i + 100_000])
+            })
+            .collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        let idx = built("multi", &sorted);
+        assert_eq!(idx.distinct_keys(), 2000);
+        assert_eq!(idx.entries(), 4000);
+        for (k, p) in &pairs {
+            assert_eq!(
+                &idx.seek(k).unwrap(),
+                p,
+                "key {:?}",
+                String::from_utf8_lossy(k)
+            );
+        }
+        assert_eq!(idx.seek(b"key-zzz").unwrap(), Vec::<u32>::new());
+        assert_eq!(idx.seek(b"").unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn huge_posting_list_spans_leaves_in_order() {
+        // One key with more postings than a single page can hold, with
+        // neighbors on both sides.
+        let big: Vec<u32> = (0..10_000).collect();
+        let pairs = vec![
+            (b"aaa".to_vec(), vec![1, 2, 3]),
+            (b"big".to_vec(), big.clone()),
+            (b"zzz".to_vec(), vec![9]),
+        ];
+        let idx = built("span", &pairs);
+        assert_eq!(idx.seek(b"big").unwrap(), big);
+        assert_eq!(idx.seek(b"aaa").unwrap(), vec![1, 2, 3]);
+        assert_eq!(idx.seek(b"zzz").unwrap(), vec![9]);
+        assert_eq!(idx.entries(), 10_004);
+    }
+}

@@ -1,0 +1,384 @@
+//! The buffer pool: a fixed-capacity page cache with clock (second
+//! chance) eviction, pin/unpin guards, and exact byte accounting against
+//! the engine's [`Budget`].
+//!
+//! Invariants (property-tested in `tests/storage_prop.rs`):
+//! - a pinned page is never evicted;
+//! - a dirty page is written back exactly once per dirty period (on
+//!   eviction or an explicit flush), clean evictions never write;
+//! - the budget charge equals `resident frames × PAGE_SIZE` at all
+//!   times, and drops to zero when the pool is dropped.
+//!
+//! Pages are handed out as [`PagePin`] guards holding an `Arc` snapshot
+//! of the frame bytes, so readers never block the pool lock while they
+//! decode. A concurrent [`BufferPool::update`] publishes a new snapshot;
+//! outstanding pins keep reading the one they started with.
+
+use crate::page::PAGE_SIZE;
+use crate::pager::PageFile;
+use htqo_engine::{Budget, EvalError};
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex};
+
+/// Observability counters for one pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pins served from a resident frame.
+    pub hits: u64,
+    /// Pins that had to read from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty write-backs (eviction or flush).
+    pub flushes: u64,
+    /// Frames currently resident.
+    pub resident: usize,
+    /// Maximum resident frames.
+    pub capacity: usize,
+}
+
+struct Frame {
+    pid: u64,
+    data: Arc<Vec<u8>>,
+    pins: u32,
+    dirty: bool,
+    referenced: bool,
+}
+
+struct Inner {
+    file: PageFile,
+    cap: usize,
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    budget: Option<Budget>,
+    stats: PoolStats,
+}
+
+impl Inner {
+    /// Clock sweep: frees one frame slot, flushing it first if dirty.
+    /// Fails only when every frame is pinned.
+    fn evict_one(&mut self) -> Result<usize, EvalError> {
+        for _ in 0..2 * self.frames.len() {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            if self.frames[i].pins > 0 {
+                continue;
+            }
+            if self.frames[i].referenced {
+                self.frames[i].referenced = false;
+                continue;
+            }
+            let f = &mut self.frames[i];
+            if f.dirty {
+                self.file.write(f.pid, &f.data)?;
+                f.dirty = false;
+                self.stats.flushes += 1;
+            }
+            self.map.remove(&f.pid);
+            self.stats.evictions += 1;
+            self.uncharge_page();
+            return Ok(i);
+        }
+        Err(EvalError::Internal(format!(
+            "buffer pool exhausted: all {} frames pinned",
+            self.frames.len()
+        )))
+    }
+
+    fn charge_page(&mut self) -> Result<(), EvalError> {
+        if let Some(b) = self.budget.as_mut() {
+            // Hard reservation (not the batched `charge_bytes`): a denied
+            // frame is a MemoryExceeded before the page is cached, and a
+            // granted one is immediately visible to sibling handles.
+            b.reserve_bytes(PAGE_SIZE as u64)?;
+        }
+        Ok(())
+    }
+
+    fn uncharge_page(&mut self) {
+        if let Some(b) = self.budget.as_mut() {
+            b.uncharge_bytes(PAGE_SIZE as u64);
+        }
+    }
+
+    /// Makes `pid` resident and returns its frame index.
+    fn frame_of(&mut self, pid: u64) -> Result<usize, EvalError> {
+        if let Some(&i) = self.map.get(&pid) {
+            self.stats.hits += 1;
+            self.frames[i].referenced = true;
+            return Ok(i);
+        }
+        self.stats.misses += 1;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read(pid, &mut buf)?;
+        let i = if self.frames.len() < self.cap {
+            self.charge_page()?;
+            self.frames.push(Frame {
+                pid,
+                data: Arc::new(buf),
+                pins: 0,
+                dirty: false,
+                referenced: true,
+            });
+            self.frames.len() - 1
+        } else {
+            let i = self.evict_one()?;
+            self.charge_page()?;
+            self.frames[i] = Frame {
+                pid,
+                data: Arc::new(buf),
+                pins: 0,
+                dirty: false,
+                referenced: true,
+            };
+            i
+        };
+        self.map.insert(pid, i);
+        Ok(i)
+    }
+}
+
+/// A shared page cache over one [`PageFile`].
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BufferPool").field("stats", &stats).finish()
+    }
+}
+
+impl BufferPool {
+    /// Builds a pool over `file` with at most `cap_bytes` of resident
+    /// pages (rounded down to whole pages, minimum one). When `budget`
+    /// is given, every resident frame charges [`PAGE_SIZE`] bytes
+    /// against it and uncharges on eviction or drop, so cached pages
+    /// compete with query memory in one pool.
+    pub fn new(file: PageFile, cap_bytes: u64, budget: Option<Budget>) -> Self {
+        let cap = ((cap_bytes / PAGE_SIZE as u64).max(1)) as usize;
+        BufferPool {
+            inner: Mutex::new(Inner {
+                file,
+                cap,
+                frames: Vec::new(),
+                map: HashMap::new(),
+                hand: 0,
+                budget,
+                stats: PoolStats {
+                    capacity: cap,
+                    ..PoolStats::default()
+                },
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Pins page `pid` and returns a read guard; the page cannot be
+    /// evicted until the guard drops.
+    pub fn pin(&self, pid: u64) -> Result<PagePin<'_>, EvalError> {
+        let mut inner = self.lock();
+        let i = inner.frame_of(pid)?;
+        inner.frames[i].pins += 1;
+        let data = Arc::clone(&inner.frames[i].data);
+        Ok(PagePin {
+            pool: self,
+            pid,
+            data,
+        })
+    }
+
+    fn unpin(&self, pid: u64) {
+        let mut inner = self.lock();
+        if let Some(&i) = inner.map.get(&pid) {
+            debug_assert!(inner.frames[i].pins > 0, "unpin of unpinned page");
+            inner.frames[i].pins = inner.frames[i].pins.saturating_sub(1);
+        }
+    }
+
+    /// Mutates page `pid` in the cache and marks it dirty; the write
+    /// reaches disk on eviction, [`BufferPool::flush`], or drop. The
+    /// mutation must preserve the page size.
+    pub fn update(&self, pid: u64, f: impl FnOnce(&mut Vec<u8>)) -> Result<(), EvalError> {
+        let mut inner = self.lock();
+        let i = inner.frame_of(pid)?;
+        let data = Arc::make_mut(&mut inner.frames[i].data);
+        f(data);
+        assert_eq!(data.len(), PAGE_SIZE, "update changed the page size");
+        inner.frames[i].dirty = true;
+        Ok(())
+    }
+
+    /// Writes back every dirty frame (each exactly once) and syncs.
+    pub fn flush(&self) -> Result<(), EvalError> {
+        let mut inner = self.lock();
+        for i in 0..inner.frames.len() {
+            if inner.frames[i].dirty {
+                let (pid, data) = (inner.frames[i].pid, Arc::clone(&inner.frames[i].data));
+                inner.file.write(pid, &data)?;
+                inner.frames[i].dirty = false;
+                inner.stats.flushes += 1;
+            }
+        }
+        inner.file.sync()
+    }
+
+    /// Current counters (with `resident` filled in).
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.lock();
+        PoolStats {
+            resident: inner.map.len(),
+            ..inner.stats
+        }
+    }
+
+    /// Pages in the underlying file.
+    pub fn file_pages(&self) -> u64 {
+        self.lock().file.pages()
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        let mut inner = self.lock();
+        // Best-effort write-back; uncharge every resident frame so the
+        // budget returns to its pre-pool level exactly.
+        for i in 0..inner.frames.len() {
+            if inner.frames[i].dirty {
+                let (pid, data) = (inner.frames[i].pid, Arc::clone(&inner.frames[i].data));
+                let _ = inner.file.write(pid, &data);
+                inner.frames[i].dirty = false;
+            }
+        }
+        for _ in 0..inner.map.len() {
+            inner.uncharge_page();
+        }
+        inner.map.clear();
+        inner.frames.clear();
+    }
+}
+
+/// Read guard returned by [`BufferPool::pin`]; dereferences to the page
+/// bytes and unpins on drop.
+pub struct PagePin<'a> {
+    pool: &'a BufferPool,
+    pid: u64,
+    data: Arc<Vec<u8>>,
+}
+
+impl Deref for PagePin<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Drop for PagePin<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::PageFile;
+    use std::path::PathBuf;
+
+    fn pool_file(name: &str, pages: u64) -> PageFile {
+        let dir = std::env::temp_dir().join(format!("htqo-buffer-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path: PathBuf = dir.join("t.pages");
+        let mut f = PageFile::create(&path).unwrap();
+        for p in 0..pages {
+            f.append(&vec![p as u8; PAGE_SIZE]).unwrap();
+        }
+        f.sync().unwrap();
+        f
+    }
+
+    #[test]
+    fn hits_after_first_read_and_eviction_under_pressure() {
+        let pool = BufferPool::new(pool_file("clock", 8), 3 * PAGE_SIZE as u64, None);
+        for pid in 0..8 {
+            let p = pool.pin(pid).unwrap();
+            assert_eq!(p[0], pid as u8);
+        }
+        let s = pool.stats();
+        assert_eq!(s.misses, 8);
+        assert_eq!(s.resident, 3);
+        assert_eq!(s.evictions, 5);
+        // Clean pages never hit the disk on the way out.
+        assert_eq!(s.flushes, 0);
+        let _p = pool.pin(7).unwrap();
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure_and_full_pool_errors() {
+        let pool = BufferPool::new(pool_file("pins", 8), 2 * PAGE_SIZE as u64, None);
+        let keep = pool.pin(0).unwrap();
+        for pid in 1..8 {
+            let p = pool.pin(pid).unwrap();
+            assert_eq!(p[0], pid as u8);
+        }
+        // Page 0 was pinned throughout: still resident, still a hit.
+        assert_eq!(keep[0], 0);
+        let again = pool.pin(0).unwrap();
+        assert_eq!(again[0], 0);
+        assert!(pool.stats().hits >= 1);
+        drop((keep, again));
+
+        let a = pool.pin(1).unwrap();
+        let b = pool.pin(2).unwrap();
+        // Both frames pinned: a third distinct page cannot be cached.
+        assert!(pool.pin(3).is_err());
+        drop((a, b));
+        assert!(pool.pin(3).is_ok());
+    }
+
+    #[test]
+    fn budget_charges_match_residency_exactly() {
+        let mut budget = Budget::unlimited().with_mem_limit(1 << 30);
+        let _ = budget.fork();
+        let observer = budget.fork();
+        {
+            let pool = BufferPool::new(pool_file("budget", 6), 2 * PAGE_SIZE as u64, Some(budget));
+            for pid in 0..6 {
+                let _ = pool.pin(pid).unwrap();
+            }
+            assert_eq!(
+                observer.mem_used(),
+                2 * PAGE_SIZE as u64,
+                "resident frames × PAGE_SIZE"
+            );
+        }
+        assert_eq!(observer.mem_used(), 0, "drop returns every byte");
+    }
+
+    #[test]
+    fn dirty_pages_flush_once_and_persist() {
+        let file = pool_file("dirty", 4);
+        let path = file.path().to_path_buf();
+        {
+            let pool = BufferPool::new(file, 4 * PAGE_SIZE as u64, None);
+            pool.update(2, |d| d[0] = 0xEE).unwrap();
+            pool.flush().unwrap();
+            assert_eq!(pool.stats().flushes, 1);
+            // A second flush has nothing to write.
+            pool.flush().unwrap();
+            assert_eq!(pool.stats().flushes, 1);
+        }
+        let mut f = PageFile::open(&path).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        f.read(2, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xEE);
+    }
+}

@@ -1,0 +1,472 @@
+//! The persistent catalog: tables ingested once survive restarts.
+//!
+//! A [`StorageDb`] is a directory holding, per table, a page file
+//! (`<name>.pages`: heap pages first, then any B+tree index pages) and a
+//! human-readable catalog file (`<name>.cat`) recording the schema, heap
+//! extent, and index roots. [`StorageDb::ingest`] writes both; on the
+//! next run, [`StorageDb::load_database`] rebuilds the in-memory
+//! [`Database`] by decoding heap pages through a [`BufferPool`] —
+//! skipping CSV parsing entirely — and re-attaches each index as a
+//! [`crate::btree::PagedIndex`] reading through the same pool, so
+//! index-seek joins stay cache-governed after the warm start.
+//!
+//! Catalog files are written to a temp name and renamed into place, so a
+//! crash mid-ingest leaves either no table or a complete one.
+
+use crate::btree::{self, IndexMeta, PagedIndex};
+use crate::buffer::BufferPool;
+use crate::codec;
+use crate::page::{PageBuilder, MAX_CELL};
+use crate::pager::PageFile;
+use htqo_engine::{Budget, ColumnType, Database, EvalError, MemIndex, Relation, Schema};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default page-cache budget when `HTQO_PAGE_CACHE` is unset: 64 MiB.
+pub const DEFAULT_CACHE_BYTES: u64 = 64 * 1024 * 1024;
+
+/// The persisted indexes of one loaded table: `(column name, index)`
+/// pairs, ready to register on a [`Database`].
+pub type LoadedIndexes = Vec<(String, Arc<PagedIndex>)>;
+
+/// Resolves the page-cache byte budget from `HTQO_PAGE_CACHE`
+/// (suffixes as in [`htqo_engine::exec::parse_bytes`]).
+pub fn cache_bytes_from_env() -> u64 {
+    std::env::var("HTQO_PAGE_CACHE")
+        .ok()
+        .as_deref()
+        .and_then(htqo_engine::exec::parse_bytes)
+        .unwrap_or(DEFAULT_CACHE_BYTES)
+}
+
+/// Resolves the storage directory from `HTQO_STORAGE_DIR` (default
+/// `.htqo_storage` under the working directory).
+pub fn dir_from_env() -> PathBuf {
+    std::env::var_os("HTQO_STORAGE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(".htqo_storage"))
+}
+
+fn bad_catalog(path: &Path, what: &str) -> EvalError {
+    EvalError::SpillIo(format!("{}: bad catalog: {what}", path.display()))
+}
+
+fn io_err(path: &Path, op: &str, e: std::io::Error) -> EvalError {
+    EvalError::SpillIo(format!("{}: {op}: {e}", path.display()))
+}
+
+fn ty_name(ty: ColumnType) -> &'static str {
+    match ty {
+        ColumnType::Int => "int",
+        ColumnType::Float => "float",
+        ColumnType::Str => "str",
+        ColumnType::Date => "date",
+    }
+}
+
+fn ty_parse(s: &str) -> Option<ColumnType> {
+    match s {
+        "int" => Some(ColumnType::Int),
+        "float" => Some(ColumnType::Float),
+        "str" => Some(ColumnType::Str),
+        "date" => Some(ColumnType::Date),
+        _ => None,
+    }
+}
+
+/// Catalog entry for one persisted table.
+#[derive(Clone, Debug)]
+pub struct TableMeta {
+    /// Table name (file stem).
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Heap pages `0..heap_pages` in the page file.
+    pub heap_pages: u64,
+    /// Column names and types, in order.
+    pub columns: Vec<(String, ColumnType)>,
+    /// Built secondary indexes: column name and B+tree location.
+    pub indexes: Vec<(String, IndexMeta)>,
+}
+
+/// A directory of persisted tables.
+#[derive(Clone, Debug)]
+pub struct StorageDb {
+    dir: PathBuf,
+}
+
+impl StorageDb {
+    /// Opens (creating if needed) the storage directory.
+    pub fn open(dir: &Path) -> Result<Self, EvalError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, "create dir", e))?;
+        Ok(StorageDb {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn pages_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.pages"))
+    }
+
+    fn cat_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.cat"))
+    }
+
+    /// Names of persisted tables (sorted).
+    pub fn tables(&self) -> Result<Vec<String>, EvalError> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read dir", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, "read dir", e))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("cat") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// True when `name` has a complete catalog entry.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.cat_path(name).exists() && self.pages_path(name).exists()
+    }
+
+    /// Persists `rel` as `name`, replacing any previous version, and
+    /// builds a B+tree index on each column named in `index_cols`
+    /// (unknown columns are an error). Returns the catalog entry.
+    pub fn ingest(
+        &self,
+        name: &str,
+        rel: &Relation,
+        index_cols: &[&str],
+    ) -> Result<TableMeta, EvalError> {
+        // Resolve index columns before touching the page file, so a bad
+        // request cannot clobber an existing table.
+        let mut index_pos = Vec::with_capacity(index_cols.len());
+        for col in index_cols {
+            let pos = rel
+                .schema()
+                .index_of(col)
+                .ok_or_else(|| EvalError::UnknownColumn {
+                    relation: name.to_string(),
+                    column: col.to_string(),
+                })?;
+            index_pos.push((*col, pos));
+        }
+        let mut file = PageFile::create(&self.pages_path(name))?;
+        // Heap pages: one cell per row, in row order, so the implicit
+        // rowid (enumeration order) matches the in-memory relation and
+        // the index postings built from it.
+        let mut builder = PageBuilder::new();
+        for row in rel.iter_rows() {
+            let cell = codec::encode_row(&row);
+            if cell.len() > MAX_CELL {
+                return Err(EvalError::SpillIo(format!(
+                    "table {name}: row of {} bytes exceeds page capacity",
+                    cell.len()
+                )));
+            }
+            if !builder.push(&cell) {
+                file.append(&builder.finish())?;
+                builder = PageBuilder::new();
+                assert!(builder.push(&cell));
+            }
+        }
+        if builder.cells() > 0 {
+            file.append(&builder.finish())?;
+        }
+        let heap_pages = file.pages();
+
+        let mut indexes = Vec::new();
+        for (col, pos) in index_pos {
+            let mem = MemIndex::build(rel, pos);
+            let meta = btree::build_index(&mut file, mem.pairs())?;
+            indexes.push((col.to_string(), meta));
+        }
+        file.sync()?;
+
+        let meta = TableMeta {
+            name: name.to_string(),
+            rows: rel.len(),
+            heap_pages,
+            columns: rel
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| (c.name.clone(), c.ty))
+                .collect(),
+            indexes,
+        };
+        self.write_catalog(&meta)?;
+        Ok(meta)
+    }
+
+    fn write_catalog(&self, meta: &TableMeta) -> Result<(), EvalError> {
+        let mut text = String::new();
+        text.push_str("htqo-table v1\n");
+        text.push_str(&format!("rows {}\n", meta.rows));
+        text.push_str(&format!("heap_pages {}\n", meta.heap_pages));
+        for (name, ty) in &meta.columns {
+            text.push_str(&format!("col {} {name}\n", ty_name(*ty)));
+        }
+        for (col, idx) in &meta.indexes {
+            text.push_str(&format!(
+                "index {} {} {} {col}\n",
+                idx.root, idx.distinct, idx.entries
+            ));
+        }
+        let path = self.cat_path(&meta.name);
+        let tmp = path.with_extension("cat.tmp");
+        std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, "write", e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, "rename", e))
+    }
+
+    /// Reads the catalog entry for `name`.
+    pub fn table_meta(&self, name: &str) -> Result<TableMeta, EvalError> {
+        let path = self.cat_path(name);
+        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, "read", e))?;
+        let mut lines = text.lines();
+        if lines.next() != Some("htqo-table v1") {
+            return Err(bad_catalog(&path, "missing header"));
+        }
+        let mut meta = TableMeta {
+            name: name.to_string(),
+            rows: 0,
+            heap_pages: 0,
+            columns: Vec::new(),
+            indexes: Vec::new(),
+        };
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("rows") => {
+                    meta.rows = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad_catalog(&path, "rows"))?;
+                }
+                Some("heap_pages") => {
+                    meta.heap_pages = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad_catalog(&path, "heap_pages"))?;
+                }
+                Some("col") => {
+                    let ty = parts
+                        .next()
+                        .and_then(ty_parse)
+                        .ok_or_else(|| bad_catalog(&path, "col type"))?;
+                    let col = parts.next().ok_or_else(|| bad_catalog(&path, "col name"))?;
+                    meta.columns.push((col.to_string(), ty));
+                }
+                Some("index") => {
+                    let root = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad_catalog(&path, "index root"))?;
+                    let distinct = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad_catalog(&path, "index distinct"))?;
+                    let entries = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad_catalog(&path, "index entries"))?;
+                    let col = parts
+                        .next()
+                        .ok_or_else(|| bad_catalog(&path, "index column"))?;
+                    meta.indexes.push((
+                        col.to_string(),
+                        IndexMeta {
+                            root,
+                            distinct,
+                            entries,
+                        },
+                    ));
+                }
+                Some(other) => return Err(bad_catalog(&path, &format!("unknown key {other}"))),
+                None => {}
+            }
+        }
+        Ok(meta)
+    }
+
+    /// Loads one table: decodes its heap pages through a fresh
+    /// [`BufferPool`] with `cache_bytes` capacity (budget-charged when
+    /// `budget` is given) and attaches its indexes to the same pool.
+    pub fn load_table(
+        &self,
+        name: &str,
+        cache_bytes: u64,
+        budget: Option<Budget>,
+    ) -> Result<(Relation, LoadedIndexes), EvalError> {
+        let meta = self.table_meta(name)?;
+        let file = PageFile::open(&self.pages_path(name))?;
+        let pool = Arc::new(BufferPool::new(file, cache_bytes, budget));
+
+        let mut schema = Schema::default();
+        for (col, ty) in &meta.columns {
+            schema.push(col, *ty);
+        }
+        let arity = meta.columns.len();
+        let mut rel = Relation::new(schema);
+        rel.reserve(meta.rows);
+        for pid in 0..meta.heap_pages {
+            let page = pool.pin(pid)?;
+            let n = crate::page::cell_count(&page)?;
+            for i in 0..n {
+                let cell = crate::page::cell(&page, i)?;
+                let row = codec::decode_row(cell, arity)?;
+                for (v, (col, ty)) in row.iter().zip(&meta.columns) {
+                    if !codec::type_matches(v, *ty) {
+                        return Err(EvalError::SpillIo(format!(
+                            "table {name}: column {col} holds a value of the wrong type"
+                        )));
+                    }
+                }
+                rel.push_many_unchecked(std::iter::once(row));
+            }
+        }
+        if rel.len() != meta.rows {
+            return Err(EvalError::SpillIo(format!(
+                "table {name}: catalog says {} rows, pages hold {}",
+                meta.rows,
+                rel.len()
+            )));
+        }
+        let indexes = meta
+            .indexes
+            .into_iter()
+            .map(|(col, m)| (col, Arc::new(PagedIndex::new(Arc::clone(&pool), m))))
+            .collect();
+        Ok((rel, indexes))
+    }
+
+    /// Loads every persisted table into a [`Database`], splitting
+    /// `cache_bytes` evenly across the per-table buffer pools and
+    /// registering all indexes. This is the warm-restart path.
+    pub fn load_database(
+        &self,
+        cache_bytes: u64,
+        budget: Option<Budget>,
+    ) -> Result<Database, EvalError> {
+        let names = self.tables()?;
+        let per_table = if names.is_empty() {
+            cache_bytes
+        } else {
+            (cache_bytes / names.len() as u64).max(crate::page::PAGE_SIZE as u64)
+        };
+        let mut db = Database::new();
+        for name in &names {
+            let (rel, indexes) = self.load_table(name, per_table, budget.clone())?;
+            db.insert_table(name, rel);
+            for (col, idx) in indexes {
+                db.register_index(name, &col, idx);
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htqo_engine::{JoinIndex, Value};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("htqo-catalog-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn sample() -> Relation {
+        let mut rel = Relation::new(Schema::new(&[
+            ("id", ColumnType::Int),
+            ("name", ColumnType::Str),
+            ("score", ColumnType::Float),
+            ("day", ColumnType::Date),
+        ]));
+        for i in 0..500i64 {
+            rel.push_row(vec![
+                Value::Int(i % 50),
+                Value::str(&format!("name-{i}")),
+                Value::Float(i as f64 / 3.0),
+                Value::Date(i as i32),
+            ])
+            .unwrap();
+        }
+        rel.push_row(vec![Value::Null, Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        rel
+    }
+
+    #[test]
+    fn ingest_then_warm_restart_roundtrips_rows_and_indexes() {
+        let dir = tmpdir("roundtrip");
+        let rel = sample();
+        {
+            let db = StorageDb::open(&dir).unwrap();
+            db.ingest("t", &rel, &["id"]).unwrap();
+        }
+        // "Restart": a fresh handle with no shared state.
+        let storage = StorageDb::open(&dir).unwrap();
+        assert_eq!(storage.tables().unwrap(), vec!["t".to_string()]);
+        let db = storage.load_database(1 << 20, None).unwrap();
+        let loaded = db.table("t").unwrap();
+        assert_eq!(loaded.len(), rel.len());
+        assert_eq!(loaded.to_rows(), rel.to_rows());
+        // The persisted index agrees with a fresh in-memory one.
+        let idx = db.index_on("t", "id").unwrap();
+        let mem = MemIndex::build(&rel, 0);
+        assert_eq!(idx.distinct_keys(), mem.distinct_keys());
+        assert_eq!(idx.entries(), mem.entries());
+        for key in [Value::Int(7), Value::Int(49), Value::Null, Value::Int(999)] {
+            let k = htqo_engine::index::key_bytes(&key);
+            assert_eq!(idx.seek(&k).unwrap(), mem.seek(&k).unwrap(), "{key:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reingest_replaces_and_bad_index_column_errors() {
+        let dir = tmpdir("replace");
+        let storage = StorageDb::open(&dir).unwrap();
+        let rel = sample();
+        storage.ingest("t", &rel, &["id"]).unwrap();
+        // A bad index column fails before the page file is touched…
+        assert!(storage.ingest("t", &rel, &["nope"]).is_err());
+        let (still, _) = storage.load_table("t", 1 << 20, None).unwrap();
+        assert_eq!(still.len(), rel.len());
+        // …and a good re-ingest fully replaces the previous version.
+        let meta = storage.ingest("t", &rel, &[]).unwrap();
+        assert!(meta.indexes.is_empty());
+        let (loaded, indexes) = storage.load_table("t", 1 << 20, None).unwrap();
+        assert_eq!(loaded.len(), rel.len());
+        assert!(indexes.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_charges_the_page_cache_against_the_budget() {
+        let dir = tmpdir("budget");
+        let storage = StorageDb::open(&dir).unwrap();
+        storage.ingest("t", &sample(), &["id"]).unwrap();
+        let mut master = Budget::unlimited().with_mem_limit(1 << 30);
+        let observer = master.fork();
+        let cache = 2 * crate::page::PAGE_SIZE as u64;
+        let db = storage.load_database(cache, Some(master.fork())).unwrap();
+        assert!(observer.mem_used() > 0, "resident pages are charged");
+        assert!(observer.mem_used() <= cache, "never more than the cap");
+        drop(db);
+        assert_eq!(observer.mem_used(), 0, "dropping the db frees the cache");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! Slotted 8 KiB pages.
+//!
+//! Layout: a 4-byte header (`cell count: u16 LE`, `free end: u16 LE`),
+//! then the slot directory growing forward (one `(offset: u16, len: u16)`
+//! pair per cell) while cell payloads grow backward from the end of the
+//! page. This is the classic heap-page shape: inserts never move existing
+//! cells, and a page is full exactly when directory and payload regions
+//! would meet.
+
+use htqo_engine::EvalError;
+
+/// Fixed page size for heap files and B+tree nodes.
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+
+/// Largest cell a single (otherwise empty) page can hold.
+pub const MAX_CELL: usize = PAGE_SIZE - HEADER - SLOT;
+
+fn corrupt(what: &str) -> EvalError {
+    EvalError::SpillIo(format!("slotted page corruption: {what}"))
+}
+
+/// Builds one slotted page in memory; [`PageBuilder::finish`] yields the
+/// exact [`PAGE_SIZE`] byte image.
+#[derive(Debug)]
+pub struct PageBuilder {
+    data: Vec<u8>,
+    cells: u16,
+    free_end: usize,
+}
+
+impl PageBuilder {
+    /// An empty page.
+    pub fn new() -> Self {
+        PageBuilder {
+            data: vec![0u8; PAGE_SIZE],
+            cells: 0,
+            free_end: PAGE_SIZE,
+        }
+    }
+
+    /// Number of cells inserted so far.
+    pub fn cells(&self) -> u16 {
+        self.cells
+    }
+
+    /// True if `cell` fits in the remaining free space.
+    pub fn fits(&self, cell: &[u8]) -> bool {
+        let dir_end = HEADER + (self.cells as usize + 1) * SLOT;
+        cell.len() <= MAX_CELL && dir_end + cell.len() <= self.free_end
+    }
+
+    /// Appends `cell`; returns `false` (leaving the page unchanged) when
+    /// it does not fit.
+    pub fn push(&mut self, cell: &[u8]) -> bool {
+        if !self.fits(cell) {
+            return false;
+        }
+        let start = self.free_end - cell.len();
+        self.data[start..self.free_end].copy_from_slice(cell);
+        let slot = HEADER + self.cells as usize * SLOT;
+        self.data[slot..slot + 2].copy_from_slice(&(start as u16).to_le_bytes());
+        self.data[slot + 2..slot + 4].copy_from_slice(&(cell.len() as u16).to_le_bytes());
+        self.free_end = start;
+        self.cells += 1;
+        true
+    }
+
+    /// Finalizes the header and returns the page image.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.data[0..2].copy_from_slice(&self.cells.to_le_bytes());
+        self.data[2..4].copy_from_slice(&(self.free_end as u16).to_le_bytes());
+        self.data
+    }
+}
+
+impl Default for PageBuilder {
+    fn default() -> Self {
+        PageBuilder::new()
+    }
+}
+
+/// Number of cells in a finished page image.
+pub fn cell_count(page: &[u8]) -> Result<u16, EvalError> {
+    if page.len() != PAGE_SIZE {
+        return Err(corrupt("wrong page size"));
+    }
+    Ok(u16::from_le_bytes([page[0], page[1]]))
+}
+
+/// Cell `i` of a finished page image, bounds-checked.
+pub fn cell(page: &[u8], i: u16) -> Result<&[u8], EvalError> {
+    let n = cell_count(page)?;
+    if i >= n {
+        return Err(corrupt("cell index out of range"));
+    }
+    let slot = HEADER + i as usize * SLOT;
+    let off = u16::from_le_bytes([page[slot], page[slot + 1]]) as usize;
+    let len = u16::from_le_bytes([page[slot + 2], page[slot + 3]]) as usize;
+    let end = off
+        .checked_add(len)
+        .ok_or_else(|| corrupt("slot overflow"))?;
+    if off < HEADER + n as usize * SLOT || end > PAGE_SIZE {
+        return Err(corrupt("slot out of bounds"));
+    }
+    Ok(&page[off..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_cells_in_insert_order() {
+        let mut b = PageBuilder::new();
+        let cells: Vec<Vec<u8>> = (0u32..50).map(|i| i.to_le_bytes()[..3].to_vec()).collect();
+        for c in &cells {
+            assert!(b.push(c));
+        }
+        let page = b.finish();
+        assert_eq!(cell_count(&page).unwrap(), 50);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(cell(&page, i as u16).unwrap(), &c[..]);
+        }
+        assert!(cell(&page, 50).is_err());
+    }
+
+    #[test]
+    fn fills_to_capacity_and_rejects_overflow() {
+        let mut b = PageBuilder::new();
+        let big = vec![7u8; MAX_CELL];
+        assert!(b.push(&big));
+        assert!(!b.push(&[1]));
+        let page = b.finish();
+        assert_eq!(cell(&page, 0).unwrap().len(), MAX_CELL);
+
+        let mut b = PageBuilder::new();
+        assert!(!b.push(&vec![0u8; MAX_CELL + 1]));
+        assert_eq!(b.cells(), 0);
+    }
+
+    #[test]
+    fn many_small_cells_account_exactly() {
+        let mut b = PageBuilder::new();
+        let mut n = 0u32;
+        while b.push(&[0xab; 4]) {
+            n += 1;
+        }
+        // Each cell costs 4 payload + 4 slot bytes against PAGE_SIZE - 4.
+        assert_eq!(n as usize, (PAGE_SIZE - HEADER) / (4 + SLOT));
+    }
+}

@@ -1,0 +1,169 @@
+//! Page-granular file IO.
+//!
+//! A [`PageFile`] is a flat sequence of [`PAGE_SIZE`] pages addressed by
+//! page id; all reads and writes are whole pages. IO failures surface as
+//! [`EvalError::SpillIo`] — the same retryable class the spill layer
+//! uses, so the degradation ladder treats storage faults uniformly.
+
+use crate::page::PAGE_SIZE;
+use htqo_engine::EvalError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// An open heap/index file with page-granular access.
+#[derive(Debug)]
+pub struct PageFile {
+    file: File,
+    path: PathBuf,
+    pages: u64,
+}
+
+fn io_err(path: &Path, op: &str, e: std::io::Error) -> EvalError {
+    EvalError::SpillIo(format!("{}: {op}: {e}", path.display()))
+}
+
+impl PageFile {
+    /// Creates (truncating) a new page file.
+    pub fn create(path: &Path) -> Result<Self, EvalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| io_err(path, "create", e))?;
+        Ok(PageFile {
+            file,
+            path: path.to_path_buf(),
+            pages: 0,
+        })
+    }
+
+    /// Opens an existing page file; its length must be a whole number of
+    /// pages.
+    pub fn open(path: &Path) -> Result<Self, EvalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, "open", e))?;
+        let len = file.metadata().map_err(|e| io_err(path, "stat", e))?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(EvalError::SpillIo(format!(
+                "{}: length {len} is not page-aligned",
+                path.display()
+            )));
+        }
+        Ok(PageFile {
+            file,
+            path: path.to_path_buf(),
+            pages: len / PAGE_SIZE as u64,
+        })
+    }
+
+    /// Number of pages in the file.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn seek_to(&mut self, pid: u64, op: &str) -> Result<(), EvalError> {
+        if pid >= self.pages {
+            return Err(EvalError::SpillIo(format!(
+                "{}: page {pid} out of range (file has {})",
+                self.path.display(),
+                self.pages
+            )));
+        }
+        self.file
+            .seek(SeekFrom::Start(pid * PAGE_SIZE as u64))
+            .map_err(|e| io_err(&self.path, op, e))?;
+        Ok(())
+    }
+
+    /// Reads page `pid` into `buf` (must be [`PAGE_SIZE`] long).
+    pub fn read(&mut self, pid: u64, buf: &mut [u8]) -> Result<(), EvalError> {
+        htqo_engine::fail_point!("storage::page_read");
+        assert_eq!(buf.len(), PAGE_SIZE);
+        self.seek_to(pid, "read")?;
+        self.file
+            .read_exact(buf)
+            .map_err(|e| io_err(&self.path, "read", e))
+    }
+
+    /// Overwrites page `pid` with `page` (must be [`PAGE_SIZE`] long).
+    pub fn write(&mut self, pid: u64, page: &[u8]) -> Result<(), EvalError> {
+        assert_eq!(page.len(), PAGE_SIZE);
+        self.seek_to(pid, "write")?;
+        self.file
+            .write_all(page)
+            .map_err(|e| io_err(&self.path, "write", e))
+    }
+
+    /// Appends `page` (must be [`PAGE_SIZE`] long); returns its page id.
+    pub fn append(&mut self, page: &[u8]) -> Result<u64, EvalError> {
+        assert_eq!(page.len(), PAGE_SIZE);
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err(&self.path, "append", e))?;
+        self.file
+            .write_all(page)
+            .map_err(|e| io_err(&self.path, "append", e))?;
+        let pid = self.pages;
+        self.pages += 1;
+        Ok(pid)
+    }
+
+    /// Durability point: fsync.
+    pub fn sync(&mut self) -> Result<(), EvalError> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err(&self.path, "sync", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("htqo-pager-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.pages")
+    }
+
+    #[test]
+    fn append_read_write_roundtrip() {
+        let path = tmp("rt");
+        let mut f = PageFile::create(&path).unwrap();
+        let a = vec![1u8; PAGE_SIZE];
+        let b = vec![2u8; PAGE_SIZE];
+        assert_eq!(f.append(&a).unwrap(), 0);
+        assert_eq!(f.append(&b).unwrap(), 1);
+        f.sync().unwrap();
+
+        let mut f = PageFile::open(&path).unwrap();
+        assert_eq!(f.pages(), 2);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        f.read(1, &mut buf).unwrap();
+        assert_eq!(buf, b);
+        f.write(1, &a).unwrap();
+        f.read(1, &mut buf).unwrap();
+        assert_eq!(buf, a);
+        assert!(f.read(2, &mut buf).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unaligned_file_is_rejected() {
+        let path = tmp("unaligned");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(PageFile::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -222,7 +222,7 @@ fn build(shape: &Shape) -> (Database, ConjunctiveQuery) {
 
 /// Applies the case's process-wide schedule. Call under [`lock`].
 fn set_schedule(case: &ChaosCase) {
-    exec::set_threads(case.threads);
+    exec::set_threads_exact(case.threads);
     exec::set_columnar_default(case.columnar);
 }
 
@@ -323,7 +323,7 @@ fn worker_panic_is_contained_and_ladder_rescues() {
     let _g = lock();
     install_quiet_hook();
     failpoint::clear();
-    exec::set_threads(4);
+    exec::set_threads_exact(4);
     exec::set_columnar_default(false);
     let shape = Shape {
         atoms: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
@@ -374,7 +374,7 @@ fn cancellation_aborts_cleanly_and_is_not_retried() {
     let _g = lock();
     install_quiet_hook();
     failpoint::clear();
-    exec::set_threads(1);
+    exec::set_threads_exact(1);
     exec::set_columnar_default(false);
     let shape = Shape {
         atoms: vec![(0, 1), (1, 2), (2, 3)],

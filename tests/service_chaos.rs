@@ -95,7 +95,7 @@ fn run_scenario(threads: usize, site: &str, action: FailAction) {
     let _g = lock();
     install_quiet_hook();
     failpoint::clear();
-    exec::set_threads(threads);
+    exec::set_threads_exact(threads);
 
     let svc = make_service();
     // Fault-free oracles (also the first cache fills).
@@ -245,7 +245,7 @@ fn shutdown_under_concurrent_load_drains_cleanly() {
     let _g = lock();
     install_quiet_hook();
     failpoint::clear();
-    exec::set_threads(4);
+    exec::set_threads_exact(4);
     let svc = make_service();
 
     let handles: Vec<_> = (0..SESSIONS)

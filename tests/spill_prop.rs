@@ -173,7 +173,7 @@ proptest! {
     #[test]
     fn byte_limits_never_corrupt_results(case in arb_case()) {
         let _g = lock();
-        exec::set_threads(case.threads);
+        exec::set_threads_exact(case.threads);
         exec::set_columnar_default(case.columnar);
         let (db, q) = build(&case.shape);
         let opt = HybridOptimizer::structural(QhdOptions::default())
@@ -206,7 +206,7 @@ proptest! {
     #[test]
     fn ladder_with_spill_retry_stays_correct(case in arb_case()) {
         let _g = lock();
-        exec::set_threads(case.threads);
+        exec::set_threads_exact(case.threads);
         exec::set_columnar_default(case.columnar);
         let (db, q) = build(&case.shape);
         let opt = HybridOptimizer::structural(QhdOptions::default());
@@ -235,7 +235,7 @@ proptest! {
 #[test]
 fn multi_level_recursive_partitioning_matches_oracle() {
     let _g = lock();
-    exec::set_threads(1);
+    exec::set_threads_exact(1);
     for columnar in [false, true] {
         exec::set_columnar_default(columnar);
         let mut db = Database::new();
