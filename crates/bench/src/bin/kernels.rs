@@ -801,6 +801,109 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    // ---- 8. WAL durability: logged-append overhead and recovery time. ----
+    //
+    // The same batch of small appends runs under `HTQO_WAL=off` (no
+    // fsync, process-crash safe only) and the default `commit` policy
+    // (fsync per batch, power-loss durable): the gap is the price of
+    // durability. Then the commit-policy directory is "killed" with all
+    // its batches un-checkpointed and the recovery pass (scan + redo +
+    // GC) is timed — the crash-restart latency an operator would see.
+    {
+        let batches = htqo_bench::harness::env_f64("HTQO_WAL_BATCHES", 64.0) as usize;
+        let rows_per_batch = 32usize;
+        let mk_base = || {
+            let mut rel = Relation::new(Schema::new(&[
+                ("k", ColumnType::Int),
+                ("payload", ColumnType::Int),
+            ]));
+            rel.push_row(vec![Value::Int(0), Value::Int(0)]).unwrap();
+            rel
+        };
+        let run_appends = |policy: htqo_storage::WalPolicy,
+                           label: &str|
+         -> (f64, StorageDb, std::path::PathBuf) {
+            let dir = std::env::temp_dir()
+                .join(format!("htqo-kernels-wal-{label}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            // Huge checkpoint threshold: the whole run stays in the log,
+            // so recovery below has real work to do.
+            let storage = StorageDb::open_with(&dir, policy, u64::MAX).unwrap();
+            storage.ingest("t", &mk_base(), &[]).unwrap();
+            let t = Instant::now();
+            for b in 0..batches {
+                let rows: Vec<Vec<Value>> = (0..rows_per_batch)
+                    .map(|i| vec![Value::Int((b * rows_per_batch + i) as i64), Value::Int(7)])
+                    .collect();
+                storage.append_rows("t", rows).unwrap();
+            }
+            (t.elapsed().as_secs_f64(), storage, dir)
+        };
+        let (off_s, _off_db, off_dir) = run_appends(htqo_storage::WalPolicy::Off, "off");
+        std::fs::remove_dir_all(&off_dir).ok();
+        let (commit_s, commit_db, commit_dir) =
+            run_appends(htqo_storage::WalPolicy::Commit, "commit");
+
+        // Crash with every batch still in the WAL, then time recovery.
+        commit_db.simulate_crash();
+        drop(commit_db);
+        let wal_bytes = std::fs::metadata(commit_dir.join("db.wal"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let t = Instant::now();
+        let cold =
+            StorageDb::open_with(&commit_dir, htqo_storage::WalPolicy::Commit, u64::MAX).unwrap();
+        let recovery = cold.recover().unwrap();
+        let recovery_s = t.elapsed().as_secs_f64();
+        let (rel, _) = cold.load_table("t", 64 * 1024 * 1024, None).unwrap();
+        assert_eq!(
+            rel.len(),
+            1 + batches * rows_per_batch,
+            "recovery lost committed appends"
+        );
+        std::fs::remove_dir_all(&commit_dir).ok();
+
+        let total_rows = batches * rows_per_batch;
+        let overhead_pct = if off_s > 0.0 {
+            (commit_s - off_s) / off_s * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(report, "\n## WAL durability: logged appends and recovery\n");
+        let _ = writeln!(
+            report,
+            "{batches} batches × {rows_per_batch} appended rows, whole run kept in \
+             the log (no checkpoint). Recovery replays {} committed batches \
+             ({} pages redone, {wal_bytes} WAL bytes) after a simulated kill.\n",
+            recovery.batches_replayed, recovery.pages_redone
+        );
+        let _ = writeln!(report, "| policy | time | rows/s |");
+        let _ = writeln!(report, "|---|---|---|");
+        let _ = writeln!(
+            report,
+            "| HTQO_WAL=off (no fsync) | {off_s:.3}s | {:.0} |",
+            total_rows as f64 / off_s
+        );
+        let _ = writeln!(
+            report,
+            "| HTQO_WAL=commit (fsync per batch) | {commit_s:.3}s | {:.0} ({overhead_pct:+.0}% vs off) |",
+            total_rows as f64 / commit_s
+        );
+        let _ = writeln!(
+            report,
+            "| crash recovery (scan + redo + GC) | {recovery_s:.3}s | — |"
+        );
+        let _ = writeln!(
+            json,
+            "  \"wal\": {{ \"batches\": {batches}, \"rows_per_batch\": {rows_per_batch}, \
+             \"off_s\": {off_s:.6}, \"commit_s\": {commit_s:.6}, \
+             \"commit_overhead_pct\": {overhead_pct:.1}, \"wal_bytes\": {wal_bytes}, \
+             \"recovery_s\": {recovery_s:.6}, \"batches_replayed\": {}, \
+             \"pages_redone\": {} }},",
+            recovery.batches_replayed, recovery.pages_redone
+        );
+    }
+
     let _ = writeln!(
         json,
         "  \"qhd_bushy_output_rows\": {},\n  \"qhd_best_row_s\": {:.6},\n  \

@@ -69,6 +69,17 @@ pub enum EvalError {
     /// in-memory rungs below do not touch the disk — but not a resource
     /// limit.
     SpillIo(String),
+    /// A persisted page failed its checksum on read: a torn write, a
+    /// bit flip, or an overwritten extent. Retryable like
+    /// [`EvalError::SpillIo`] (the in-memory rungs do not touch the
+    /// disk, and crash recovery may restore the page from the WAL), but
+    /// never silently accepted.
+    CorruptPage {
+        /// The page file holding the corrupt page.
+        file: String,
+        /// The page id whose checksum failed.
+        pid: u64,
+    },
     /// Anything else (plan inconsistencies, type errors in expressions).
     Internal(String),
 }
@@ -99,6 +110,9 @@ impl fmt::Display for EvalError {
                  reserved of a {pool} B pool)"
             ),
             EvalError::SpillIo(m) => write!(f, "spill i/o error: {m}"),
+            EvalError::CorruptPage { file, pid } => {
+                write!(f, "corrupt page {pid} in {file} (checksum mismatch)")
+            }
             EvalError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -136,6 +150,7 @@ impl EvalError {
                 | EvalError::WorkerPanicked { .. }
                 | EvalError::MemoryExceeded { .. }
                 | EvalError::SpillIo(_)
+                | EvalError::CorruptPage { .. }
                 | EvalError::Internal(_)
         )
     }

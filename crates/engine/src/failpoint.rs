@@ -59,6 +59,7 @@ pub const SITES: &[&str] = &[
     "exec::worker",
     "factorized::build",
     "factorized::enumerate",
+    "iseek::join",
     "ops::join",
     "ops::join::partition",
     "ops::project",
@@ -69,6 +70,12 @@ pub const SITES: &[&str] = &[
     "spill::cleanup",
     "spill::read",
     "spill::write",
+    "storage::catalog_rename",
+    "storage::checkpoint",
+    "storage::page_read",
+    "storage::page_write",
+    "storage::wal_append",
+    "storage::wal_fsync",
 ];
 
 /// The enumerable registry of fail-point site names (see [`SITES`]).

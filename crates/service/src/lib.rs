@@ -187,6 +187,11 @@ pub struct ServiceMetrics {
     pub pool_tuples_charged: u64,
     /// Plan-cache traffic of the shared optimizer.
     pub plan_cache: PlanCacheStats,
+    /// What the crash-recovery pass found when this service opened its
+    /// paged storage ([`QueryService::open_paged`]): `None` on an
+    /// in-memory service, `Some` (possibly all-zero for a clean start)
+    /// on a paged one.
+    pub recovery: Option<htqo_storage::RecoveryReport>,
 }
 
 struct ServiceInner {
@@ -212,6 +217,8 @@ struct ServiceInner {
     rejected_quota: AtomicU64,
     completed_ok: AtomicU64,
     completed_err: AtomicU64,
+    /// Recovery report from `open_paged` (None for in-memory services).
+    recovery: Option<htqo_storage::RecoveryReport>,
 }
 
 /// Recover the guard even if a panicking thread poisoned the mutex; the
@@ -239,7 +246,7 @@ impl QueryService {
     /// Builds a service over `db` with the given optimizer and limits.
     pub fn new(db: Database, optimizer: HybridOptimizer, config: ServiceConfig) -> Self {
         let master = Self::master_budget(&config);
-        Self::assemble(db, optimizer, config, master)
+        Self::assemble(db, optimizer, config, master, None)
     }
 
     /// Opens a service over a paged [`htqo_storage::StorageDb`]: a warm
@@ -262,9 +269,18 @@ impl QueryService {
     {
         let mut master = Self::master_budget(&config);
         let cache_ledger = master.fork();
+        // Crash recovery runs before any page is read: replay the
+        // committed WAL tail, tolerate a torn one, GC orphans.
+        let recovery = storage.recover()?;
         let db = storage.load_database(cache_bytes, Some(cache_ledger))?;
         let optimizer = make_optimizer(&db).with_index_catalog(db.indexed_columns());
-        Ok(Self::assemble(db, optimizer, config, master))
+        Ok(Self::assemble(
+            db,
+            optimizer,
+            config,
+            master,
+            Some(recovery),
+        ))
     }
 
     /// The service-wide master budget: memory-limited to the configured
@@ -284,6 +300,7 @@ impl QueryService {
         optimizer: HybridOptimizer,
         config: ServiceConfig,
         master: Budget,
+        recovery: Option<htqo_storage::RecoveryReport>,
     ) -> Self {
         let slice = config
             .query_mem
@@ -310,6 +327,7 @@ impl QueryService {
                 rejected_quota: AtomicU64::new(0),
                 completed_ok: AtomicU64::new(0),
                 completed_err: AtomicU64::new(0),
+                recovery,
             }),
         }
     }
@@ -377,6 +395,7 @@ impl QueryService {
             pool_bytes_reserved: bytes,
             pool_tuples_charged: tuples,
             plan_cache: inner.optimizer.plan_cache_stats(),
+            recovery: inner.recovery.clone(),
         }
     }
 }

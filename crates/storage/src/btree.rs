@@ -60,7 +60,9 @@ impl NodeBuilder {
     }
 
     fn fits(&self, cell_len: usize) -> bool {
-        HEADER + self.cells.len() + cell_len <= PAGE_SIZE
+        // Cells must stay inside the data region: the pager stamps the
+        // checksum trailer over the last PAGE_TRAILER bytes on write.
+        HEADER + self.cells.len() + cell_len <= crate::page::PAGE_DATA
     }
 
     fn push(&mut self, key: &[u8], cell: &[u8]) {
@@ -102,6 +104,8 @@ fn internal_cell(key: &[u8], child: u64) -> Vec<u8> {
 
 /// Largest posting chunk that fits a fresh leaf next to its key.
 fn chunk_rows(key_len: usize) -> usize {
+    // MAX_CELL already excludes the checksum trailer, so chunks sized
+    // from it stay inside the data region with room to spare.
     (MAX_CELL - HEADER - 2 - key_len - 4) / 4
 }
 

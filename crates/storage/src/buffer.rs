@@ -13,9 +13,18 @@
 //! of the frame bytes, so readers never block the pool lock while they
 //! decode. A concurrent [`BufferPool::update`] publishes a new snapshot;
 //! outstanding pins keep reading the one they started with.
+//!
+//! **WAL-before-data.** When a [`Wal`] is attached, every logged
+//! mutation stamps its frame with the record's LSN
+//! ([`BufferPool::update_logged`]), and no dirty frame reaches the data
+//! file — on eviction, flush, or drop — until the WAL is synced past
+//! that LSN ([`Wal::sync_to`]). A data page can therefore never hit disk
+//! ahead of the log record that recreates it, which is the entire
+//! recovery contract.
 
 use crate::page::PAGE_SIZE;
 use crate::pager::PageFile;
+use crate::wal::Wal;
 use htqo_engine::{Budget, EvalError};
 use std::collections::HashMap;
 use std::fmt;
@@ -45,6 +54,10 @@ struct Frame {
     pins: u32,
     dirty: bool,
     referenced: bool,
+    /// LSN of the newest WAL record covering this frame's content; the
+    /// frame must not be written back until the WAL is synced past it.
+    /// Zero for unlogged mutations (always writable).
+    page_lsn: u64,
 }
 
 struct Inner {
@@ -55,9 +68,35 @@ struct Inner {
     hand: usize,
     budget: Option<Budget>,
     stats: PoolStats,
+    wal: Option<Arc<Wal>>,
+    /// Next page id handed out by [`BufferPool::create_page`]; may run
+    /// ahead of `file.pages()` until the created frames are written
+    /// back (via `write_extend`).
+    next_pid: u64,
 }
 
 impl Inner {
+    /// The WAL-before-data barrier for one frame.
+    fn wal_barrier(&self, lsn: u64) -> Result<(), EvalError> {
+        if lsn > 0 {
+            if let Some(wal) = &self.wal {
+                wal.sync_to(lsn)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes frame `i` back to the data file (WAL barrier first).
+    fn write_back(&mut self, i: usize) -> Result<(), EvalError> {
+        let lsn = self.frames[i].page_lsn;
+        self.wal_barrier(lsn)?;
+        let (pid, data) = (self.frames[i].pid, Arc::clone(&self.frames[i].data));
+        self.file.write_extend(pid, &data)?;
+        self.frames[i].dirty = false;
+        self.stats.flushes += 1;
+        Ok(())
+    }
+
     /// Clock sweep: frees one frame slot, flushing it first if dirty.
     /// Fails only when every frame is pinned.
     fn evict_one(&mut self) -> Result<usize, EvalError> {
@@ -71,13 +110,11 @@ impl Inner {
                 self.frames[i].referenced = false;
                 continue;
             }
-            let f = &mut self.frames[i];
-            if f.dirty {
-                self.file.write(f.pid, &f.data)?;
-                f.dirty = false;
-                self.stats.flushes += 1;
+            if self.frames[i].dirty {
+                self.write_back(i)?;
             }
-            self.map.remove(&f.pid);
+            let pid = self.frames[i].pid;
+            self.map.remove(&pid);
             self.stats.evictions += 1;
             self.uncharge_page();
             return Ok(i);
@@ -104,6 +141,26 @@ impl Inner {
         }
     }
 
+    /// Frees (or allocates) a slot for a new frame.
+    fn slot(&mut self) -> Result<usize, EvalError> {
+        if self.frames.len() < self.cap {
+            self.charge_page()?;
+            self.frames.push(Frame {
+                pid: u64::MAX,
+                data: Arc::new(Vec::new()),
+                pins: 0,
+                dirty: false,
+                referenced: false,
+                page_lsn: 0,
+            });
+            Ok(self.frames.len() - 1)
+        } else {
+            let i = self.evict_one()?;
+            self.charge_page()?;
+            Ok(i)
+        }
+    }
+
     /// Makes `pid` resident and returns its frame index.
     fn frame_of(&mut self, pid: u64) -> Result<usize, EvalError> {
         if let Some(&i) = self.map.get(&pid) {
@@ -114,27 +171,14 @@ impl Inner {
         self.stats.misses += 1;
         let mut buf = vec![0u8; PAGE_SIZE];
         self.file.read(pid, &mut buf)?;
-        let i = if self.frames.len() < self.cap {
-            self.charge_page()?;
-            self.frames.push(Frame {
-                pid,
-                data: Arc::new(buf),
-                pins: 0,
-                dirty: false,
-                referenced: true,
-            });
-            self.frames.len() - 1
-        } else {
-            let i = self.evict_one()?;
-            self.charge_page()?;
-            self.frames[i] = Frame {
-                pid,
-                data: Arc::new(buf),
-                pins: 0,
-                dirty: false,
-                referenced: true,
-            };
-            i
+        let i = self.slot()?;
+        self.frames[i] = Frame {
+            pid,
+            data: Arc::new(buf),
+            pins: 0,
+            dirty: false,
+            referenced: true,
+            page_lsn: 0,
         };
         self.map.insert(pid, i);
         Ok(i)
@@ -161,6 +205,7 @@ impl BufferPool {
     /// compete with query memory in one pool.
     pub fn new(file: PageFile, cap_bytes: u64, budget: Option<Budget>) -> Self {
         let cap = ((cap_bytes / PAGE_SIZE as u64).max(1)) as usize;
+        let next_pid = file.pages();
         BufferPool {
             inner: Mutex::new(Inner {
                 file,
@@ -173,12 +218,21 @@ impl BufferPool {
                     capacity: cap,
                     ..PoolStats::default()
                 },
+                wal: None,
+                next_pid,
             }),
         }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Attaches the WAL whose records cover this pool's file; from now
+    /// on every dirty write-back waits for the WAL to sync past the
+    /// frame's `page_lsn` first.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        self.lock().wal = Some(wal);
     }
 
     /// Pins page `pid` and returns a read guard; the page cannot be
@@ -207,27 +261,77 @@ impl BufferPool {
     /// reaches disk on eviction, [`BufferPool::flush`], or drop. The
     /// mutation must preserve the page size.
     pub fn update(&self, pid: u64, f: impl FnOnce(&mut Vec<u8>)) -> Result<(), EvalError> {
+        self.update_at(pid, 0, f)
+    }
+
+    /// Like [`BufferPool::update`], but records that the mutation is
+    /// covered by the WAL record at `lsn`: the frame will not be written
+    /// back until the WAL is synced past it.
+    pub fn update_logged(
+        &self,
+        pid: u64,
+        lsn: u64,
+        f: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<(), EvalError> {
+        self.update_at(pid, lsn, f)
+    }
+
+    fn update_at(&self, pid: u64, lsn: u64, f: impl FnOnce(&mut Vec<u8>)) -> Result<(), EvalError> {
         let mut inner = self.lock();
         let i = inner.frame_of(pid)?;
         let data = Arc::make_mut(&mut inner.frames[i].data);
         f(data);
         assert_eq!(data.len(), PAGE_SIZE, "update changed the page size");
         inner.frames[i].dirty = true;
+        inner.frames[i].page_lsn = inner.frames[i].page_lsn.max(lsn);
         Ok(())
     }
 
-    /// Writes back every dirty frame (each exactly once) and syncs.
+    /// Allocates a fresh zeroed page *in the cache* and returns its page
+    /// id. The page reaches the file (zero-extending any gap) when the
+    /// frame is written back — after the covering WAL record is durable,
+    /// like any other logged mutation.
+    pub fn create_page(&self) -> Result<u64, EvalError> {
+        let mut inner = self.lock();
+        let pid = inner.next_pid;
+        inner.next_pid += 1;
+        let i = inner.slot()?;
+        inner.frames[i] = Frame {
+            pid,
+            data: Arc::new(vec![0u8; PAGE_SIZE]),
+            pins: 0,
+            dirty: true,
+            referenced: true,
+            page_lsn: 0,
+        };
+        inner.map.insert(pid, i);
+        Ok(pid)
+    }
+
+    /// Writes back every dirty frame (each exactly once, WAL barrier
+    /// first) and syncs the data file.
     pub fn flush(&self) -> Result<(), EvalError> {
         let mut inner = self.lock();
         for i in 0..inner.frames.len() {
             if inner.frames[i].dirty {
-                let (pid, data) = (inner.frames[i].pid, Arc::clone(&inner.frames[i].data));
-                inner.file.write(pid, &data)?;
-                inner.frames[i].dirty = false;
-                inner.stats.flushes += 1;
+                inner.write_back(i)?;
             }
         }
         inner.file.sync()
+    }
+
+    /// Drops every frame **without** write-back, losing all dirty
+    /// content — the crash-simulation primitive. The budget returns to
+    /// its pre-pool level; the pool stays usable (rereads from disk).
+    pub fn discard(&self) {
+        let mut inner = self.lock();
+        for _ in 0..inner.map.len() {
+            inner.uncharge_page();
+        }
+        inner.map.clear();
+        inner.frames.clear();
+        inner.hand = 0;
+        inner.next_pid = inner.file.pages();
     }
 
     /// Current counters (with `resident` filled in).
@@ -243,18 +347,24 @@ impl BufferPool {
     pub fn file_pages(&self) -> u64 {
         self.lock().file.pages()
     }
+
+    /// Page ids handed out so far (file pages plus created-but-unwritten
+    /// cache pages) — the id the next [`BufferPool::create_page`] gets.
+    pub fn next_pid(&self) -> u64 {
+        self.lock().next_pid
+    }
 }
 
 impl Drop for BufferPool {
     fn drop(&mut self) {
         let mut inner = self.lock();
-        // Best-effort write-back; uncharge every resident frame so the
-        // budget returns to its pre-pool level exactly.
+        // Best-effort write-back; a frame whose WAL barrier fails is
+        // skipped (writing it would violate WAL-before-data — recovery
+        // will redo it from the log instead). Uncharge every resident
+        // frame so the budget returns to its pre-pool level exactly.
         for i in 0..inner.frames.len() {
             if inner.frames[i].dirty {
-                let (pid, data) = (inner.frames[i].pid, Arc::clone(&inner.frames[i].data));
-                let _ = inner.file.write(pid, &data);
-                inner.frames[i].dirty = false;
+                let _ = inner.write_back(i);
             }
         }
         for _ in 0..inner.map.len() {
@@ -380,5 +490,44 @@ mod tests {
         let mut buf = vec![0u8; PAGE_SIZE];
         f.read(2, &mut buf).unwrap();
         assert_eq!(buf[0], 0xEE);
+    }
+
+    #[test]
+    fn created_pages_extend_the_file_on_flush() {
+        let file = pool_file("create", 2);
+        let path = file.path().to_path_buf();
+        {
+            let pool = BufferPool::new(file, 8 * PAGE_SIZE as u64, None);
+            let a = pool.create_page().unwrap();
+            let b = pool.create_page().unwrap();
+            assert_eq!((a, b), (2, 3));
+            pool.update(b, |d| d[7] = 0x77).unwrap();
+            // The file has not grown yet; the pages live in the cache.
+            assert_eq!(pool.file_pages(), 2);
+            let pin = pool.pin(b).unwrap();
+            assert_eq!(pin[7], 0x77);
+            drop(pin);
+            pool.flush().unwrap();
+            assert_eq!(pool.file_pages(), 4);
+        }
+        let mut f = PageFile::open(&path).unwrap();
+        assert_eq!(f.pages(), 4);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        f.read(3, &mut buf).unwrap();
+        assert_eq!(buf[7], 0x77);
+    }
+
+    #[test]
+    fn discard_loses_dirty_content_and_returns_budget() {
+        let mut budget = Budget::unlimited().with_mem_limit(1 << 30);
+        let observer = budget.fork();
+        let file = pool_file("discard", 3);
+        let pool = BufferPool::new(file, 4 * PAGE_SIZE as u64, Some(budget.fork()));
+        pool.update(1, |d| d[0] = 0x99).unwrap();
+        pool.discard();
+        assert_eq!(observer.mem_used(), 0, "discard returns every byte");
+        // The dirty update never reached disk: rereading sees old bytes.
+        let p = pool.pin(1).unwrap();
+        assert_eq!(p[0], 1);
     }
 }

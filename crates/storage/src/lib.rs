@@ -1,18 +1,29 @@
 //! Paged persistent storage for the htqo engine.
 //!
-//! The in-memory engine gets a disk story in four layers:
+//! The in-memory engine gets a disk story in five layers:
 //!
-//! 1. [`page`] — slotted 8 KiB pages holding variable-length row cells;
-//! 2. [`pager`] — page-granular file IO ([`PageFile`]);
-//! 3. [`buffer`] — a pinned/unpinned page cache with clock eviction,
+//! 1. [`page`] — slotted 8 KiB pages holding variable-length row cells,
+//!    with a per-page checksum trailer verified on every read;
+//! 2. [`pager`] — page-granular file IO ([`PageFile`]) that stamps the
+//!    checksum on write and reports mismatches as typed
+//!    `EvalError::CorruptPage`;
+//! 3. [`wal`] — an LSN-stamped, checksummed redo log ([`wal::Wal`])
+//!    giving mutations crash durability under the WAL-before-data
+//!    protocol (`HTQO_WAL=off|commit|batch` picks the fsync policy);
+//! 4. [`buffer`] — a pinned/unpinned page cache with clock eviction,
 //!    capacity from `HTQO_PAGE_CACHE`, byte-charged against the engine's
-//!    [`htqo_engine::Budget`] so cached pages compete with query memory;
-//! 4. [`btree`] + [`catalog`] — bulk-loaded B+tree join indexes and a
-//!    restart-surviving table catalog ([`StorageDb`]), read back through
-//!    the buffer pool.
+//!    [`htqo_engine::Budget`] so cached pages compete with query memory —
+//!    and a WAL barrier that blocks dirty write-back until the log is
+//!    durable past each page's LSN;
+//! 5. [`btree`] + [`catalog`] — bulk-loaded B+tree join indexes and a
+//!    restart-surviving table catalog ([`StorageDb`]) with logged
+//!    incremental mutations ([`MutationBatch`]), crash recovery
+//!    ([`StorageDb::recover`]), and checkpointing, read back through the
+//!    buffer pool.
 //!
 //! Ingest a CSV/TPC-H load once with [`StorageDb::ingest`]; later runs
-//! call [`StorageDb::load_database`] and skip the parse entirely (the
+//! call [`StorageDb::load_database`] — which first replays any committed
+//! WAL tail a crash left behind — and skip the parse entirely (the
 //! "warm restart" path benchmarked in the kernels harness). Persisted
 //! indexes come back as [`btree::PagedIndex`] values implementing the
 //! engine's [`htqo_engine::JoinIndex`], which the evaluator's
@@ -26,9 +37,14 @@ pub mod catalog;
 pub mod codec;
 pub mod page;
 pub mod pager;
+pub mod wal;
 
 pub use btree::{IndexMeta, PagedIndex};
 pub use buffer::{BufferPool, PagePin, PoolStats};
-pub use catalog::{cache_bytes_from_env, dir_from_env, StorageDb, TableMeta, DEFAULT_CACHE_BYTES};
-pub use page::PAGE_SIZE;
+pub use catalog::{
+    cache_bytes_from_env, checkpoint_bytes_from_env, dir_from_env, MutationBatch, RecoveryReport,
+    StorageDb, TableMeta, DEFAULT_CACHE_BYTES, DEFAULT_CHECKPOINT_BYTES,
+};
+pub use page::{PAGE_DATA, PAGE_SIZE};
 pub use pager::PageFile;
+pub use wal::{Wal, WalPolicy, WalRecord};

@@ -3,27 +3,68 @@
 //! Layout: a 4-byte header (`cell count: u16 LE`, `free end: u16 LE`),
 //! then the slot directory growing forward (one `(offset: u16, len: u16)`
 //! pair per cell) while cell payloads grow backward from the end of the
-//! page. This is the classic heap-page shape: inserts never move existing
-//! cells, and a page is full exactly when directory and payload regions
-//! would meet.
+//! *data region*. This is the classic heap-page shape: inserts never move
+//! existing cells, and a page is full exactly when directory and payload
+//! regions would meet.
+//!
+//! The last [`PAGE_TRAILER`] bytes of every page are reserved for a
+//! checksum over the data region, stamped by [`crate::pager::PageFile`]
+//! on every write and verified on every read — a torn or bit-flipped
+//! page surfaces as a typed `EvalError::CorruptPage` instead of being
+//! silently decoded.
+//!
+//! A zero-length cell is a **tombstone**: the slot survives (so physical
+//! slot ids stay stable across deletes) but the row is gone. Readers
+//! skip tombstones; [`cell`] returns an empty slice for them.
 
 use htqo_engine::EvalError;
 
 /// Fixed page size for heap files and B+tree nodes.
 pub const PAGE_SIZE: usize = 8192;
 
+/// Bytes at the end of every page reserved for the checksum trailer.
+pub const PAGE_TRAILER: usize = 8;
+
+/// End of the usable data region: `PAGE_SIZE - PAGE_TRAILER`.
+pub const PAGE_DATA: usize = PAGE_SIZE - PAGE_TRAILER;
+
 const HEADER: usize = 4;
 const SLOT: usize = 4;
 
 /// Largest cell a single (otherwise empty) page can hold.
-pub const MAX_CELL: usize = PAGE_SIZE - HEADER - SLOT;
+pub const MAX_CELL: usize = PAGE_DATA - HEADER - SLOT;
 
 fn corrupt(what: &str) -> EvalError {
     EvalError::SpillIo(format!("slotted page corruption: {what}"))
 }
 
+/// FxHash checksum of a page's data region (`page[..PAGE_DATA]`) — the
+/// same hash family the spill frame format uses.
+pub fn checksum(page: &[u8]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = htqo_engine::hash::FxHasher::default();
+    page[..PAGE_DATA].hash(&mut h);
+    h.finish()
+}
+
+/// Stamps the checksum of `page`'s data region into its trailer.
+/// `page` must be [`PAGE_SIZE`] long.
+pub fn stamp(page: &mut [u8]) {
+    debug_assert_eq!(page.len(), PAGE_SIZE);
+    let sum = checksum(page);
+    page[PAGE_DATA..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// True when `page`'s trailer matches its data region.
+pub fn verify(page: &[u8]) -> bool {
+    debug_assert_eq!(page.len(), PAGE_SIZE);
+    let stored = u64::from_le_bytes(page[PAGE_DATA..].try_into().unwrap());
+    stored == checksum(page)
+}
+
 /// Builds one slotted page in memory; [`PageBuilder::finish`] yields the
-/// exact [`PAGE_SIZE`] byte image.
+/// exact [`PAGE_SIZE`] byte image (trailer zeroed — the pager stamps it
+/// on write).
 #[derive(Debug)]
 pub struct PageBuilder {
     data: Vec<u8>,
@@ -37,7 +78,7 @@ impl PageBuilder {
         PageBuilder {
             data: vec![0u8; PAGE_SIZE],
             cells: 0,
-            free_end: PAGE_SIZE,
+            free_end: PAGE_DATA,
         }
     }
 
@@ -53,7 +94,7 @@ impl PageBuilder {
     }
 
     /// Appends `cell`; returns `false` (leaving the page unchanged) when
-    /// it does not fit.
+    /// it does not fit. An empty `cell` records a tombstone slot.
     pub fn push(&mut self, cell: &[u8]) -> bool {
         if !self.fits(cell) {
             return false;
@@ -90,7 +131,8 @@ pub fn cell_count(page: &[u8]) -> Result<u16, EvalError> {
     Ok(u16::from_le_bytes([page[0], page[1]]))
 }
 
-/// Cell `i` of a finished page image, bounds-checked.
+/// Cell `i` of a finished page image, bounds-checked. Tombstone slots
+/// come back as an empty slice.
 pub fn cell(page: &[u8], i: u16) -> Result<&[u8], EvalError> {
     let n = cell_count(page)?;
     if i >= n {
@@ -102,10 +144,41 @@ pub fn cell(page: &[u8], i: u16) -> Result<&[u8], EvalError> {
     let end = off
         .checked_add(len)
         .ok_or_else(|| corrupt("slot overflow"))?;
-    if off < HEADER + n as usize * SLOT || end > PAGE_SIZE {
+    if off < HEADER + n as usize * SLOT || end > PAGE_DATA {
         return Err(corrupt("slot out of bounds"));
     }
     Ok(&page[off..end])
+}
+
+/// All cells of a page image, in slot order (tombstones included, as
+/// empty vectors) — the decode half of a page rebuild.
+pub fn cells(page: &[u8]) -> Result<Vec<Vec<u8>>, EvalError> {
+    let n = cell_count(page)?;
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        out.push(cell(page, i)?.to_vec());
+    }
+    Ok(out)
+}
+
+/// True when one more `cell` still fits a page already holding `cells`
+/// — the planning half of a page rebuild.
+pub fn page_fits(cells: &[Vec<u8>], cell: &[u8]) -> bool {
+    let used: usize = cells.iter().map(|c| SLOT + c.len()).sum();
+    cell.len() <= MAX_CELL && HEADER + used + SLOT + cell.len() <= PAGE_DATA
+}
+
+/// Rebuilds one page image from a cell list (the mutation path: update a
+/// cell, tombstone a cell, append to a partially full page). Errors when
+/// the cells no longer fit one page.
+pub fn rebuild(cells: &[Vec<u8>]) -> Result<Vec<u8>, EvalError> {
+    let mut b = PageBuilder::new();
+    for c in cells {
+        if !b.push(c) {
+            return Err(corrupt("rebuilt page overflows"));
+        }
+    }
+    Ok(b.finish())
 }
 
 #[cfg(test)]
@@ -148,7 +221,36 @@ mod tests {
         while b.push(&[0xab; 4]) {
             n += 1;
         }
-        // Each cell costs 4 payload + 4 slot bytes against PAGE_SIZE - 4.
-        assert_eq!(n as usize, (PAGE_SIZE - HEADER) / (4 + SLOT));
+        // Each cell costs 4 payload + 4 slot bytes against PAGE_DATA - 4.
+        assert_eq!(n as usize, (PAGE_DATA - HEADER) / (4 + SLOT));
+    }
+
+    #[test]
+    fn stamp_verify_and_corruption_detection() {
+        let mut page = vec![0xCDu8; PAGE_SIZE];
+        stamp(&mut page);
+        assert!(verify(&page));
+        page[100] ^= 0x01;
+        assert!(!verify(&page));
+        page[100] ^= 0x01;
+        assert!(verify(&page));
+    }
+
+    #[test]
+    fn tombstones_rebuild_and_enumerate() {
+        let mut b = PageBuilder::new();
+        assert!(b.push(b"alpha"));
+        assert!(b.push(b""));
+        assert!(b.push(b"gamma"));
+        let page = b.finish();
+        let cs = cells(&page).unwrap();
+        assert_eq!(cs, vec![b"alpha".to_vec(), Vec::new(), b"gamma".to_vec()]);
+        // Tombstone another slot and rebuild.
+        let mut cs = cs;
+        cs[2].clear();
+        let page2 = rebuild(&cs).unwrap();
+        assert_eq!(cell(&page2, 0).unwrap(), b"alpha");
+        assert!(cell(&page2, 1).unwrap().is_empty());
+        assert!(cell(&page2, 2).unwrap().is_empty());
     }
 }

@@ -64,6 +64,17 @@ fn every_error_variant_classifies_for_dnf_and_retry() {
         ),
         (EvalError::UnknownVariable("X".into()), false, false),
         (EvalError::Internal("oops".into()), false, true),
+        // Disk corruption (checksum mismatch on a page read): not a
+        // resource limit, but retryable — another plan rung may avoid
+        // the corrupt table, and the page may repair via WAL replay.
+        (
+            EvalError::CorruptPage {
+                file: "t.pages".into(),
+                pid: 7,
+            },
+            false,
+            true,
+        ),
     ];
     for (e, resource, retryable) in cases {
         assert_eq!(e.is_resource_limit(), resource, "{e:?}");

@@ -24,7 +24,7 @@ use htqo_cq::{AtomId, CqBuilder};
 use htqo_engine::schema::{ColumnType, Schema};
 use htqo_engine::{iseek, ops, scan, MemIndex};
 use htqo_eval::{evaluate_qhd_with, ExecOptions};
-use htqo_storage::{StorageDb, PAGE_SIZE};
+use htqo_storage::{StorageDb, PAGE_DATA, PAGE_SIZE};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -91,8 +91,10 @@ proptest! {
                 updates += 1;
             }
             let pin = pool.pin(pid).unwrap();
+            // Only the data region carries content — the trailer holds
+            // the pager's checksum stamp.
             prop_assert!(
-                pin.iter().all(|&b| b == model[pid as usize]),
+                pin[..PAGE_DATA].iter().all(|&b| b == model[pid as usize]),
                 "page {pid} content drifted from the model"
             );
             held.push_back(pin);
@@ -133,8 +135,55 @@ proptest! {
         let mut buf = vec![0u8; PAGE_SIZE];
         for pid in 0..FILE_PAGES {
             file.read(pid, &mut buf).unwrap();
-            prop_assert!(buf.iter().all(|&b| b == model[pid as usize]));
+            prop_assert!(buf[..PAGE_DATA].iter().all(|&b| b == model[pid as usize]));
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Flipping any single bit of any page's data region on disk turns
+    /// the next read of that page into a typed `CorruptPage` error —
+    /// never silently decoded rows.
+    #[test]
+    fn bit_flip_on_disk_is_caught_by_the_page_checksum(
+        pid in 0u64..4,
+        byte in 0usize..PAGE_DATA,
+        bit in 0u8..8,
+    ) {
+        use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+        let dir = scratch("flip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pages");
+        let mut file = htqo_storage::PageFile::create(&path).unwrap();
+        for p in 0..4u64 {
+            file.append(&vec![p as u8; PAGE_SIZE]).unwrap();
+        }
+        file.sync().unwrap();
+        drop(file);
+
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        let off = pid * PAGE_SIZE as u64 + byte as u64;
+        let mut b = [0u8; 1];
+        f.seek(SeekFrom::Start(off)).unwrap();
+        f.read_exact(&mut b).unwrap();
+        b[0] ^= 1 << bit;
+        f.seek(SeekFrom::Start(off)).unwrap();
+        f.write_all(&b).unwrap();
+        drop(f);
+
+        let mut file = htqo_storage::PageFile::open(&path).unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let err = file.read(pid, &mut buf).unwrap_err();
+        prop_assert!(
+            matches!(err, htqo_engine::EvalError::CorruptPage { pid: p, .. } if p == pid),
+            "expected CorruptPage for page {pid}, got {err:?}"
+        );
+        // Untouched pages still read fine.
+        let other = (pid + 1) % 4;
+        prop_assert!(file.read(other, &mut buf).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 }
