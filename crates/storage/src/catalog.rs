@@ -82,6 +82,11 @@ pub fn dir_from_env() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from(".htqo_storage"))
 }
 
+/// Catalog format header. v2 marks the checksum-trailer page layout
+/// introduced with the WAL; v1 stores (no trailer) are rejected with a
+/// re-ingest error rather than failing every page read as corrupt.
+const CATALOG_HEADER: &str = "htqo-table v2";
+
 fn bad_catalog(path: &Path, what: &str) -> EvalError {
     EvalError::SpillIo(format!("{}: bad catalog: {what}", path.display()))
 }
@@ -153,6 +158,11 @@ pub struct RecoveryReport {
     pub dropped_records: u64,
     /// Orphan generation files (and stale catalog temps) removed.
     pub orphans_removed: u64,
+    /// Catalog files present but unparseable. While any exist, orphan
+    /// GC is skipped entirely: a data file must never be deleted on the
+    /// strength of a catalog that failed to parse, or a recoverable
+    /// corruption would escalate into irreversible data loss.
+    pub unreadable_catalogs: u64,
 }
 
 impl RecoveryReport {
@@ -229,12 +239,24 @@ impl MutationBatch {
     }
 }
 
+/// A catalog update whose covering WAL commit is not yet durable
+/// (group commit / fsync-off): served to readers from memory and
+/// renamed into place only once the log is synced past `lsn`, so the
+/// on-disk catalog can never run ahead of the WAL records that redo
+/// the pages it describes.
+struct StagedCatalog {
+    text: String,
+    /// LSN of the commit record covering this catalog version.
+    lsn: u64,
+}
+
 /// Shared mutable state behind every clone of one [`StorageDb`].
 struct DbShared {
     wal: Mutex<Option<Arc<Wal>>>,
     recovery: Mutex<Option<RecoveryReport>>,
     pools: Mutex<HashMap<String, Arc<BufferPool>>>,
     budget: Mutex<Option<Budget>>,
+    staged: Mutex<HashMap<String, StagedCatalog>>,
     recovered: AtomicBool,
 }
 
@@ -284,6 +306,7 @@ impl StorageDb {
                 recovery: Mutex::new(None),
                 pools: Mutex::new(HashMap::new()),
                 budget: Mutex::new(None),
+                staged: Mutex::new(HashMap::new()),
                 recovered: AtomicBool::new(false),
             }),
         })
@@ -388,6 +411,10 @@ impl StorageDb {
     }
 
     fn recover_inner(&self) -> Result<RecoveryReport, EvalError> {
+        // Any staged (in-memory) catalogs died with the crash being
+        // simulated or are about to be superseded by replay; they must
+        // not shadow the on-disk state while recovery runs.
+        lock(&self.shared.staged).clear();
         let scan = wal::scan(&self.wal_path())?;
         let mut report = RecoveryReport {
             wal_bytes: scan.bytes,
@@ -424,7 +451,9 @@ impl StorageDb {
         if self.wal_path().exists() {
             drop(Wal::open(&self.wal_path(), self.policy, None)?);
         }
-        report.orphans_removed = self.gc_orphans()?;
+        let (removed, unreadable) = self.gc_orphans()?;
+        report.orphans_removed = removed;
+        report.unreadable_catalogs = unreadable;
         // Pools (if any survived a simulated crash) point at pre-redo
         // bytes; drop them so reads see the recovered files.
         lock(&self.shared.pools).clear();
@@ -432,13 +461,26 @@ impl StorageDb {
     }
 
     /// Removes page files no catalog references (crash leftovers from a
-    /// generational switch) and stale catalog temp files.
-    fn gc_orphans(&self) -> Result<u64, EvalError> {
+    /// generational switch) and stale catalog temp files. Returns
+    /// `(files removed, unreadable catalogs)`. If **any** `.cat` file
+    /// exists but fails to parse, GC deletes nothing: the "orphan"
+    /// might be that table's live data file, and deleting it would turn
+    /// a repairable catalog problem into permanent data loss. The
+    /// unreadable count is surfaced through [`RecoveryReport`] so the
+    /// operator can repair or re-ingest the table.
+    fn gc_orphans(&self) -> Result<(u64, u64), EvalError> {
         let mut referenced: HashSet<String> = HashSet::new();
+        let mut unreadable = 0u64;
         for name in self.tables()? {
-            if let Ok(meta) = self.table_meta(&name) {
-                referenced.insert(meta.file);
+            match self.table_meta(&name) {
+                Ok(meta) => {
+                    referenced.insert(meta.file);
+                }
+                Err(_) => unreadable += 1,
             }
+        }
+        if unreadable > 0 {
+            return Ok((0, unreadable));
         }
         let mut removed = 0u64;
         let entries = std::fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, "read dir", e))?;
@@ -455,7 +497,7 @@ impl StorageDb {
                 removed += 1;
             }
         }
-        Ok(removed)
+        Ok((removed, 0))
     }
 
     /// Drops every cached page and the in-memory WAL tail without any
@@ -474,6 +516,10 @@ impl StorageDb {
         // Dropping the Wal discards its unflushed pending buffer — the
         // bytes a real crash would lose — without touching the file.
         *lock(&self.shared.wal) = None;
+        // Staged catalogs live only in memory until their WAL group is
+        // durable; a crash loses them (the WAL replays them if the
+        // group survived).
+        lock(&self.shared.staged).clear();
         *slot = None;
         self.shared.recovered.store(false, Ordering::Release);
     }
@@ -530,6 +576,10 @@ impl StorageDb {
         for p in &pools {
             p.flush()?;
         }
+        // The WAL is durable (sync_all above), so every staged catalog
+        // can now be renamed into place — and must be, before the
+        // truncation below discards the records that would redo it.
+        self.flush_staged(u64::MAX)?;
         // Crash window: data durable, log not yet truncated — recovery
         // replays the (idempotent) records onto identical bytes.
         htqo_engine::fail_point!("storage::checkpoint");
@@ -642,7 +692,8 @@ impl StorageDb {
 
     fn catalog_text(meta: &TableMeta) -> String {
         let mut text = String::new();
-        text.push_str("htqo-table v1\n");
+        text.push_str(CATALOG_HEADER);
+        text.push('\n');
         text.push_str(&format!("rows {}\n", meta.rows));
         text.push_str(&format!("file {}\n", meta.file));
         for (start, count) in &meta.heap {
@@ -664,28 +715,86 @@ impl StorageDb {
         self.write_catalog_text(&meta.name, &Self::catalog_text(meta))
     }
 
+    /// Renames every staged catalog whose covering commit LSN is at or
+    /// below `durable` into place (pass `u64::MAX` once the whole log
+    /// is known synced).
+    fn flush_staged(&self, durable: u64) -> Result<(), EvalError> {
+        let mut staged = lock(&self.shared.staged);
+        let ready: Vec<String> = staged
+            .iter()
+            .filter(|(_, s)| s.lsn <= durable)
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in ready {
+            let text = staged[&name].text.clone();
+            self.write_catalog_text(&name, &text)?;
+            staged.remove(&name);
+        }
+        Ok(())
+    }
+
     fn write_catalog_text(&self, name: &str, text: &str) -> Result<(), EvalError> {
         let path = self.cat_path(name);
         let tmp = path.with_extension("cat.tmp");
-        std::fs::write(&tmp, text).map_err(|e| io_err(&tmp, "write", e))?;
         let res = (|| {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create", e))?;
+            f.write_all(text.as_bytes())
+                .map_err(|e| io_err(&tmp, "write", e))?;
+            if self.policy != WalPolicy::Off {
+                // The rename below must never become durable ahead of
+                // its content (a power cut could otherwise persist an
+                // empty/torn catalog under a completed rename).
+                f.sync_all().map_err(|e| io_err(&tmp, "fsync", e))?;
+            }
+            drop(f);
             htqo_engine::fail_point!("storage::catalog_rename");
-            std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, "rename", e))
+            std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, "rename", e))?;
+            if self.policy != WalPolicy::Off {
+                // Make the rename itself durable: checkpoint() and
+                // recovery truncate the WAL afterwards, at which point
+                // the redo record covering this catalog is gone.
+                let d =
+                    std::fs::File::open(&self.dir).map_err(|e| io_err(&self.dir, "open dir", e))?;
+                d.sync_all()
+                    .map_err(|e| io_err(&self.dir, "fsync dir", e))?;
+            }
+            Ok(())
         })();
         if res.is_err() {
-            // A failed rename must not leave the temp file behind.
+            // A failed write or rename must not leave the temp file
+            // behind.
             let _ = std::fs::remove_file(&tmp);
         }
         res
     }
 
-    /// Reads the catalog entry for `name`.
+    /// Reads the catalog entry for `name` — from the in-memory staging
+    /// area when the latest committed version's WAL group is not yet
+    /// durable, else from the catalog file.
     pub fn table_meta(&self, name: &str) -> Result<TableMeta, EvalError> {
         let path = self.cat_path(name);
+        if let Some(staged) = lock(&self.shared.staged).get(name) {
+            return Self::parse_catalog(name, &staged.text, &path);
+        }
         let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, "read", e))?;
+        Self::parse_catalog(name, &text, &path)
+    }
+
+    fn parse_catalog(name: &str, text: &str, path: &Path) -> Result<TableMeta, EvalError> {
         let mut lines = text.lines();
-        if lines.next() != Some("htqo-table v1") {
-            return Err(bad_catalog(&path, "missing header"));
+        match lines.next() {
+            Some(CATALOG_HEADER) => {}
+            // v1 stores predate the per-page checksum trailer: their
+            // page files would fail every read as CorruptPage, so give
+            // the operator an actionable error instead.
+            Some("htqo-table v1") => {
+                return Err(bad_catalog(
+                    path,
+                    "format v1 predates page checksums — incompatible store, re-ingest the table",
+                ));
+            }
+            _ => return Err(bad_catalog(path, "missing header")),
         }
         let mut meta = TableMeta {
             name: name.to_string(),
@@ -702,59 +811,49 @@ impl StorageDb {
                     meta.rows = parts
                         .next()
                         .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| bad_catalog(&path, "rows"))?;
+                        .ok_or_else(|| bad_catalog(path, "rows"))?;
                 }
                 Some("file") => {
                     meta.file = parts
                         .next()
-                        .ok_or_else(|| bad_catalog(&path, "file"))?
+                        .ok_or_else(|| bad_catalog(path, "file"))?
                         .to_string();
                 }
                 Some("heap") => {
                     let start = parts
                         .next()
                         .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| bad_catalog(&path, "heap start"))?;
+                        .ok_or_else(|| bad_catalog(path, "heap start"))?;
                     let count = parts
                         .next()
                         .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| bad_catalog(&path, "heap count"))?;
+                        .ok_or_else(|| bad_catalog(path, "heap count"))?;
                     meta.heap.push((start, count));
-                }
-                // Legacy single-extent form from before heap ranges.
-                Some("heap_pages") => {
-                    let n: u64 = parts
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| bad_catalog(&path, "heap_pages"))?;
-                    if n > 0 {
-                        meta.heap.push((0, n));
-                    }
                 }
                 Some("col") => {
                     let ty = parts
                         .next()
                         .and_then(ty_parse)
-                        .ok_or_else(|| bad_catalog(&path, "col type"))?;
-                    let col = parts.next().ok_or_else(|| bad_catalog(&path, "col name"))?;
+                        .ok_or_else(|| bad_catalog(path, "col type"))?;
+                    let col = parts.next().ok_or_else(|| bad_catalog(path, "col name"))?;
                     meta.columns.push((col.to_string(), ty));
                 }
                 Some("index") => {
                     let root = parts
                         .next()
                         .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| bad_catalog(&path, "index root"))?;
+                        .ok_or_else(|| bad_catalog(path, "index root"))?;
                     let distinct = parts
                         .next()
                         .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| bad_catalog(&path, "index distinct"))?;
+                        .ok_or_else(|| bad_catalog(path, "index distinct"))?;
                     let entries = parts
                         .next()
                         .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| bad_catalog(&path, "index entries"))?;
+                        .ok_or_else(|| bad_catalog(path, "index entries"))?;
                     let col = parts
                         .next()
-                        .ok_or_else(|| bad_catalog(&path, "index column"))?;
+                        .ok_or_else(|| bad_catalog(path, "index column"))?;
                     meta.indexes.push((
                         col.to_string(),
                         IndexMeta {
@@ -764,7 +863,7 @@ impl StorageDb {
                         },
                     ));
                 }
-                Some(other) => return Err(bad_catalog(&path, &format!("unknown key {other}"))),
+                Some(other) => return Err(bad_catalog(path, &format!("unknown key {other}"))),
                 None => {}
             }
         }
@@ -1004,7 +1103,24 @@ impl StorageDb {
             }
             pool.update_logged(*pid, commit_lsn, |d| d.copy_from_slice(img))?;
         }
-        self.write_catalog(&meta)?;
+        // The on-disk catalog rename must never become durable ahead of
+        // the WAL group that redoes the pages it describes (a power cut
+        // would otherwise leave a catalog whose row count is ahead of
+        // the data — a torn, unreadable table). Stage the new text and
+        // rename only what the log already covers durably: under
+        // `commit` that is always this batch; under `batch` the rename
+        // waits for the group fsync (readers are served from the
+        // staging area meanwhile); under `off` it waits for the next
+        // checkpoint. Recovery replays staged-but-unrenamed catalogs
+        // from the WAL, so a process crash loses nothing.
+        lock(&self.shared.staged).insert(
+            meta.name.clone(),
+            StagedCatalog {
+                text: Self::catalog_text(&meta),
+                lsn: commit_lsn,
+            },
+        );
+        self.flush_staged(wal.durable_lsn())?;
 
         if wal.size() > self.checkpoint_bytes {
             self.checkpoint()?;
@@ -1300,6 +1416,67 @@ mod tests {
         assert_eq!(report.batches_replayed, 0);
         let (rel2, _) = storage2.load_table("t", 1 << 20, None).unwrap();
         assert_eq!(rel2.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_policy_serves_staged_catalog_and_checkpoint_renames_it() {
+        let dir = tmpdir("staged");
+        let storage = StorageDb::open_with(&dir, WalPolicy::Batch, u64::MAX).unwrap();
+        let mut rel = Relation::new(Schema::new(&[("id", ColumnType::Int)]));
+        for i in 0..3i64 {
+            rel.push_row(vec![Value::Int(i)]).unwrap();
+        }
+        storage.ingest("t", &rel, &[]).unwrap();
+        let on_disk = std::fs::read_to_string(dir.join("t.cat")).unwrap();
+        // One commit < group size: the WAL group is not durable yet, so
+        // the catalog switch stays in memory…
+        let meta = storage.append_rows("t", vec![vec![Value::Int(9)]]).unwrap();
+        assert_eq!(meta.rows, 4);
+        assert_eq!(
+            std::fs::read_to_string(dir.join("t.cat")).unwrap(),
+            on_disk,
+            "rename must wait for the group fsync"
+        );
+        // …while readers see the committed state through the staging
+        // area, including a second batch stacked on the first.
+        let (rel2, _) = storage.load_table("t", 1 << 20, None).unwrap();
+        assert_eq!(rel2.len(), 4);
+        storage
+            .append_rows("t", vec![vec![Value::Int(10)]])
+            .unwrap();
+        assert_eq!(storage.table_meta("t").unwrap().rows, 5);
+        // Checkpoint syncs the log, so the staged text lands on disk.
+        storage.checkpoint().unwrap();
+        let flushed = std::fs::read_to_string(dir.join("t.cat")).unwrap();
+        assert!(flushed.contains("rows 5"), "checkpoint flushes the rename");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_catalog_disables_orphan_gc() {
+        let dir = tmpdir("badcat");
+        {
+            let storage = StorageDb::open(&dir).unwrap();
+            storage.ingest("t", &sample(), &[]).unwrap();
+        }
+        std::fs::write(dir.join("t.cat"), "not a catalog\n").unwrap();
+        std::fs::write(dir.join("t.9.pages"), vec![0u8; 16]).unwrap();
+        let storage = StorageDb::open(&dir).unwrap();
+        let report = storage.recover().unwrap();
+        assert_eq!(report.unreadable_catalogs, 1);
+        assert_eq!(report.orphans_removed, 0);
+        assert!(dir.join("t.pages").exists(), "data must never be GC'd");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_catalog_is_rejected_with_reingest_error() {
+        let dir = tmpdir("v1");
+        let storage = StorageDb::open(&dir).unwrap();
+        std::fs::write(dir.join("old.cat"), "htqo-table v1\nrows 0\n").unwrap();
+        let msg = format!("{}", storage.table_meta("old").unwrap_err());
+        assert!(msg.contains("re-ingest"), "unhelpful v1 error: {msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

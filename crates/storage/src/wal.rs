@@ -403,6 +403,16 @@ impl Wal {
         inner.written + inner.pending.len() as u64
     }
 
+    /// The offset known durable (fsynced). Records at or below this LSN
+    /// survive a power cut; anything past it is only as safe as the OS
+    /// page cache. The catalog layer uses this as the barrier for
+    /// renaming a new catalog into place under group commit: the rename
+    /// must never become durable ahead of the WAL group that redoes the
+    /// pages it describes.
+    pub fn durable_lsn(&self) -> u64 {
+        self.lock().durable
+    }
+
     /// Checkpoint truncation: every logged change is already durable in
     /// the data files, so the log restarts empty.
     pub fn reset(&self) -> Result<(), EvalError> {
@@ -543,7 +553,7 @@ mod tests {
         let wal = Wal::open(&path, WalPolicy::Commit, None).unwrap();
         let img = vec![3u8; PAGE_SIZE];
         wal.log_page("t.0.pages", 4, &img).unwrap();
-        wal.log_catalog("t", "htqo-table v1\nrows 9\n").unwrap();
+        wal.log_catalog("t", "htqo-table v2\nrows 9\n").unwrap();
         wal.commit().unwrap();
         wal.log_page("t.0.pages", 5, &img).unwrap();
         wal.commit().unwrap();
@@ -564,7 +574,7 @@ mod tests {
             scan.batches[0][1],
             WalRecord::Catalog {
                 table: "t".into(),
-                text: "htqo-table v1\nrows 9\n".into()
+                text: "htqo-table v2\nrows 9\n".into()
             }
         );
         assert_eq!(scan.batches[1].len(), 1);

@@ -272,12 +272,14 @@ proptest! {
         let _g = lock();
         for &(site, outcome) in APPLY_SITES {
             for policy in [WalPolicy::Commit, WalPolicy::Batch] {
-                // Under `batch` (group commit) the per-commit fsync only
-                // fires on the group boundary; with fewer commits than
-                // the group size the site stays dormant and the batch
-                // simply commits — the "present" outcome covers it.
-                let fsync_may_be_dormant =
-                    site == "storage::wal_fsync" && policy == WalPolicy::Batch;
+                // Under `batch` (group commit) the per-commit fsync —
+                // and the catalog rename, which is deferred until the
+                // covering group fsync — only fire on the group
+                // boundary; with fewer commits than the group size the
+                // site stays dormant and the batch simply commits — the
+                // "present" outcome covers it.
+                let site_may_be_dormant = policy == WalPolicy::Batch
+                    && matches!(site, "storage::wal_fsync" | "storage::catalog_rename");
                 for victim in 0..w.batches.len() {
                     failpoint::clear();
                     let dir = scratch("matrix");
@@ -313,7 +315,7 @@ proptest! {
                     }
                     if !failed {
                         prop_assert!(
-                            fsync_may_be_dormant,
+                            site_may_be_dormant,
                             "site {site} never fired for victim {victim}"
                         );
                         // Dormant site: everything committed; fall
@@ -617,6 +619,134 @@ fn orphan_generation_files_are_garbage_collected() {
     assert!(!dir.join("t.cat.tmp").exists());
     let (rel, _) = storage.load_table("t", 1 << 22, None).unwrap();
     assert_eq!(rel.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: under group commit (`HTQO_WAL=batch`) the on-disk
+/// catalog must never run ahead of the durable WAL. A power cut that
+/// loses the un-fsynced log group used to leave a renamed catalog whose
+/// row count was ahead of the data pages — a torn, unreadable table.
+/// The rename is now deferred until the covering group fsync, so the
+/// same power cut recovers cleanly to the pre-batch state.
+#[test]
+fn batch_policy_catalog_never_outruns_durable_wal() {
+    let _g = lock();
+    failpoint::clear();
+    let dir = scratch("batchcat");
+    let storage = StorageDb::open_with(&dir, WalPolicy::Batch, u64::MAX).unwrap();
+    let model = base_model(&[1, 2, 3]);
+    storage.ingest("t", &model.relation(), &[]).unwrap();
+    let cat_before = std::fs::read_to_string(dir.join("t.cat")).unwrap();
+
+    // One committed batch: fewer commits than the group size, so the
+    // WAL group is written to the OS but not fsynced. The catalog
+    // switch must be staged in memory, not renamed on disk…
+    let meta = storage.append_rows("t", vec![row(9, "x")]).unwrap();
+    assert_eq!(meta.rows, 4, "staged catalog serves the new state");
+    let (rel, _) = storage.load_table("t", 1 << 22, None).unwrap();
+    assert_eq!(rel.len(), 4);
+    assert_eq!(
+        std::fs::read_to_string(dir.join("t.cat")).unwrap(),
+        cat_before,
+        "on-disk catalog renamed before its WAL group was durable"
+    );
+
+    // …so a power cut that wipes the un-fsynced WAL tail (everything
+    // past the durable header) leaves a *consistent* pre-batch store.
+    storage.simulate_crash();
+    drop(storage);
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(dir.join("db.wal"))
+        .unwrap();
+    f.set_len(htqo_storage::wal::WAL_HEADER).unwrap();
+    drop(f);
+    let rows = recover_and_load(&dir, WalPolicy::Batch);
+    assert_eq!(
+        rows.len(),
+        3,
+        "power cut must roll back to the pre-batch state"
+    );
+
+    // And a plain process crash (OS keeps the written WAL) replays the
+    // batch, catalog included.
+    let storage = StorageDb::open_with(&dir, WalPolicy::Batch, u64::MAX).unwrap();
+    storage.append_rows("t", vec![row(10, "y")]).unwrap();
+    storage.simulate_crash();
+    drop(storage);
+    let rows = recover_and_load(&dir, WalPolicy::Batch);
+    assert_eq!(rows.len(), 4, "process crash keeps the committed batch");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression: an unparseable catalog file must disable orphan GC.
+/// Deleting "unreferenced" page files on the strength of a catalog that
+/// failed to parse would turn a repairable corruption into permanent
+/// data loss.
+#[test]
+fn unreadable_catalog_blocks_orphan_gc() {
+    let _g = lock();
+    failpoint::clear();
+    let dir = scratch("badcat");
+    let storage = StorageDb::open_with(&dir, WalPolicy::Commit, u64::MAX).unwrap();
+    let model = base_model(&[1, 2, 3]);
+    storage.ingest("t", &model.relation(), &[]).unwrap();
+    storage.simulate_crash();
+    drop(storage);
+
+    // Corrupt the catalog (torn write / operator mishap) and plant a
+    // genuine orphan plus a stale temp: with any catalog unreadable,
+    // recovery must delete *nothing*.
+    let good = std::fs::read_to_string(dir.join("t.cat")).unwrap();
+    std::fs::write(dir.join("t.cat"), "garbage\n").unwrap();
+    std::fs::write(dir.join("t.9.pages"), vec![0u8; 16]).unwrap();
+    std::fs::write(dir.join("t.cat.tmp"), b"stale").unwrap();
+
+    let storage = StorageDb::open_with(&dir, WalPolicy::Commit, u64::MAX).unwrap();
+    let report = storage.recover().unwrap();
+    assert_eq!(report.unreadable_catalogs, 1);
+    assert_eq!(report.orphans_removed, 0, "GC must be skipped entirely");
+    assert!(report.did_work(), "the skipped GC is surfaced to operators");
+    assert!(dir.join("t.pages").exists(), "data file survived");
+    assert!(dir.join("t.9.pages").exists());
+    drop(storage);
+
+    // Restoring the catalog makes the table readable again — nothing
+    // was lost — and the next recovery GCs the leftovers.
+    std::fs::write(dir.join("t.cat"), good).unwrap();
+    let storage = StorageDb::open_with(&dir, WalPolicy::Commit, u64::MAX).unwrap();
+    let report = storage.recover().unwrap();
+    assert_eq!(report.unreadable_catalogs, 0);
+    assert_eq!(report.orphans_removed, 2);
+    let (rel, _) = storage.load_table("t", 1 << 22, None).unwrap();
+    assert_eq!(rel.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A pre-checksum (v1) catalog is rejected with an actionable
+/// "re-ingest" error instead of surfacing as CorruptPage on every read
+/// — and its data files are protected from orphan GC.
+#[test]
+fn legacy_v1_catalog_is_rejected_with_reingest_error() {
+    let _g = lock();
+    failpoint::clear();
+    let dir = scratch("v1cat");
+    let storage = StorageDb::open_with(&dir, WalPolicy::Commit, u64::MAX).unwrap();
+    std::fs::write(
+        dir.join("old.cat"),
+        "htqo-table v1\nrows 1\nheap_pages 1\ncol int k\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("old.pages"), vec![0u8; 8192]).unwrap();
+    let err = storage.table_meta("old").unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("re-ingest"), "unhelpful error: {msg}");
+    let report = storage.recover().unwrap();
+    assert_eq!(report.unreadable_catalogs, 1);
+    assert!(
+        dir.join("old.pages").exists(),
+        "v1 data survives for re-ingest"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
